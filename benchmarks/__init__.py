@@ -1,0 +1,5 @@
+"""Benchmark harness: one module per paper table/figure plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Rendered tables land
+in ``benchmarks/output/``.
+"""

@@ -1,0 +1,88 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``benchmarks/test_*`` file regenerates one of the paper's tables or
+figures (see DESIGN.md §4).  Simulation runs are cached per session so
+tables that share a configuration (e.g. Tables 3 and 4 both read the
+queuing/SC runs) do not re-simulate; each bench then times the work that
+is *distinctive* for its table and asserts the paper's shape on the
+results.  Rendered tables are written to ``benchmarks/output/`` so a run
+leaves the full reproduction behind as text.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.consistency import get_model
+from repro.core.experiment import SuiteResults
+from repro.machine.config import MachineConfig
+from repro.machine.system import System
+from repro.sync import get_lock_manager
+from repro.workloads.registry import BENCHMARK_ORDER, generate_trace
+
+#: scale used by the benchmark harness (the library's reproduction scale)
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1991"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+class RunCache:
+    """Session-wide cache of traces and simulation results."""
+
+    def __init__(self) -> None:
+        self._traces = {}
+        self._runs = {}
+
+    def trace(self, program: str):
+        if program not in self._traces:
+            self._traces[program] = generate_trace(
+                program, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+        return self._traces[program]
+
+    def simulate(self, program: str, scheme: str = "queuing", model: str = "sc"):
+        key = (program, scheme, model)
+        if key not in self._runs:
+            self._runs[key] = self.run_fresh(program, scheme, model)
+        return self._runs[key]
+
+    def run_fresh(self, program: str, scheme: str = "queuing", model: str = "sc"):
+        """Always simulate (this is what benches time)."""
+        ts = self.trace(program)
+        system = System(
+            ts,
+            MachineConfig(n_procs=ts.n_procs),
+            get_lock_manager(scheme),
+            get_model(model),
+        )
+        return system.run()
+
+    def suite(self, programs=None) -> SuiteResults:
+        programs = programs or list(BENCHMARK_ORDER)
+        return SuiteResults(
+            scale=BENCH_SCALE,
+            seed=BENCH_SEED,
+            traces={p: self.trace(p) for p in programs},
+            queuing_sc={p: self.simulate(p, "queuing", "sc") for p in programs},
+            ttas_sc={p: self.simulate(p, "ttas", "sc") for p in programs},
+            queuing_wo={p: self.simulate(p, "queuing", "wo") for p in programs},
+        )
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_table(output_dir: Path, name: str, text: str) -> None:
+    (output_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,48 @@
+"""The fidelity scorecard: every compared cell of Tables 3-8 against the
+published numbers, with honest tolerance bands.
+
+This is the machine-checkable core of EXPERIMENTS.md: the benchmark
+renders the full cell-by-cell report to ``benchmarks/output/`` and
+asserts that (a) a large majority of cells sit inside their bands and
+(b) the specific cells the paper's conclusions rest on are among them.
+"""
+
+from repro.core.comparison import fidelity_checks, render_fidelity_report
+
+from .conftest import save_table
+
+
+def test_fidelity_report(benchmark, cache, output_dir):
+    suite = cache.suite()
+
+    def check():
+        return fidelity_checks(suite)
+
+    checks = benchmark.pedantic(check, rounds=1, iterations=1)
+    save_table(output_dir, "fidelity_report", render_fidelity_report(checks))
+
+    assert len(checks) > 60  # broad coverage of the tables
+    ok = sum(1 for c in checks if c.ok)
+    assert ok / len(checks) >= 0.85, f"only {ok}/{len(checks)} cells in band"
+
+    # the cells the conclusions rest on must be inside their bands
+    by_key = {(c.table, c.program, c.metric): c for c in checks}
+    critical = [
+        (3, "grav", "utilization %"),
+        (3, "pdsa", "utilization %"),
+        (3, "grav", "lock stall %"),
+        (3, "topopt", "miss stall %"),
+        (4, "grav", "waiters at transfer"),
+        (4, "pdsa", "waiters at transfer"),
+        (4, "pverify", "waiters at transfer"),
+        (4, "grav", "transfers (scaled)"),
+        (5, "grav", "utilization %"),
+        (6, "grav", "waiters at transfer"),
+        (7, "grav", "WO difference %"),
+        (7, "qsort", "WO difference %"),
+        (7, "qsort", "write hit %"),
+        (8, "grav", "waiters at transfer"),
+    ]
+    for key in critical:
+        assert key in by_key, key
+        assert by_key[key].ok, (key, by_key[key])

@@ -1,0 +1,30 @@
+"""Figure 1: the model architecture diagram.
+
+Regenerates the architecture figure from the machine configuration and
+checks that every parameter the paper states in §2.2 appears.
+"""
+
+from repro.core.report import render_architecture
+from repro.machine.config import MachineConfig
+
+from .conftest import save_table
+
+
+def test_figure1_architecture(benchmark, output_dir):
+    cfg = MachineConfig(n_procs=12)
+    text = benchmark(render_architecture, cfg)
+    save_table(output_dir, "figure1_architecture", text)
+
+    # §2.2 parameters, verbatim
+    assert "64KB" in text
+    assert "2-way set assoc." in text
+    assert "16B lines" in text
+    assert "write-back" in text
+    assert "Illinois" in text
+    assert "buf x4" in text
+    assert "split-transaction" in text
+    assert "round-robin" in text
+    assert "in buf x2" in text and "out buf x2" in text
+    assert "access: 3 cycles" in text
+    # "a cache read miss causes the processor to stall for six cycles"
+    assert "1 (request) + 3 (memory) + 2 (data) = 6 cycles" in text

@@ -1,0 +1,32 @@
+"""Simulator performance regression benchmark.
+
+Not a paper artifact: this is the library watching its own hot loop (the
+per-record trace interpreter -- see docs/internals.md §8).  It measures
+end-to-end simulation throughput in trace records per second on a fixed
+mid-size workload, with real rounds so pytest-benchmark can track
+regressions across runs.
+"""
+
+from repro.consistency import SEQUENTIAL
+from repro.machine.config import MachineConfig
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from repro.workloads import generate_trace
+
+
+def test_simulator_throughput(benchmark):
+    ts = generate_trace("fullconn", scale=0.3, seed=5)
+    records = ts.total_records()
+
+    def simulate_once():
+        cfg = MachineConfig(n_procs=ts.n_procs)
+        return System(ts, cfg, QueuingLockManager(), SEQUENTIAL).run()
+
+    result = benchmark.pedantic(simulate_once, rounds=3, iterations=1)
+    assert result.run_time > 0
+    # record throughput for the journal: records per benchmark-second
+    benchmark.extra_info["trace_records"] = records
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["records_per_sec"] = round(records / mean)
+    # sanity floor: the interpreter should sustain well over 10k rec/s
+    assert records / mean > 10_000

@@ -1,0 +1,68 @@
+"""Table 2: benchmark ideal lock statistics.
+
+Checks the lock-pattern fingerprints the paper's argument rests on:
+pair-count ordering, nesting only in Presto programs, Pverify's
+order-of-magnitude hold times, and the %-of-time-held profile.
+"""
+
+import pytest
+
+from repro.core.ideal import ideal_stats
+from repro.core.report import PAPER_TABLES, render_table2
+from repro.workloads.registry import BENCHMARK_ORDER
+
+from .conftest import save_table
+
+
+@pytest.fixture(scope="module")
+def ideals(cache):
+    return {p: ideal_stats(cache.trace(p)) for p in BENCHMARK_ORDER}
+
+
+def test_table2_ideal_locks(benchmark, cache, output_dir, ideals):
+    benchmark.pedantic(
+        lambda: [ideal_stats(cache.trace(p)) for p in BENCHMARK_ORDER],
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table2(list(ideals.values()))
+    save_table(output_dir, "table2_ideal_locks", text)
+
+    paper = PAPER_TABLES[2]
+
+    # ordering of lock pairs per processor (the paper's key predictor):
+    pairs = {p: ideals[p].lock_pairs for p in BENCHMARK_ORDER}
+    assert pairs["grav"] > pairs["pdsa"] > pairs["fullconn"]
+    assert pairs["topopt"] == 0
+    # Grav leads Pdsa by roughly the paper's 2x
+    assert 1.4 < pairs["grav"] / pairs["pdsa"] < 3.0
+
+    # nested locks only in the Presto programs
+    for p in ("grav", "pdsa", "fullconn"):
+        assert ideals[p].nested_locks > 0, p
+    for p in ("pverify", "qsort", "topopt"):
+        assert ideals[p].nested_locks == 0, p
+
+    # nesting fraction ~ paper's (nested / pairs ~ 0.4 for grav/pdsa)
+    for p in ("grav", "pdsa"):
+        frac = ideals[p].nested_locks / ideals[p].lock_pairs
+        paper_frac = paper[p]["nested"] / paper[p]["pairs"]
+        assert abs(frac - paper_frac) < 0.15, p
+
+    # hold-time profile: Pverify an order of magnitude above the rest
+    holds = {p: ideals[p].avg_held for p in BENCHMARK_ORDER if p != "topopt"}
+    assert holds["pverify"] > 8 * max(v for k, v in holds.items() if k != "pverify")
+    assert holds["qsort"] == min(holds.values())
+    # grav/pdsa/fullconn in the paper's 150-450 cycle band
+    for p in ("grav", "pdsa", "fullconn"):
+        assert 100 < holds[p] < 450, (p, holds[p])
+
+    # % of time held: grav and pverify high, qsort ~0 (paper: 39.8 /
+    # 36.5 / 0.3)
+    assert ideals["grav"].pct_time_held > 18
+    assert ideals["pverify"].pct_time_held > 25
+    assert ideals["qsort"].pct_time_held < 3
+    assert ideals["topopt"].pct_time_held == 0
+    # and crucially pverify's is *comparable* to grav's even though its
+    # contention (Table 4) is nil -- the paper's non-predictor
+    assert ideals["pverify"].pct_time_held > 0.6 * ideals["grav"].pct_time_held

@@ -1,0 +1,47 @@
+"""Table 3: benchmark runtime statistics under queuing locks.
+
+Times the full queuing/SC simulation sweep and checks the utilization
+and stall-cause shape of the paper's central table.
+"""
+
+from repro.core.report import render_runtime_table
+from repro.workloads.registry import BENCHMARK_ORDER
+
+from .conftest import save_table
+
+
+def test_table3_runtime_queuing(benchmark, cache, output_dir):
+    def sweep():
+        return {p: cache.run_fresh(p, "queuing", "sc") for p in BENCHMARK_ORDER}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # seed the shared cache so Tables 4/7 reuse these runs
+    for p, r in results.items():
+        cache._runs.setdefault((p, "queuing", "sc"), r)
+
+    rows = [results[p] for p in BENCHMARK_ORDER]
+    text = render_runtime_table(rows, 3, "Queuing Lock Implementation")
+    save_table(output_dir, "table3_runtime_queuing", text)
+
+    util = {p: r.avg_utilization for p, r in results.items()}
+    # paper: 32.6 / 40.3 / 95.5 / 96.1 / 67.8 / 99.3
+    assert util["grav"] < 0.55
+    assert util["pdsa"] < 0.55
+    assert 0.55 < util["qsort"] < 0.88
+    for p in ("fullconn", "pverify", "topopt"):
+        assert util[p] > 0.90, p
+    # ordering: contended << qsort << the rest
+    assert max(util["grav"], util["pdsa"]) < util["qsort"]
+    assert util["qsort"] < min(util["fullconn"], util["pverify"], util["topopt"])
+
+    # stall causes: lock-dominated vs miss-dominated split
+    assert results["grav"].stall_pct_lock > 85
+    assert results["pdsa"].stall_pct_lock > 85
+    for p in ("pverify", "qsort", "topopt"):
+        assert results[p].stall_pct_miss > 85, p
+    assert results["fullconn"].stall_pct_miss > 70
+
+    # run-time ordering: topopt is the longest run (paper: 13.8M cycles,
+    # ~40% above the next)
+    runtimes = {p: r.run_time for p, r in results.items()}
+    assert runtimes["topopt"] == max(runtimes.values())

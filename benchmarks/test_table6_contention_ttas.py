@@ -1,0 +1,62 @@
+"""Table 6: lock contention statistics under T&T&S, plus the §3.2
+decomposition of the slowdown.
+
+The paper's two observations here: (a) the contention *pattern* (number
+of transfers, waiters at transfer) is essentially the same as under
+queuing locks -- contention is a program property, not a lock-scheme
+property; (b) the run-time difference is explained by hand-off latency
+(21-25 vs 1.2-1.5 cycles, ~78% of the increase), longer holds (~17%) and
+extra bus load (the remainder; bus utilization doubles for Grav).
+"""
+
+from repro.core.contention import contention_row
+from repro.core.decomposition import decompose_ttas_slowdown
+from repro.core.report import render_contention_table, render_decomposition
+from repro.workloads.registry import LOCKING_BENCHMARKS
+
+from .conftest import save_table
+
+
+def test_table6_contention_ttas(benchmark, cache, output_dir):
+    results = {p: cache.simulate(p, "ttas", "sc") for p in LOCKING_BENCHMARKS}
+    queuing = {p: cache.simulate(p, "queuing", "sc") for p in LOCKING_BENCHMARKS}
+
+    def assemble():
+        rows = {p: contention_row(results[p]) for p in LOCKING_BENCHMARKS}
+        decomp = [
+            decompose_ttas_slowdown(queuing[p], results[p]) for p in ("grav", "pdsa")
+        ]
+        return rows, decomp
+
+    rows, decomps = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    text = render_contention_table(
+        [results[p] for p in LOCKING_BENCHMARKS], 6, "T&T&S"
+    )
+    save_table(output_dir, "table6_contention_ttas", text)
+    save_table(output_dir, "section32_decomposition", render_decomposition(decomps))
+
+    # (a) contention pattern unchanged vs Table 4
+    for p in ("grav", "pdsa"):
+        qrow = contention_row(queuing[p])
+        assert abs(rows[p].waiters_at_transfer - qrow.waiters_at_transfer) < 1.2, p
+        assert abs(rows[p].transfers - qrow.transfers) / qrow.transfers < 0.1, p
+
+    # (b) the hand-off gap: T&T&S in the paper's 21-25 cycle region,
+    # many times the queuing hand-off
+    for p in ("grav", "pdsa"):
+        assert 12 < rows[p].handoff_cycles < 40, (p, rows[p].handoff_cycles)
+        assert rows[p].handoff_cycles > 4 * contention_row(queuing[p]).handoff_cycles
+
+    # transferring-lock hold times stay within a few percent of the
+    # queuing values (paper: 336 -> 343 and 356 -> 363, a +2% shift; our
+    # models land within +/-10%): holds are a program property
+    for p in ("grav", "pdsa"):
+        q_hold = contention_row(queuing[p]).transfer_time_held
+        assert abs(rows[p].transfer_time_held - q_hold) / q_hold < 0.10, p
+
+    # decomposition: hand-off is a large attributed factor; bus load grows
+    for d in decomps:
+        assert d.slowdown_pct > 2
+        assert d.handoff_pct > 40
+        assert d.handoff_ratio > 4
+        assert d.bus_util_growth > 0.25

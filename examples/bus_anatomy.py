@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Where do the bus cycles go?  (§3.2, instrumented)
+
+Run:  python examples/bus_anatomy.py [workload] [scale]
+
+Attaches a bus logger and simulates the same trace under queuing locks
+and under test-and-test-and-set, then prints the transaction anatomy of
+each run.  On a contended workload the contrast is the paper's §3.2
+argument in one screen: lock traffic explodes under T&T&S (the release
+burst's reads and racing test-and-sets) while the data-fill traffic is
+unchanged -- and that extra occupancy is what "slows down even those
+processors that do not want the lock."
+"""
+
+import sys
+
+from repro import MachineConfig, generate_trace, get_lock_manager
+from repro.consistency import SEQUENTIAL
+from repro.machine.buslog import BusLog, render_bus_anatomy
+from repro.machine.system import System
+
+
+def run_logged(trace, scheme):
+    system = System(
+        trace,
+        MachineConfig(n_procs=trace.n_procs),
+        get_lock_manager(scheme),
+        SEQUENTIAL,
+    )
+    log = BusLog.attach(system)
+    result = system.run()
+    return log, result
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "grav"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    trace = generate_trace(workload, scale=scale)
+    for scheme in ("queuing", "ttas"):
+        log, result = run_logged(trace, scheme)
+        print(render_bus_anatomy(log, result))
+        print()
+
+    qlog, qres = run_logged(trace, "queuing")
+    tlog, tres = run_logged(trace, "ttas")
+    ql, tl = qlog.lock_traffic_cycles(), tlog.lock_traffic_cycles()
+    print(
+        f"lock traffic: {ql:,} bus cycles under queuing vs {tl:,} under "
+        f"T&T&S ({tl / max(1, ql):.1f}x)"
+    )
+    print(
+        "-> the growth is entirely in LOCK_READ/LOCK_RFO/LOCK_INVAL: the "
+        "release burst, not the program's data traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The §3.1/§5 predictor study: which *ideal* statistic predicts lock
+contention?
+
+Run:  python examples/contention_predictors.py [scale]
+
+The paper's central methodological claim: "the number of lock
+acquisitions in the 'ideal' analysis is the best predictor of the level
+of contention to get a lock.  The percentage of time that locks are held
+during the running of the program is inconsequential."
+
+This example runs the five locking benchmarks, tabulates each candidate
+predictor next to the observed contention, and prints Spearman rank
+correlations.
+"""
+
+import sys
+
+from repro.core.experiment import run_suite
+from repro.core.ideal import ideal_stats
+from repro.core.predictors import predictor_study
+from repro.workloads.registry import LOCKING_BENCHMARKS
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    print(f"running {len(LOCKING_BENCHMARKS)} benchmarks at scale {scale}...\n")
+    suite = run_suite(
+        programs=list(LOCKING_BENCHMARKS), scale=scale, configs=(("queuing", "sc"),)
+    )
+    ideals = [ideal_stats(suite.traces[p]) for p in LOCKING_BENCHMARKS]
+    results = [suite.queuing_sc[p] for p in LOCKING_BENCHMARKS]
+    study = predictor_study(ideals, results)
+
+    header = (
+        f"{'program':<10} | {'lock pairs':>10} {'% held':>7} {'avg held':>9} | "
+        f"{'waiters':>8} {'lock stall %':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for i, p in enumerate(study.programs):
+        print(
+            f"{p:<10} | {study.lock_pairs[i]:>10.0f} {study.pct_time_held[i]:>7.1f} "
+            f"{study.avg_held[i]:>9.0f} | {study.waiters_at_transfer[i]:>8.2f} "
+            f"{study.lock_stall_pct[i]:>12.1f}"
+        )
+
+    print("\nSpearman rank correlation against waiters-at-transfer:")
+    print(f"  lock acquisitions (pairs): {study.corr_lock_pairs:+.2f}")
+    print(f"  % of time locks held:      {study.corr_pct_time_held:+.2f}")
+    print(f"  average hold time:         {study.corr_avg_held:+.2f}")
+    print(f"\nbest predictor: {study.best_predictor}")
+    print(
+        "\nNote the star witness: Pverify holds locks over a third of its "
+        "execution -- longer than anyone -- yet has zero waiters, while "
+        "Grav/Pdsa hold locks briefly but acquire them so often that more "
+        "than half the machine queues up."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Define your own workload model and run it through the pipeline.
+
+Run:  python examples/custom_workload.py
+
+Demonstrates the public workload-authoring API: subclass ``Workload``,
+drive per-processor ``ProcContext`` objects (basic blocks, data
+references, locks), and get back a trace the simulator accepts.
+
+The example program is a producer/consumer ring: each processor owns a
+mailbox; processor ``p`` repeatedly produces into ``(p+1) % n``'s
+mailbox under that mailbox's lock and consumes from its own.  We then
+ask the paper's questions about it: how contended are the locks, and
+does the choice of lock implementation matter?
+"""
+
+import numpy as np
+
+from repro import generate_trace, get_lock_manager, simulate
+from repro.core.ideal import ideal_stats
+from repro.trace.layout import AddressLayout
+from repro.trace.validate import validate_traceset
+from repro.workloads import ProcContext, SharedLock, Workload
+
+
+class MailboxRing(Workload):
+    """Producer/consumer ring with per-mailbox locks."""
+
+    name = "mailring"
+    default_procs = 8
+    cpi = 3.0
+
+    ROUNDS = 300
+    SLOTS = 16
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        n = len(ctxs)
+        locks = [SharedLock(layout, f"mailbox{i}") for i in range(n)]
+        boxes = [layout.alloc_shared(self.SLOTS * 64) for _ in range(n)]
+        scratch = [layout.alloc_private(p, 4096) for p in range(n)]
+
+        rounds = self.scaled(self.ROUNDS)
+        for p, ctx in enumerate(ctxs):
+            nxt = (p + 1) % n
+            for r in range(rounds):
+                # produce: build a message privately, then publish it
+                ctx.step(
+                    "ring.make",
+                    30,
+                    reads=[(scratch[p] + (r % 32) * 64, 4)],
+                    writes=[(scratch[p] + (r % 32) * 64, 4)],
+                )
+                slot = boxes[nxt] + (r % self.SLOTS) * 64
+                ctx.lock(locks[nxt])
+                ctx.step("ring.put", 12, writes=[(slot, 8)])
+                ctx.unlock(locks[nxt])
+                # consume from our own mailbox
+                slot = boxes[p] + (r % self.SLOTS) * 64
+                ctx.lock(locks[p])
+                ctx.step("ring.get", 10, reads=[(slot, 8)])
+                ctx.unlock(locks[p])
+                ctx.compute("ring.work", 40)
+
+
+def main() -> None:
+    wl = MailboxRing(scale=1.0, seed=7)
+    trace = wl.generate()
+    validate_traceset(trace)  # the library checks your trace's invariants
+    print(f"generated {trace.total_records():,} records on {trace.n_procs} procs")
+
+    ideal = ideal_stats(trace)
+    print(
+        f"ideal: {ideal.lock_pairs:.0f} lock pairs/proc, held "
+        f"{ideal.avg_held:.0f} cycles avg, {ideal.pct_time_held:.1f}% of time\n"
+    )
+
+    for scheme in ("queuing", "ttas"):
+        result = simulate(trace, lock_manager=get_lock_manager(scheme))
+        ls = result.lock_stats
+        print(
+            f"{scheme:>8}: run-time {result.run_time:>9,}  "
+            f"util {100 * result.avg_utilization:5.1f}%  "
+            f"lock-stall {result.stall_pct_lock:5.1f}%  "
+            f"waiters {ls.avg_waiters_at_transfer:.2f}  "
+            f"handoff {ls.avg_handoff:.1f} cy"
+        )
+
+    print(
+        "\nNeighbour-only locking keeps waiters far below the machine size, "
+        "so (as the paper predicts from the lock-acquisition count) the "
+        "lock implementation barely matters here."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's framing question, made runnable: do lock algorithms that
+shine on artificial high-contention microbenchmarks matter for *real*
+programs?
+
+Run:  python examples/synthetic_vs_real.py [scale]
+
+Left column: the literature's artificial program — every processor
+hammers one global lock (``SyntheticContention``) — at three think-time
+settings.  Right column: the paper's real-program suite.  For each, the
+run-time advantage of queuing locks over test-and-test-and-set.
+
+The expected picture (the paper's contribution in one table): the
+synthetic kernel shows a large queuing-lock win that grows as think time
+shrinks; among the real programs, only the two that *behave like* the
+synthetic kernel (Grav and Pdsa, whose Presto scheduler lock is hammered
+machine-wide) retain a few percent of it, and the other four show
+nothing at all.
+"""
+
+import sys
+
+from repro import generate_trace, get_lock_manager, simulate
+from repro.workloads import BENCHMARK_ORDER, SyntheticContention
+
+
+def gap(trace):
+    q = simulate(trace, lock_manager=get_lock_manager("queuing"))
+    t = simulate(trace, lock_manager=get_lock_manager("ttas"))
+    return (
+        100.0 * (t.run_time - q.run_time) / q.run_time,
+        q.lock_stats.avg_waiters_at_transfer,
+    )
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    print("=== artificial programs (the prior literature's method) ===")
+    print(f"{'think instr':>12} {'T&T&S slowdown':>15} {'waiters':>8}")
+    for think in (120, 40, 0):
+        wl = SyntheticContention(scale=scale, think_instr=think)
+        slow, waiters = gap(wl.generate())
+        print(f"{think:>12} {slow:>+14.1f}% {waiters:>8.2f}")
+
+    print("\n=== real programs (the paper's method) ===")
+    print(f"{'program':>12} {'T&T&S slowdown':>15} {'waiters':>8}")
+    for name in BENCHMARK_ORDER:
+        if name == "topopt":
+            continue  # no locks: nothing to compare
+        slow, waiters = gap(generate_trace(name, scale=scale))
+        print(f"{name:>12} {slow:>+14.1f}% {waiters:>8.2f}")
+
+    print(
+        "\nConclusion (the paper's): the better lock is worth real percent "
+        "only where the ideal analysis already shows massive acquisition "
+        "counts on one lock; elsewhere the sophistication buys nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

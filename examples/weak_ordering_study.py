@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Weak ordering vs sequential consistency across the suite (§4).
+
+Run:  python examples/weak_ordering_study.py [scale]
+
+Reproduces the shape of Table 7: for every benchmark, the run-time under
+sequential consistency and under weak ordering (load/ifetch bypassing in
+the cache-bus buffers, stall-and-drain at sync points), the percentage
+difference, and the write-hit ratio that explains why bypassing buys so
+little on this machine.  Also reports the §4.2 observation that the deep
+cache-bus buffers are nearly always empty when a synchronization
+operation arrives.
+"""
+
+import sys
+
+from repro import WEAK, generate_trace, simulate
+from repro.workloads import BENCHMARK_ORDER
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    header = (
+        f"{'program':<10} {'SC run-time':>12} {'WO run-time':>12} {'diff %':>7} "
+        f"{'write hit %':>11} {'drain stall %':>13} {'max buf':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    for name in BENCHMARK_ORDER:
+        trace = generate_trace(name, scale=scale)
+        sc = simulate(trace)
+        wo = simulate(trace, model=WEAK)
+        diff = 100.0 * (sc.run_time - wo.run_time) / sc.run_time
+        worst = max(worst, abs(diff))
+        drain = sum(m.stall_drain for m in wo.proc_metrics)
+        total = sum(m.completion_time for m in wo.proc_metrics)
+        print(
+            f"{name:<10} {sc.run_time:>12,} {wo.run_time:>12,} {diff:>+7.2f} "
+            f"{100 * wo.write_hit_ratio:>11.1f} {100 * drain / total:>13.2f} "
+            f"{wo.buffer_max_occupancy:>8}"
+        )
+
+    print()
+    print(f"largest |difference|: {worst:.2f}%")
+    if worst < 1.0:
+        print(
+            "-> as the paper concludes, weak ordering buys less than 1% on "
+            "this shared-bus machine; 'it is debatable whether cache-bus "
+            "buffers should be as deep as those we simulated.'"
+        )
+    else:
+        print(
+            "-> a benchmark beat the paper's 1% bound; inspect its write-hit "
+            "ratio and drain stalls above."
+        )
+
+
+if __name__ == "__main__":
+    main()

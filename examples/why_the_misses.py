@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Why each benchmark misses: connecting trace structure to Table 3.
+
+Run:  python examples/why_the_misses.py [scale]
+
+For every benchmark, the footprint/sharing analysis of the *trace*
+(before any simulation) next to the *simulated* miss behaviour -- the
+causal story behind the paper's stall-cause table:
+
+* Qsort: data footprint beyond one cache, lines actively write-shared
+  across processors -> read misses dominate, utilization sags;
+* Topopt: per-processor footprints fit the 64 KB cache, shared lines are
+  read-only -> ~no misses, 99 % utilization;
+* Presto programs: Table 1 calls ~all their data "shared", but the
+  active fraction is far smaller -- the allocator's shared heap, not
+  communication; their misses come from the genuinely write-shared
+  scheduler/tree lines.
+"""
+
+import sys
+
+from repro import generate_trace, simulate
+from repro.trace.footprint import sharing_profile
+from repro.workloads import BENCHMARK_ORDER
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    header = (
+        f"{'program':<9} {'fp lines':>9} {'fits 64KB':>10} {'active sh%':>11} "
+        f"{'write-sh':>9} | {'read miss%':>11} {'util %':>7} {'stall=miss%':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in BENCHMARK_ORDER:
+        ts = generate_trace(name, scale=scale)
+        prof = sharing_profile(ts)
+        avg_fp = sum(f.total_lines for f in prof.footprints) / len(prof.footprints)
+        fits = all(f.fits_in() for f in prof.footprints)
+        result = simulate(ts)
+        read_total = result.read_hits + result.read_misses
+        read_miss_pct = 100 * result.read_misses / max(1, read_total)
+        print(
+            f"{name:<9} {avg_fp:>9,.0f} {str(fits):>10} "
+            f"{100 * prof.active_fraction:>10.1f} {prof.write_shared:>9,} | "
+            f"{read_miss_pct:>11.2f} {100 * result.avg_utilization:>7.1f} "
+            f"{result.stall_pct_miss:>12.1f}"
+        )
+
+    print(
+        "\nReading the table: a footprint beyond the cache or a large "
+        "write-shared set predicts the miss-bound rows of Table 3; small "
+        "read-only sharing predicts the 95%+ utilization rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro: reproduction of Baer & Zucker, "On Synchronization Patterns in
+Parallel Programs" (ICPP 1991).
+
+A trace-driven simulator of a shared-bus multiprocessor (Sequent
+Symmetry Model B class: per-CPU 64 KB two-way write-back caches with
+Illinois coherence, split-transaction bus, buffered memory) together
+with models of the paper's six benchmark programs, two lock
+implementations (queuing locks and test-and-test-and-set) and two
+memory-consistency models (sequential consistency and weak ordering).
+
+Quick start::
+
+    from repro import generate_trace, simulate
+
+    trace = generate_trace("grav")
+    result = simulate(trace)           # queuing locks, sequential consistency
+    print(result.summary())
+
+The ``repro.core`` package holds the paper's study itself: the ideal
+trace analysis (Tables 1-2), the experiment driver, and the
+table-by-table reproduction harness.
+"""
+
+from .consistency import SEQUENTIAL, TSO, WEAK, ConsistencyModel, get_model
+from .machine import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    MemoryConfig,
+    RunResult,
+    System,
+    simulate,
+)
+from .sync import (
+    LOCK_SCHEMES,
+    ExactQueuingLockManager,
+    LockManager,
+    QueuingLockManager,
+    TestAndSetLockManager,
+    TestAndTestAndSetLockManager,
+    get_lock_manager,
+)
+from .trace import Trace, TraceSet, load_traceset, save_traceset
+from .workloads import (
+    BENCHMARK_ORDER,
+    WORKLOADS,
+    Workload,
+    generate_suite,
+    generate_trace,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BusConfig",
+    "CacheConfig",
+    "ConsistencyModel",
+    "ExactQueuingLockManager",
+    "LOCK_SCHEMES",
+    "LockManager",
+    "MachineConfig",
+    "MemoryConfig",
+    "QueuingLockManager",
+    "RunResult",
+    "SEQUENTIAL",
+    "System",
+    "TSO",
+    "TestAndSetLockManager",
+    "TestAndTestAndSetLockManager",
+    "Trace",
+    "TraceSet",
+    "WEAK",
+    "WORKLOADS",
+    "Workload",
+    "__version__",
+    "generate_suite",
+    "generate_trace",
+    "get_lock_manager",
+    "get_model",
+    "get_workload",
+    "load_traceset",
+    "save_traceset",
+    "simulate",
+]

@@ -1,0 +1,198 @@
+"""Command-line front end.
+
+Examples::
+
+    python -m repro figure1
+    python -m repro table 3                 # regenerate a paper table
+    python -m repro table 4 --scale 0.5
+    python -m repro run grav --locks ttas --model sc
+    python -m repro suite                   # Tables 3-8 in one pass
+    python -m repro generate qsort -o qsort.npz
+    python -m repro ideal                   # Tables 1 and 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Baer & Zucker, 'On Synchronization Patterns in "
+            "Parallel Programs' (ICPP 1991)"
+        ),
+    )
+    p.add_argument("--scale", type=float, default=1.0, help="trace scale factor")
+    p.add_argument("--seed", type=int, default=1991, help="workload RNG seed")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("figure1", help="render the Figure 1 architecture diagram")
+
+    t = sub.add_parser("table", help="regenerate one paper table (1-8)")
+    t.add_argument("number", type=int, choices=range(1, 9))
+
+    sub.add_parser("ideal", help="Tables 1 and 2 (no simulation)")
+
+    r = sub.add_parser("run", help="simulate one benchmark")
+    r.add_argument("workload")
+    r.add_argument("--locks", default="queuing", help="queuing|exact-queuing|ttas|tas")
+    r.add_argument("--model", default="sc", help="sc|tso|wo")
+    r.add_argument("--procs", type=int, default=None)
+    r.add_argument(
+        "--per-proc", action="store_true", help="also print the per-processor detail"
+    )
+
+    sub.add_parser("suite", help="run the full grid and print Tables 3-8")
+
+    g = sub.add_parser("generate", help="generate a trace file")
+    g.add_argument("workload")
+    g.add_argument("-o", "--out", required=True)
+
+    s = sub.add_parser("simulate", help="simulate a saved trace file")
+    s.add_argument("tracefile")
+    s.add_argument("--locks", default="queuing")
+    s.add_argument("--model", default="sc")
+
+    sub.add_parser("decompose", help="section 3.2 T&T&S slowdown decomposition")
+
+    pr = sub.add_parser("profile", help="per-lock contention profile of one benchmark")
+    pr.add_argument("workload")
+    pr.add_argument("--locks", default="queuing")
+    pr.add_argument("--model", default="sc")
+    pr.add_argument("--top", type=int, default=12)
+
+    sub.add_parser(
+        "claims", help="evaluate every paper claim against a fresh suite run"
+    )
+
+    ins = sub.add_parser("inspect", help="summarize or dump a trace")
+    ins.add_argument("target", help="workload name or .npz trace file")
+    ins.add_argument("--dump", type=int, metavar="N", help="dump N records of --proc")
+    ins.add_argument("--proc", type=int, default=0)
+    ins.add_argument("--start", type=int, default=0)
+
+    rep = sub.add_parser(
+        "report", help="the full reproduction booklet (figure, tables, claims, fidelity)"
+    )
+    rep.add_argument("-o", "--out", default=None, help="write to a file instead of stdout")
+
+    fp = sub.add_parser(
+        "footprint", help="trace footprint and sharing analysis of one benchmark"
+    )
+    fp.add_argument("workload")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # imports deferred so `--help` stays snappy
+    from . import core
+    from .consistency import get_model
+    from .machine.system import simulate as _simulate
+    from .sync import get_lock_manager
+    from .trace import load_traceset, save_traceset
+    from .workloads import generate_trace
+
+    if args.cmd == "figure1":
+        text, _ = core.figure1()
+        print(text)
+    elif args.cmd == "table":
+        print(core.render_any(args.number, scale=args.scale, seed=args.seed))
+    elif args.cmd == "ideal":
+        for fn in (core.table1, core.table2):
+            text, _ = fn(scale=args.scale, seed=args.seed)
+            print(text)
+            print()
+    elif args.cmd == "run":
+        ts = generate_trace(
+            args.workload, scale=args.scale, seed=args.seed, n_procs=args.procs
+        )
+        result = _simulate(
+            ts,
+            lock_manager=get_lock_manager(args.locks),
+            model=get_model(args.model),
+        )
+        print(result.summary())
+        if args.per_proc:
+            print()
+            print(core.render_per_proc(result))
+    elif args.cmd == "suite":
+        suite = core.run_suite(scale=args.scale, seed=args.seed)
+        for fn in (core.table3, core.table4, core.table5, core.table6, core.table7, core.table8):
+            text, _ = fn(suite=suite)
+            print(text)
+            print()
+        text, _ = core.section32(suite=suite)
+        print(text)
+    elif args.cmd == "generate":
+        ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
+        save_traceset(ts, args.out)
+        print(f"wrote {ts.total_records()} records for {ts.n_procs} processors to {args.out}")
+    elif args.cmd == "simulate":
+        ts = load_traceset(args.tracefile)
+        result = _simulate(
+            ts,
+            lock_manager=get_lock_manager(args.locks),
+            model=get_model(args.model),
+        )
+        print(result.summary())
+    elif args.cmd == "decompose":
+        text, _ = core.section32(scale=args.scale, seed=args.seed)
+        print(text)
+    elif args.cmd == "profile":
+        ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
+        result = _simulate(
+            ts,
+            lock_manager=get_lock_manager(args.locks),
+            model=get_model(args.model),
+        )
+        print(core.render_lock_profile(result, ts, top=args.top))
+    elif args.cmd == "claims":
+        results = core.check_all_claims(scale=args.scale, seed=args.seed)
+        print(core.render_claim_report(results))
+        return 0 if all(r.holds for r in results) else 1
+    elif args.cmd == "inspect":
+        from .trace import dump_records, summarize_traceset
+
+        if args.target.endswith(".npz"):
+            ts = load_traceset(args.target)
+        else:
+            ts = generate_trace(args.target, scale=args.scale, seed=args.seed)
+        print(summarize_traceset(ts))
+        if args.dump:
+            print()
+            print(dump_records(ts[args.proc], start=args.start, count=args.dump))
+    elif args.cmd == "report":
+        text = core.build_booklet(scale=args.scale, seed=args.seed)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote reproduction booklet to {args.out}")
+        else:
+            print(text)
+    elif args.cmd == "footprint":
+        from .trace.footprint import sharing_profile
+
+        ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
+        prof = sharing_profile(ts)
+        print(
+            f"{ts.program}: {prof.shared_lines:,} shared data lines; "
+            f"{prof.actively_shared:,} touched by 2+ processors "
+            f"({100 * prof.active_fraction:.1f}%); {prof.write_shared:,} write-shared"
+        )
+        print(f"{'proc':>4} {'data lines':>11} {'shared':>8} {'code':>6} {'fits 64KB':>10}")
+        for f in prof.footprints:
+            print(
+                f"{f.proc:>4} {f.data_lines:>11,} {f.shared_data_lines:>8,} "
+                f"{f.code_lines:>6,} {str(f.fits_in()):>10}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Memory consistency models: sequential consistency and weak ordering
+(the paper's two), plus total store ordering as an extension."""
+
+from .base import ConsistencyModel
+from .sequential import SEQUENTIAL, SequentialConsistency
+from .tso import TSO, TotalStoreOrdering
+from .weak import WEAK, WeakOrdering
+
+__all__ = [
+    "ConsistencyModel",
+    "SEQUENTIAL",
+    "SequentialConsistency",
+    "TSO",
+    "TotalStoreOrdering",
+    "WEAK",
+    "WeakOrdering",
+    "get_model",
+]
+
+_MODELS = {
+    "sc": SEQUENTIAL,
+    "wo": WEAK,
+    "sequential": SEQUENTIAL,
+    "weak": WEAK,
+    "tso": TSO,
+    "pc": TSO,
+}
+
+
+def get_model(name: str) -> ConsistencyModel:
+    """Look up a consistency model by name ('sc'/'sequential' or 'wo'/'weak')."""
+    try:
+        return _MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown consistency model {name!r}; expected one of {sorted(set(_MODELS))}"
+        ) from None

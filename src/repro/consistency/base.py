@@ -1,0 +1,40 @@
+"""Memory consistency models (§4).
+
+A consistency model, for this simulator, is a small policy object the
+processor consults at each reference:
+
+* must the processor stall on a write miss, or may the write (an RFO,
+  since the caches write-allocate) sit in the cache--bus buffer while
+  execution continues?
+* must a write hit on a SHARED line stall until its invalidation signal
+  completes, or may the invalidation be buffered?
+* may loads and instruction fetches *bypass* buffered writes,
+  write-backs and invalidations to the front of the buffer?
+* must the processor drain all buffered/outstanding accesses before a
+  synchronization operation issues (rules 2 and 3 of weak ordering)?
+
+Reads that miss always stall the issuing processor -- the paper models
+blocking loads in both systems; the consistency model only controls what
+the load may jump over in the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConsistencyModel"]
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """Base policy record.  Instantiate the concrete subclasses in
+    :mod:`repro.consistency.sequential` / :mod:`repro.consistency.weak`."""
+
+    name: str
+    stall_on_write_miss: bool
+    stall_on_upgrade: bool
+    bypass_reads: bool
+    drain_at_sync: bool
+
+    def __str__(self) -> str:
+        return self.name

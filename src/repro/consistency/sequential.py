@@ -1,0 +1,32 @@
+"""Sequential consistency (Lamport): "the result of any execution is the
+same as if the operations of all the processors were executed in some
+sequential order, and the operations of each individual processor appear
+in this sequence in the order specified by its program."
+
+Operationally in this machine model: every miss -- read, ifetch or write
+-- stalls the issuing processor until the access performs; a write hit on
+a SHARED line stalls until the invalidation signal completes; the
+cache--bus buffer is strictly FIFO (only write-backs of evicted lines,
+which are not program accesses, trail behind).  Synchronization points
+need no special drain because nothing is ever outstanding.
+"""
+
+from __future__ import annotations
+
+from .base import ConsistencyModel
+
+__all__ = ["SequentialConsistency", "SEQUENTIAL"]
+
+
+class SequentialConsistency(ConsistencyModel):
+    def __init__(self) -> None:
+        super().__init__(
+            name="sc",
+            stall_on_write_miss=True,
+            stall_on_upgrade=True,
+            bypass_reads=False,
+            drain_at_sync=False,
+        )
+
+
+SEQUENTIAL = SequentialConsistency()

@@ -1,0 +1,40 @@
+"""Weak ordering (Dubois, Scheurich & Briggs), as modeled in §4.1.
+
+The paper's weakly ordered machine gains exactly one mechanism over the
+sequentially consistent one: *bypassing in the cache--bus buffers*.  Any
+reference whose miss would stall the processor (loads and instruction
+fetches) may be placed at the front of its bus-access buffer, ahead of
+buffered writes, write-backs and invalidation signals; writes and
+upgrades no longer stall the processor at all -- they are buffered and
+performed when they reach the bus.
+
+The three rules of weak ordering are honoured at synchronization
+operations: before a lock/unlock issues, the processor stalls until
+every buffered or in-flight access has performed (all fetched lines are
+installed in the cache), and no later access issues until the
+synchronization completes.
+
+Deliberately *not* modeled, as in the paper: prefetching, out-of-order
+issue/completion, and delayed invalidation signals (impossible with
+multi-word lines without losing writes under false sharing -- §4.1).
+"""
+
+from __future__ import annotations
+
+from .base import ConsistencyModel
+
+__all__ = ["WeakOrdering", "WEAK"]
+
+
+class WeakOrdering(ConsistencyModel):
+    def __init__(self) -> None:
+        super().__init__(
+            name="wo",
+            stall_on_write_miss=False,
+            stall_on_upgrade=False,
+            bypass_reads=True,
+            drain_at_sync=True,
+        )
+
+
+WEAK = WeakOrdering()

@@ -1,0 +1,107 @@
+"""The paper's study: ideal analysis, experiments, contention and
+predictor analyses, and the table-by-table reproduction harness."""
+
+from .claims import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    check_all_claims,
+    render_claim_report,
+)
+from .booklet import build_booklet
+from .comparison import (
+    SCALE_FACTOR,
+    CellCheck,
+    fidelity_checks,
+    render_fidelity_report,
+)
+from .contention import ContentionRow, contention_row
+from .decomposition import TTASDecomposition, decompose_ttas_slowdown
+from .experiment import Experiment, SuiteResults, run_experiment, run_suite
+from .ideal import BenchmarkIdeal, ideal_stats
+from .lockprofile import LockProfileRow, lock_profile, render_lock_profile
+from .predictors import PredictorStudy, predictor_study, spearman
+from .robustness import MetricSpread, render_seed_study, seed_study
+from .sweep import SweepPoint, render_sweep, sweep_machine, sweep_procs
+from .report import (
+    PAPER_TABLES,
+    render_architecture,
+    render_contention_table,
+    render_decomposition,
+    render_per_proc,
+    render_runtime_table,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table7,
+)
+from .tables import (
+    figure1,
+    render_any,
+    section32,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "BenchmarkIdeal",
+    "CLAIMS",
+    "Claim",
+    "ClaimResult",
+    "CellCheck",
+    "ContentionRow",
+    "MetricSpread",
+    "build_booklet",
+    "render_seed_study",
+    "seed_study",
+    "SCALE_FACTOR",
+    "check_all_claims",
+    "fidelity_checks",
+    "render_claim_report",
+    "render_fidelity_report",
+    "Experiment",
+    "PAPER_TABLES",
+    "PredictorStudy",
+    "SuiteResults",
+    "TTASDecomposition",
+    "contention_row",
+    "decompose_ttas_slowdown",
+    "figure1",
+    "ideal_stats",
+    "lock_profile",
+    "LockProfileRow",
+    "predictor_study",
+    "render_lock_profile",
+    "render_any",
+    "render_architecture",
+    "render_contention_table",
+    "render_decomposition",
+    "render_per_proc",
+    "render_runtime_table",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table7",
+    "run_experiment",
+    "run_suite",
+    "section32",
+    "spearman",
+    "SweepPoint",
+    "render_sweep",
+    "sweep_machine",
+    "sweep_procs",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+]

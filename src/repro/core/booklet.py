@@ -1,0 +1,63 @@
+"""The reproduction booklet: everything the paper reports, in one text
+document.
+
+``python -m repro report [-o FILE]`` runs the full grid once and renders
+Figure 1, Tables 1-8, the §3.2 decomposition, the §3.1 predictor study,
+the claims scorecard and the fidelity report into a single document --
+the whole reproduction as one artifact.
+"""
+
+from __future__ import annotations
+
+from .claims import check_all_claims, render_claim_report
+from .comparison import fidelity_checks, render_fidelity_report
+from .experiment import run_suite
+from .ideal import ideal_stats
+from .predictors import predictor_study
+from .report import render_architecture, render_table1, render_table2
+from .tables import section32, table3, table4, table5, table6, table7, table8
+
+__all__ = ["build_booklet"]
+
+
+def _suite_header(suite) -> str:
+    total = sum(ts.total_records() for ts in suite.traces.values())
+    progs = ", ".join(
+        f"{p} ({suite.traces[p].n_procs}p)" for p in suite.programs()
+    )
+    return f"traces: {progs}; {total:,} records total"
+
+
+def build_booklet(scale: float = 1.0, seed: int = 1991) -> str:
+    """Run everything and render the full reproduction document."""
+    suite = run_suite(scale=scale, seed=seed)
+    ideals = [ideal_stats(suite.traces[p]) for p in suite.programs()]
+
+    sections = [
+        "REPRODUCTION OF: Baer & Zucker, 'On Synchronization Patterns in "
+        "Parallel Programs' (ICPP 1991)",
+        f"scale={scale} seed={seed}",
+        _suite_header(suite),
+        "",
+        render_architecture(),
+        "",
+        render_table1(ideals),
+        "",
+        render_table2(ideals),
+    ]
+    for fn in (table3, table4, table5, table6, table7, table8):
+        text, _ = fn(suite=suite)
+        sections += ["", text]
+    text, _ = section32(suite=suite)
+    sections += ["", text]
+
+    locking = [p for p in suite.programs() if p != "topopt"]
+    study = predictor_study(
+        [ideal_stats(suite.traces[p]) for p in locking],
+        [suite.queuing_sc[p] for p in locking],
+    )
+    sections += ["", "Section 3.1 predictor study: " + study.conclusion()]
+
+    sections += ["", render_claim_report(check_all_claims(suite))]
+    sections += ["", render_fidelity_report(fidelity_checks(suite))]
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,353 @@
+"""The paper's claims as checkable predicates.
+
+EXPERIMENTS.md narrates paper-vs-measured; this module is the same
+content as *code*: every claim the paper argues for is a named predicate
+over a :class:`~repro.core.experiment.SuiteResults`, evaluated to a
+:class:`ClaimResult` with the observed evidence.  ``check_all_claims``
+runs the registry and ``render_claim_report`` prints the scorecard
+(``python -m repro claims``).
+
+Claim identifiers reference the paper section they come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .decomposition import decompose_ttas_slowdown
+from .experiment import SuiteResults, run_suite
+from .ideal import ideal_stats
+from .predictors import predictor_study
+from .report import render_table
+
+__all__ = ["Claim", "ClaimResult", "CLAIMS", "check_all_claims", "render_claim_report"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the paper."""
+
+    ident: str
+    section: str
+    statement: str
+    check: Callable[[SuiteResults], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    holds: bool
+    evidence: str
+
+
+# ---------------------------------------------------------------------------
+# predicate helpers
+# ---------------------------------------------------------------------------
+
+def _c31_contended_low_utilization(s: SuiteResults):
+    u = {p: s.queuing_sc[p].avg_utilization for p in ("grav", "pdsa")}
+    ok = all(v < 0.55 for v in u.values())
+    return ok, f"grav {100 * u['grav']:.1f}%, pdsa {100 * u['pdsa']:.1f}% utilization"
+
+
+def _c31_lock_stalls_dominate(s: SuiteResults):
+    vals = {p: s.queuing_sc[p].stall_pct_lock for p in ("grav", "pdsa")}
+    ok = all(v > 85 for v in vals.values())
+    return ok, f"lock-wait share of stalls: grav {vals['grav']:.1f}%, pdsa {vals['pdsa']:.1f}%"
+
+
+def _c31_waiters_over_half(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa"):
+        r = s.queuing_sc[p]
+        w = r.lock_stats.avg_waiters_at_transfer
+        ok = ok and w > 0.35 * r.n_procs
+        out.append(f"{p}: {w:.2f} of {r.n_procs}")
+    return ok, "; ".join(out)
+
+
+def _c31_pverify_no_contention(s: SuiteResults):
+    r = s.queuing_sc["pverify"]
+    w = r.lock_stats.avg_waiters_at_transfer
+    frac = r.lock_stats.transfers / max(1, r.lock_stats.acquisitions)
+    return (w < 0.2 and frac < 0.05), (
+        f"{w:.2f} waiters; {100 * frac:.1f}% of acquisitions contended, "
+        f"despite long holds"
+    )
+
+
+def _c31_qsort_read_miss_bound(s: SuiteResults):
+    r = s.queuing_sc["qsort"]
+    ok = r.stall_pct_miss > 90 and r.read_misses > 3 * r.write_misses
+    return ok, (
+        f"{r.stall_pct_miss:.1f}% of stalls are misses; "
+        f"{r.read_misses:,} read vs {r.write_misses:,} write misses"
+    )
+
+
+def _c5_acquisitions_best_predictor(s: SuiteResults):
+    programs = [p for p in s.programs() if p != "topopt"]
+    ideals = [ideal_stats(s.traces[p]) for p in programs]
+    results = [s.queuing_sc[p] for p in programs]
+    study = predictor_study(ideals, results)
+    ok = (
+        study.best_predictor == "lock_pairs"
+        and study.corr_lock_pairs >= 0.55
+        and study.corr_pct_time_held < study.corr_lock_pairs - 0.4
+    )
+    return ok, study.conclusion()
+
+
+def _c32_ttas_slower_on_contended(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa"):
+        slow = (s.ttas_sc[p].run_time - s.queuing_sc[p].run_time) / s.queuing_sc[
+            p
+        ].run_time
+        ok = ok and 0.02 < slow < 0.15
+        out.append(f"{p} +{100 * slow:.1f}%")
+    return ok, "T&T&S vs queuing run-time: " + ", ".join(out) + " (paper: +8.0/8.1%)"
+
+
+def _c32_ttas_harmless_uncontended(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("fullconn", "pverify", "qsort"):
+        if p not in s.ttas_sc:
+            continue
+        rel = abs(s.ttas_sc[p].run_time - s.queuing_sc[p].run_time) / s.queuing_sc[
+            p
+        ].run_time
+        ok = ok and rel < 0.02
+        out.append(f"{p} {100 * rel:.2f}%")
+    return ok, "|difference|: " + ", ".join(out)
+
+
+def _c32_handoff_gap(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa"):
+        q = s.queuing_sc[p].lock_stats.avg_handoff
+        t = s.ttas_sc[p].lock_stats.avg_handoff
+        ok = ok and 12 < t < 40 and t > 4 * q
+        out.append(f"{p}: {q:.1f} -> {t:.1f} cycles")
+    return ok, "; ".join(out) + " (paper: 1.2-1.5 -> 21-25)"
+
+
+def _c32_bus_contention_grows(s: SuiteResults):
+    g = decompose_ttas_slowdown(s.queuing_sc["grav"], s.ttas_sc["grav"])
+    p = decompose_ttas_slowdown(s.queuing_sc["pdsa"], s.ttas_sc["pdsa"])
+    ok = g.bus_util_growth > 0.5 and p.bus_util_growth > 0.25
+    return ok, (
+        f"bus utilization growth: grav +{100 * g.bus_util_growth:.0f}% "
+        f"(paper: doubled), pdsa +{100 * p.bus_util_growth:.0f}% (paper: +40%)"
+    )
+
+
+def _c32_contention_is_program_property(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa"):
+        wq = s.queuing_sc[p].lock_stats.avg_waiters_at_transfer
+        wt = s.ttas_sc[p].lock_stats.avg_waiters_at_transfer
+        ok = ok and abs(wq - wt) < 1.2
+        out.append(f"{p}: {wq:.2f} vs {wt:.2f}")
+    return ok, "waiters under queuing vs T&T&S: " + "; ".join(out)
+
+
+def _c4_weak_ordering_under_one_percent(s: SuiteResults):
+    worst, worst_p = 0.0, ""
+    for p in s.programs():
+        d = abs(s.queuing_sc[p].run_time - s.queuing_wo[p].run_time) / s.queuing_sc[
+            p
+        ].run_time
+        if d > worst:
+            worst, worst_p = d, p
+    return worst < 0.01, f"largest |difference| {100 * worst:.2f}% ({worst_p})"
+
+
+def _c4_locking_patterns_unchanged(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa"):
+        a = s.queuing_sc[p].lock_stats
+        b = s.queuing_wo[p].lock_stats
+        ok = ok and abs(a.avg_waiters_at_transfer - b.avg_waiters_at_transfer) < 1.0
+        out.append(
+            f"{p}: {a.avg_waiters_at_transfer:.2f} -> {b.avg_waiters_at_transfer:.2f}"
+        )
+    return ok, "waiters SC -> WO: " + "; ".join(out)
+
+
+def _c42_drains_nearly_free(s: SuiteResults):
+    worst = 0.0
+    for p in s.programs():
+        r = s.queuing_wo[p]
+        drain = sum(m.stall_drain for m in r.proc_metrics)
+        total = sum(m.completion_time for m in r.proc_metrics)
+        worst = max(worst, drain / total)
+    return worst < 0.01, f"worst drain-stall share of run-time {100 * worst:.2f}%"
+
+
+def _c23_presto_shared_allocation(s: SuiteResults):
+    out = []
+    ok = True
+    for p in ("grav", "pdsa", "fullconn"):
+        frac = ideal_stats(s.traces[p]).shared_fraction
+        ok = ok and frac > 0.85
+        out.append(f"{p} {100 * frac:.0f}%")
+    return ok, "shared fraction of data refs: " + ", ".join(out)
+
+
+def _c23_pverify_long_holds(s: SuiteResults):
+    ideals = {p: ideal_stats(s.traces[p]) for p in s.programs() if p != "topopt"}
+    pv = ideals["pverify"].avg_held
+    rest = max(v.avg_held for k, v in ideals.items() if k != "pverify")
+    return pv > 5 * rest, f"pverify holds {pv:.0f} cycles vs next-longest {rest:.0f}"
+
+
+CLAIMS: list[Claim] = [
+    Claim(
+        "C1",
+        "§3.1",
+        "The programs with the most lock acquisitions (Grav, Pdsa) have the "
+        "lowest processor utilization",
+        _c31_contended_low_utilization,
+    ),
+    Claim(
+        "C2",
+        "§3.1",
+        "For the contended programs, stalls are dominated by waiting for locks",
+        _c31_lock_stalls_dominate,
+    ),
+    Claim(
+        "C3",
+        "§3.1",
+        "Waiters at transfer for Grav and Pdsa is around half the machine "
+        "(extremely heavy contention)",
+        _c31_waiters_over_half,
+    ),
+    Claim(
+        "C4",
+        "§3.1",
+        "Pverify almost never has two processors wanting the same lock, "
+        "despite spending over a third of its time in critical sections",
+        _c31_pverify_no_contention,
+    ),
+    Claim(
+        "C5",
+        "§3.1",
+        "Qsort's low utilization comes from read misses on its data set, "
+        "not from locks",
+        _c31_qsort_read_miss_bound,
+    ),
+    Claim(
+        "C6",
+        "§5",
+        "The number of lock acquisitions in the ideal analysis is the best "
+        "predictor of contention; the percentage of time locks are held is "
+        "inconsequential",
+        _c5_acquisitions_best_predictor,
+    ),
+    Claim(
+        "C7",
+        "§3.2",
+        "Queuing locks beat T&T&S by several percent of run-time on the "
+        "contended programs",
+        _c32_ttas_slower_on_contended,
+    ),
+    Claim(
+        "C8",
+        "§3.2",
+        "The lock implementation does not matter for programs with low "
+        "lock-acquisition counts",
+        _c32_ttas_harmless_uncontended,
+    ),
+    Claim(
+        "C9",
+        "§3.2",
+        "T&T&S hand-offs take tens of cycles against a few for queuing locks",
+        _c32_handoff_gap,
+    ),
+    Claim(
+        "C10",
+        "§3.2",
+        "The T&T&S release burst raises bus utilization sharply, slowing "
+        "even processors not competing for the lock",
+        _c32_bus_contention_grows,
+    ),
+    Claim(
+        "C11",
+        "§3.2",
+        "The contention pattern (waiters at transfer) is a property of the "
+        "program, not of the lock implementation",
+        _c32_contention_is_program_property,
+    ),
+    Claim(
+        "C12",
+        "§4.2",
+        "Weak ordering improves run-time by less than 1% on every benchmark",
+        _c4_weak_ordering_under_one_percent,
+    ),
+    Claim(
+        "C13",
+        "§4.2",
+        "There is no significant difference in locking patterns between the "
+        "two memory models",
+        _c4_locking_patterns_unchanged,
+    ),
+    Claim(
+        "C14",
+        "§4.2",
+        "Buffers are almost never non-trivially occupied at synchronization "
+        "points: drains cost ~nothing",
+        _c42_drains_nearly_free,
+    ),
+    Claim(
+        "C15",
+        "§2.3",
+        "Presto allocates most data as shared even when it need not be",
+        _c23_presto_shared_allocation,
+    ),
+    Claim(
+        "C16",
+        "§2.3",
+        "Pverify holds its locks an order of magnitude longer than any "
+        "other program",
+        _c23_pverify_long_holds,
+    ),
+]
+
+
+def check_all_claims(suite: SuiteResults | None = None, **suite_kwargs) -> list[ClaimResult]:
+    """Evaluate every registered claim; returns results in registry order."""
+    suite = suite or run_suite(**suite_kwargs)
+    results = []
+    for claim in CLAIMS:
+        holds, evidence = claim.check(suite)
+        results.append(ClaimResult(claim=claim, holds=holds, evidence=evidence))
+    return results
+
+
+def render_claim_report(results: list[ClaimResult]) -> str:
+    """The scorecard: one row per claim with verdict and evidence."""
+    rows = [
+        [
+            r.claim.ident,
+            r.claim.section,
+            "HOLDS" if r.holds else "FAILS",
+            r.claim.statement[:58] + ("..." if len(r.claim.statement) > 58 else ""),
+            r.evidence,
+        ]
+        for r in results
+    ]
+    n_ok = sum(1 for r in results if r.holds)
+    table = render_table(
+        ["id", "section", "verdict", "claim", "evidence"],
+        rows,
+        title=f"Paper-claim scorecard: {n_ok}/{len(results)} claims hold",
+    )
+    return table

@@ -1,0 +1,223 @@
+"""Cell-by-cell fidelity comparison against the published tables.
+
+EXPERIMENTS.md narrates paper-vs-measured; :mod:`repro.core.claims`
+checks the paper's *conclusions*; this module checks the *numbers*: each
+cell of Tables 3-8 is compared against :data:`repro.core.report.PAPER_TABLES`
+with a per-metric tolerance band, yielding a structured list of
+:class:`CellCheck` rows and a rendered scorecard
+(``benchmarks/test_fidelity_report.py``).
+
+Bands are deliberately honest rather than generous: cells outside the
+band render as DEVIATES and stay visible (EXPERIMENTS.md's "deviations"
+section is generated from exactly these).  Absolute cycle counts are
+never compared (our traces are ~1/20th scale); event *counts* are
+compared after multiplying by the scale factor, and ratios/percentages
+are compared directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.metrics import RunResult
+from .contention import contention_row
+from .report import PAPER_TABLES, render_table
+
+__all__ = [
+    "SCALE_FACTOR",
+    "CellCheck",
+    "compare_ideal_tables",
+    "compare_runtime_table",
+    "compare_contention_table",
+    "compare_weak_ordering_table",
+    "fidelity_checks",
+    "render_fidelity_report",
+]
+
+#: the paper's traces are ~20x our scale=1.0 traces (DESIGN.md §2)
+SCALE_FACTOR = 20.0
+
+
+@dataclass(frozen=True)
+class CellCheck:
+    """One compared table cell."""
+
+    table: int
+    program: str
+    metric: str
+    paper: float
+    ours: float
+    band: str  # human-readable tolerance description
+    ok: bool
+
+    def row(self) -> list:
+        return [
+            f"T{self.table}",
+            self.program,
+            self.metric,
+            round(self.paper, 2),
+            round(self.ours, 2),
+            self.band,
+            "ok" if self.ok else "DEVIATES",
+        ]
+
+
+def _abs_check(table, program, metric, paper, ours, tol) -> CellCheck:
+    return CellCheck(
+        table, program, metric, paper, ours, f"+-{tol}", abs(paper - ours) <= tol
+    )
+
+
+def _ratio_check(table, program, metric, paper, ours, factor) -> CellCheck:
+    ok = paper == ours == 0 or (
+        paper > 0 and ours > 0 and 1 / factor <= ours / paper <= factor
+    )
+    return CellCheck(table, program, metric, paper, ours, f"x{factor}", ok)
+
+
+def compare_ideal_tables(ideals: dict) -> list[CellCheck]:
+    """Tables 1/2: the generation-side calibration.
+
+    Counts are compared after scaling by :data:`SCALE_FACTOR`; mixes and
+    hold times are compared directly.  ``ideals`` maps program name to a
+    :class:`~repro.core.ideal.BenchmarkIdeal`.
+    """
+    checks = []
+    t1, t2 = PAPER_TABLES[1], PAPER_TABLES[2]
+    for p, row in t1.items():
+        if p not in ideals:
+            continue
+        i = ideals[p]
+        checks.append(
+            CellCheck(1, p, "processors", row["procs"], i.n_procs, "exact", i.n_procs == row["procs"])
+        )
+        checks.append(
+            _ratio_check(1, p, "work cycles (scaled)", row["work"], i.work_cycles * SCALE_FACTOR / 1000, 2.0)
+        )
+        checks.append(
+            _ratio_check(1, p, "references (scaled)", row["all"], i.all_refs * SCALE_FACTOR / 1000, 2.0)
+        )
+        paper_frac = row["data"] / row["all"]
+        band = 0.25 if p == "qsort" else 0.15
+        checks.append(
+            _abs_check(1, p, "data fraction", paper_frac, i.data_fraction, band)
+        )
+    for p, row in t2.items():
+        if p not in ideals:
+            continue
+        i = ideals[p]
+        checks.append(
+            _ratio_check(2, p, "lock pairs (scaled)", row["pairs"], i.lock_pairs * SCALE_FACTOR, 1.6)
+        )
+        checks.append(
+            _ratio_check(2, p, "nested locks (scaled)", row["nested"], i.nested_locks * SCALE_FACTOR, 1.6)
+        )
+        if row["avg_held"] is not None:
+            checks.append(
+                _ratio_check(2, p, "avg held (cycles)", row["avg_held"], i.avg_held, 2.0)
+            )
+        checks.append(
+            _abs_check(2, p, "% time held", row["pct"], i.pct_time_held, 12)
+        )
+    return checks
+
+
+def compare_runtime_table(results: dict, table_no: int) -> list[CellCheck]:
+    """Tables 3/5: utilization and stall-cause percentages."""
+    paper = PAPER_TABLES[table_no]
+    checks = []
+    for p, row in paper.items():
+        if p not in results:
+            continue
+        r: RunResult = results[p]
+        checks.append(
+            _abs_check(table_no, p, "utilization %", row["util"], 100 * r.avg_utilization, 10)
+        )
+        checks.append(
+            _abs_check(table_no, p, "miss stall %", row["miss"], r.stall_pct_miss, 15)
+        )
+        checks.append(
+            _abs_check(table_no, p, "lock stall %", row["lock"], r.stall_pct_lock, 15)
+        )
+    return checks
+
+
+def compare_contention_table(results: dict, table_no: int) -> list[CellCheck]:
+    """Tables 4/6/8: waiters, transfer counts (scaled), hold times."""
+    paper = PAPER_TABLES[table_no]
+    checks = []
+    for p, row in paper.items():
+        if p not in results:
+            continue
+        c = contention_row(results[p])
+        checks.append(
+            _abs_check(table_no, p, "waiters at transfer", row["waiters"], c.waiters_at_transfer, 1.5)
+        )
+        checks.append(
+            _ratio_check(
+                table_no, p, "transfers (scaled)", row["number"], c.transfers * SCALE_FACTOR, 3.0
+            )
+        )
+        checks.append(
+            _ratio_check(table_no, p, "avg hold (cycles)", row["held"], c.time_held, 2.5)
+        )
+        checks.append(
+            _ratio_check(
+                table_no, p, "transfer hold (cycles)", row["xfer_held"], c.transfer_time_held, 3.0
+            )
+        )
+    return checks
+
+
+def compare_weak_ordering_table(sc: dict, wo: dict) -> list[CellCheck]:
+    """Table 7: the SC->WO difference and write-hit ratios."""
+    paper = PAPER_TABLES[7]
+    checks = []
+    for p, row in paper.items():
+        if p not in sc or p not in wo:
+            continue
+        diff = 100.0 * (sc[p].run_time - wo[p].run_time) / sc[p].run_time
+        checks.append(_abs_check(7, p, "WO difference %", row["diff"], diff, 1.0))
+        checks.append(
+            _abs_check(7, p, "write hit %", row["write_hit"], 100 * wo[p].write_hit_ratio, 8)
+        )
+    return checks
+
+
+def fidelity_checks(suite) -> list[CellCheck]:
+    """All cell checks for a :class:`~repro.core.experiment.SuiteResults`."""
+    from .ideal import ideal_stats
+
+    checks = []
+    checks += compare_ideal_tables(
+        {p: ideal_stats(ts) for p, ts in suite.traces.items()}
+    )
+    checks += compare_runtime_table(suite.queuing_sc, 3)
+    checks += compare_contention_table(suite.queuing_sc, 4)
+    checks += compare_runtime_table(suite.ttas_sc, 5)
+    checks += compare_contention_table(suite.ttas_sc, 6)
+    checks += compare_weak_ordering_table(suite.queuing_sc, suite.queuing_wo)
+    checks += compare_contention_table(suite.queuing_wo, 8)
+    return checks
+
+
+def render_fidelity_report(checks: list[CellCheck]) -> str:
+    ok = sum(1 for c in checks if c.ok)
+    table = render_table(
+        ["table", "program", "metric", "paper", "ours", "band", "verdict"],
+        [c.row() for c in checks],
+        title=(
+            f"Fidelity report: {ok}/{len(checks)} compared cells inside their "
+            f"tolerance bands (scale factor {SCALE_FACTOR:g})"
+        ),
+    )
+    deviations = [c for c in checks if not c.ok]
+    if deviations:
+        tail = ["", "Deviations (see EXPERIMENTS.md for discussion):"]
+        for c in deviations:
+            tail.append(
+                f"  T{c.table} {c.program} {c.metric}: paper {c.paper:g}, "
+                f"ours {c.ours:.2f} (band {c.band})"
+            )
+        table += "\n" + "\n".join(tail)
+    return table

@@ -1,0 +1,45 @@
+"""Lock contention statistics assembly (Tables 4, 6 and 8).
+
+Thin shaping layer between :class:`RunResult` and the paper's contention
+tables; also the home of the per-lock contention profile used by the
+predictor study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.metrics import RunResult
+
+__all__ = ["ContentionRow", "contention_row"]
+
+
+@dataclass(frozen=True)
+class ContentionRow:
+    """One row of the paper's lock-contention tables."""
+
+    program: str
+    time_held: float  # avg hold over all acquisitions (simulated cycles)
+    transfers: int  # "Number": releases that handed to a waiter
+    waiters_at_transfer: float  # avg still waiting after the hand-off
+    transfer_time_held: float  # avg hold of transferred acquisitions
+    handoff_cycles: float  # avg release -> next-owner-resumes latency
+    acquisitions: int
+
+    @property
+    def contended_fraction(self) -> float:
+        return self.transfers / self.acquisitions if self.acquisitions else 0.0
+
+
+def contention_row(result: RunResult) -> ContentionRow:
+    """Shape a run's lock statistics into a contention-table row."""
+    ls = result.lock_stats
+    return ContentionRow(
+        program=result.program,
+        time_held=ls.avg_hold,
+        transfers=ls.transfers,
+        waiters_at_transfer=ls.avg_waiters_at_transfer,
+        transfer_time_held=ls.avg_transfer_hold,
+        handoff_cycles=ls.avg_handoff,
+        acquisitions=ls.acquisitions,
+    )

@@ -1,0 +1,126 @@
+"""Experiment driver: one (program x lock scheme x consistency model)
+simulation, plus the suite runner used by every results table.
+
+A generated :class:`TraceSet` is immutable, so one trace serves all
+machine configurations of a program -- exactly how the paper reuses each
+MPTrace tape across its architectural variations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..consistency import get_model
+from ..machine.config import MachineConfig
+from ..machine.metrics import RunResult
+from ..machine.system import System
+from ..sync import get_lock_manager
+from ..trace.records import TraceSet
+from ..workloads.registry import BENCHMARK_ORDER, generate_trace
+
+__all__ = ["Experiment", "run_experiment", "SuiteResults", "run_suite"]
+
+
+@dataclass
+class Experiment:
+    """A single simulation experiment.
+
+    Either pass an explicit ``traceset`` or let the experiment generate
+    the named workload (``program``/``scale``/``seed``).
+    """
+
+    program: str = ""
+    lock_scheme: str = "queuing"
+    consistency: str = "sc"
+    scale: float = 1.0
+    seed: int = 1991
+    machine: MachineConfig | None = None
+    traceset: TraceSet | None = None
+    lock_kwargs: dict = field(default_factory=dict)
+    max_events: int | None = None
+
+    def trace(self) -> TraceSet:
+        if self.traceset is None:
+            if not self.program:
+                raise ValueError("need either a traceset or a program name")
+            self.traceset = generate_trace(self.program, scale=self.scale, seed=self.seed)
+        return self.traceset
+
+    def run(self) -> RunResult:
+        ts = self.trace()
+        config = self.machine or MachineConfig(n_procs=ts.n_procs)
+        system = System(
+            ts,
+            config,
+            get_lock_manager(self.lock_scheme, **self.lock_kwargs),
+            get_model(self.consistency),
+            max_events=self.max_events,
+        )
+        return system.run()
+
+
+def run_experiment(
+    program: str,
+    lock_scheme: str = "queuing",
+    consistency: str = "sc",
+    scale: float = 1.0,
+    seed: int = 1991,
+    machine: MachineConfig | None = None,
+    traceset: TraceSet | None = None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Experiment`."""
+    return Experiment(
+        program=program,
+        lock_scheme=lock_scheme,
+        consistency=consistency,
+        scale=scale,
+        seed=seed,
+        machine=machine,
+        traceset=traceset,
+    ).run()
+
+
+@dataclass
+class SuiteResults:
+    """All runs needed by Tables 3--8: per program, the three
+    configurations the paper evaluates."""
+
+    scale: float
+    seed: int
+    traces: dict  # program -> TraceSet
+    queuing_sc: dict  # program -> RunResult   (Tables 3, 4)
+    ttas_sc: dict  # program -> RunResult      (Tables 5, 6)
+    queuing_wo: dict  # program -> RunResult   (Tables 7, 8)
+
+    def programs(self) -> list[str]:
+        return [p for p in BENCHMARK_ORDER if p in self.queuing_sc]
+
+
+def run_suite(
+    programs: list[str] | None = None,
+    scale: float = 1.0,
+    seed: int = 1991,
+    machine: MachineConfig | None = None,
+    configs: tuple = (("queuing", "sc"), ("ttas", "sc"), ("queuing", "wo")),
+) -> SuiteResults:
+    """Run the paper's full experimental grid.
+
+    Each program's trace is generated once and reused across the three
+    machine configurations.
+    """
+    programs = programs or list(BENCHMARK_ORDER)
+    traces = {p: generate_trace(p, scale=scale, seed=seed) for p in programs}
+    buckets: dict[tuple, dict] = {c: {} for c in configs}
+    for p, ts in traces.items():
+        for scheme, model in configs:
+            cfg = machine or MachineConfig(n_procs=ts.n_procs)
+            system = System(ts, cfg, get_lock_manager(scheme), get_model(model))
+            buckets[(scheme, model)][p] = system.run()
+    return SuiteResults(
+        scale=scale,
+        seed=seed,
+        traces=traces,
+        queuing_sc=buckets.get(("queuing", "sc"), {}),
+        ttas_sc=buckets.get(("ttas", "sc"), {}),
+        queuing_wo=buckets.get(("queuing", "wo"), {}),
+    )

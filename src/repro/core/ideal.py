@@ -1,0 +1,87 @@
+"""The "ideal" analysis (§2.1, §2.3): Tables 1 and 2.
+
+"A very important aspect of the trace-driven simulation ... is that we
+are able to analyze the 'ideal' behavior of the traced programs, i.e.,
+we can determine how long any section of the program would take given no
+interference from other programs or stalling due to cache misses."
+
+Everything here is computed from the traces alone -- no simulation.  The
+paper reports per-processor *averages*; so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.records import TraceSet
+from ..trace.stats import TraceStats, compute_trace_stats
+
+__all__ = ["BenchmarkIdeal", "ideal_stats"]
+
+
+@dataclass(frozen=True)
+class BenchmarkIdeal:
+    """One row of Tables 1 and 2 (averages per processor)."""
+
+    program: str
+    n_procs: int
+    work_cycles: float
+    all_refs: float
+    data_refs: float
+    shared_refs: float
+    lock_pairs: float
+    nested_locks: float
+    avg_held: float
+    total_held: float
+    per_proc: tuple  # the underlying TraceStats, for drill-down
+
+    @property
+    def pct_time_held(self) -> float:
+        """Table 2's "% of Time" column."""
+        if self.work_cycles == 0:
+            return 0.0
+        return 100.0 * self.total_held / self.work_cycles
+
+    @property
+    def shared_fraction(self) -> float:
+        return self.shared_refs / self.data_refs if self.data_refs else 0.0
+
+    @property
+    def data_fraction(self) -> float:
+        return self.data_refs / self.all_refs if self.all_refs else 0.0
+
+    @property
+    def cycles_per_ref(self) -> float:
+        return self.work_cycles / self.all_refs if self.all_refs else 0.0
+
+
+def ideal_stats(traceset: TraceSet) -> BenchmarkIdeal:
+    """Compute the Table 1/2 row for one benchmark's trace set."""
+    per_proc: list[TraceStats] = [compute_trace_stats(t) for t in traceset]
+    n = len(per_proc)
+
+    def avg(attr: str) -> float:
+        return sum(getattr(s, attr) for s in per_proc) / n
+
+    total_pairs = sum(s.lock_pairs for s in per_proc)
+    if total_pairs:
+        # weight hold times by each processor's pair count
+        avg_held = (
+            sum(s.avg_held * s.lock_pairs for s in per_proc) / total_pairs
+        )
+    else:
+        avg_held = 0.0
+
+    return BenchmarkIdeal(
+        program=traceset.program,
+        n_procs=n,
+        work_cycles=avg("work_cycles"),
+        all_refs=avg("all_refs"),
+        data_refs=avg("data_refs"),
+        shared_refs=avg("shared_refs"),
+        lock_pairs=avg("lock_pairs"),
+        nested_locks=avg("nested_locks"),
+        avg_held=avg_held,
+        total_held=avg("total_held"),
+        per_proc=tuple(per_proc),
+    )

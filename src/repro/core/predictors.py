@@ -1,0 +1,118 @@
+"""§3.1/§5 predictor study.
+
+"The best predictor for programs with high lock contention that can be
+found through the 'ideal' analysis is the number of lock acquisitions.
+... The percentage of time that locks are held is not a predictor of
+locking behavior."
+
+We quantify that claim: across the benchmark suite, rank programs by
+each candidate ideal-statistic predictor and by observed contention
+(waiters at transfer; equivalently the share of stalls lost to locks),
+and report Spearman rank correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .contention import contention_row
+from .ideal import BenchmarkIdeal
+
+__all__ = ["PredictorStudy", "spearman", "predictor_study"]
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation (ties broken by average rank)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+
+    def ranks(v: np.ndarray) -> np.ndarray:
+        order = np.argsort(v, kind="stable")
+        r = np.empty(len(v), dtype=float)
+        r[order] = np.arange(1, len(v) + 1)
+        # average ranks over ties
+        for val in np.unique(v):
+            mask = v == val
+            if np.count_nonzero(mask) > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    rx, ry = ranks(x), ranks(y)
+    sx, sy = rx.std(), ry.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(np.mean((rx - rx.mean()) * (ry - ry.mean())) / (sx * sy))
+
+
+@dataclass(frozen=True)
+class PredictorStudy:
+    """Rank-correlation of ideal statistics against observed contention."""
+
+    programs: tuple
+    # candidate predictors (ideal analysis, per processor)
+    lock_pairs: tuple
+    pct_time_held: tuple
+    avg_held: tuple
+    # observed contention (simulation)
+    waiters_at_transfer: tuple
+    lock_stall_pct: tuple
+    # correlations against waiters-at-transfer
+    corr_lock_pairs: float
+    corr_pct_time_held: float
+    corr_avg_held: float
+
+    @property
+    def best_predictor(self) -> str:
+        corrs = {
+            "lock_pairs": self.corr_lock_pairs,
+            "pct_time_held": self.corr_pct_time_held,
+            "avg_held": self.corr_avg_held,
+        }
+        return max(corrs, key=lambda k: corrs[k])
+
+    def conclusion(self) -> str:
+        return (
+            f"best predictor of contention: {self.best_predictor} "
+            f"(rho={max(self.corr_lock_pairs, self.corr_pct_time_held, self.corr_avg_held):.2f}); "
+            f"lock acquisitions rho={self.corr_lock_pairs:.2f}, "
+            f"% time held rho={self.corr_pct_time_held:.2f}, "
+            f"avg hold rho={self.corr_avg_held:.2f}"
+        )
+
+
+def predictor_study(ideals: list[BenchmarkIdeal], results: list) -> PredictorStudy:
+    """Correlate ideal statistics with simulated contention.
+
+    ``ideals`` and ``results`` must be parallel lists over the same
+    programs (typically the five locking benchmarks).
+    """
+    if len(ideals) != len(results):
+        raise ValueError("ideals and results must be parallel")
+    progs = []
+    pairs, pct_held, held = [], [], []
+    waiters, lockpct = [], []
+    for ideal, result in zip(ideals, results):
+        if ideal.program != result.program:
+            raise ValueError("program mismatch between ideal and result lists")
+        progs.append(ideal.program)
+        pairs.append(ideal.lock_pairs)
+        pct_held.append(ideal.pct_time_held)
+        held.append(ideal.avg_held)
+        row = contention_row(result)
+        waiters.append(row.waiters_at_transfer)
+        lockpct.append(result.stall_pct_lock)
+    return PredictorStudy(
+        programs=tuple(progs),
+        lock_pairs=tuple(pairs),
+        pct_time_held=tuple(pct_held),
+        avg_held=tuple(held),
+        waiters_at_transfer=tuple(waiters),
+        lock_stall_pct=tuple(lockpct),
+        corr_lock_pairs=spearman(pairs, waiters),
+        corr_pct_time_held=spearman(pct_held, waiters),
+        corr_avg_held=spearman(held, waiters),
+    )

@@ -1,0 +1,91 @@
+"""Multi-seed robustness study.
+
+The paper's §2.3 aside -- "Grav and Qsort have been simulated with
+significantly longer traces with no change in the basic results" -- is a
+stability claim.  Our analog has two axes: trace *length* (the scale
+ablation) and workload *randomness* (the generation seed).  This module
+sweeps seeds and reports the spread of every headline metric, so
+"reproduced" means "reproduced for any seed", not "for the lucky one".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .experiment import run_suite
+from .report import render_table
+
+__all__ = ["MetricSpread", "seed_study", "render_seed_study"]
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """One metric's distribution across seeds."""
+
+    program: str
+    metric: str
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def spread(self) -> float:
+        """max-min as a fraction of the mean (0 for constants)."""
+        if self.mean == 0:
+            return 0.0
+        return (max(self.values) - min(self.values)) / abs(self.mean)
+
+
+#: metric extractors applied to each program's queuing/SC run
+_METRICS = {
+    "utilization": lambda r: 100 * r.avg_utilization,
+    "lock stall %": lambda r: r.stall_pct_lock,
+    "waiters": lambda r: r.lock_stats.avg_waiters_at_transfer,
+    "bus util %": lambda r: 100 * r.bus_utilization,
+    "write hit %": lambda r: 100 * r.write_hit_ratio,
+}
+
+
+def seed_study(
+    seeds=(1991, 7, 42), scale: float = 1.0, programs=None
+) -> list[MetricSpread]:
+    """Run the queuing/SC sweep once per seed; return metric spreads."""
+    runs = {}
+    for seed in seeds:
+        suite = run_suite(
+            programs=programs, scale=scale, seed=seed, configs=(("queuing", "sc"),)
+        )
+        runs[seed] = suite.queuing_sc
+    spreads = []
+    first = runs[seeds[0]]
+    for program in first:
+        for metric, fn in _METRICS.items():
+            values = tuple(fn(runs[seed][program]) for seed in seeds)
+            spreads.append(MetricSpread(program, metric, values))
+    return spreads
+
+
+def render_seed_study(spreads: list[MetricSpread], seeds) -> str:
+    rows = [
+        [
+            s.program,
+            s.metric,
+            round(s.mean, 2),
+            round(s.std, 2),
+            round(100 * s.spread, 1),
+        ]
+        for s in spreads
+    ]
+    return render_table(
+        ["program", "metric", "mean", "std", "spread %"],
+        rows,
+        title=f"Seed-robustness study over seeds {tuple(seeds)} (queuing locks, SC)",
+    )

@@ -1,0 +1,105 @@
+"""Parameter-sweep utilities.
+
+The paper varies machine parameters informally ("did not modify the
+general trends"); this module gives the reproduction a first-class sweep
+API used by the ablation benchmarks and the scaling example:
+
+* :func:`sweep_procs` — same program, different machine sizes (the
+  paper's runs use 9/10/12 of a 20-CPU machine; here you can ask what
+  Grav's scheduler lock does to a 2- vs 16-processor machine);
+* :func:`sweep_machine` — same trace, a family of machine
+  configurations (buffer depths, memory latencies, write policies...);
+* :func:`render_sweep` — a text table over any of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..consistency import get_model
+from ..machine.config import MachineConfig
+from ..machine.metrics import RunResult
+from ..machine.system import System
+from ..sync import get_lock_manager
+from ..workloads.registry import get_workload
+from .report import render_table
+
+__all__ = ["SweepPoint", "sweep_procs", "sweep_machine", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the varied parameter's label/value + result."""
+
+    label: str
+    value: object
+    result: RunResult
+
+
+def _run(ts, config, lock_scheme, consistency) -> RunResult:
+    system = System(
+        ts, config, get_lock_manager(lock_scheme), get_model(consistency)
+    )
+    return system.run()
+
+
+def sweep_procs(
+    program: str,
+    procs: Iterable[int],
+    scale: float = 1.0,
+    seed: int = 1991,
+    lock_scheme: str = "queuing",
+    consistency: str = "sc",
+    machine: MachineConfig | None = None,
+) -> list[SweepPoint]:
+    """Run ``program`` on machines of different sizes.
+
+    Each size gets its own generated trace (the work is re-partitioned
+    across the new processor count, as re-running the original program
+    would).
+    """
+    points = []
+    for n in procs:
+        ts = get_workload(program, scale=scale, seed=seed).generate(n_procs=n)
+        cfg = (machine or MachineConfig()).with_procs(n)
+        points.append(
+            SweepPoint(label=f"{n} procs", value=n, result=_run(ts, cfg, lock_scheme, consistency))
+        )
+    return points
+
+
+def sweep_machine(
+    traceset,
+    configs: Sequence[tuple[str, MachineConfig]],
+    lock_scheme: str = "queuing",
+    consistency: str = "sc",
+) -> list[SweepPoint]:
+    """Run one trace on a family of machine configurations."""
+    points = []
+    for label, cfg in configs:
+        cfg = cfg.with_procs(traceset.n_procs)
+        points.append(
+            SweepPoint(label=label, value=cfg, result=_run(traceset, cfg, lock_scheme, consistency))
+        )
+    return points
+
+
+_DEFAULT_COLUMNS: list[tuple[str, Callable[[RunResult], object]]] = [
+    ("run-time", lambda r: r.run_time),
+    ("util %", lambda r: round(100 * r.avg_utilization, 1)),
+    ("lock stall %", lambda r: round(r.stall_pct_lock, 1)),
+    ("waiters", lambda r: round(r.lock_stats.avg_waiters_at_transfer, 2)),
+    ("bus %", lambda r: round(100 * r.bus_utilization, 1)),
+]
+
+
+def render_sweep(
+    points: list[SweepPoint],
+    title: str = "",
+    columns: list[tuple[str, Callable[[RunResult], object]]] | None = None,
+) -> str:
+    """Text table of a sweep; ``columns`` maps header -> extractor."""
+    columns = columns or _DEFAULT_COLUMNS
+    rows = [[p.label] + [fn(p.result) for _h, fn in columns] for p in points]
+    return render_table(["config"] + [h for h, _ in columns], rows, title=title)

@@ -1,0 +1,148 @@
+"""One entry point per paper table/figure.
+
+Each ``tableN`` function runs whatever experiments its table needs and
+returns ``(rendered_text, data)``.  The benchmark harness
+(``benchmarks/``), the CLI (``python -m repro table N``) and
+EXPERIMENTS.md are all built on these.
+"""
+
+from __future__ import annotations
+
+from ..machine.config import MachineConfig
+from ..workloads.registry import BENCHMARK_ORDER, LOCKING_BENCHMARKS, generate_trace
+from .decomposition import decompose_ttas_slowdown
+from .experiment import SuiteResults, run_suite
+from .ideal import ideal_stats
+from .report import (
+    render_architecture,
+    render_contention_table,
+    render_decomposition,
+    render_runtime_table,
+    render_table1,
+    render_table2,
+    render_table7,
+)
+
+__all__ = [
+    "figure1",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "section32",
+    "render_any",
+]
+
+
+def figure1(config: MachineConfig | None = None):
+    text = render_architecture(config)
+    return text, config or MachineConfig()
+
+
+def _ideals(scale: float, seed: int):
+    return [
+        ideal_stats(generate_trace(p, scale=scale, seed=seed)) for p in BENCHMARK_ORDER
+    ]
+
+
+def table1(scale: float = 1.0, seed: int = 1991):
+    ideals = _ideals(scale, seed)
+    return render_table1(ideals), ideals
+
+
+def table2(scale: float = 1.0, seed: int = 1991):
+    ideals = _ideals(scale, seed)
+    return render_table2(ideals), ideals
+
+
+def _ordered(results: dict, programs: list[str]):
+    return [results[p] for p in programs if p in results]
+
+
+def table3(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(scale=scale, seed=seed, configs=(("queuing", "sc"),))
+    rows = _ordered(suite.queuing_sc, BENCHMARK_ORDER)
+    return render_runtime_table(rows, 3, "Queuing Lock Implementation"), rows
+
+
+def table4(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(
+        programs=LOCKING_BENCHMARKS, scale=scale, seed=seed, configs=(("queuing", "sc"),)
+    )
+    rows = _ordered(suite.queuing_sc, LOCKING_BENCHMARKS)
+    return render_contention_table(rows, 4, "Queuing Lock Implementation"), rows
+
+
+def table5(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(
+        programs=LOCKING_BENCHMARKS, scale=scale, seed=seed, configs=(("ttas", "sc"),)
+    )
+    rows = _ordered(suite.ttas_sc, LOCKING_BENCHMARKS)
+    return render_runtime_table(rows, 5, "T&T&S"), rows
+
+
+def table6(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(
+        programs=LOCKING_BENCHMARKS, scale=scale, seed=seed, configs=(("ttas", "sc"),)
+    )
+    rows = _ordered(suite.ttas_sc, LOCKING_BENCHMARKS)
+    return render_contention_table(rows, 6, "T&T&S"), rows
+
+
+def table7(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(
+        scale=scale, seed=seed, configs=(("queuing", "sc"), ("queuing", "wo"))
+    )
+    sc = _ordered(suite.queuing_sc, BENCHMARK_ORDER)
+    wo = _ordered(suite.queuing_wo, BENCHMARK_ORDER)
+    return render_table7(sc, wo), (sc, wo)
+
+
+def table8(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    suite = suite or run_suite(
+        programs=LOCKING_BENCHMARKS, scale=scale, seed=seed, configs=(("queuing", "wo"),)
+    )
+    rows = _ordered(suite.queuing_wo, LOCKING_BENCHMARKS)
+    return render_contention_table(rows, 8, "Weak Ordering"), rows
+
+
+def section32(suite: SuiteResults | None = None, scale: float = 1.0, seed: int = 1991):
+    """The §3.2 three-factor decomposition for the contended programs."""
+    suite = suite or run_suite(
+        programs=["grav", "pdsa"],
+        scale=scale,
+        seed=seed,
+        configs=(("queuing", "sc"), ("ttas", "sc")),
+    )
+    decomps = [
+        decompose_ttas_slowdown(suite.queuing_sc[p], suite.ttas_sc[p])
+        for p in ("grav", "pdsa")
+        if p in suite.queuing_sc and p in suite.ttas_sc
+    ]
+    return render_decomposition(decomps), decomps
+
+
+_TABLES = {
+    1: table1,
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+    8: table8,
+}
+
+
+def render_any(number: int, scale: float = 1.0, seed: int = 1991) -> str:
+    """Render table ``number`` (1-8) from fresh runs."""
+    try:
+        fn = _TABLES[number]
+    except KeyError:
+        raise ValueError(f"no table {number}; the paper has tables 1-8") from None
+    text, _ = fn(scale=scale, seed=seed)
+    return text

@@ -1,0 +1,51 @@
+"""Shared-bus multiprocessor substrate: caches, Illinois coherence, the
+split-transaction bus, memory, buffers, processors and the event engine."""
+
+from .buffers import BusOp, CacheBusBuffer
+from .bus import Bus
+from .buslog import BusLog, render_bus_anatomy
+from .cache import EXCLUSIVE, INVALID, MODIFIED, SHARED, Cache
+from .coherence import (
+    ILLINOIS,
+    UPDATE as UPDATE_PROTOCOL,
+    CoherenceProtocol,
+    IllinoisProtocol,
+    UpdateProtocol,
+    get_protocol,
+)
+from .config import BusConfig, CacheConfig, MachineConfig, MemoryConfig
+from .engine import Engine
+from .memory import Memory
+from .metrics import ProcMetrics, RunResult
+from .processor import Processor
+from .system import System, simulate
+
+__all__ = [
+    "Bus",
+    "BusConfig",
+    "BusLog",
+    "BusOp",
+    "render_bus_anatomy",
+    "Cache",
+    "CacheBusBuffer",
+    "CacheConfig",
+    "CoherenceProtocol",
+    "EXCLUSIVE",
+    "Engine",
+    "ILLINOIS",
+    "IllinoisProtocol",
+    "UPDATE_PROTOCOL",
+    "UpdateProtocol",
+    "get_protocol",
+    "INVALID",
+    "MODIFIED",
+    "MachineConfig",
+    "Memory",
+    "MemoryConfig",
+    "ProcMetrics",
+    "Processor",
+    "RunResult",
+    "SHARED",
+    "System",
+    "simulate",
+]

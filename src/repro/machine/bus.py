@@ -1,0 +1,106 @@
+"""Split-transaction bus with round-robin arbitration (§2.2).
+
+The bus serializes the address/data phases of all coherence traffic.  A
+*split transaction* occurs on memory requests: the bus is held only for
+the address phase (one cycle); while the memory module works, the bus is
+free, and the data return is a separate arbitration (memory is a bus
+requester like any processor).  Everything else (cache-to-cache
+transfers, write-backs, invalidations) holds the bus for its full
+duration.
+
+The arbiter scans ports round-robin starting after the last grantee.  A
+port whose head operation is not *issuable* (it needs a memory-input
+buffer slot and none is free) is skipped -- the transaction waits in its
+cache--bus buffer without holding the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .buffers import BusOp
+from .engine import Engine
+
+__all__ = ["Bus", "BusPort", "BusService"]
+
+
+class BusPort(Protocol):
+    """Anything the arbiter can draw operations from."""
+
+    def peek(self) -> BusOp | None: ...
+
+    def pop(self) -> BusOp: ...
+
+
+class BusService(Protocol):
+    """The system-side executor of granted operations."""
+
+    def can_issue(self, op: BusOp, time: int) -> bool: ...
+
+    def execute(self, op: BusOp, time: int) -> int:
+        """Perform the operation's snoop/state effects; return the number
+        of cycles the bus is held."""
+        ...
+
+
+class Bus:
+    """Round-robin arbitrated bus."""
+
+    def __init__(self, engine: Engine, service: BusService) -> None:
+        self.engine = engine
+        self.service = service
+        self.ports: list[BusPort] = []
+        self.busy = False
+        self._rr = 0
+        # statistics
+        self.busy_cycles = 0
+        self.op_counts: dict[int, int] = {}
+        self.grants = 0
+        #: optional observer called as observer(op, grant_time, hold)
+        #: after every grant (see repro.machine.buslog)
+        self.observer = None
+
+    def add_port(self, port: BusPort) -> int:
+        """Register a port; returns its index."""
+        self.ports.append(port)
+        return len(self.ports) - 1
+
+    # -- operation ------------------------------------------------------------
+    def kick(self, time: int) -> None:
+        """Re-arbitrate if idle.  Call whenever a port gains a new head
+        operation or an issuability condition may have changed."""
+        if not self.busy:
+            self._grant(time)
+
+    def _grant(self, time: int) -> None:
+        n = len(self.ports)
+        for i in range(n):
+            idx = (self._rr + i) % n
+            op = self.ports[idx].peek()
+            if op is None:
+                continue
+            if not self.service.can_issue(op, time):
+                continue
+            self.ports[idx].pop()
+            self._rr = (idx + 1) % n
+            self.busy = True
+            op.issued_at = time
+            hold = self.service.execute(op, time)
+            if hold < 1:
+                raise ValueError(f"bus op {op} reported hold of {hold} cycles")
+            self.busy_cycles += hold
+            self.grants += 1
+            self.op_counts[op.kind] = self.op_counts.get(op.kind, 0) + 1
+            if self.observer is not None:
+                self.observer(op, time, hold)
+            self.engine.at(time + hold, self._release)
+            return
+        # nothing issuable: bus idles until the next kick
+
+    def _release(self, time: int) -> None:
+        self.busy = False
+        self._grant(time)
+
+    # -- statistics -----------------------------------------------------------
+    def utilization(self, total_cycles: int) -> float:
+        return self.busy_cycles / total_cycles if total_cycles else 0.0

@@ -1,0 +1,138 @@
+"""Bus-transaction logging and anatomy reports.
+
+§3.2's argument hinges on *where bus cycles go*: under T&T&S "the bus
+utilization for Grav doubled ... and this slows down even those
+processors that do not want the lock."  A :class:`BusLog` attached to a
+system records every granted transaction (kind, requester, grant time,
+hold), and the anatomy report breaks bus occupancy down by operation
+class and over time -- the quantified version of the paper's sentence.
+
+Usage::
+
+    system = System(...)
+    log = BusLog.attach(system)
+    result = system.run()
+    print(render_bus_anatomy(log, result))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .buffers import (
+    DATA_RETURN,
+    LOCK_INVAL,
+    LOCK_MEM,
+    LOCK_READ,
+    LOCK_RFO,
+    LOCK_XFER,
+    OP_NAMES,
+    READ_MISS,
+    RFO,
+    UPDATE,
+    UPGRADE,
+    WRITEBACK,
+    WRITETHROUGH,
+)
+
+__all__ = ["BusLog", "render_bus_anatomy"]
+
+#: operation classes for the anatomy breakdown
+_CLASSES = {
+    READ_MISS: "data fills",
+    RFO: "data fills",
+    DATA_RETURN: "data fills",
+    UPGRADE: "invalidations",
+    WRITEBACK: "writes to memory",
+    WRITETHROUGH: "writes to memory",
+    UPDATE: "update broadcasts",
+    LOCK_MEM: "lock traffic",
+    LOCK_READ: "lock traffic",
+    LOCK_RFO: "lock traffic",
+    LOCK_INVAL: "lock traffic",
+    LOCK_XFER: "lock traffic",
+}
+
+
+@dataclass
+class BusLog:
+    """Recorded bus grants: parallel lists of (kind, proc, time, hold)."""
+
+    kinds: list = field(default_factory=list)
+    procs: list = field(default_factory=list)
+    times: list = field(default_factory=list)
+    holds: list = field(default_factory=list)
+
+    @classmethod
+    def attach(cls, system) -> "BusLog":
+        log = cls()
+        system.bus.observer = log._observe
+        return log
+
+    def _observe(self, op, time: int, hold: int) -> None:
+        self.kinds.append(op.kind)
+        self.procs.append(op.proc)
+        self.times.append(time)
+        self.holds.append(hold)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    # -- aggregations -----------------------------------------------------------
+    def cycles_by_class(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for kind, hold in zip(self.kinds, self.holds):
+            cls = _CLASSES.get(kind, OP_NAMES.get(kind, str(kind)))
+            out[cls] = out.get(cls, 0) + hold
+        return out
+
+    def cycles_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for kind, hold in zip(self.kinds, self.holds):
+            name = OP_NAMES.get(kind, str(kind))
+            out[name] = out.get(name, 0) + hold
+        return out
+
+    def lock_traffic_cycles(self) -> int:
+        return self.cycles_by_class().get("lock traffic", 0)
+
+    def timeline(self, run_time: int, buckets: int = 20) -> list[float]:
+        """Bus occupancy per time bucket (0..1 each)."""
+        width = max(1, run_time // buckets)
+        busy = [0] * buckets
+        for t, h in zip(self.times, self.holds):
+            b = min(buckets - 1, t // width)
+            busy[b] += h
+        return [min(1.0, b / width) for b in busy]
+
+
+def render_bus_anatomy(log: BusLog, result, buckets: int = 20) -> str:
+    """Text report: occupancy by class, by kind, and over time."""
+    total_busy = sum(log.holds)
+    run_time = result.run_time
+    lines = [
+        f"Bus anatomy: {result.program} ({result.lock_scheme}, {result.consistency})",
+        f"{len(log):,} transactions, {total_busy:,} bus cycles busy "
+        f"({100 * total_busy / run_time:.1f}% of {run_time:,} run cycles)",
+        "",
+        f"{'class':<18} {'cycles':>10} {'% of busy':>10} {'% of run':>9}",
+    ]
+    for cls, cyc in sorted(log.cycles_by_class().items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"{cls:<18} {cyc:>10,} {100 * cyc / max(1, total_busy):>10.1f} "
+            f"{100 * cyc / run_time:>9.2f}"
+        )
+    lines.append("")
+    lines.append(f"{'operation':<14} {'count':>8} {'cycles':>10}")
+    counts: dict[str, int] = {}
+    for kind in log.kinds:
+        name = OP_NAMES.get(kind, str(kind))
+        counts[name] = counts.get(name, 0) + 1
+    for name, cyc in sorted(log.cycles_by_kind().items(), key=lambda kv: -kv[1]):
+        lines.append(f"{name:<14} {counts[name]:>8,} {cyc:>10,}")
+    lines.append("")
+    ramp = " .:-=+*#%@"
+    tl = log.timeline(run_time, buckets)
+    bar = "".join(ramp[min(len(ramp) - 1, int(x * (len(ramp) - 1)))] for x in tl)
+    lines.append(f"occupancy over time  [{bar}]  (' '=idle, '@'=saturated)")
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Per-processor cache with Illinois (MESI) states.
+
+Geometry and policies follow §2.2 of the paper: two-way set-associative,
+64 KB, 16-byte lines, LRU replacement, write-back, write-allocate.  The
+cache itself only tracks line states and replacement; which bus
+transactions a hit/miss triggers is the coherence controller's business
+(:mod:`repro.machine.coherence`), and timing is the system's.
+
+Lines are identified by their *line number* (``addr >> offset_bits``).
+State storage is a dict plus per-set MRU-ordered lists, which profiling
+shows beats numpy arrays for the point lookups that dominate trace
+interpretation.
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig
+
+__all__ = ["Cache", "INVALID", "SHARED", "EXCLUSIVE", "MODIFIED", "STATE_NAMES"]
+
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+class CacheCounters:
+    """Hit/miss counters split by access type (feeds Tables 3/5/7)."""
+
+    __slots__ = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "ifetch_hits",
+        "ifetch_misses",
+        "evictions",
+        "writebacks",
+        "invalidations_received",
+        "c2c_supplied",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    @property
+    def write_hit_ratio(self) -> float:
+        total = self.write_hits + self.write_misses
+        return self.write_hits / total if total else 1.0
+
+    @property
+    def read_hit_ratio(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 1.0
+
+
+class Cache:
+    """One processor's cache: state lookup, LRU, install/evict, snoops."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self._set_mask = self.n_sets - 1
+        # line number -> MESI state (INVALID lines are simply absent)
+        self.state: dict[int, int] = {}
+        # per-set MRU-ordered resident line numbers
+        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.counters = CacheCounters()
+
+    # -- helpers -------------------------------------------------------------
+    def set_of(self, line: int) -> int:
+        return line & self._set_mask
+
+    def probe(self, line: int) -> int:
+        """Current state of ``line`` without touching LRU."""
+        return self.state.get(line, INVALID)
+
+    def _touch(self, line: int) -> None:
+        lst = self.sets[line & self._set_mask]
+        if lst and lst[0] != line:
+            lst.remove(line)
+            lst.insert(0, line)
+
+    # -- processor-side accesses ----------------------------------------------
+    def lookup(self, line: int) -> int:
+        """Processor-side access: returns state (INVALID on miss) and
+        refreshes LRU on a hit."""
+        st = self.state.get(line, INVALID)
+        if st:
+            self._touch(line)
+        return st
+
+    def set_state(self, line: int, state: int) -> None:
+        """Change the state of a resident line (e.g. S->M after an
+        invalidation completes, or E->M on a silent write hit)."""
+        if line not in self.state:
+            raise KeyError(f"line {line:#x} not resident")
+        if state == INVALID:
+            raise ValueError("use invalidate() to drop a line")
+        self.state[line] = state
+
+    def install(self, line: int, state: int) -> tuple[int, bool] | None:
+        """Install a freshly fetched line in ``state``.
+
+        Returns ``(victim_line, was_dirty)`` if a line had to be evicted,
+        else None.  The caller is responsible for scheduling a write-back
+        when ``was_dirty``.
+        """
+        if state == INVALID:
+            raise ValueError("cannot install a line INVALID")
+        if line in self.state:  # refill racing a snoop: just overwrite state
+            self.state[line] = state
+            self._touch(line)
+            return None
+        idx = line & self._set_mask
+        lst = self.sets[idx]
+        victim = None
+        if len(lst) >= self.assoc:
+            vline = lst.pop()  # LRU victim
+            vstate = self.state.pop(vline)
+            self.counters.evictions += 1
+            victim = (vline, vstate == MODIFIED)
+        lst.insert(0, line)
+        self.state[line] = state
+        return victim
+
+    # -- snoop side -------------------------------------------------------------
+    def snoop_read(self, line: int) -> tuple[bool, bool]:
+        """Another cache is read-missing on ``line``.
+
+        Illinois: if present, this cache supplies the data cache-to-cache
+        and the line drops to SHARED (memory is updated during the
+        transfer if it was MODIFIED).  Returns ``(present, was_dirty)``.
+        """
+        st = self.state.get(line, INVALID)
+        if not st:
+            return (False, False)
+        self.counters.c2c_supplied += 1
+        dirty = st == MODIFIED
+        self.state[line] = SHARED
+        return (True, dirty)
+
+    def snoop_invalidate(self, line: int) -> tuple[bool, bool]:
+        """Another cache is claiming ``line`` exclusively (RFO or
+        invalidation signal).  Returns ``(present, was_dirty)``."""
+        st = self.state.pop(line, INVALID)
+        if not st:
+            return (False, False)
+        self.sets[line & self._set_mask].remove(line)
+        self.counters.invalidations_received += 1
+        return (True, st == MODIFIED)
+
+    # -- introspection ---------------------------------------------------------
+    def resident_lines(self) -> list[int]:
+        return list(self.state)
+
+    def occupancy(self) -> int:
+        return len(self.state)
+
+    def check_invariants(self) -> None:
+        """Internal consistency between the state dict and the set lists
+        (used by tests and the property suite)."""
+        seen = set()
+        for idx, lst in enumerate(self.sets):
+            if len(lst) > self.assoc:
+                raise AssertionError(f"set {idx} over-full: {lst}")
+            for line in lst:
+                if line & self._set_mask != idx:
+                    raise AssertionError(f"line {line:#x} in wrong set {idx}")
+                if line not in self.state:
+                    raise AssertionError(f"line {line:#x} listed but stateless")
+                seen.add(line)
+        if seen != set(self.state):
+            raise AssertionError("state dict and set lists disagree")

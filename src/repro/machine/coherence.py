@@ -1,0 +1,91 @@
+"""Coherence protocol policies.
+
+The paper's machine uses the Illinois protocol [Archibald & Baer,
+citation 4 of the paper -- their TOCS'86 study compares snooping
+protocols by simulation, which is precisely the style of ablation this
+module enables].  The protocol object owns two decisions the rest of the
+machine delegates:
+
+* what a **write hit on a SHARED line** does on the bus -- Illinois (and
+  every write-invalidate protocol) broadcasts an *invalidation* and the
+  writer takes the line MODIFIED; a write-*update* protocol (Firefly/
+  Dragon family, simplified here) broadcasts the written words, every
+  sharer updates in place, and the line *stays* SHARED;
+* what state a read miss fills in -- EXCLUSIVE when memory supplies and
+  nobody shares, SHARED otherwise (both protocols agree here).
+
+The trade-off the update protocol exists to probe: migratory data
+(Pdsa's placement cells, lock-protected scheduler state) keeps lines
+shared forever under update, so *every* subsequent write pays a bus
+transaction -- while read-shared data never suffers invalidation misses.
+``benchmarks/test_extension_coherence.py`` measures both effects on the
+paper's suite.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CoherenceProtocol",
+    "IllinoisProtocol",
+    "UpdateProtocol",
+    "ILLINOIS",
+    "UPDATE",
+    "get_protocol",
+]
+
+
+class CoherenceProtocol:
+    """Base policy; instances are stateless and shareable."""
+
+    #: registry name
+    name = "abstract"
+    #: True if a write hit on SHARED broadcasts an update (sharers keep
+    #: their copies); False if it broadcasts an invalidation
+    write_update = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class IllinoisProtocol(CoherenceProtocol):
+    """Write-invalidate MESI with cache-to-cache supply (the paper's)."""
+
+    name = "illinois"
+    write_update = False
+
+
+class UpdateProtocol(CoherenceProtocol):
+    """Simplified Firefly-style write-update.
+
+    Writes to SHARED lines broadcast the data: one bus transaction
+    (address + one data cycle) that patches every sharer's copy and
+    memory; the line remains SHARED in all caches, so the writer keeps
+    paying the bus on every write until the sharers evict.  Writes to
+    EXCLUSIVE/MODIFIED lines stay silent, and read misses behave exactly
+    as under Illinois (cache-to-cache supply, E from memory).
+    """
+
+    name = "update"
+    write_update = True
+    # Note: write *misses* still perform a read-for-ownership (the line
+    # is fetched exclusively and other copies invalidate), as in several
+    # hybrid update designs; the update broadcast applies to write hits
+    # on SHARED lines -- the case that matters for the invalidation-miss
+    # vs broadcast-traffic trade-off.
+
+
+ILLINOIS = IllinoisProtocol()
+UPDATE = UpdateProtocol()
+
+_PROTOCOLS = {"illinois": ILLINOIS, "update": UPDATE, "firefly": UPDATE}
+
+
+def get_protocol(name: str) -> CoherenceProtocol:
+    """Look up a coherence protocol by name."""
+    try:
+        return _PROTOCOLS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown coherence protocol {name!r}; expected one of "
+            f"{sorted(set(_PROTOCOLS))}"
+        ) from None

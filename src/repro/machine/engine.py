@@ -1,0 +1,70 @@
+"""Event-driven simulation kernel.
+
+A minimal discrete-event scheduler: a binary heap of ``(time, seq, fn)``
+entries.  ``seq`` is a monotone tiebreaker so same-cycle events fire in
+scheduling order, which keeps runs deterministic (important both for
+reproducibility of the tables and for the regression tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event scheduler with an integer cycle clock."""
+
+    __slots__ = ("now", "_queue", "_seq", "_running")
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: list = []
+        self._seq = 0
+        self._running = False
+
+    def at(self, time: int, fn: Callable[[int], None]) -> None:
+        """Schedule ``fn(time)`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"event scheduled in the past ({time} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, fn))
+
+    def after(self, delay: int, fn: Callable[[int], None]) -> None:
+        """Schedule ``fn`` ``delay`` cycles from now."""
+        self.at(self.now + delay, fn)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when the clock would pass
+        ``until``, or after ``max_events`` dispatches (a runaway guard for
+        tests).  Returns the number of events dispatched.
+        """
+        if self._running:
+            raise RuntimeError("engine is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            q = self._queue
+            while q:
+                time, _seq, fn = q[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(q)
+                self.now = time
+                fn(time)
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely deadlock or livelock"
+                    )
+        finally:
+            self._running = False
+        return dispatched

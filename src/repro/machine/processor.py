@@ -1,0 +1,517 @@
+"""Per-processor trace interpreter.
+
+Each processor replays its reference stream against its own cache,
+stalling per the configured consistency model and lock scheme.  The
+interpreter advances its *local* clock through cache hits without
+touching the global event queue, re-synchronizing with the engine every
+``batch_records`` records or whenever it must interact with the shared
+machinery (a miss, a buffered write, a synchronization point).
+
+Stall bookkeeping matches the paper's: time lost to cache misses, to
+waiting for locks (including acquire/release overhead), to weak-ordering
+drains at synchronization points, and to a full cache--bus buffer.
+"""
+
+from __future__ import annotations
+
+from ..consistency.base import ConsistencyModel
+from ..trace.records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE, Trace
+from .buffers import (
+    READ_MISS,
+    RFO,
+    UPDATE,
+    UPGRADE,
+    WRITEBACK,
+    WRITETHROUGH,
+    BusOp,
+)
+from .cache import EXCLUSIVE, MODIFIED, SHARED, Cache
+from .metrics import ProcMetrics
+
+__all__ = ["Processor"]
+
+_WORD_SHIFT = 2  # REP_STRIDE == 4-byte elements
+_INSTR_BYTES = 4
+
+# blocked states
+_RUNNING = 0
+_WAIT_MISS = 1
+_WAIT_LOCK = 2
+_WAIT_DRAIN = 3
+_WAIT_BUFFER = 4
+_DONE = 5
+
+
+class Processor:
+    """One simulated CPU: trace cursor, local clock, stall state."""
+
+    def __init__(
+        self,
+        proc: int,
+        trace: Trace,
+        cache: Cache,
+        system,  # repro.machine.system.System
+        model: ConsistencyModel,
+        batch_records: int,
+    ) -> None:
+        self.proc = proc
+        self.cache = cache
+        self.system = system
+        self.model = model
+        self.batch = batch_records
+        self.metrics = ProcMetrics(proc)
+
+        rec = trace.records
+        # Plain lists index several times faster than numpy scalars in
+        # the per-record hot loop (see the hpc guides: measure first --
+        # this was the profiled bottleneck).
+        self._kind = rec["kind"].tolist()
+        self._addr = rec["addr"].tolist()
+        self._arg = rec["arg"].tolist()
+        self._cycles = rec["cycles"].tolist()
+        self._n = len(self._kind)
+
+        self._line_shift = cache.config.offset_bits
+        self._words_per_line = cache.config.line_bytes >> _WORD_SHIFT
+        self._writethrough = cache.config.write_policy == "writethrough"
+        self._write_update = system.protocol.write_update
+
+        self.time = 0
+        self.idx = 0
+        self.pos = 0  # elementary refs consumed within the current record
+        self.state = _RUNNING
+        #: program accesses issued but not performed (gates WO drains)
+        self.outstanding = 0
+        #: write-backs in flight -- visible to snooping, so they never
+        #: gate a synchronization drain (the store that dirtied the line
+        #: already performed when it hit the cache)
+        self.outstanding_wb = 0
+        self._stall_start = 0
+        self._wait_op: BusOp | None = None
+        self._draining = False
+        self._post_drain: tuple | None = None
+        # weak ordering: lines with a buffered (non-stalling) RFO in flight
+        self.pending_writes: dict[int, BusOp] = {}
+        # weak ordering: SHARED lines with a buffered invalidation in flight
+        self.pending_upgrades: set[int] = set()
+        self.done = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        self.system.engine.at(0, self._run)
+
+    def _finish(self, t: int) -> None:
+        self.state = _DONE
+        self.done = True
+        self.metrics.completion_time = t
+        self.system.on_proc_done(self.proc, t)
+
+    # -- the interpreter loop ------------------------------------------------------
+    def _run(self, _t: int) -> None:
+        # self.time is authoritative; the engine event merely resumes us.
+        kinds = self._kind
+        addrs = self._addr
+        args = self._arg
+        cycs = self._cycles
+        cache = self.cache
+        ctr = cache.counters
+        met = self.metrics
+        line_shift = self._line_shift
+        wpl = self._words_per_line
+        budget = self.batch
+        self.state = _RUNNING
+
+        while True:
+            if budget <= 0:
+                self.system.engine.at(self.time, self._run)
+                return
+            budget -= 1
+            i = self.idx
+            if i >= self._n:
+                self._finish(self.time)
+                return
+            k = kinds[i]
+
+            if k == IBLOCK:
+                base = addrs[i]
+                n_i = args[i]
+                pos = self.pos
+                blocked = False
+                while pos < n_i:
+                    byte = base + _INSTR_BYTES * pos
+                    line = byte >> line_shift
+                    word = (byte >> _WORD_SHIFT) & (wpl - 1)
+                    chunk = n_i - pos
+                    room = wpl - word
+                    if chunk > room:
+                        chunk = room
+                    if cache.lookup(line):
+                        ctr.ifetch_hits += chunk
+                        pos += chunk
+                    else:
+                        ctr.ifetch_misses += 1
+                        ctr.ifetch_hits += chunk - 1
+                        met.refs_processed += chunk
+                        self.pos = pos + chunk
+                        self._block_on_read_miss(line, ifetch=True)
+                        blocked = True
+                        break
+                    met.refs_processed += chunk
+                if blocked:
+                    return
+                self.pos = 0
+                c = cycs[i]
+                self.time += c
+                met.work_cycles += c
+                self.idx = i + 1
+
+            elif k == READ:
+                base = addrs[i]
+                reps = args[i]
+                pos = self.pos
+                blocked = False
+                while pos < reps:
+                    byte = base + (pos << _WORD_SHIFT)
+                    line = byte >> line_shift
+                    word = (byte >> _WORD_SHIFT) & (wpl - 1)
+                    chunk = reps - pos
+                    room = wpl - word
+                    if chunk > room:
+                        chunk = room
+                    if cache.lookup(line):
+                        ctr.read_hits += chunk
+                        pos += chunk
+                        met.refs_processed += chunk
+                        continue
+                    # A weakly-ordered read of a line whose write miss is
+                    # still buffered must wait for its own store's data.
+                    wop = self.pending_writes.get(line)
+                    if wop is not None:
+                        ctr.read_hits += chunk
+                        met.refs_processed += chunk
+                        self.pos = pos + chunk
+                        self._block_on_op(wop)
+                        blocked = True
+                        break
+                    # Buffer hit: our own evicted dirty copy is still
+                    # queued for write-back; reclaim it.
+                    if self._reclaim_from_buffer(line):
+                        ctr.read_hits += chunk
+                        met.refs_processed += chunk
+                        pos += chunk
+                        continue
+                    ctr.read_misses += 1
+                    ctr.read_hits += chunk - 1
+                    met.refs_processed += chunk
+                    self.pos = pos + chunk
+                    self._block_on_read_miss(line, ifetch=False)
+                    blocked = True
+                    break
+                if blocked:
+                    return
+                self.pos = 0
+                self.idx = i + 1
+
+            elif k == WRITE:
+                base = addrs[i]
+                reps = args[i]
+                pos = self.pos
+                blocked = False
+                while pos < reps:
+                    byte = base + (pos << _WORD_SHIFT)
+                    line = byte >> line_shift
+                    word = (byte >> _WORD_SHIFT) & (wpl - 1)
+                    chunk = reps - pos
+                    room = wpl - word
+                    if chunk > room:
+                        chunk = room
+                    if self._writethrough:
+                        # Write-through, no-allocate: every write chunk is
+                        # a word-burst to memory; the cached copy (if any)
+                        # is updated in place and other copies invalidate
+                        # on the bus write's address phase.
+                        st = cache.lookup(line)
+                        if st:
+                            ctr.write_hits += chunk
+                        else:
+                            ctr.write_misses += 1
+                            ctr.write_hits += chunk - 1
+                        met.refs_processed += chunk
+                        self.pos = pos + chunk
+                        wt = BusOp(WRITETHROUGH, line, self.proc)
+                        if self.model.stall_on_write_miss:
+                            self._stall_on_op(wt)
+                            blocked = True
+                            break
+                        if not self.system.buffers[self.proc].has_space():
+                            self.pos = pos
+                            # undo the provisional counting: the access
+                            # re-executes once space frees
+                            if st:
+                                ctr.write_hits -= chunk
+                            else:
+                                ctr.write_misses -= 1
+                                ctr.write_hits -= chunk - 1
+                            met.refs_processed -= chunk
+                            self._wait_for_space()
+                            blocked = True
+                            break
+                        self.outstanding += 1
+                        self.system.issue_from_proc(wt, self.time, front=False)
+                        pos += chunk
+                        continue
+                    st = cache.lookup(line)
+                    if st == MODIFIED:
+                        ctr.write_hits += chunk
+                        pos += chunk
+                        met.refs_processed += chunk
+                        continue
+                    if st == EXCLUSIVE:
+                        cache.set_state(line, MODIFIED)
+                        ctr.write_hits += chunk
+                        pos += chunk
+                        met.refs_processed += chunk
+                        continue
+                    if st == SHARED:
+                        if self._write_update:
+                            # write-update protocol: broadcast the words;
+                            # the line stays SHARED in every cache
+                            if self.model.stall_on_upgrade:
+                                ctr.write_hits += chunk
+                                met.refs_processed += chunk
+                                self.pos = pos + chunk
+                                self._stall_on_op(BusOp(UPDATE, line, self.proc))
+                                blocked = True
+                                break
+                            if not self.system.buffers[self.proc].has_space():
+                                self.pos = pos
+                                self._wait_for_space()
+                                blocked = True
+                                break
+                            ctr.write_hits += chunk
+                            met.refs_processed += chunk
+                            op = BusOp(UPDATE, line, self.proc)
+                            self.outstanding += 1
+                            self.system.issue_from_proc(op, self.time, front=False)
+                            pos += chunk
+                            continue
+                        if line in self.pending_upgrades:
+                            # invalidation already buffered; write combines
+                            ctr.write_hits += chunk
+                            pos += chunk
+                            met.refs_processed += chunk
+                            continue
+                        if self.model.stall_on_upgrade:
+                            ctr.write_hits += chunk
+                            met.refs_processed += chunk
+                            self.pos = pos + chunk
+                            self._stall_on_op(BusOp(UPGRADE, line, self.proc))
+                            blocked = True
+                            break
+                        if not self.system.buffers[self.proc].has_space():
+                            self.pos = pos  # re-execute this access on resume
+                            self._wait_for_space()
+                            blocked = True
+                            break
+                        ctr.write_hits += chunk
+                        met.refs_processed += chunk
+                        self.pending_upgrades.add(line)
+                        op = BusOp(UPGRADE, line, self.proc)
+                        self.outstanding += 1
+                        self.system.issue_from_proc(op, self.time, front=False)
+                        pos += chunk
+                        continue
+                    # miss
+                    wop = self.pending_writes.get(line)
+                    if wop is not None:
+                        # write to a line whose RFO is already in flight
+                        ctr.write_hits += chunk
+                        pos += chunk
+                        met.refs_processed += chunk
+                        continue
+                    if self._reclaim_from_buffer(line):
+                        ctr.write_hits += chunk
+                        met.refs_processed += chunk
+                        pos += chunk
+                        continue
+                    if self.model.stall_on_write_miss:
+                        ctr.write_misses += 1
+                        ctr.write_hits += chunk - 1
+                        met.refs_processed += chunk
+                        self.pos = pos + chunk
+                        rfo = BusOp(RFO, line, self.proc)
+                        rfo.fill_state = MODIFIED
+                        self._stall_on_op(rfo)
+                        blocked = True
+                        break
+                    if not self.system.buffers[self.proc].has_space():
+                        self.pos = pos  # re-execute this access on resume
+                        self._wait_for_space()
+                        blocked = True
+                        break
+                    ctr.write_misses += 1
+                    ctr.write_hits += chunk - 1
+                    met.refs_processed += chunk
+                    rfo = BusOp(RFO, line, self.proc)
+                    rfo.fill_state = MODIFIED
+                    self.pending_writes[line] = rfo
+                    self.outstanding += 1
+                    self.system.issue_from_proc(rfo, self.time, front=False)
+                    pos += chunk
+                    continue
+                if blocked:
+                    return
+                self.pos = 0
+                self.idx = i + 1
+
+            elif k == LOCK or k == UNLOCK:
+                # Re-enter through the engine so the lock manager runs with
+                # the global clock at this processor's local time.
+                self.idx = i + 1
+                kk, ident, la = k, args[i], addrs[i]
+                self.system.engine.at(
+                    self.time, lambda t: self._begin_sync(kk, ident, la)
+                )
+                return
+
+            elif k == BARRIER:
+                self.idx = i + 1
+                ident = args[i]
+                self.system.engine.at(
+                    self.time, lambda t: self._begin_sync(BARRIER, ident, 0)
+                )
+                return
+
+            else:  # pragma: no cover - validated traces exclude this
+                raise ValueError(f"unknown record kind {k} at index {i}")
+
+    # -- miss paths -----------------------------------------------------------------
+    def _reclaim_from_buffer(self, line: int) -> bool:
+        """If our own write-back of ``line`` is still buffered, pull it
+        back into the cache (one-cycle buffer hit)."""
+        buf = self.system.buffers[self.proc]
+        wb = buf.find(WRITEBACK, line)
+        if wb is None:
+            return False
+        buf.cancel(wb)
+        self.outstanding_wb -= 1
+        victim = self.cache.install(line, MODIFIED)
+        self._handle_eviction(victim)
+        self.time += 1
+        self.metrics.stall_miss += 1  # one-cycle buffer-hit penalty
+        return True
+
+    def _block_on_read_miss(self, line: int, ifetch: bool) -> None:
+        op = BusOp(READ_MISS, line, self.proc, ifetch=ifetch)
+        self.state = _WAIT_MISS
+        self._stall_start = self.time
+        self._wait_op = op
+        self.outstanding += 1
+        self.system.issue_from_proc(op, self.time, front=self.model.bypass_reads)
+
+    def _block_on_op(self, op: BusOp) -> None:
+        """Stall until an already-issued operation (e.g. our own buffered
+        RFO whose data a read now needs) completes."""
+        self.state = _WAIT_MISS
+        self._stall_start = self.time
+        self._wait_op = op
+
+    def _stall_on_op(self, op: BusOp) -> None:
+        """Issue ``op`` and stall until it completes (the SC paths)."""
+        self.state = _WAIT_MISS
+        self._stall_start = self.time
+        self._wait_op = op
+        self.outstanding += 1
+        self.system.issue_from_proc(op, self.time, front=False)
+
+    def _wait_for_space(self) -> None:
+        self.state = _WAIT_BUFFER
+        self._stall_start = self.time
+        buf = self.system.buffers[self.proc]
+        t0 = self.time
+
+        def resumed(t: int) -> None:
+            self.metrics.stall_buffer += t - t0
+            self.time = max(self.time, t)
+            self.system.engine.at(self.time, self._run)
+
+        buf.wait_for_space(resumed)
+
+    def _handle_eviction(self, victim) -> None:
+        if victim is None:
+            return
+        vline, dirty = victim
+        if dirty:
+            wb = BusOp(WRITEBACK, vline, self.proc)
+            self.outstanding_wb += 1
+            self.cache.counters.writebacks += 1
+            self.system.issue_from_proc(wb, self.time, front=False)
+
+    # -- synchronization points --------------------------------------------------------
+    def _begin_sync(self, kind: int, ident: int, lock_addr: int) -> None:
+        """LOCK/UNLOCK/BARRIER record: drain if weakly ordered, then hand
+        off to the lock/barrier manager."""
+        if self.model.drain_at_sync:
+            self.metrics.drains += 1
+            if self.outstanding > 0:
+                self.metrics.drains_nonempty += 1
+                self._draining = True
+                self._stall_start = self.time
+                self.state = _WAIT_DRAIN
+                self._post_drain = (kind, ident, lock_addr)
+                return
+        self._sync_action(kind, ident, lock_addr)
+
+    def _sync_action(self, kind: int, ident: int, lock_addr: int) -> None:
+        self.state = _WAIT_LOCK
+        self._stall_start = self.time
+        line = lock_addr >> self._line_shift
+
+        def resumed(t: int, contended: bool) -> None:
+            # The paper's "lock wait" stall cause is time lost *waiting*
+            # for a held lock; the memory-access overhead of uncontended
+            # acquires/releases stalls the processor like any other
+            # memory access (Pverify: 555 lock pairs, 0.0% lock stalls).
+            if contended:
+                self.metrics.stall_lock += t - self._stall_start
+            else:
+                self.metrics.stall_miss += t - self._stall_start
+            self.time = max(self.time, t)
+            self.state = _RUNNING
+            self.system.engine.at(self.time, self._run)
+
+        if kind == LOCK:
+            self.system.lock_acquire(self.proc, ident, line, self.time, resumed)
+        elif kind == UNLOCK:
+            self.system.lock_release(self.proc, ident, line, self.time, resumed)
+        else:  # BARRIER
+            self.system.barrier_arrive(self.proc, ident, self.time, resumed)
+
+    # -- completion notifications (called by the System) ----------------------------------
+    def _op_complete(self, op: BusOp, t: int) -> None:
+        if op.kind == WRITEBACK:
+            self.outstanding_wb -= 1
+            return  # write-backs never unblock the processor
+        self.outstanding -= 1
+        if op.kind == RFO and self.pending_writes.get(op.line) is op:
+            del self.pending_writes[op.line]
+        elif op.kind == UPGRADE:
+            self.pending_upgrades.discard(op.line)
+
+        if self.state == _WAIT_MISS and self._wait_op is op:
+            self.metrics.stall_miss += t - self._stall_start
+            self._wait_op = None
+            self.time = max(self.time, t)
+            self.state = _RUNNING
+            self.system.engine.at(self.time, self._run)
+        elif self.state == _WAIT_DRAIN and self.outstanding == 0:
+            self.metrics.stall_drain += t - self._stall_start
+            self._draining = False
+            self.time = max(self.time, t)
+            kind, ident, lock_addr = self._post_drain
+            self._sync_action(kind, ident, lock_addr)
+
+    def install_fill(self, op: BusOp, t: int) -> None:
+        """A READ_MISS/RFO (or converted UPGRADE) fetched its line."""
+        victim = self.cache.install(op.line, op.fill_state)
+        self._handle_eviction(victim)

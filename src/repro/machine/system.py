@@ -1,0 +1,502 @@
+"""The simulated machine: processors, caches, buffers, bus, memory,
+lock manager and consistency model wired together.
+
+This module is the bus *service*: it decides, at arbitration and grant
+time, what each bus operation does -- who snoops, who supplies a line
+cache-to-cache, when memory is involved -- and it routes completions back
+to the processors and lock managers.  Timing follows §2.2:
+
+* address/request phase: 1 bus cycle;
+* memory access: 3 cycles, overlapped with bus activity (split
+  transaction), behind 2-entry input/output buffers;
+* data phase: 2 bus cycles for a 16-byte line on the 8-byte bus;
+* cache-to-cache transfer: address + data back-to-back (3 cycles), with
+  memory updated during the transfer when the source line was dirty
+  (Illinois protocol);
+* invalidation signal: 1 address-only cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..consistency.base import ConsistencyModel
+from ..sync.base import LockManager
+from ..trace.records import TraceSet
+from .buffers import (
+    DATA_RETURN,
+    LOCK_INVAL,
+    LOCK_MEM,
+    LOCK_READ,
+    LOCK_RFO,
+    LOCK_XFER,
+    READ_MISS,
+    RFO,
+    UPDATE,
+    UPGRADE,
+    WRITEBACK,
+    WRITETHROUGH,
+    BusOp,
+    CacheBusBuffer,
+)
+from .bus import Bus
+from .cache import EXCLUSIVE, MODIFIED, SHARED, Cache
+from .config import MachineConfig
+from .engine import Engine
+from .memory import Memory
+from .metrics import RunResult
+from .processor import Processor
+
+__all__ = ["System", "simulate"]
+
+
+class System:
+    """One complete simulation instance (single use: build, run, read)."""
+
+    def __init__(
+        self,
+        traceset: TraceSet,
+        config: MachineConfig,
+        lock_manager: LockManager,
+        model: ConsistencyModel,
+        barrier_manager=None,
+        max_events: int | None = None,
+    ) -> None:
+        if traceset.n_procs != config.n_procs:
+            config = config.with_procs(traceset.n_procs)
+        self.traceset = traceset
+        self.config = config
+        self.model = model
+        self.engine = Engine()
+        self.locks = lock_manager
+        self.locks.attach(self)
+        self.barriers = barrier_manager
+        if self.barriers is not None:
+            self.barriers.attach(self)
+        self.max_events = max_events
+
+        from .coherence import get_protocol
+
+        self.protocol = get_protocol(config.coherence)
+        self.memory = Memory(self.engine, config.memory)
+        self.bus = Bus(self.engine, self)
+        self.memory._bus_kick = self.bus.kick
+
+        n = config.n_procs
+        self.caches = [Cache(config.cache) for _ in range(n)]
+        self.buffers = [
+            CacheBusBuffer(p, config.cachebus_buffer_depth) for p in range(n)
+        ]
+        for buf in self.buffers:
+            self.bus.add_port(buf)
+        self.bus.add_port(self.memory.port)
+
+        self.procs = [
+            Processor(p, traceset[p], self.caches[p], self, model, config.batch_records)
+            for p in range(n)
+        ]
+        self._done_count = 0
+        self._line_data_cycles = config.line_data_cycles
+        self._addr_cycles = config.bus.addr_cycles
+        self.upgrade_conversions = 0
+        self._ran = False
+        # MSHR-style in-flight fill tracking: line -> fetching processor.
+        # A second miss on a line whose fill is still in flight waits in
+        # its buffer until the fill lands (the arbiter skips it), then is
+        # serviced cache-to-cache -- without this, two simultaneous
+        # misses could both install EXCLUSIVE.
+        self._fills_in_flight: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Processor-facing services
+    # ------------------------------------------------------------------
+    def issue_from_proc(self, op: BusOp, at_time: int, front: bool) -> None:
+        """Queue ``op`` in its processor's cache--bus buffer at the
+        processor's local time (clamped to the global clock)."""
+        t = max(at_time, self.engine.now)
+
+        def push(now: int) -> None:
+            buf = self.buffers[op.proc]
+            if front:
+                buf.push_front(op)
+            else:
+                buf.push(op)
+            self.bus.kick(now)
+
+        self.engine.at(t, push)
+
+    def on_proc_done(self, proc: int, t: int) -> None:
+        self._done_count += 1
+
+    # ------------------------------------------------------------------
+    # Lock/barrier-facing services (LockPortAPI)
+    # ------------------------------------------------------------------
+    def issue_lock_op(
+        self,
+        proc: int,
+        kind: int,
+        line: int,
+        on_done: Callable[[int], None],
+        front: bool = False,
+    ) -> None:
+        op = BusOp(kind, line, proc)
+        op.on_done = on_done
+        # Lock-line operations are always accepted: the issuing processor
+        # is stalled at a synchronization point, so its buffer is at its
+        # shallowest, and lock words never generate write-backs.
+        buf = self.buffers[proc]
+        if front:
+            buf.push_front(op)
+        else:
+            buf.push(op)
+        self.bus.kick(self.engine.now)
+
+    def call_at(self, time: int, fn: Callable[[int], None]) -> None:
+        self.engine.at(max(time, self.engine.now), fn)
+
+    def lock_acquire(self, proc, lock_id, line, time, resume_cb) -> None:
+        self.locks.acquire(proc, lock_id, line, time, resume_cb)
+
+    def lock_release(self, proc, lock_id, line, time, resume_cb) -> None:
+        self.locks.release(proc, lock_id, line, time, resume_cb)
+
+    def barrier_arrive(self, proc, barrier_id, time, resume_cb) -> None:
+        if self.barriers is None:
+            raise RuntimeError("trace contains barriers but no barrier manager")
+        self.barriers.arrive(proc, barrier_id, time, resume_cb)
+
+    # ------------------------------------------------------------------
+    # Bus service: arbitration-time checks
+    # ------------------------------------------------------------------
+    def _find_supplier(self, line: int, requester: int):
+        """Who can source ``line`` cache-to-cache: another cache, or a
+        dirty copy waiting in another processor's write-back buffer."""
+        for p, cache in enumerate(self.caches):
+            if p != requester and line in cache.state:
+                return ("cache", p, None)
+        for p, buf in enumerate(self.buffers):
+            if p == requester:
+                continue
+            wb = buf.find(WRITEBACK, line)
+            if wb is not None:
+                return ("buffer", p, wb)
+        return None
+
+    def can_issue(self, op: BusOp, time: int) -> bool:
+        k = op.kind
+        if k == READ_MISS or k == RFO:
+            holder = self._fills_in_flight.get(op.line)
+            if holder is not None and holder != op.proc:
+                return False  # wait for the in-flight fill of this line
+            op.supplier = self._find_supplier(op.line, op.proc)
+            return op.supplier is not None or self.memory.can_accept()
+        if k == UPGRADE:
+            if op.line in self.caches[op.proc].state:
+                return True
+            # lost the line before the invalidation was granted: becomes
+            # a full write miss (§4.1)
+            holder = self._fills_in_flight.get(op.line)
+            if holder is not None and holder != op.proc:
+                return False
+            op.supplier = self._find_supplier(op.line, op.proc)
+            return op.supplier is not None or self.memory.can_accept()
+        if k == WRITEBACK or k == WRITETHROUGH or k == UPDATE or k == LOCK_MEM:
+            return self.memory.can_accept()
+        if k == LOCK_READ or k == LOCK_RFO:
+            s = self.locks.supplier_for_line(op.line)
+            if s is not None and s != op.proc:
+                op.supplier = ("lock", s, None)
+                return True
+            op.supplier = None
+            # an RFO on a line only we cache is an address-only upgrade
+            if k == LOCK_RFO and self._lock_line_cached_by(op.line, op.proc):
+                op.supplier = ("self", op.proc, None)
+                return True
+            return self.memory.can_accept()
+        # LOCK_INVAL, LOCK_XFER, DATA_RETURN need nothing but the bus
+        return True
+
+    def _lock_line_cached_by(self, line: int, proc: int) -> bool:
+        for st in self.locks.locks.values():
+            if st.line == line:
+                return proc in st.cached_by
+        return False
+
+    # ------------------------------------------------------------------
+    # Bus service: grant-time execution
+    # ------------------------------------------------------------------
+    def execute(self, op: BusOp, time: int) -> int:
+        k = op.kind
+        if k != DATA_RETURN:
+            # The granted op just left its processor's buffer: a slot freed.
+            self.buffers[op.proc].notify_space(time)
+
+        if k == READ_MISS:
+            return self._exec_read_miss(op, time)
+        if k == RFO:
+            return self._exec_rfo(op, time)
+        if k == UPGRADE:
+            return self._exec_upgrade(op, time)
+        if k == WRITEBACK:
+            return self._exec_writeback(op, time)
+        if k == WRITETHROUGH:
+            return self._exec_writethrough(op, time)
+        if k == UPDATE:
+            return self._exec_update(op, time)
+        if k == LOCK_MEM:
+            self.memory.reserve()
+            op.return_cycles = self._line_data_cycles
+            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
+            return self._addr_cycles
+        if k == LOCK_READ:
+            if op.supplier is not None:
+                hold = self._addr_cycles + self._line_data_cycles
+                self.engine.at(time + hold, lambda t: op.on_done(t))
+                return hold
+            self.memory.reserve()
+            op.return_cycles = self._line_data_cycles
+            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
+            return self._addr_cycles
+        if k == LOCK_RFO:
+            # address phase invalidates every other cached copy
+            hook = getattr(self.locks, "on_lock_rfo", None)
+            if hook is not None:
+                hook(op.line, op.proc, time)
+            if op.supplier is not None and op.supplier[0] == "self":
+                self.engine.at(time + self._addr_cycles, lambda t: op.on_done(t))
+                return self._addr_cycles
+            if op.supplier is not None:
+                hold = self._addr_cycles + self._line_data_cycles
+                self.engine.at(time + hold, lambda t: op.on_done(t))
+                return hold
+            self.memory.reserve()
+            op.return_cycles = self._line_data_cycles
+            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
+            return self._addr_cycles
+        if k == LOCK_INVAL:
+            hook = getattr(self.locks, "on_lock_inval", None)
+            if hook is not None:
+                hook(op.line, op.proc, time)
+            self.engine.at(time + self._addr_cycles, lambda t: op.on_done(t))
+            return self._addr_cycles
+        if k == LOCK_XFER:
+            hold = self._addr_cycles + self._line_data_cycles
+            self.engine.at(time + hold, lambda t: op.on_done(t))
+            return hold
+        if k == DATA_RETURN:
+            orig = op.orig
+            hold = max(1, orig.return_cycles)
+            self.memory.release_output(time)
+            self.engine.at(time + hold, lambda t: self._split_complete(orig, t))
+            return hold
+        raise ValueError(f"unexpected bus op kind {k}")
+
+    # -- coherent data operations --------------------------------------------
+    def _exec_read_miss(self, op: BusOp, time: int) -> int:
+        self._fills_in_flight[op.line] = op.proc
+        if op.supplier is not None:
+            where, p, wb = op.supplier
+            if where == "cache":
+                present, _dirty = self.caches[p].snoop_read(op.line)
+                assert present
+                # memory is updated during the transfer if dirty (Illinois)
+            else:  # dirty line intercepted in a write-back buffer
+                self.buffers[p].cancel(wb)
+                self.procs[p].outstanding_wb -= 1
+                self.buffers[p].notify_space(time)
+            op.fill_state = SHARED
+            hold = self._addr_cycles + self._line_data_cycles
+            self.engine.at(time + hold, lambda t: self._fill_complete(op, t))
+            return hold
+        # from memory: Illinois loads EXCLUSIVE when no one else has it
+        op.fill_state = EXCLUSIVE
+        op.return_cycles = self._line_data_cycles
+        self.memory.reserve()
+        self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
+        return self._addr_cycles
+
+    def _exec_rfo(self, op: BusOp, time: int) -> int:
+        self._fills_in_flight[op.line] = op.proc
+        # the address phase invalidates every other copy
+        supplier = op.supplier
+        for p, cache in enumerate(self.caches):
+            if p != op.proc:
+                cache.snoop_invalidate(op.line)
+        for p, buf in enumerate(self.buffers):
+            if p == op.proc:
+                continue
+            wb = buf.find(WRITEBACK, op.line)
+            if wb is not None and not (supplier and supplier[2] is wb):
+                buf.cancel(wb)
+                self.procs[p].outstanding_wb -= 1
+                buf.notify_space(time)
+        op.fill_state = MODIFIED
+        if supplier is not None:
+            where, p, wb = supplier
+            if where == "buffer":
+                self.buffers[p].cancel(wb)
+                self.procs[p].outstanding_wb -= 1
+                self.buffers[p].notify_space(time)
+            hold = self._addr_cycles + self._line_data_cycles
+            self.engine.at(time + hold, lambda t: self._fill_complete(op, t))
+            return hold
+        op.return_cycles = self._line_data_cycles
+        self.memory.reserve()
+        self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
+        return self._addr_cycles
+
+    def _exec_upgrade(self, op: BusOp, time: int) -> int:
+        cache = self.caches[op.proc]
+        if op.line in cache.state:
+            for p, other in enumerate(self.caches):
+                if p != op.proc:
+                    other.snoop_invalidate(op.line)
+            cache.set_state(op.line, MODIFIED)
+            self.engine.at(time + self._addr_cycles, lambda t: self._op_done(op, t))
+            return self._addr_cycles
+        # line vanished: perform a full write miss instead
+        op.converted = True
+        self.upgrade_conversions += 1
+        return self._exec_rfo(op, time)
+
+    def _exec_writeback(self, op: BusOp, time: int) -> int:
+        hold = self._addr_cycles + self._line_data_cycles
+        self.memory.reserve()
+        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
+        self.engine.at(time + hold, lambda t: self._op_done(op, t))
+        return hold
+
+    def _exec_update(self, op: BusOp, time: int) -> int:
+        """Write-update broadcast: sharers patch their copies in place
+        (no state change -- everyone stays SHARED) and memory absorbs the
+        words.  If our copy vanished while the update was buffered, the
+        broadcast still updates memory and any remaining sharers."""
+        hold = self._addr_cycles + 1  # address + one word-burst of data
+        self.memory.reserve()
+        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
+        self.engine.at(time + hold, lambda t: self._op_done(op, t))
+        return hold
+
+    def _exec_writethrough(self, op: BusOp, time: int) -> int:
+        # the bus write's address phase invalidates every other copy
+        for p, cache in enumerate(self.caches):
+            if p != op.proc:
+                cache.snoop_invalidate(op.line)
+        hold = self._addr_cycles + 1  # address + one word of data
+        self.memory.reserve()
+        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
+        self.engine.at(time + hold, lambda t: self._op_done(op, t))
+        return hold
+
+    # -- completions ----------------------------------------------------------
+    def _split_complete(self, orig: BusOp, t: int) -> None:
+        """The data-return phase of a split transaction finished."""
+        if orig.kind in (READ_MISS, RFO) or (orig.kind == UPGRADE and orig.converted):
+            self._fill_complete(orig, t)
+        else:
+            orig.on_done(t)
+
+    def _fill_complete(self, op: BusOp, t: int) -> None:
+        if self._fills_in_flight.get(op.line) == op.proc:
+            del self._fills_in_flight[op.line]
+        proc = self.procs[op.proc]
+        proc.install_fill(op, t)
+        self._op_done(op, t)
+        # a miss on this line may have been waiting for the fill
+        self.bus.kick(t)
+
+    def _op_done(self, op: BusOp, t: int) -> None:
+        if op.on_done is not None:
+            op.on_done(t)
+        else:
+            self.procs[op.proc]._op_complete(op, t)
+
+    # ------------------------------------------------------------------
+    # Run + results
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        if self._ran:
+            raise RuntimeError("System instances are single-use")
+        self._ran = True
+        for proc in self.procs:
+            proc.start()
+        self.engine.run(max_events=self.max_events)
+        if self._done_count != len(self.procs):
+            stuck = [p.proc for p in self.procs if not p.done]
+            raise RuntimeError(
+                f"simulation deadlocked: processors {stuck} never finished "
+                f"(states: {[self.procs[p].state for p in stuck]})"
+            )
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        run_time = max(p.metrics.completion_time for p in self.procs)
+        agg = {
+            "read_hits": 0,
+            "read_misses": 0,
+            "write_hits": 0,
+            "write_misses": 0,
+            "ifetch_hits": 0,
+            "ifetch_misses": 0,
+            "writebacks": 0,
+            "c2c_supplied": 0,
+            "invalidations_received": 0,
+        }
+        for cache in self.caches:
+            c = cache.counters
+            for key in agg:
+                agg[key] += getattr(c, key)
+        return RunResult(
+            program=self.traceset.program,
+            n_procs=self.config.n_procs,
+            lock_scheme=self.locks.name,
+            consistency=self.model.name,
+            run_time=run_time,
+            proc_metrics=tuple(p.metrics for p in self.procs),
+            lock_stats=self.locks.stats.snapshot(),
+            bus_busy_cycles=self.bus.busy_cycles,
+            bus_op_counts=dict(self.bus.op_counts),
+            buffer_max_occupancy=max(b.max_occupancy for b in self.buffers),
+            meta={
+                "upgrade_conversions": self.upgrade_conversions,
+                "bus_grants": self.bus.grants,
+                "memory_reads": self.memory.reads_serviced,
+                "memory_writes": self.memory.writes_serviced,
+                "drains": sum(p.metrics.drains for p in self.procs),
+                "drains_nonempty": sum(p.metrics.drains_nonempty for p in self.procs),
+            },
+            **agg,
+        )
+
+
+def simulate(
+    traceset: TraceSet,
+    config: MachineConfig | None = None,
+    lock_manager: LockManager | None = None,
+    model: ConsistencyModel | None = None,
+    barrier_manager=None,
+    max_events: int | None = None,
+) -> RunResult:
+    """Convenience wrapper: build a System with defaults and run it.
+
+    Defaults: paper machine configuration, queuing locks, sequential
+    consistency.
+    """
+    from ..consistency import SEQUENTIAL
+    from ..sync import QueuingLockManager
+
+    if config is None:
+        config = MachineConfig(n_procs=traceset.n_procs)
+    if lock_manager is None:
+        lock_manager = QueuingLockManager()
+    if model is None:
+        model = SEQUENTIAL
+    system = System(
+        traceset,
+        config,
+        lock_manager,
+        model,
+        barrier_manager=barrier_manager,
+        max_events=max_events,
+    )
+    return system.run()

@@ -1,0 +1,45 @@
+"""Lock implementations: the paper's queuing-lock approximation and
+test-and-test-and-set, plus an exact queuing lock and a naive
+test-and-set baseline as extensions."""
+
+from .barrier import BarrierManager, BarrierStats
+from .base import LockManager, LockPortAPI, LockState
+from .exact_queuing import ExactQueuingLockManager
+from .queuing import QueuingLockManager
+from .stats import LockStats, LockStatsCollector
+from .tas import TestAndSetLockManager
+from .ttas import TestAndTestAndSetLockManager
+
+__all__ = [
+    "BarrierManager",
+    "BarrierStats",
+    "ExactQueuingLockManager",
+    "LockManager",
+    "LockPortAPI",
+    "LockState",
+    "LockStats",
+    "LockStatsCollector",
+    "QueuingLockManager",
+    "TestAndSetLockManager",
+    "TestAndTestAndSetLockManager",
+    "get_lock_manager",
+    "LOCK_SCHEMES",
+]
+
+LOCK_SCHEMES = {
+    "queuing": QueuingLockManager,
+    "exact-queuing": ExactQueuingLockManager,
+    "ttas": TestAndTestAndSetLockManager,
+    "tas": TestAndSetLockManager,
+}
+
+
+def get_lock_manager(name: str, **kwargs) -> LockManager:
+    """Instantiate a lock manager by scheme name."""
+    try:
+        cls = LOCK_SCHEMES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown lock scheme {name!r}; expected one of {sorted(LOCK_SCHEMES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,64 @@
+"""MPTrace-like trace substrate: record model, address layout, builders,
+statistics, (de)serialisation and validation."""
+
+from .builder import TraceBuildError, TraceBuilder
+from .encode import dumps_traceset, load_traceset, loads_traceset, save_traceset
+from .footprint import (
+    ProcFootprint,
+    SharingProfile,
+    proc_footprint,
+    sharing_profile,
+)
+from .inspect import dump_records, lock_event_log, summarize_traceset
+from .layout import LINE_SIZE, AddressLayout
+from .records import (
+    BARRIER,
+    IBLOCK,
+    KIND_NAMES,
+    LOCK,
+    READ,
+    RECORD_DTYPE,
+    REP_STRIDE,
+    UNLOCK,
+    WRITE,
+    Trace,
+    TraceSet,
+)
+from .stats import LockHold, TraceStats, compute_trace_stats, lock_holds
+from .validate import TraceValidationError, validate_trace, validate_traceset
+
+__all__ = [
+    "AddressLayout",
+    "BARRIER",
+    "IBLOCK",
+    "KIND_NAMES",
+    "LINE_SIZE",
+    "LOCK",
+    "LockHold",
+    "ProcFootprint",
+    "READ",
+    "SharingProfile",
+    "proc_footprint",
+    "sharing_profile",
+    "RECORD_DTYPE",
+    "REP_STRIDE",
+    "Trace",
+    "TraceBuildError",
+    "TraceBuilder",
+    "TraceSet",
+    "TraceStats",
+    "TraceValidationError",
+    "UNLOCK",
+    "WRITE",
+    "compute_trace_stats",
+    "dump_records",
+    "dumps_traceset",
+    "lock_event_log",
+    "summarize_traceset",
+    "load_traceset",
+    "loads_traceset",
+    "lock_holds",
+    "save_traceset",
+    "validate_trace",
+    "validate_traceset",
+]

@@ -1,0 +1,164 @@
+"""Incremental construction of per-processor traces.
+
+Workload models drive one :class:`TraceBuilder` per logical processor.
+The builder enforces the structural invariants MPTrace post-processing
+guarantees (properly nested lock/unlock pairs per processor, addresses in
+known regions) at build time, so that downstream consumers never have to
+re-check them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import AddressLayout
+from .records import (
+    BARRIER,
+    IBLOCK,
+    LOCK,
+    READ,
+    RECORD_DTYPE,
+    UNLOCK,
+    WRITE,
+    Trace,
+)
+
+__all__ = ["TraceBuilder", "TraceBuildError"]
+
+
+class TraceBuildError(ValueError):
+    """A workload emitted a structurally invalid record sequence."""
+
+
+class TraceBuilder:
+    """Append-only builder for one processor's trace.
+
+    Parameters
+    ----------
+    proc:
+        Processor index.
+    layout:
+        The shared :class:`AddressLayout` (used for address sanity checks
+        and to look up lock-word addresses).
+    program:
+        Program name stamped onto the resulting :class:`Trace`.
+    check:
+        When True (the default), validate every record as it is emitted.
+        Generation-heavy callers may disable this and rely on
+        :mod:`repro.trace.validate` instead.
+    """
+
+    def __init__(
+        self,
+        proc: int,
+        layout: AddressLayout,
+        program: str = "",
+        check: bool = True,
+    ) -> None:
+        self.proc = proc
+        self.layout = layout
+        self.program = program
+        self.check = check
+        self._kind: list[int] = []
+        self._addr: list[int] = []
+        self._arg: list[int] = []
+        self._cycles: list[int] = []
+        self._lock_stack: list[int] = []
+        self._lock_addr: dict[int, int] = {}
+        self._finished = False
+
+    # -- emission ------------------------------------------------------------
+    def _push(self, kind: int, addr: int, arg: int, cycles: int) -> None:
+        if self._finished:
+            raise TraceBuildError("builder already finished")
+        self._kind.append(kind)
+        self._addr.append(addr)
+        self._arg.append(arg)
+        self._cycles.append(cycles)
+
+    def block(self, n_instr: int, cycles: int, code_addr: int) -> None:
+        """Emit a basic block of ``n_instr`` instruction fetches taking
+        ``cycles`` ideal execution cycles, starting at ``code_addr``."""
+        if self.check:
+            if n_instr < 1:
+                raise TraceBuildError("basic block must contain >= 1 instruction")
+            if cycles < 1:
+                raise TraceBuildError("basic block must take >= 1 cycle")
+            if not AddressLayout.is_code(code_addr):
+                raise TraceBuildError(f"{code_addr:#x} is not a code address")
+        self._push(IBLOCK, code_addr, n_instr, cycles)
+
+    def read(self, addr: int, reps: int = 1) -> None:
+        """Emit ``reps`` consecutive reads starting at ``addr``."""
+        if self.check and reps < 1:
+            raise TraceBuildError("reps must be >= 1")
+        self._push(READ, addr, reps, 0)
+
+    def write(self, addr: int, reps: int = 1) -> None:
+        """Emit ``reps`` consecutive writes starting at ``addr``."""
+        if self.check and reps < 1:
+            raise TraceBuildError("reps must be >= 1")
+        self._push(WRITE, addr, reps, 0)
+
+    def lock(self, lock_id: int, lock_addr: int) -> None:
+        """Emit a lock-acquire program point."""
+        if self.check:
+            if not AddressLayout.is_lock_addr(lock_addr):
+                raise TraceBuildError(f"{lock_addr:#x} is not a lock address")
+            if lock_id in self._lock_stack:
+                raise TraceBuildError(
+                    f"proc {self.proc} re-acquiring lock {lock_id} it already holds"
+                )
+            prev = self._lock_addr.setdefault(lock_id, lock_addr)
+            if prev != lock_addr:
+                raise TraceBuildError(
+                    f"lock {lock_id} used with two addresses "
+                    f"({prev:#x} and {lock_addr:#x})"
+                )
+        self._lock_stack.append(lock_id)
+        self._push(LOCK, lock_addr, lock_id, 0)
+
+    def unlock(self, lock_id: int, lock_addr: int) -> None:
+        """Emit a lock-release program point.
+
+        Releases need not be LIFO with respect to acquires (hand-over-hand
+        locking releases the outer lock first), but the processor must
+        actually hold the lock it releases.
+        """
+        if self.check:
+            if lock_id not in self._lock_stack:
+                raise TraceBuildError(
+                    f"proc {self.proc} releasing lock {lock_id} it does not hold"
+                )
+        self._lock_stack.remove(lock_id)
+        self._push(UNLOCK, lock_addr, lock_id, 0)
+
+    def barrier(self, barrier_id: int) -> None:
+        """Emit a barrier arrival (extension record)."""
+        if self.check and self._lock_stack:
+            raise TraceBuildError("barrier reached while holding a lock")
+        self._push(BARRIER, 0, barrier_id, 0)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def held_locks(self) -> tuple[int, ...]:
+        return tuple(self._lock_stack)
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    # -- finalisation ------------------------------------------------------------
+    def finish(self) -> Trace:
+        """Validate terminal invariants and produce the immutable Trace."""
+        if self._lock_stack:
+            raise TraceBuildError(
+                f"proc {self.proc} finished trace holding locks {self._lock_stack}"
+            )
+        self._finished = True
+        n = len(self._kind)
+        records = np.empty(n, dtype=RECORD_DTYPE)
+        records["kind"] = self._kind
+        records["addr"] = self._addr
+        records["arg"] = self._arg
+        records["cycles"] = self._cycles
+        return Trace(records, proc=self.proc, program=self.program)

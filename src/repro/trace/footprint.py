@@ -1,0 +1,150 @@
+"""Memory-footprint and sharing analysis of traces.
+
+The paper's Table 1 counts *references*; this module measures what they
+touch: per-processor cache-line footprints (against the 64 KB cache that
+must hold them) and the cross-processor sharing structure that drives
+coherence traffic.  It explains, from the trace alone, why Qsort misses
+(footprint ≫ cache, lines touched by many processors in turn), why
+Topopt hits (small private footprint), and why the Presto programs'
+shared fractions in Table 1 overstate *active* sharing (most "shared"
+lines are only ever touched by one processor).
+
+All computations are vectorized numpy set algebra over line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layout import PRIVATE_BASE, SHARED_BASE
+from .records import IBLOCK, READ, WRITE, Trace, TraceSet
+
+__all__ = ["ProcFootprint", "SharingProfile", "proc_footprint", "sharing_profile"]
+
+_LINE_SHIFT = 4  # 16-byte lines
+
+
+def _data_lines(trace: Trace, writes_only: bool = False) -> np.ndarray:
+    """Unique data line numbers touched by a trace (expanding the
+    repetition encoding)."""
+    rec = trace.records
+    if writes_only:
+        mask = rec["kind"] == WRITE
+    else:
+        mask = (rec["kind"] == READ) | (rec["kind"] == WRITE)
+    addr = rec["addr"][mask].astype(np.int64)
+    reps = rec["arg"][mask].astype(np.int64)
+    if len(addr) == 0:
+        return np.empty(0, dtype=np.int64)
+    # a record covers lines [addr >> s, (addr + 4*(reps-1)) >> s]
+    first = addr >> _LINE_SHIFT
+    last = (addr + 4 * (reps - 1)) >> _LINE_SHIFT
+    spans = last - first + 1
+    # expand: most spans are 1-2 lines, so a repeat/cumsum expansion is fine
+    base = np.repeat(first, spans)
+    offsets = np.concatenate([np.arange(s) for s in spans]) if len(spans) else base
+    return np.unique(base + offsets)
+
+
+def _code_lines(trace: Trace) -> np.ndarray:
+    rec = trace.records
+    mask = rec["kind"] == IBLOCK
+    addr = rec["addr"][mask].astype(np.int64)
+    n = rec["arg"][mask].astype(np.int64)
+    if len(addr) == 0:
+        return np.empty(0, dtype=np.int64)
+    first = addr >> _LINE_SHIFT
+    last = (addr + 4 * n - 1) >> _LINE_SHIFT
+    spans = last - first + 1
+    base = np.repeat(first, spans)
+    offsets = np.concatenate([np.arange(s) for s in spans])
+    return np.unique(base + offsets)
+
+
+@dataclass(frozen=True)
+class ProcFootprint:
+    """One processor's unique-line footprint."""
+
+    proc: int
+    data_lines: int
+    shared_data_lines: int
+    code_lines: int
+
+    @property
+    def total_lines(self) -> int:
+        return self.data_lines + self.code_lines
+
+    def fits_in(self, cache_lines: int = 4096) -> bool:
+        """Does the whole footprint fit the paper's 64 KB / 16 B cache?"""
+        return self.total_lines <= cache_lines
+
+
+def proc_footprint(trace: Trace) -> ProcFootprint:
+    data = _data_lines(trace)
+    shared = data[
+        (data >= (SHARED_BASE >> _LINE_SHIFT)) & (data < (PRIVATE_BASE >> _LINE_SHIFT))
+    ]
+    return ProcFootprint(
+        proc=trace.proc,
+        data_lines=len(data),
+        shared_data_lines=len(shared),
+        code_lines=len(_code_lines(trace)),
+    )
+
+
+@dataclass(frozen=True)
+class SharingProfile:
+    """Cross-processor sharing structure of one trace set."""
+
+    program: str
+    #: unique shared-region data lines touched by anyone
+    shared_lines: int
+    #: of those, lines touched by >= 2 processors ("actively shared")
+    actively_shared: int
+    #: lines *written* by one processor and *touched* by another --
+    #: the coherence-traffic generators
+    write_shared: int
+    footprints: tuple
+
+    @property
+    def active_fraction(self) -> float:
+        return self.actively_shared / self.shared_lines if self.shared_lines else 0.0
+
+
+def sharing_profile(ts: TraceSet) -> SharingProfile:
+    lo = SHARED_BASE >> _LINE_SHIFT
+    hi = PRIVATE_BASE >> _LINE_SHIFT
+    per_proc = []
+    per_proc_writes = []
+    for t in ts:
+        lines = _data_lines(t)
+        per_proc.append(lines[(lines >= lo) & (lines < hi)])
+        wlines = _data_lines(t, writes_only=True)
+        per_proc_writes.append(wlines[(wlines >= lo) & (wlines < hi)])
+
+    all_lines = np.unique(np.concatenate(per_proc)) if per_proc else np.empty(0)
+    counts = np.zeros(len(all_lines), dtype=np.int32)
+    for lines in per_proc:
+        counts[np.searchsorted(all_lines, lines)] += 1
+    actively = int(np.count_nonzero(counts >= 2))
+
+    write_shared = set()
+    touched_by = {}
+    for p, lines in enumerate(per_proc):
+        for line in lines.tolist():
+            touched_by.setdefault(line, []).append(p)
+    for p, wlines in enumerate(per_proc_writes):
+        for line in wlines.tolist():
+            toucher = touched_by.get(line, [])
+            if any(q != p for q in toucher):
+                write_shared.add(line)
+
+    return SharingProfile(
+        program=ts.program,
+        shared_lines=len(all_lines),
+        actively_shared=actively,
+        write_shared=len(write_shared),
+        footprints=tuple(proc_footprint(t) for t in ts),
+    )

@@ -1,0 +1,127 @@
+"""Trace inspection utilities.
+
+Textual tools for looking inside a trace — the analog of MPTrace's
+post-processing dumps.  Used by ``python -m repro inspect`` and handy
+when authoring new workload models:
+
+* :func:`summarize_traceset` — per-processor record/reference/lock
+  summary plus the address-region mix;
+* :func:`dump_records` — a readable listing of one processor's records
+  (with running ideal cycle counts);
+* :func:`lock_event_log` — every lock/unlock program point of a trace
+  set, merged across processors in record order per processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import AddressLayout
+from .records import (
+    BARRIER,
+    IBLOCK,
+    KIND_NAMES,
+    LOCK,
+    READ,
+    UNLOCK,
+    WRITE,
+    Trace,
+    TraceSet,
+)
+from .stats import compute_trace_stats
+
+__all__ = ["summarize_traceset", "dump_records", "lock_event_log"]
+
+
+def _region(addr: int) -> str:
+    if AddressLayout.is_code(addr):
+        return "code"
+    if AddressLayout.is_lock_addr(addr):
+        return "lock"
+    if AddressLayout.is_shared(addr):
+        return "shared"
+    if AddressLayout.is_private(addr):
+        return "private"
+    return "?"
+
+
+def summarize_traceset(ts: TraceSet) -> str:
+    """Multi-line summary of a trace set: sizes, mixes, locks."""
+    lines = [
+        f"program {ts.program!r}: {ts.n_procs} processors, "
+        f"{ts.total_records():,} records",
+    ]
+    if ts.meta:
+        kv = ", ".join(f"{k}={v}" for k, v in sorted(ts.meta.items()))
+        lines.append(f"meta: {kv}")
+    names = getattr(ts.layout, "lock_names", {})
+    if names:
+        lines.append(
+            "locks: " + ", ".join(names[k] for k in sorted(names))
+        )
+    lines.append("")
+    lines.append(
+        f"{'proc':>4} {'records':>9} {'work cy':>10} {'refs':>9} {'data':>8} "
+        f"{'shared':>8} {'pairs':>6} {'nested':>6} {'avg held':>9}"
+    )
+    for t in ts:
+        s = compute_trace_stats(t)
+        lines.append(
+            f"{t.proc:>4} {len(t):>9,} {s.work_cycles:>10,} {s.all_refs:>9,} "
+            f"{s.data_refs:>8,} {s.shared_refs:>8,} {s.lock_pairs:>6} "
+            f"{s.nested_locks:>6} {s.avg_held:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+def dump_records(trace: Trace, start: int = 0, count: int = 40) -> str:
+    """Readable listing of ``count`` records from ``start``, with the
+    running ideal cycle position."""
+    rec = trace.records
+    cyc = rec["cycles"].astype(np.int64)
+    pos = np.cumsum(cyc) - cyc
+    out = [f"proc {trace.proc} records [{start}:{start + count}]"]
+    for i in range(start, min(start + count, len(rec))):
+        r = rec[i]
+        kind = int(r["kind"])
+        name = KIND_NAMES.get(kind, f"k{kind}")
+        addr = int(r["addr"])
+        arg = int(r["arg"])
+        t = int(pos[i])
+        if kind == IBLOCK:
+            desc = f"{arg:>3} instr, {int(r['cycles'])} cy @ {addr:#x}"
+        elif kind in (READ, WRITE):
+            desc = f"{addr:#010x} x{arg} ({_region(addr)})"
+        elif kind in (LOCK, UNLOCK):
+            desc = f"lock {arg} @ {addr:#x}"
+        elif kind == BARRIER:
+            desc = f"barrier {arg}"
+        else:  # pragma: no cover - unknown kinds rejected by validation
+            desc = f"arg={arg} addr={addr:#x}"
+        out.append(f"  [{i:>6}] t={t:>9,} {name:<8} {desc}")
+    if start + count < len(rec):
+        out.append(f"  ... {len(rec) - start - count:,} more records")
+    return "\n".join(out)
+
+
+def lock_event_log(ts: TraceSet, lock_id: int | None = None) -> list[tuple]:
+    """Every lock/unlock program point: ``(proc, record_index,
+    ideal_cycle, 'LOCK'|'UNLOCK', lock_id)``.
+
+    Optionally filtered to one lock.  Events are in per-processor record
+    order (global interleaving is a *simulation* output, not a trace
+    property).
+    """
+    events = []
+    for t in ts:
+        rec = t.records
+        cyc = rec["cycles"].astype(np.int64)
+        pos = np.cumsum(cyc) - cyc
+        mask = (rec["kind"] == LOCK) | (rec["kind"] == UNLOCK)
+        for i in np.flatnonzero(mask):
+            lid = int(rec["arg"][i])
+            if lock_id is not None and lid != lock_id:
+                continue
+            kind = "LOCK" if rec["kind"][i] == LOCK else "UNLOCK"
+            events.append((t.proc, int(i), int(pos[i]), kind, lid))
+    return events

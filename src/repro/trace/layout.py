@@ -1,0 +1,141 @@
+"""Address-space layout of a traced program.
+
+The paper classifies references as instruction fetches, private data and
+shared data (Table 1), and the machine model treats lock words as
+ordinary cacheable shared memory.  We give every trace an explicit
+layout so that classification is a pure function of the address:
+
+* ``[CODE_BASE, CODE_BASE + code_size)`` -- program text (ifetch only).
+* ``[SHARED_BASE, ...)`` -- the shared heap.  In the Presto programs
+  nearly all data lands here ("Due to the allocation scheme used in
+  Presto most data is allocated as shared even when it need not be").
+* ``[LOCK_BASE, ...)`` -- lock words, one cache line apart so that lock
+  traffic never false-shares with data or with other locks.
+* ``[PRIVATE_BASE + p * PRIVATE_SPAN, ...)`` -- processor ``p``'s private
+  stack and heap.
+
+All regions are disjoint by construction and aligned to cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AddressLayout", "LINE_SIZE"]
+
+#: Cache line size used throughout (16 bytes; §2.2 of the paper).
+LINE_SIZE = 16
+
+CODE_BASE = 0x0000_1000
+SHARED_BASE = 0x1000_0000
+LOCK_BASE = 0x2000_0000
+PRIVATE_BASE = 0x8000_0000
+PRIVATE_SPAN = 0x0100_0000  # 16 MiB of private space per processor
+
+
+@dataclass
+class AddressLayout:
+    """Allocator + classifier for trace addresses.
+
+    The allocation methods are bump allocators; they exist so workload
+    models can carve out arrays/structs without tracking addresses by
+    hand, and so tests can assert region disjointness.
+    """
+
+    n_procs: int
+    _shared_brk: int = field(default=SHARED_BASE, repr=False)
+    _code_brk: int = field(default=CODE_BASE, repr=False)
+    _lock_brk: int = field(default=LOCK_BASE, repr=False)
+    _private_brk: list = field(default=None, repr=False)
+    #: human-readable names for allocated lock ids (filled by SharedLock)
+    lock_names: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        if self._private_brk is None:
+            self._private_brk = [
+                PRIVATE_BASE + p * PRIVATE_SPAN for p in range(self.n_procs)
+            ]
+
+    # -- allocation --------------------------------------------------------
+    @staticmethod
+    def _align(addr: int, align: int) -> int:
+        return (addr + align - 1) & ~(align - 1)
+
+    def alloc_shared(self, nbytes: int, align: int = LINE_SIZE) -> int:
+        """Allocate ``nbytes`` of shared heap; returns the base address."""
+        base = self._align(self._shared_brk, align)
+        self._shared_brk = base + nbytes
+        if self._shared_brk > LOCK_BASE:
+            raise MemoryError("shared region overflow")
+        return base
+
+    def alloc_private(self, proc: int, nbytes: int, align: int = LINE_SIZE) -> int:
+        """Allocate ``nbytes`` in processor ``proc``'s private region."""
+        base = self._align(self._private_brk[proc], align)
+        self._private_brk[proc] = base + nbytes
+        if self._private_brk[proc] > PRIVATE_BASE + (proc + 1) * PRIVATE_SPAN:
+            raise MemoryError(f"private region overflow for proc {proc}")
+        return base
+
+    def alloc_code(self, nbytes: int, align: int = LINE_SIZE) -> int:
+        """Allocate a stretch of program text (for basic-block addresses)."""
+        base = self._align(self._code_brk, align)
+        self._code_brk = base + nbytes
+        if self._code_brk > SHARED_BASE:
+            raise MemoryError("code region overflow")
+        return base
+
+    def alloc_lock(self) -> int:
+        """Allocate a lock word on its own cache line."""
+        base = self._lock_brk
+        self._lock_brk += LINE_SIZE
+        if self._lock_brk > PRIVATE_BASE:
+            raise MemoryError("lock region overflow")
+        return base
+
+    # -- classification ----------------------------------------------------
+    @staticmethod
+    def is_shared(addr: int) -> bool:
+        """True if ``addr`` is shared data (heap or lock word)."""
+        return SHARED_BASE <= addr < PRIVATE_BASE
+
+    @staticmethod
+    def is_lock_addr(addr: int) -> bool:
+        return LOCK_BASE <= addr < PRIVATE_BASE
+
+    @staticmethod
+    def is_private(addr: int) -> bool:
+        return addr >= PRIVATE_BASE
+
+    @staticmethod
+    def is_code(addr: int) -> bool:
+        return CODE_BASE <= addr < SHARED_BASE
+
+    def owner_of_private(self, addr: int) -> int:
+        """Which processor's region a private address belongs to."""
+        if not self.is_private(addr):
+            raise ValueError(f"{addr:#x} is not a private address")
+        return (addr - PRIVATE_BASE) // PRIVATE_SPAN
+
+    # -- (de)serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "n_procs": self.n_procs,
+            "shared_brk": self._shared_brk,
+            "code_brk": self._code_brk,
+            "lock_brk": self._lock_brk,
+            "private_brk": list(self._private_brk),
+            "lock_names": {str(k): v for k, v in self.lock_names.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AddressLayout":
+        layout = cls(n_procs=d["n_procs"])
+        layout._shared_brk = d["shared_brk"]
+        layout._code_brk = d["code_brk"]
+        layout._lock_brk = d["lock_brk"]
+        layout._private_brk = list(d["private_brk"])
+        layout.lock_names = {int(k): v for k, v in d.get("lock_names", {}).items()}
+        return layout

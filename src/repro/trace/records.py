@@ -1,0 +1,184 @@
+"""Trace record model.
+
+A trace, in the sense of MPTrace [Eggers et al., SIGMETRICS'90], is a
+per-processor stream of memory references and synchronization operations
+with ideal (no-wait-state) instruction timing attached.  MPTrace records
+basic-block entries and expands them to full reference streams in a
+post-processing step; we keep the basic-block structure in the stored
+trace because it is both smaller and exactly the information the
+simulator needs (the covered instruction-fetch lines plus the block's
+ideal cycle count).
+
+Record kinds
+------------
+
+``IBLOCK``
+    A basic block: ``addr`` is the first instruction byte, ``arg`` is the
+    number of instruction fetches in the block, and ``cycles`` is the
+    ideal execution time of the whole block (this is where *all* compute
+    cycles live -- data-reference records carry no cycles of their own,
+    matching MPTrace's per-instruction timing).
+``READ`` / ``WRITE``
+    A data reference to ``addr``.  ``arg`` is a repetition count ``k >= 1``
+    meaning ``k`` consecutive same-direction references marching through
+    memory starting at ``addr`` (stride = ``REP_STRIDE`` bytes).  The
+    repetition encoding is a lossless compression of sequential scans:
+    the same cache lines are touched in the same order, and statistics
+    count every elementary reference.
+``LOCK`` / ``UNLOCK``
+    A lock acquire/release program point.  ``addr`` is the lock word's
+    address, ``arg`` is the lock id.  All spinning has been elided, as in
+    the traces used by the paper; contention is resolved at simulation
+    time by the configured lock scheme.
+``BARRIER``
+    An extension record (not present in the paper's traces): a global
+    barrier with id ``arg``.  Used by the barrier ablation.
+
+The numpy structured dtype keeps whole traces compact and makes the
+"ideal" analysis (Tables 1 and 2 of the paper) fully vectorizable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "IBLOCK",
+    "READ",
+    "WRITE",
+    "LOCK",
+    "UNLOCK",
+    "BARRIER",
+    "KIND_NAMES",
+    "RECORD_DTYPE",
+    "REP_STRIDE",
+    "Trace",
+    "TraceSet",
+]
+
+IBLOCK = 0
+READ = 1
+WRITE = 2
+LOCK = 3
+UNLOCK = 4
+BARRIER = 5
+
+KIND_NAMES = {
+    IBLOCK: "IBLOCK",
+    READ: "READ",
+    WRITE: "WRITE",
+    LOCK: "LOCK",
+    UNLOCK: "UNLOCK",
+    BARRIER: "BARRIER",
+}
+
+#: Byte distance between successive elementary references of a repeated
+#: (``arg > 1``) data record.  Four bytes = one 80386 word, so a READ with
+#: ``arg == 4`` covers exactly one 16-byte cache line.
+REP_STRIDE = 4
+
+RECORD_DTYPE = np.dtype(
+    [
+        ("kind", np.uint8),
+        ("addr", np.uint64),
+        ("arg", np.uint32),
+        ("cycles", np.uint32),
+    ]
+)
+
+
+class Trace:
+    """A single processor's reference stream plus identifying metadata.
+
+    Parameters
+    ----------
+    records:
+        A numpy structured array with dtype :data:`RECORD_DTYPE`.
+    proc:
+        The processor index this stream was collected on.
+    program:
+        Name of the traced program (e.g. ``"grav"``).
+    """
+
+    __slots__ = ("records", "proc", "program")
+
+    def __init__(self, records: np.ndarray, proc: int, program: str = "") -> None:
+        if records.dtype != RECORD_DTYPE:
+            records = np.asarray(records, dtype=RECORD_DTYPE)
+        self.records = records
+        self.proc = int(proc)
+        self.program = program
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(program={self.program!r}, proc={self.proc}, "
+            f"records={len(self.records)})"
+        )
+
+    # -- convenience views -------------------------------------------------
+    @property
+    def kinds(self) -> np.ndarray:
+        return self.records["kind"]
+
+    @property
+    def addrs(self) -> np.ndarray:
+        return self.records["addr"]
+
+    @property
+    def args(self) -> np.ndarray:
+        return self.records["arg"]
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return self.records["cycles"]
+
+    def mask(self, *kinds: int) -> np.ndarray:
+        """Boolean mask selecting records of any of the given kinds."""
+        out = np.zeros(len(self.records), dtype=bool)
+        k = self.records["kind"]
+        for kind in kinds:
+            out |= k == kind
+        return out
+
+    def count_kind(self, kind: int) -> int:
+        return int(np.count_nonzero(self.records["kind"] == kind))
+
+
+class TraceSet:
+    """The full multi-processor trace of one program run.
+
+    Mirrors MPTrace output: one :class:`Trace` per active processor, plus
+    the address-space layout needed to classify references, and free-form
+    metadata (generation parameters, scale factor, seed...).
+    """
+
+    def __init__(self, traces, layout, program: str = "", meta: dict | None = None):
+        self.traces = list(traces)
+        self.layout = layout
+        self.program = program or (self.traces[0].program if self.traces else "")
+        self.meta = dict(meta or {})
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def __getitem__(self, proc: int) -> Trace:
+        return self.traces[proc]
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def total_records(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSet(program={self.program!r}, procs={self.n_procs}, "
+            f"records={self.total_records()})"
+        )

@@ -1,0 +1,150 @@
+"""Vectorized per-trace summary statistics.
+
+These are the "ideal" statistics of the paper's §2.3: what the program
+would do with no cache misses, no bus, and no lock contention.  They are
+computed straight from the trace with numpy reductions (plus a short
+Python pass over the lock events, which are rare), and feed Tables 1
+and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layout import PRIVATE_BASE, SHARED_BASE
+from .records import IBLOCK, LOCK, READ, UNLOCK, WRITE, Trace
+
+__all__ = ["TraceStats", "LockHold", "compute_trace_stats", "lock_holds"]
+
+
+@dataclass(frozen=True)
+class LockHold:
+    """One ideal lock-held interval on one processor."""
+
+    lock_id: int
+    start: int  # ideal cycle of the acquire program point
+    end: int  # ideal cycle of the release program point
+    nested: bool  # acquired while another lock was already held
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Ideal statistics of a single processor's trace (Tables 1 and 2)."""
+
+    proc: int
+    work_cycles: int
+    all_refs: int
+    data_refs: int
+    shared_refs: int
+    lock_pairs: int
+    nested_locks: int
+    avg_held: float  # mean ideal lock-held duration (cycles)
+    total_held: int  # length of the union of held intervals (cycles)
+
+    @property
+    def pct_time_held(self) -> float:
+        """Percent of ideal execution time spent holding at least one lock."""
+        if self.work_cycles == 0:
+            return 0.0
+        return 100.0 * self.total_held / self.work_cycles
+
+
+def _cycle_positions(trace: Trace) -> np.ndarray:
+    """Ideal cycle at which each record *begins* (exclusive prefix sum)."""
+    cyc = trace.records["cycles"].astype(np.int64)
+    pos = np.empty(len(cyc), dtype=np.int64)
+    if len(cyc):
+        np.cumsum(cyc, out=pos)
+        pos -= cyc  # exclusive
+    return pos
+
+
+def lock_holds(trace: Trace) -> list[LockHold]:
+    """Pair up lock/unlock records into ideal held intervals.
+
+    The trace builder guarantees each processor's acquires/releases are
+    well formed (no re-acquire while held, no release of an unheld lock),
+    so pairing is a single pass over the lock events.
+    """
+    kinds = trace.records["kind"]
+    lock_mask = (kinds == LOCK) | (kinds == UNLOCK)
+    idx = np.flatnonzero(lock_mask)
+    if len(idx) == 0:
+        return []
+    pos = _cycle_positions(trace)
+    holds: list[LockHold] = []
+    open_at: dict[int, tuple[int, bool]] = {}  # lock_id -> (start, nested)
+    for i in idx:
+        rec = trace.records[i]
+        lid = int(rec["arg"])
+        if rec["kind"] == LOCK:
+            nested = len(open_at) > 0
+            if lid in open_at:
+                raise ValueError(f"lock {lid} acquired twice without release")
+            open_at[lid] = (int(pos[i]), nested)
+        else:
+            if lid not in open_at:
+                raise ValueError(f"lock {lid} released while not held")
+            start, nested = open_at.pop(lid)
+            holds.append(LockHold(lid, start, int(pos[i]), nested))
+    if open_at:
+        raise ValueError(f"trace ended with locks held: {sorted(open_at)}")
+    return holds
+
+
+def _union_length(intervals: list[tuple[int, int]]) -> int:
+    """Total length covered by a set of possibly-overlapping intervals."""
+    if not intervals:
+        return 0
+    intervals.sort()
+    total = 0
+    cur_start, cur_end = intervals[0]
+    for s, e in intervals[1:]:
+        if s > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = s, e
+        else:
+            cur_end = max(cur_end, e)
+    total += cur_end - cur_start
+    return total
+
+
+def compute_trace_stats(trace: Trace) -> TraceStats:
+    """Compute the full ideal-statistics record for one processor."""
+    rec = trace.records
+    kinds = rec["kind"]
+    args = rec["arg"].astype(np.int64)
+    addrs = rec["addr"]
+
+    iblock = kinds == IBLOCK
+    data = (kinds == READ) | (kinds == WRITE)
+
+    work_cycles = int(rec["cycles"].astype(np.int64).sum())
+    ifetches = int(args[iblock].sum())
+    data_refs = int(args[data].sum())
+    shared = data & (addrs >= SHARED_BASE) & (addrs < PRIVATE_BASE)
+    shared_refs = int(args[shared].sum())
+
+    holds = lock_holds(trace)
+    lock_pairs = len(holds)
+    nested = sum(1 for h in holds if h.nested)
+    avg_held = float(np.mean([h.duration for h in holds])) if holds else 0.0
+    total_held = _union_length([(h.start, h.end) for h in holds])
+
+    return TraceStats(
+        proc=trace.proc,
+        work_cycles=work_cycles,
+        all_refs=ifetches + data_refs,
+        data_refs=data_refs,
+        shared_refs=shared_refs,
+        lock_pairs=lock_pairs,
+        nested_locks=nested,
+        avg_held=avg_held,
+        total_held=total_held,
+    )

@@ -1,0 +1,147 @@
+"""Structural validation of traces.
+
+The builder enforces these invariants during generation; this module
+re-checks them on arbitrary traces (e.g. ones loaded from disk or built
+by external tools) and is the oracle for the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import AddressLayout
+from .records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE, Trace, TraceSet
+
+__all__ = ["TraceValidationError", "validate_trace", "validate_traceset"]
+
+_VALID_KINDS = frozenset({IBLOCK, READ, WRITE, LOCK, UNLOCK, BARRIER})
+
+
+class TraceValidationError(ValueError):
+    """A trace violates a structural invariant."""
+
+
+def validate_trace(trace: Trace) -> None:
+    """Raise :class:`TraceValidationError` unless ``trace`` is well formed.
+
+    Checks:
+
+    * every record kind is known;
+    * basic blocks have >= 1 instruction and >= 1 cycle; data records
+      have ``reps >= 1``; non-IBLOCK records carry zero cycles;
+    * IBLOCK addresses are code addresses; LOCK/UNLOCK addresses are lock
+      addresses; data addresses are never code or lock addresses;
+    * lock/unlock events pair up (no re-acquire while held, no release of
+      an unheld lock, nothing held at end of trace), and each lock id
+      maps to a single address.
+    """
+    rec = trace.records
+    kinds = rec["kind"]
+    unknown = set(np.unique(kinds)) - _VALID_KINDS
+    if unknown:
+        raise TraceValidationError(f"unknown record kinds: {sorted(unknown)}")
+
+    iblock = kinds == IBLOCK
+    if np.any(rec["arg"][iblock] < 1):
+        raise TraceValidationError("basic block with zero instructions")
+    if np.any(rec["cycles"][iblock] < 1):
+        raise TraceValidationError("basic block with zero cycles")
+    if np.any(rec["cycles"][~iblock] != 0):
+        raise TraceValidationError("non-IBLOCK record carries cycles")
+
+    data = (kinds == READ) | (kinds == WRITE)
+    if np.any(rec["arg"][data] < 1):
+        raise TraceValidationError("data record with zero repetitions")
+
+    addrs = rec["addr"].astype(np.int64)
+    for i in np.flatnonzero(iblock):
+        if not AddressLayout.is_code(int(addrs[i])):
+            raise TraceValidationError(
+                f"record {i}: IBLOCK address {addrs[i]:#x} outside code region"
+            )
+    for i in np.flatnonzero(data):
+        a = int(addrs[i])
+        if AddressLayout.is_code(a):
+            raise TraceValidationError(f"record {i}: data reference into code region")
+
+    sync = (kinds == LOCK) | (kinds == UNLOCK)
+    held: dict[int, int] = {}
+    lock_addr: dict[int, int] = {}
+    for i in np.flatnonzero(sync):
+        lid = int(rec["arg"][i])
+        a = int(addrs[i])
+        if not AddressLayout.is_lock_addr(a):
+            raise TraceValidationError(
+                f"record {i}: lock {lid} at non-lock address {a:#x}"
+            )
+        prev = lock_addr.setdefault(lid, a)
+        if prev != a:
+            raise TraceValidationError(f"lock {lid} has two addresses")
+        if rec["kind"][i] == LOCK:
+            if lid in held:
+                raise TraceValidationError(
+                    f"record {i}: lock {lid} re-acquired while held"
+                )
+            held[lid] = i
+        else:
+            if lid not in held:
+                raise TraceValidationError(
+                    f"record {i}: lock {lid} released while not held"
+                )
+            del held[lid]
+    if held:
+        raise TraceValidationError(f"trace ends holding locks {sorted(held)}")
+
+
+def validate_traceset(ts: TraceSet) -> None:
+    """Validate every per-processor trace plus cross-processor invariants.
+
+    Cross-processor checks: processor indices are ``0..n-1`` exactly once;
+    a lock id used by several processors must resolve to the same address
+    on all of them; private references stay in the owning processor's
+    region; every processor that locks a barrier... (barriers, if used,
+    must be reached by all processors the same number of times).
+    """
+    procs = sorted(t.proc for t in ts.traces)
+    if procs != list(range(ts.n_procs)):
+        raise TraceValidationError(f"processor indices not contiguous: {procs}")
+
+    global_lock_addr: dict[int, int] = {}
+    barrier_counts: list[dict[int, int]] = []
+    for t in ts.traces:
+        validate_trace(t)
+        rec = t.records
+        kinds = rec["kind"]
+        sync = (kinds == LOCK) | (kinds == UNLOCK)
+        for i in np.flatnonzero(sync):
+            lid = int(rec["arg"][i])
+            a = int(rec["addr"][i])
+            prev = global_lock_addr.setdefault(lid, a)
+            if prev != a:
+                raise TraceValidationError(
+                    f"lock {lid} has address {prev:#x} on one processor "
+                    f"and {a:#x} on proc {t.proc}"
+                )
+        data = (kinds == READ) | (kinds == WRITE)
+        addrs = rec["addr"][data].astype(np.int64)
+        priv = addrs[addrs >= 0x8000_0000]
+        for a in np.unique(priv // 0x0100_0000):
+            owner = int(a) - (0x8000_0000 // 0x0100_0000)
+            if owner != t.proc:
+                raise TraceValidationError(
+                    f"proc {t.proc} references proc {owner}'s private region"
+                )
+        counts: dict[int, int] = {}
+        for i in np.flatnonzero(kinds == BARRIER):
+            bid = int(rec["arg"][i])
+            counts[bid] = counts.get(bid, 0) + 1
+        barrier_counts.append(counts)
+
+    if any(barrier_counts):
+        first = barrier_counts[0]
+        for p, counts in enumerate(barrier_counts[1:], start=1):
+            if counts != first:
+                raise TraceValidationError(
+                    f"barrier arrival counts differ between proc 0 ({first}) "
+                    f"and proc {p} ({counts}); barriers would deadlock"
+                )

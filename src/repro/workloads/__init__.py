@@ -1,0 +1,41 @@
+"""Benchmark program models: executable skeletons of the paper's six
+traced applications plus the Presto runtime model they run on."""
+
+from .base import ProcContext, SharedLock, Workload, run_coordinated
+from .fullconn import FullConn
+from .grav import Grav
+from .pdsa import Pdsa
+from .presto import PrestoRuntime
+from .pverify import Pverify
+from .qsort import Qsort
+from .registry import (
+    BENCHMARK_ORDER,
+    LOCKING_BENCHMARKS,
+    WORKLOADS,
+    generate_suite,
+    generate_trace,
+    get_workload,
+)
+from .synthetic import SyntheticContention
+from .topopt import Topopt
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "FullConn",
+    "Grav",
+    "LOCKING_BENCHMARKS",
+    "Pdsa",
+    "PrestoRuntime",
+    "ProcContext",
+    "Pverify",
+    "Qsort",
+    "SharedLock",
+    "SyntheticContention",
+    "Topopt",
+    "WORKLOADS",
+    "Workload",
+    "generate_suite",
+    "generate_trace",
+    "get_workload",
+    "run_coordinated",
+]

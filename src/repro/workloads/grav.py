@@ -1,0 +1,160 @@
+"""Grav: Barnes--Hut gravitational N-body simulation (Presto).
+
+"Grav implements the Barnes and Hut clustering algorithm for simulating
+the time evolution of large numbers of stars interacting under gravity.
+The program trace ran for three timesteps of evolution for a system of
+2000 stars."  (§2.3)
+
+Model per timestep and processor:
+
+1. **Tree build**: each processor inserts its share of bodies into the
+   shared oct-tree.  Every insertion descends from the root and updates
+   node bookkeeping under the *tree lock* -- short, frequent critical
+   sections on one global lock.
+2. **Force computation**: for each body, a truncated traversal of the
+   shared tree (read-only on node data: centers of mass, bounds)
+   followed by an acceleration update of the body record.  Body records
+   live in the shared heap because Presto's allocator makes everything
+   shared.
+3. **Position update**: write pass over the processor's bodies.
+
+Work arrives as small Presto threads: the runtime's dispatch (scheduler
+lock nesting the run-queue lock) runs before every task chunk.  Grav was
+"written as part of a ten week seminar": tasks are fine-grained, so the
+scheduler lock is pounded by all ten processors -- this, not the tree
+lock, is what drives its Table 3/4 numbers (utilization ~33%, ~96% of
+stalls waiting on locks, >5 processors waiting at each transfer).
+
+The tree is a *real* quadtree (:mod:`repro.workloads.bhtree`) built over
+clustered 2-D body positions at generation time: insertion reads are the
+actual root-to-leaf paths, and force reads are the nodes an actual
+opening-criterion traversal visits -- so upper tree levels are touched
+by every processor (read-hot, shared) while leaves are touched by few,
+as in the original program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.layout import AddressLayout
+from .base import ProcContext, SharedLock, Workload
+from .bhtree import QuadTree, clustered_positions
+from .presto import PrestoRuntime
+
+__all__ = ["Grav"]
+
+
+class Grav(Workload):
+    name = "grav"
+    default_procs = 10
+    uses_presto = True
+    cpi = 3.75  # Table 1: ~2.4 cycles/ref at ~36% data refs
+
+    #: per-processor counts at scale=1.0 (~1/20th of the paper's trace)
+    TIMESTEPS = 3
+    INSERTS_PER_STEP = 7  # tree-lock critical sections per proc per step
+    FORCE_CHUNKS_PER_STEP = 42  # Presto threads per proc per step
+    BODIES_PER_CHUNK = 2
+    NODES_PER_TRAVERSAL = 6
+    DISPATCH_WORK = 25  # instructions per scheduler bookkeeping block
+
+    N_TREE_NODES = 512  # node records in the shared tree array
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        n = len(ctxs)
+        presto = PrestoRuntime(layout)
+        tree_lock = SharedLock(layout, "grav.tree")
+
+        tree = layout.alloc_shared(self.N_TREE_NODES * 64)  # node: 64 bytes
+        bodies_per_proc = self.scaled(
+            self.TIMESTEPS * self.FORCE_CHUNKS_PER_STEP * self.BODIES_PER_CHUNK
+        )
+        bodies = [
+            layout.alloc_shared(max(1, bodies_per_proc) * 64) for _ in range(n)
+        ]  # Presto: "private" bodies are shared anyway
+        positions = [
+            clustered_positions(rng, max(1, bodies_per_proc)) for _ in range(n)
+        ]
+
+        inserts = self.scaled(self.INSERTS_PER_STEP)
+        chunks = self.scaled(self.FORCE_CHUNKS_PER_STEP)
+
+        for step in range(self.TIMESTEPS):
+            # each timestep rebuilds the tree from scratch, as Barnes-Hut does
+            qt = QuadTree(max_nodes=self.N_TREE_NODES)
+            for p, ctx in enumerate(ctxs):
+                self._tree_build_phase(
+                    ctx, presto, tree_lock, tree, qt, positions[p], rng, inserts
+                )
+            for p, ctx in enumerate(ctxs):
+                self._force_phase(
+                    ctx, presto, tree, qt, bodies[p], positions[p], chunks
+                )
+            for p, ctx in enumerate(ctxs):
+                self._update_phase(ctx, bodies[p], chunks * self.BODIES_PER_CHUNK)
+
+    # -- phases -------------------------------------------------------------------
+    def _tree_build_phase(
+        self, ctx: ProcContext, presto, tree_lock, tree, qt, positions, rng, inserts: int
+    ) -> None:
+        presto.dispatch(ctx, work_instr=self.DISPATCH_WORK)
+        for i in range(inserts):
+            x, y = positions[i % len(positions)]
+            path = qt.insert(float(x), float(y))
+            # descend from the root reading real path nodes ...
+            ctx.step(
+                "grav.descend",
+                24,
+                reads=[(tree + nid * 64, 4) for nid in path[:3]],
+            )
+            # ... then splice the body in under the tree lock, updating
+            # the leaf and the subtree counts along the path
+            ctx.lock(tree_lock)
+            leaf = path[-1]
+            ctx.step(
+                "grav.insert",
+                40,
+                reads=[tree + leaf * 64, tree],
+                writes=[(tree + leaf * 64, 4), tree + 8],
+            )
+            ctx.unlock(tree_lock)
+
+    def _force_phase(self, ctx, presto, tree, qt, body_base, positions, chunks: int) -> None:
+        bi = 0
+        for _ in range(chunks):
+            presto.dispatch(ctx, work_instr=self.DISPATCH_WORK)
+            for b in range(self.BODIES_PER_CHUNK):
+                body = body_base + (bi % 64) * 64
+                x, y = positions[bi % len(positions)]
+                bi += 1
+                visited = qt.traverse(float(x), float(y))
+                # keep the record budget bounded: read the first visited
+                # nodes (root-ward, the shared-hot part) plus the frontier
+                if len(visited) > self.NODES_PER_TRAVERSAL:
+                    head = visited[: self.NODES_PER_TRAVERSAL - 2]
+                    nodes = head + visited[-2:]
+                else:
+                    nodes = visited
+                ctx.step(
+                    "grav.traverse",
+                    36,
+                    reads=[(tree + nid * 64, 5) for nid in nodes],
+                )
+                # gravity kernel: heavy arithmetic, then acceleration update
+                ctx.step(
+                    "grav.kernel",
+                    52,
+                    reads=[(body, 6)],
+                    writes=[(body + 32, 3)],
+                )
+
+    def _update_phase(self, ctx, body_base, n_bodies: int) -> None:
+        for b in range(n_bodies):
+            body = body_base + (b % 64) * 64
+            ctx.step(
+                "grav.update",
+                18,
+                reads=[(body, 4)],
+                writes=[(body, 4)],
+            )

@@ -1,0 +1,150 @@
+"""Pdsa: topological optimization by simulated annealing (Presto).
+
+"Pdsa does topological optimization using simulated annealing." (§2.3)
+Like Grav it was "written as part of a ten week seminar" and dispatches
+very fine-grained Presto threads, which makes the scheduler lock the
+contention hot spot (Table 4: 6.18 waiters at transfer on 12 processors
+-- the worst of the suite).
+
+Model: processors repeatedly pull annealing work units (small batches of
+proposed moves) from the Presto run queue.  The annealing itself is
+*real*: cells live on a 2-D placement grid with a random netlist; a move
+swaps two cells, its cost delta is the actual Manhattan-wirelength
+change of their nets, and acceptance follows the Metropolis rule under a
+geometric temperature schedule.  Accepted swaps write the shared
+placement (the trace's shared-write traffic tracks the acceptance rate,
+which falls as the system cools -- exactly the phase structure of a real
+annealer).  Commits to the global cost/temperature record take the short
+*anneal lock* (the few non-runtime lock pairs of Table 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..trace.layout import AddressLayout
+from .base import ProcContext, SharedLock, Workload
+from .presto import PrestoRuntime
+
+__all__ = ["Pdsa"]
+
+
+class _Annealing:
+    """Shared generation-time annealing state: grid placement, netlist,
+    Manhattan wirelength deltas, Metropolis acceptance."""
+
+    def __init__(self, rng: np.random.Generator, n_cells: int, fanout: int = 3) -> None:
+        self.n_cells = n_cells
+        side = int(math.ceil(math.sqrt(n_cells)))
+        self.side = side
+        # cell -> (x, y) slot; one cell per slot
+        slots = rng.permutation(side * side)[:n_cells]
+        self.x = (slots % side).astype(np.int32)
+        self.y = (slots // side).astype(np.int32)
+        # netlist: each cell connects to `fanout` random partners
+        self.nets = rng.integers(0, n_cells, size=(n_cells, fanout)).astype(np.int32)
+        self.temperature = float(side)  # hot start: accept nearly anything
+        self.accepted = 0
+        self.proposed = 0
+
+    def _cell_cost(self, c: int) -> int:
+        return int(
+            np.abs(self.x[self.nets[c]] - self.x[c]).sum()
+            + np.abs(self.y[self.nets[c]] - self.y[c]).sum()
+        )
+
+    def propose_swap(self, a: int, b: int, rng: np.random.Generator) -> bool:
+        """Real Metropolis step: swap positions of cells a and b if the
+        wirelength delta passes; returns acceptance."""
+        self.proposed += 1
+        before = self._cell_cost(a) + self._cell_cost(b)
+        self.x[a], self.x[b] = self.x[b], self.x[a]
+        self.y[a], self.y[b] = self.y[b], self.y[a]
+        delta = (self._cell_cost(a) + self._cell_cost(b)) - before
+        if delta <= 0 or rng.random() < math.exp(-delta / max(1e-9, self.temperature)):
+            self.accepted += 1
+            return True
+        # reject: swap back
+        self.x[a], self.x[b] = self.x[b], self.x[a]
+        self.y[a], self.y[b] = self.y[b], self.y[a]
+        return False
+
+    def cool(self, factor: float = 0.97) -> None:
+        self.temperature *= factor
+
+
+class Pdsa(Workload):
+    name = "pdsa"
+    default_procs = 12
+    uses_presto = True
+    cpi = 3.6
+
+    #: per-processor counts at scale=1.0
+    CHUNKS = 72  # Presto threads (dispatches)
+    MOVES_PER_CHUNK = 6
+    COMMITS = 9  # anneal-lock critical sections
+    CELLS = 1024
+    DISPATCH_WORK = 26  # instructions per scheduler bookkeeping block
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        presto = PrestoRuntime(layout)
+        anneal_lock = SharedLock(layout, "pdsa.anneal")
+        placement = layout.alloc_shared(self.CELLS * 32)
+        netlist = layout.alloc_shared(self.CELLS * 48)
+        cost_rec = layout.alloc_shared(64)
+        anneal = _Annealing(rng, self.CELLS)
+        self._anneal = anneal  # exposed for tests
+
+        chunks = self.scaled(self.CHUNKS)
+        commits = self.scaled(self.COMMITS)
+        for ctx in ctxs:
+            commit_at = set(
+                int(i) for i in rng.choice(chunks, size=min(commits, chunks), replace=False)
+            )
+            for c in range(chunks):
+                presto.dispatch(ctx, work_instr=self.DISPATCH_WORK)
+                self._move_batch(ctx, placement, netlist, anneal, rng)
+                if c in commit_at:
+                    # commits double as cooling points of the schedule
+                    anneal.cool()
+                    self._commit(ctx, anneal_lock, cost_rec, placement, rng)
+
+    def _move_batch(self, ctx: ProcContext, placement, netlist, anneal, rng) -> None:
+        cells = rng.integers(0, self.CELLS, size=(self.MOVES_PER_CHUNK, 2))
+        for a, b in cells:
+            a, b = int(a), int(b)
+            if a == b:
+                b = (a + 1) % self.CELLS
+            # read the two cells' positions and their nets
+            ctx.step(
+                "pdsa.eval",
+                34,
+                reads=[
+                    (placement + a * 32, 4),
+                    (placement + b * 32, 4),
+                    (netlist + a * 48, 6),
+                    (netlist + b * 48, 6),
+                ],
+            )
+            # cost delta arithmetic + Metropolis test (for real)
+            ctx.compute("pdsa.metropolis", 18)
+            if anneal.propose_swap(a, b, rng):
+                ctx.step(
+                    "pdsa.swap",
+                    12,
+                    writes=[(placement + a * 32, 3), (placement + b * 32, 3)],
+                )
+
+    def _commit(self, ctx: ProcContext, anneal_lock, cost_rec, placement, rng) -> None:
+        """Fold the batch's accepted delta into the global annealing
+        record (cost, acceptance counts, temperature schedule)."""
+        ctx.lock(anneal_lock)
+        ctx.step(
+            "pdsa.commit",
+            40,
+            reads=[(cost_rec, 4)],
+            writes=[(cost_rec, 4)],
+        )
+        ctx.unlock(anneal_lock)

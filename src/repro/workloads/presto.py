@@ -1,0 +1,119 @@
+"""Model of the Presto user-level thread runtime.
+
+Presto [Bershad, Lazowska & Levy 1988] schedules C++ threads entirely at
+user level, so "the instructions that perform the thread management are
+in the trace" (§2.3).  Two runtime locks matter for the paper:
+
+* the **scheduler lock**, taken around every dispatch decision, and
+* the **thread (run-)queue lock**, nested *inside* the scheduler lock
+  when a thread is removed from the run queue -- this is the sole source
+  of nested locks in Table 2.  The queue lock is also "sometimes held
+  when the outer one is not held" (thread enqueue on spawn/unblock).
+
+Because every processor dispatches from the same run queue under the
+same scheduler lock, a Presto program whose thread granularity is small
+serializes on the scheduler -- which is exactly why Grav and Pdsa, with
+their frequent dispatches, show waiters-at-transfer above half the
+machine while FullConn (coarse threads, written by someone who knew
+Presto's internals) does not.
+
+Additionally, "Due to the allocation scheme used in Presto most data is
+allocated as shared even when it need not be": workload models built on
+this runtime allocate their nominally-private scratch data from the
+shared heap via :meth:`PrestoRuntime.alloc_thread_data`.
+"""
+
+from __future__ import annotations
+
+from ..trace.layout import AddressLayout
+from .base import ProcContext, SharedLock
+
+__all__ = ["PrestoRuntime"]
+
+
+class PrestoRuntime:
+    """Shared runtime state (locks + scheduler data structures) for one
+    traced program; per-processor emission via the ``dispatch`` /
+    ``enqueue`` methods."""
+
+    def __init__(self, layout: AddressLayout) -> None:
+        self.layout = layout
+        self.sched_lock = SharedLock(layout, "presto.scheduler")
+        self.queue_lock = SharedLock(layout, "presto.runqueue")
+        # scheduler state: ready-queue head/tail/length + per-proc slots
+        self._sched_data = layout.alloc_shared(256)
+        self._queue_data = layout.alloc_shared(256)
+        self._thread_brk = layout.alloc_shared(0)
+
+    # -- allocation under Presto's shared-everything allocator ----------------------
+    def alloc_thread_data(self, nbytes: int) -> int:
+        """Thread-local data that Presto nevertheless allocates shared."""
+        return self.layout.alloc_shared(nbytes)
+
+    # -- traced runtime operations --------------------------------------------------
+    def dispatch(self, ctx: ProcContext, work_instr: int = 14) -> None:
+        """Pull the next thread off the run queue.
+
+        Emits the nested-lock pattern of Table 2: scheduler lock held
+        across the thread-queue lock, with the scheduler's shared state
+        touched under both.  ``work_instr`` sizes the bookkeeping blocks
+        (it controls the ideal hold time of the scheduler lock).
+        """
+        sd, qd = self._sched_data, self._queue_data
+        ctx.lock(self.sched_lock)
+        # scheduler bookkeeping: policy check, current-thread save
+        ctx.step(
+            "presto.sched.enter",
+            work_instr,
+            reads=[sd, sd + 32],
+            writes=[sd + 64],
+        )
+        ctx.lock(self.queue_lock)
+        # dequeue: head pointer, thread control block, length update
+        ctx.step(
+            "presto.queue.pop",
+            work_instr,
+            reads=[qd, qd + 16],
+            writes=[qd, qd + 32],
+        )
+        ctx.unlock(self.queue_lock)
+        # context switch bookkeeping before the scheduler lock drops
+        ctx.step(
+            "presto.sched.switch",
+            work_instr,
+            reads=[sd + 96],
+            writes=[sd + 64, sd + 96],
+        )
+        # policy epilogue: a stretch of pure compute between the last
+        # store and the unlock, long enough for the buffered write to
+        # perform (the reason the paper finds the cache-bus buffers
+        # "almost never" non-empty at synchronization points)
+        ctx.compute("presto.sched.exit", 8)
+        ctx.unlock(self.sched_lock)
+        # register restore / stack switch outside any lock
+        ctx.compute("presto.switch.tail", 10)
+
+    def enqueue(self, ctx: ProcContext, work_instr: int = 8) -> None:
+        """Make a thread runnable: the queue lock alone (the inner lock
+        held while the outer is not)."""
+        qd = self._queue_data
+        ctx.lock(self.queue_lock)
+        ctx.step(
+            "presto.queue.push",
+            work_instr,
+            reads=[qd + 16],
+            writes=[qd + 16, qd + 48],
+        )
+        ctx.unlock(self.queue_lock)
+
+    def spawn(self, ctx: ProcContext, work_instr: int = 20) -> None:
+        """Thread creation: allocate + initialize the control block from
+        the shared heap, then enqueue."""
+        tcb = self.alloc_thread_data(128)
+        ctx.step(
+            "presto.spawn",
+            work_instr,
+            reads=[tcb],
+            writes=[(tcb, 8)],
+        )
+        self.enqueue(ctx)

@@ -1,0 +1,119 @@
+"""Pverify: combinational logic verification (C, no runtime in trace).
+
+"Pverify is a combinational logic verification program which compares
+two different circuit implementations to determine whether they are
+functionally (Boolean) equivalent." (§2.3)
+
+Its signature in the paper is the *opposite* locking profile to
+Grav/Pdsa: few lock pairs (555/processor) held a very long time (3642
+ideal cycles, ~36.5 % of execution in locked mode) with essentially
+**zero** contention -- "Pverify almost never has two processors wanting
+the lock simultaneously" -- which is the paper's key evidence that
+percent-of-time-held does not predict contention.
+
+Model: each processor verifies a series of output cones.  A cone is
+first evaluated against private scratch structures (the long unlocked
+stretch), then its canonical form is installed/compared in a shared
+result table that is *partitioned*: each of the many partitions has its
+own lock, and a processor holds one partition lock for the whole
+installation walk (the long critical section).  With far more partitions
+than processors, simultaneous interest in one partition is rare, even
+though every processor is inside *some* critical section a third of the
+time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.layout import AddressLayout
+from .base import ProcContext, SharedLock, Workload
+from .circuit import Circuit
+
+__all__ = ["Pverify"]
+
+
+class Pverify(Workload):
+    name = "pverify"
+    default_procs = 12
+    uses_presto = False
+    cpi = 3.2
+
+    #: per-processor counts at scale=1.0
+    CONES = 28
+    PARTITIONS = 192
+    EVAL_BLOCKS = 44  # unlocked evaluation blocks per cone
+    INSTALL_BLOCKS = 22  # blocks inside the partition lock (long hold)
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        part_locks = [
+            SharedLock(layout, f"pverify.part{i}") for i in range(self.PARTITIONS)
+        ]
+        # a real levelized DAG: cone reads below follow its topology
+        circuit = Circuit(rng, n_inputs=64, n_gates=1024, n_outputs=96)
+        netlist = layout.alloc_shared(circuit.n_gates * 32)  # 32B per gate
+        table = layout.alloc_shared(self.PARTITIONS * 512)
+        scratch = [
+            layout.alloc_private(ctx.proc, 16 * 1024) for ctx in ctxs
+        ]
+        self._circuit = circuit
+        self._netlist = netlist
+
+        cones = self.scaled(self.CONES)
+        stripe = self.PARTITIONS // max(1, len(ctxs))
+        for ctx in ctxs:
+            # The circuit outputs are distributed to processors up front,
+            # so each processor's results land mostly in its own stripe of
+            # the table -- simultaneous interest in one partition is rare
+            # ("Pverify almost never has two processors wanting the lock
+            # simultaneously").  A sixth of the cones stray outside the
+            # stripe (shared sub-cones), supplying the paper's handful of
+            # transfers.
+            own = ctx.proc * stripe
+            parts = [
+                int(own + rng.integers(0, stripe))
+                if rng.random() > 1 / 6
+                else int(rng.integers(0, self.PARTITIONS))
+                for _ in range(cones)
+            ]
+            outputs = rng.choice(circuit.outputs, size=cones, replace=cones > len(circuit.outputs))
+            for c in range(cones):
+                part = int(parts[c])
+                self._evaluate_cone(
+                    ctx, netlist, scratch[ctx.proc], rng, circuit, int(outputs[c])
+                )
+                self._install_result(ctx, part_locks[part], table, part, rng)
+
+    def _evaluate_cone(
+        self, ctx: ProcContext, netlist, scratch, rng, circuit: Circuit, output: int
+    ) -> None:
+        """Unlocked phase: simulate the cone against private scratch.
+
+        Gate reads follow the real cone of ``output``: the output-side
+        gates are exclusive to this cone, while the input-side gates are
+        shared with other processors' cones (read-hot lines)."""
+        gates = circuit.cone_sample(output, self.EVAL_BLOCKS, rng)
+        for i in range(self.EVAL_BLOCKS):
+            gate = gates[i % len(gates)]
+            off = ((output * 7 + i) % 128) * 64
+            ctx.step(
+                "pverify.eval",
+                42,
+                reads=[(netlist + gate * 32, 4), (scratch + off, 4)],
+                writes=[(scratch + off, 3)],
+            )
+
+    def _install_result(self, ctx: ProcContext, lock, table, part: int, rng) -> None:
+        """Locked phase: walk the partition's bucket chain comparing and
+        installing the canonical cone -- the 3600-cycle critical section."""
+        base = table + part * 512
+        ctx.lock(lock)
+        for i in range(self.INSTALL_BLOCKS):
+            slot = base + (i % 8) * 64
+            ctx.step(
+                "pverify.install",
+                48,
+                reads=[(slot, 4)],
+                writes=[slot] if i % 3 == 0 else [],
+            )
+        ctx.unlock(lock)

@@ -1,0 +1,133 @@
+"""Qsort: parallel quicksort of random integers (C).
+
+"Qsort is a quicksort program run on 1,000,000 random integers. ...
+it provides some useful insight as long as one keeps these limitations
+in mind." (§2.3)  Its paper profile: very few lock pairs (212/processor,
+the shared range-queue), short holds (~52 ideal cycles), utilization
+pulled down to ~68 % almost entirely by *read misses* -- "its processor
+utilization is low because of a large number of read misses due to the
+magnitude of the data set being sorted", with reads almost always
+preceding the exchanges of the same lines (hence a ~99 % write-hit
+ratio).
+
+Model: the classic work-queue parallel quicksort.  A shared deque of
+(lo, hi) ranges; each worker loops: pop a range under the queue lock,
+partition it with a sequential scan (reads of every element, exchange
+writes on ~a third of them, hitting lines the reads just fetched), and
+push the two sub-ranges back under the lock.  Ranges below the threshold
+are finished locally with two scan passes (a stand-in for the recursion
+tail).  Workers run coordinated at generation time so the range
+distribution across processors matches a real self-scheduling run:
+ranges migrate between processors every level, so each level's first
+touch of a line is a coherence/capacity miss.
+
+The array (by default 24,576 ints -- scaled down with the trace, see
+DESIGN.md) deliberately exceeds a single 64 KB cache, as the paper's
+4 MB array exceeded its machine's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..trace.layout import AddressLayout
+from .base import ProcContext, SharedLock, Workload, run_coordinated
+
+__all__ = ["Qsort"]
+
+
+class Qsort(Workload):
+    name = "qsort"
+    default_procs = 12
+    uses_presto = False
+    cpi = 3.0
+
+    #: array size at scale=1.0; scales with the trace
+    N_INTS = 32768
+    THRESHOLD = 384  # ranges at or below this are sorted locally
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        n_ints = self.scaled(self.N_INTS, minimum=64)
+        threshold = max(16, self.THRESHOLD if n_ints >= self.N_INTS else n_ints // 64)
+        array = layout.alloc_shared(n_ints * 4)
+        qlock = SharedLock(layout, "qsort.queue")
+        qdata = layout.alloc_shared(256)
+
+        queue: deque[tuple[int, int]] = deque([(0, n_ints)])
+        state = {"active": 0}
+
+        workers = [
+            self._worker(ctx, array, qlock, qdata, queue, state, threshold, rng)
+            for ctx in ctxs
+        ]
+        run_coordinated(workers)
+        if queue or state["active"]:
+            raise RuntimeError("qsort generation ended with unsorted ranges")
+
+    # -- the worker generator --------------------------------------------------------
+    def _worker(self, ctx, array, qlock, qdata, queue, state, threshold, rng):
+        while True:
+            yield
+            if not queue:
+                if state["active"] == 0:
+                    return
+                continue  # another worker is still producing ranges
+            # LIFO pop: a worker preferentially continues with the range
+            # it just produced (depth-first), which keeps sub-ranges in
+            # the cache that partitioned them -- exchanges then hit lines
+            # in M/E state, as in the original program.
+            lo, hi = queue.pop()
+            state["active"] += 1
+            self._pop_range(ctx, qlock, qdata)
+            if hi - lo <= threshold:
+                self._local_sort(ctx, array, lo, hi)
+            else:
+                mid = self._partition(ctx, array, lo, hi, rng)
+                queue.append((lo, mid))
+                queue.append((mid, hi))
+                self._push_ranges(ctx, qlock, qdata)
+            state["active"] -= 1
+
+    # -- traced operations --------------------------------------------------------
+    def _pop_range(self, ctx: ProcContext, qlock, qdata) -> None:
+        ctx.lock(qlock)
+        ctx.step("qsort.pop", 14, reads=[qdata, qdata + 16], writes=[qdata])
+        ctx.unlock(qlock)
+
+    def _push_ranges(self, ctx: ProcContext, qlock, qdata) -> None:
+        ctx.lock(qlock)
+        ctx.step(
+            "qsort.push", 16, reads=[qdata], writes=[qdata, qdata + 16, qdata + 32]
+        )
+        ctx.unlock(qlock)
+
+    def _partition(self, ctx: ProcContext, array, lo: int, hi: int, rng) -> int:
+        """Sequential partition scan: read every element (4 per record via
+        the repetition encoding), exchange roughly a third in place."""
+        ctx.step("qsort.pivot", 12, reads=[array + lo * 4, array + (hi - 1) * 4])
+        i = lo
+        while i < hi:
+            chunk = min(4, hi - i)
+            a = array + i * 4
+            # ~15 instructions per 4 elements: compare/branch/index updates
+            writes = [(a, chunk)] if (i // 4) % 3 == 0 else []
+            ctx.step("qsort.scan", 8, reads=[(a, chunk)], writes=writes)
+            i += chunk
+        split = int(rng.integers(35, 65)) / 100.0
+        mid = lo + max(1, min(hi - lo - 1, int((hi - lo) * split)))
+        return mid
+
+    def _local_sort(self, ctx: ProcContext, array, lo: int, hi: int) -> None:
+        """Finish a small range in place: two scan passes standing in for
+        the recursion tail + insertion sort."""
+        for _pass in range(2):
+            i = lo
+            while i < hi:
+                chunk = min(4, hi - i)
+                a = array + i * 4
+                ctx.step(
+                    "qsort.local", 9, reads=[(a, chunk)], writes=[(a, chunk)]
+                )
+                i += chunk

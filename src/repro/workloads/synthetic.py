@@ -1,0 +1,92 @@
+"""Synthetic high-contention microbenchmark (extension).
+
+The paper's opening problem statement: "Techniques to efficiently obtain
+locks under high contention have been studied in the literature using
+artificial programs. ... that research did not deal with real parallel
+programs.  It is not clear, therefore, whether the extra hardware and/or
+software sophistication is justified."
+
+This workload *is* one of those artificial programs — the classic
+Anderson/Graunke–Thakkar style microkernel: every processor loops
+{acquire global lock; touch a shared counter; release; think} with a
+configurable think time.  It exists so the library can show both halves
+of the literature's picture:
+
+* with ``think_instr`` small, contention is total — the lock algorithm
+  dominates run-time and queuing locks crush T&T&S (the prior
+  literature's result);
+* the six *real* benchmark models then calibrate how much of that
+  effect survives in practice (the paper's contribution).
+
+See ``examples/synthetic_vs_real.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.layout import AddressLayout
+from .base import SharedLock, Workload
+
+__all__ = ["SyntheticContention"]
+
+
+class SyntheticContention(Workload):
+    """The artificial-program lock microkernel.
+
+    Parameters (constructor keywords beyond ``scale``/``seed``):
+
+    ``critical_instr``
+        instructions inside the critical section (hold time knob);
+    ``think_instr``
+        instructions between critical sections (contention knob: 0 means
+        back-to-back acquisitions, the literature's worst case);
+    ``iterations``
+        critical sections per processor at ``scale=1.0``.
+    """
+
+    name = "synthetic"
+    default_procs = 12
+    cpi = 3.0
+
+    ITERATIONS = 200
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 1991,
+        critical_instr: int = 20,
+        think_instr: int = 40,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if critical_instr < 1:
+            raise ValueError("critical_instr must be >= 1")
+        if think_instr < 0:
+            raise ValueError("think_instr must be >= 0")
+        self.critical_instr = critical_instr
+        self.think_instr = think_instr
+
+    def build(self, ctxs, layout: AddressLayout, rng: np.random.Generator) -> None:
+        lock = SharedLock(layout, "synthetic.global")
+        counter = layout.alloc_shared(64)
+        scratch = [layout.alloc_private(ctx.proc, 1024) for ctx in ctxs]
+
+        iters = self.scaled(self.ITERATIONS)
+        for ctx in ctxs:
+            # stagger the first acquisition so the queue forms gradually
+            ctx.compute("synth.init", 5 + 11 * ctx.proc)
+            for i in range(iters):
+                ctx.lock(lock)
+                ctx.step(
+                    "synth.critical",
+                    self.critical_instr,
+                    reads=[(counter, 4)],
+                    writes=[(counter, 2)],
+                )
+                ctx.unlock(lock)
+                if self.think_instr:
+                    ctx.step(
+                        "synth.think",
+                        self.think_instr,
+                        reads=[(scratch[ctx.proc] + (i % 8) * 64, 2)],
+                    )

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.trace.builder import TraceBuilder
+from repro.trace.layout import AddressLayout
+from repro.trace.records import TraceSet
+
+
+@pytest.fixture
+def layout2():
+    return AddressLayout(n_procs=2)
+
+
+@pytest.fixture
+def layout4():
+    return AddressLayout(n_procs=4)
+
+
+def make_traceset(build_fns, layout=None, program="test"):
+    """Build a TraceSet from per-processor builder functions.
+
+    ``build_fns`` is a list of callables, one per processor, each taking
+    ``(builder, layout)`` and emitting records.
+    """
+    n = len(build_fns)
+    layout = layout or AddressLayout(n_procs=n)
+    traces = []
+    for p, fn in enumerate(build_fns):
+        b = TraceBuilder(p, layout, program=program)
+        fn(b, layout)
+        traces.append(b.finish())
+    return TraceSet(traces, layout, program=program)
+
+
+def tiny_machine(n_procs=2, **kwargs) -> MachineConfig:
+    """A small, fast machine configuration for unit tests."""
+    kwargs.setdefault("batch_records", 1)
+    return MachineConfig(n_procs=n_procs, **kwargs)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,117 @@
+"""A mock LockPortAPI: serializes lock-line operations on a fake bus
+with fixed per-op latencies, driven by a real Engine.
+
+Lets the lock-scheme state machines be tested deterministically without
+caches, processors or real arbitration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.machine.buffers import (
+    LOCK_INVAL,
+    LOCK_MEM,
+    LOCK_READ,
+    LOCK_RFO,
+    LOCK_XFER,
+    OP_NAMES,
+)
+from repro.machine.engine import Engine
+
+#: latencies mirroring the real system's uncontended costs
+LATENCY = {
+    LOCK_MEM: 6,
+    LOCK_READ: 3,
+    LOCK_RFO: 3,
+    LOCK_INVAL: 1,
+    LOCK_XFER: 3,
+}
+
+
+class MockMachine:
+    """Single shared 'bus': ops run one at a time, FIFO (front ops jump
+    the queue), each holding for its LATENCY."""
+
+    def __init__(self) -> None:
+        self.engine = Engine()
+        self.log: list[tuple[int, str, int, int]] = []  # (t, opname, proc, line)
+        self._q: deque = deque()
+        self._busy = False
+        self.lockmgr = None  # set by attach_manager for snoop hooks
+
+    def attach_manager(self, mgr) -> None:
+        self.lockmgr = mgr
+        mgr.attach(self)
+
+    # -- LockPortAPI ------------------------------------------------------------
+    def issue_lock_op(self, proc, kind, line, on_done, front=False):
+        item = (proc, kind, line, on_done)
+        if front:
+            self._q.appendleft(item)
+        else:
+            self._q.append(item)
+        if not self._busy:
+            self._grant(self.engine.now)
+
+    def call_at(self, time, fn):
+        self.engine.at(max(time, self.engine.now), fn)
+
+    # -- fake bus ---------------------------------------------------------------
+    def _grant(self, t):
+        if not self._q:
+            self._busy = False
+            return
+        self._busy = True
+        proc, kind, line, on_done = self._q.popleft()
+        hold = LATENCY[kind]
+        self.log.append((t, OP_NAMES[kind], proc, line))
+        if self.lockmgr is not None:
+            if kind == LOCK_RFO:
+                hook = getattr(self.lockmgr, "on_lock_rfo", None)
+                if hook:
+                    hook(line, proc, t)
+            elif kind == LOCK_INVAL:
+                hook = getattr(self.lockmgr, "on_lock_inval", None)
+                if hook:
+                    hook(line, proc, t)
+
+        def done(t2, on_done=on_done):
+            on_done(t2)
+            self._grant(t2)
+
+        self.engine.at(t + hold, done)
+
+    def run(self):
+        self.engine.run()
+
+    def at(self, time, fn):
+        """Schedule a manager call at a specific simulated time (the real
+        system always invokes acquire/release with the global clock at
+        the processor's local time)."""
+        self.engine.at(max(time, self.engine.now), fn)
+
+    def ops(self, kind_name=None):
+        if kind_name is None:
+            return list(self.log)
+        return [e for e in self.log if e[1] == kind_name]
+
+
+class Recorder:
+    """Collects (proc, time, contended) grants/releases."""
+
+    def __init__(self) -> None:
+        self.grants: list[tuple[int, int, bool]] = []
+        self.releases: list[tuple[int, int, bool]] = []
+
+    def grant_cb(self, proc):
+        def cb(t, contended):
+            self.grants.append((proc, t, contended))
+
+        return cb
+
+    def release_cb(self, proc):
+        def cb(t, contended):
+            self.releases.append((proc, t, contended))
+
+        return cb

@@ -1,0 +1,105 @@
+"""Tests for Pdsa's real annealing engine."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.pdsa import Pdsa, _Annealing
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestAnnealing:
+    def test_one_cell_per_slot(self, rng):
+        a = _Annealing(rng, 100)
+        coords = set(zip(a.x.tolist(), a.y.tolist()))
+        assert len(coords) == 100
+
+    def test_swap_exchanges_positions(self, rng):
+        a = _Annealing(rng, 64)
+        a.temperature = 1e9  # accept everything
+        xa, ya = int(a.x[0]), int(a.y[0])
+        xb, yb = int(a.x[1]), int(a.y[1])
+        assert a.propose_swap(0, 1, rng)
+        assert (int(a.x[0]), int(a.y[0])) == (xb, yb)
+        assert (int(a.x[1]), int(a.y[1])) == (xa, ya)
+
+    def test_rejected_swap_restores_state(self, rng):
+        a = _Annealing(rng, 64)
+        a.temperature = 1e-12  # only strict improvements pass
+        before = (a.x.copy(), a.y.copy())
+        for i in range(0, 40, 2):
+            if not a.propose_swap(i, i + 1, rng):
+                pass
+        # every rejected swap must have been undone; accepted ones moved
+        # cells, but slot-uniqueness must survive either way
+        coords = set(zip(a.x.tolist(), a.y.tolist()))
+        assert len(coords) == 64
+        del before
+
+    def test_cold_system_only_improves(self, rng):
+        a = _Annealing(rng, 256)
+        a.temperature = 1e-12
+
+        def total_cost():
+            return sum(a._cell_cost(c) for c in range(a.n_cells))
+
+        start = total_cost()
+        for _ in range(400):
+            i, j = rng.integers(0, 256, size=2)
+            if i != j:
+                a.propose_swap(int(i), int(j), rng)
+        assert total_cost() <= start
+
+    def test_hot_system_accepts_most(self, rng):
+        a = _Annealing(rng, 256)
+        a.temperature = 1e9
+        for _ in range(100):
+            i, j = rng.integers(0, 256, size=2)
+            if i != j:
+                a.propose_swap(int(i), int(j), rng)
+        assert a.accepted / a.proposed > 0.95
+
+    def test_cooling_schedule(self, rng):
+        a = _Annealing(rng, 64)
+        t0 = a.temperature
+        for _ in range(10):
+            a.cool()
+        assert a.temperature == pytest.approx(t0 * 0.97**10)
+
+
+class TestPdsaIntegration:
+    def test_acceptance_rate_falls_as_it_cools(self):
+        """The trace's shared-write density tracks the schedule: early
+        chunks commit more swaps than late chunks."""
+        wl = Pdsa(scale=1.0, seed=4)
+        ts = wl.generate()
+        anneal = wl._anneal
+        # a real annealer at these sizes accepts some but not all
+        rate = anneal.accepted / anneal.proposed
+        assert 0.05 < rate < 0.9
+
+        from repro.trace.records import WRITE
+
+        # compare swap-writes in the first vs last third of one trace
+        t = ts[0]
+        rec = t.records
+        writes = np.flatnonzero(rec["kind"] == WRITE)
+        third = len(rec) // 3
+        early = np.count_nonzero(writes < third)
+        late = np.count_nonzero(writes > 2 * third)
+        assert early >= late
+
+    def test_annealing_actually_reduces_wirelength(self):
+        wl = Pdsa(scale=1.0, seed=9)
+        rng = np.random.default_rng(9)
+        fresh = _Annealing(rng, Pdsa.CELLS)
+
+        def cost(a):
+            return sum(a._cell_cost(c) for c in range(0, a.n_cells, 7))
+
+        start_cost = cost(fresh)
+        wl.generate()
+        assert cost(wl._anneal) < start_cost

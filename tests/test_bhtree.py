@@ -1,0 +1,105 @@
+"""Tests for the Barnes-Hut quadtree used by the Grav model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bhtree import QuadTree, clustered_positions
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestInsertion:
+    def test_first_insert_is_root_only(self):
+        qt = QuadTree()
+        path = qt.insert(0.3, 0.4)
+        assert path == [qt.root.node_id]
+        assert qt.total_bodies() == 1
+
+    def test_second_insert_splits(self):
+        qt = QuadTree()
+        qt.insert(0.2, 0.2)
+        path = qt.insert(0.8, 0.8)
+        assert len(path) >= 2
+        assert qt.total_bodies() == 2
+        assert qt.root.children is not None
+
+    def test_paths_start_at_root(self, rng):
+        qt = QuadTree()
+        for _ in range(50):
+            x, y = rng.random(2)
+            path = qt.insert(float(x), float(y))
+            assert path[0] == qt.root.node_id
+
+    def test_counts_consistent(self, rng):
+        qt = QuadTree()
+        for _ in range(120):
+            x, y = rng.random(2)
+            qt.insert(float(x), float(y))
+        assert qt.total_bodies() == 120
+
+    def test_colocated_bodies_bounded_by_max_depth(self):
+        qt = QuadTree()
+        for _ in range(20):
+            qt.insert(0.51, 0.51, max_depth=6)
+        assert qt.depth() <= 8  # max_depth plus slack for the split push
+
+    def test_deeper_for_clustered_input(self, rng):
+        uniform = QuadTree()
+        for xy in rng.random((200, 2)):
+            uniform.insert(float(xy[0]), float(xy[1]))
+        clustered = QuadTree()
+        for xy in clustered_positions(rng, 200, clusters=1):
+            clustered.insert(float(xy[0]), float(xy[1]))
+        assert clustered.depth() >= uniform.depth()
+
+
+class TestTraversal:
+    def _tree(self, rng, n=150):
+        qt = QuadTree()
+        pts = clustered_positions(rng, n)
+        for x, y in pts:
+            qt.insert(float(x), float(y))
+        return qt, pts
+
+    def test_traversal_visits_root_first(self, rng):
+        qt, pts = self._tree(rng)
+        visited = qt.traverse(0.5, 0.5)
+        assert visited[0] == qt.root.node_id
+
+    def test_small_theta_visits_more(self, rng):
+        qt, pts = self._tree(rng)
+        x, y = map(float, pts[0])
+        strict = len(qt.traverse(x, y, theta=0.2))
+        loose = len(qt.traverse(x, y, theta=1.2))
+        assert strict > loose
+
+    def test_traversal_bounded_by_tree_size(self, rng):
+        qt, pts = self._tree(rng)
+        for x, y in pts[:20]:
+            assert len(qt.traverse(float(x), float(y))) <= qt.n_nodes
+
+    def test_empty_tree_traversal(self):
+        qt = QuadTree()
+        assert qt.traverse(0.5, 0.5) == []
+
+    def test_nearby_body_opens_more_cells_than_far_point(self, rng):
+        qt, pts = self._tree(rng)
+        inside = len(qt.traverse(float(pts[0][0]), float(pts[0][1]), theta=0.5))
+        # a point far outside the cluster mass accepts big cells early
+        outside = len(qt.traverse(0.999, 0.001, theta=0.5))
+        assert inside >= outside
+
+
+class TestClusteredPositions:
+    def test_in_unit_square(self, rng):
+        pts = clustered_positions(rng, 500)
+        assert pts.shape == (500, 2)
+        assert (pts > 0).all() and (pts < 1).all()
+
+    def test_clustering_reduces_spread(self, rng):
+        clustered = clustered_positions(rng, 500, clusters=1)
+        uniform = rng.random((500, 2))
+        assert clustered.std() < uniform.std()

@@ -1,0 +1,107 @@
+"""Tests for the bus observer and anatomy report."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL
+from repro.machine.buslog import BusLog, render_bus_anatomy
+from repro.machine.system import System
+from repro.sync import QueuingLockManager, TestAndTestAndSetLockManager
+from repro.workloads import generate_trace
+from tests.conftest import make_traceset, tiny_machine
+
+
+def logged_run(build_fns, mgr=None):
+    ts = make_traceset(build_fns)
+    system = System(
+        ts, tiny_machine(n_procs=ts.n_procs), mgr or QueuingLockManager(), SEQUENTIAL
+    )
+    log = BusLog.attach(system)
+    return log, system.run()
+
+
+class TestBusLog:
+    def test_records_every_grant(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(256)
+            for i in range(4):
+                b.read(sh + i * 64)
+
+        log, result = logged_run([fn])
+        assert len(log) == result.meta["bus_grants"]
+
+    def test_hold_total_matches_busy_cycles(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(512)
+            for i in range(8):
+                b.read(sh + i * 64)
+                b.write(sh + i * 64)
+
+        log, result = logged_run([fn, fn])
+        assert sum(log.holds) == result.bus_busy_cycles
+
+    def test_class_breakdown_partitions_cycles(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(256)
+            la = layout.alloc_lock()
+            b.read(sh)
+            b.lock(0, la)
+            b.write(sh)
+            b.unlock(0, la)
+
+        log, _ = logged_run([fn])
+        by_class = log.cycles_by_class()
+        assert sum(by_class.values()) == sum(log.holds)
+        assert "lock traffic" in by_class
+        assert "data fills" in by_class
+
+    def test_timeline_bounded(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(4096)
+            for i in range(32):
+                b.read(sh + i * 128)
+
+        log, result = logged_run([fn, fn, fn])
+        tl = log.timeline(result.run_time, buckets=10)
+        assert len(tl) == 10
+        assert all(0.0 <= x <= 1.0 for x in tl)
+        assert max(tl) > 0
+
+    def test_no_observer_no_overhead_path(self):
+        """Systems without an attached log behave identically."""
+
+        def fn(b, layout):
+            b.read(layout.alloc_shared(16))
+
+        ts1 = make_traceset([fn])
+        r1 = System(ts1, tiny_machine(1), QueuingLockManager(), SEQUENTIAL).run()
+        log, r2 = logged_run([fn])
+        assert r1.run_time == r2.run_time
+
+    def test_render_mentions_classes_and_sparkline(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(256)
+            b.read(sh)
+            b.write(sh + 64)
+
+        log, result = logged_run([fn])
+        text = render_bus_anatomy(log, result)
+        assert "Bus anatomy" in text
+        assert "data fills" in text
+        assert "occupancy over time" in text
+
+    def test_ttas_lock_traffic_exceeds_queuing(self):
+        ts = generate_trace("pdsa", scale=0.2)
+        sys_q = System(
+            ts, tiny_machine(n_procs=ts.n_procs), QueuingLockManager(), SEQUENTIAL
+        )
+        log_q = BusLog.attach(sys_q)
+        sys_q.run()
+        sys_t = System(
+            ts,
+            tiny_machine(n_procs=ts.n_procs),
+            TestAndTestAndSetLockManager(),
+            SEQUENTIAL,
+        )
+        log_t = BusLog.attach(sys_t)
+        sys_t.run()
+        assert log_t.lock_traffic_cycles() > 2 * log_q.lock_traffic_cycles()

@@ -1,0 +1,180 @@
+"""Unit tests for the cache: geometry, LRU, MESI transitions, snoops."""
+
+import pytest
+
+from repro.machine.cache import EXCLUSIVE, INVALID, MODIFIED, SHARED, Cache
+from repro.machine.config import CacheConfig
+
+
+@pytest.fixture
+def cache():
+    return Cache(CacheConfig())
+
+
+@pytest.fixture
+def tiny():
+    # 4 sets x 2 ways of 16-byte lines = 128 bytes
+    return Cache(CacheConfig(size_bytes=128, line_bytes=16, assoc=2))
+
+
+class TestGeometry:
+    def test_paper_geometry(self):
+        c = CacheConfig()
+        assert c.n_lines == 4096
+        assert c.n_sets == 2048
+        assert c.offset_bits == 4
+
+    def test_invalid_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=24)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100)
+
+    def test_set_mapping(self, tiny):
+        assert tiny.set_of(0) == 0
+        assert tiny.set_of(4) == 0
+        assert tiny.set_of(5) == 1
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(10) == INVALID
+        cache.install(10, EXCLUSIVE)
+        assert cache.lookup(10) == EXCLUSIVE
+
+    def test_install_returns_no_victim_with_space(self, tiny):
+        assert tiny.install(0, SHARED) is None
+        assert tiny.install(4, SHARED) is None  # same set, second way
+
+    def test_lru_victim_is_least_recent(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.install(4, SHARED)
+        tiny.lookup(0)  # touch 0: now 4 is LRU
+        victim = tiny.install(8, SHARED)  # same set 0
+        assert victim == (4, False)
+        assert tiny.probe(4) == INVALID
+        assert tiny.probe(0) == SHARED
+
+    def test_dirty_eviction_flagged(self, tiny):
+        tiny.install(0, MODIFIED)
+        tiny.install(4, SHARED)
+        tiny.lookup(4)
+        victim = tiny.install(8, SHARED)
+        assert victim == (0, True)
+
+    def test_reinstall_resident_line_updates_state(self, tiny):
+        tiny.install(0, SHARED)
+        assert tiny.install(0, MODIFIED) is None
+        assert tiny.probe(0) == MODIFIED
+
+    def test_install_invalid_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.install(0, INVALID)
+
+    def test_set_state(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.set_state(0, MODIFIED)
+        assert tiny.probe(0) == MODIFIED
+
+    def test_set_state_missing_line_rejected(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.set_state(0, MODIFIED)
+
+    def test_set_state_to_invalid_rejected(self, tiny):
+        tiny.install(0, SHARED)
+        with pytest.raises(ValueError):
+            tiny.set_state(0, INVALID)
+
+    def test_probe_does_not_touch_lru(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.install(4, SHARED)
+        tiny.probe(0)  # no LRU update: 0 stays LRU
+        victim = tiny.install(8, SHARED)
+        assert victim[0] == 0
+
+
+class TestSnoops:
+    def test_snoop_read_on_modified_supplies_dirty_and_downgrades(self, tiny):
+        tiny.install(0, MODIFIED)
+        present, dirty = tiny.snoop_read(0)
+        assert (present, dirty) == (True, True)
+        assert tiny.probe(0) == SHARED
+
+    def test_snoop_read_on_exclusive_downgrades_clean(self, tiny):
+        tiny.install(0, EXCLUSIVE)
+        assert tiny.snoop_read(0) == (True, False)
+        assert tiny.probe(0) == SHARED
+
+    def test_snoop_read_on_shared_stays_shared(self, tiny):
+        tiny.install(0, SHARED)
+        assert tiny.snoop_read(0) == (True, False)
+        assert tiny.probe(0) == SHARED
+
+    def test_snoop_read_absent(self, tiny):
+        assert tiny.snoop_read(0) == (False, False)
+
+    def test_snoop_invalidate_drops_line(self, tiny):
+        tiny.install(0, MODIFIED)
+        assert tiny.snoop_invalidate(0) == (True, True)
+        assert tiny.probe(0) == INVALID
+        tiny.check_invariants()
+
+    def test_snoop_invalidate_absent(self, tiny):
+        assert tiny.snoop_invalidate(0) == (False, False)
+
+    def test_invalidated_way_is_reusable(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.install(4, SHARED)
+        tiny.snoop_invalidate(0)
+        assert tiny.install(8, SHARED) is None  # freed way, no eviction
+
+
+class TestCounters:
+    def test_eviction_counter(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.install(4, SHARED)
+        tiny.install(8, SHARED)
+        assert tiny.counters.evictions == 1
+
+    def test_invalidation_counter(self, tiny):
+        tiny.install(0, SHARED)
+        tiny.snoop_invalidate(0)
+        assert tiny.counters.invalidations_received == 1
+
+    def test_c2c_counter(self, tiny):
+        tiny.install(0, MODIFIED)
+        tiny.snoop_read(0)
+        assert tiny.counters.c2c_supplied == 1
+
+    def test_write_hit_ratio(self):
+        from repro.machine.cache import CacheCounters
+
+        c = CacheCounters()
+        assert c.write_hit_ratio == 1.0
+        c.write_hits = 9
+        c.write_misses = 1
+        assert c.write_hit_ratio == pytest.approx(0.9)
+
+
+class TestInvariants:
+    def test_invariants_hold_after_mixed_ops(self, tiny):
+        ops = [
+            (tiny.install, (0, SHARED)),
+            (tiny.install, (4, MODIFIED)),
+            (tiny.lookup, (0,)),
+            (tiny.install, (8, EXCLUSIVE)),
+            (tiny.snoop_read, (8,)),
+            (tiny.snoop_invalidate, (0,)),
+            (tiny.install, (12, SHARED)),
+        ]
+        for fn, args in ops:
+            fn(*args)
+            tiny.check_invariants()
+
+    def test_occupancy_bounded_by_capacity(self, tiny):
+        for line in range(32):
+            tiny.install(line, SHARED)
+        assert tiny.occupancy() <= tiny.n_sets * tiny.assoc
+        tiny.check_invariants()

@@ -1,0 +1,125 @@
+"""Property-based tests for the cache against a reference model.
+
+The reference model is an order-preserving per-set list with the same
+declared policy (2-way LRU); the property is that the fast
+implementation agrees with it on every probe after arbitrary operation
+sequences, and that structural invariants always hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import EXCLUSIVE, INVALID, MODIFIED, SHARED, Cache
+from repro.machine.config import CacheConfig
+
+CFG = CacheConfig(size_bytes=256, line_bytes=16, assoc=2)  # 8 sets
+LINES = st.integers(0, 31)
+STATES = st.sampled_from([SHARED, EXCLUSIVE, MODIFIED])
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), LINES),
+        st.tuples(st.just("install"), LINES, STATES),
+        st.tuples(st.just("snoop_read"), LINES),
+        st.tuples(st.just("snoop_invalidate"), LINES),
+    ),
+    max_size=80,
+)
+
+
+class RefCache:
+    """Straight-line reference implementation: per-set MRU list."""
+
+    def __init__(self, n_sets, assoc):
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = [[] for _ in range(n_sets)]  # list of [line, state]
+
+    def _find(self, line):
+        for ent in self.sets[line % self.n_sets]:
+            if ent[0] == line:
+                return ent
+        return None
+
+    def lookup(self, line):
+        ent = self._find(line)
+        if not ent:
+            return INVALID
+        s = self.sets[line % self.n_sets]
+        s.remove(ent)
+        s.insert(0, ent)
+        return ent[1]
+
+    def install(self, line, state):
+        ent = self._find(line)
+        s = self.sets[line % self.n_sets]
+        if ent:
+            ent[1] = state
+            s.remove(ent)
+            s.insert(0, ent)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            vline, vstate = s.pop()
+            victim = (vline, vstate == MODIFIED)
+        s.insert(0, [line, state])
+        return victim
+
+    def snoop_read(self, line):
+        ent = self._find(line)
+        if not ent:
+            return (False, False)
+        dirty = ent[1] == MODIFIED
+        ent[1] = SHARED
+        return (True, dirty)
+
+    def snoop_invalidate(self, line):
+        ent = self._find(line)
+        if not ent:
+            return (False, False)
+        self.sets[line % self.n_sets].remove(ent)
+        return (True, ent[1] == MODIFIED)
+
+    def probe(self, line):
+        ent = self._find(line)
+        return ent[1] if ent else INVALID
+
+
+class TestCacheAgainstReference:
+    @given(ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_reference_model(self, ops):
+        fast = Cache(CFG)
+        ref = RefCache(CFG.n_sets, CFG.assoc)
+        for op in ops:
+            name = op[0]
+            if name == "install":
+                assert fast.install(op[1], op[2]) == ref.install(op[1], op[2])
+            else:
+                assert getattr(fast, name)(op[1]) == getattr(ref, name)(op[1])
+            fast.check_invariants()
+        for line in range(32):
+            assert fast.probe(line) == ref.probe(line)
+
+    @given(ops_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops):
+        fast = Cache(CFG)
+        for op in ops:
+            if op[0] == "install":
+                fast.install(op[1], op[2])
+            else:
+                getattr(fast, op[0])(op[1])
+            assert fast.occupancy() <= CFG.n_lines
+            for lst in fast.sets:
+                assert len(lst) <= CFG.assoc
+
+    @given(st.lists(LINES, min_size=1, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_install_then_lookup_hits(self, lines):
+        """Temporal locality: the most recently installed line of each
+        set must always be resident."""
+        fast = Cache(CFG)
+        for line in lines:
+            fast.install(line, EXCLUSIVE)
+            assert fast.probe(line) != INVALID

@@ -1,0 +1,81 @@
+"""Tests for the combinational-circuit model behind Pverify."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.circuit import Circuit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+@pytest.fixture
+def circuit(rng):
+    return Circuit(rng, n_inputs=32, n_gates=512, n_outputs=24)
+
+
+class TestStructure:
+    def test_fanins_point_backward(self, circuit):
+        for g in range(circuit.n_inputs, circuit.n_gates):
+            a, b = circuit.fanin[g]
+            assert a < g and b < g
+
+    def test_inputs_have_no_fanin(self, circuit):
+        assert (circuit.fanin[: circuit.n_inputs] == 0).all()
+
+    def test_outputs_are_last_gates(self, circuit):
+        assert circuit.outputs[-1] == circuit.n_gates - 1
+        assert len(circuit.outputs) == 24
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            Circuit(rng, n_inputs=10, n_gates=10)
+        with pytest.raises(ValueError):
+            Circuit(rng, n_inputs=10, n_gates=20, n_outputs=11)
+
+
+class TestCones:
+    def test_cone_contains_output(self, circuit):
+        out = circuit.outputs[0]
+        assert circuit.cone(out)[0] == out
+
+    def test_cone_closed_under_fanin(self, circuit):
+        out = circuit.outputs[3]
+        cone = set(circuit.cone(out))
+        for g in cone:
+            if g >= circuit.n_inputs:
+                a, b = circuit.fanin[g]
+                assert a in cone and b in cone
+
+    def test_cone_reaches_primary_inputs(self, circuit):
+        cone = circuit.cone(circuit.outputs[0])
+        assert any(g < circuit.n_inputs for g in cone)
+
+    def test_cone_cached(self, circuit):
+        out = circuit.outputs[1]
+        assert circuit.cone(out) is circuit.cone(out)
+
+    def test_cones_overlap_near_inputs(self, circuit):
+        """The structural fact Pverify's locality relies on: distinct
+        output cones share input-side logic."""
+        a, b = circuit.outputs[0], circuit.outputs[10]
+        assert circuit.overlap(a, b) > 0.05
+
+    def test_cone_sample_bounded(self, circuit, rng):
+        out = circuit.outputs[2]
+        sample = circuit.cone_sample(out, 10, rng)
+        assert len(sample) <= 10
+        assert set(sample) <= set(circuit.cone(out))
+        assert sample[0] == out  # output-side head preserved
+
+    def test_cone_sample_small_cone_returned_whole(self, rng):
+        c = Circuit(rng, n_inputs=4, n_gates=8, n_outputs=1)
+        out = c.outputs[0]
+        assert c.cone_sample(out, 50, rng) == c.cone(out)
+
+    def test_deterministic_given_rng(self):
+        a = Circuit(np.random.default_rng(9), n_gates=256, n_inputs=16, n_outputs=8)
+        b = Circuit(np.random.default_rng(9), n_gates=256, n_inputs=16, n_outputs=8)
+        assert (a.fanin == b.fanin).all()

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_number_validated(self):
+        p = build_parser()
+        with pytest.raises(SystemExit):
+            p.parse_args(["table", "9"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--scale", "0.5", "--seed", "7", "figure1"])
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "grav"])
+        assert args.locks == "queuing"
+        assert args.model == "sc"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Model Architecture" in out
+
+    def test_ideal_small(self, capsys):
+        assert main(["--scale", "0.02", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "grav" in out
+
+    def test_run_small(self, capsys):
+        assert main(["--scale", "0.05", "run", "fullconn"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "locks=queuing" in out
+
+    def test_run_with_options(self, capsys):
+        assert main(["--scale", "0.05", "run", "qsort", "--locks", "ttas", "--model", "wo"]) == 0
+        out = capsys.readouterr().out
+        assert "locks=ttas" in out
+        assert "model=wo" in out
+
+    def test_generate_then_simulate(self, tmp_path, capsys):
+        out_file = str(tmp_path / "t.npz")
+        assert main(["--scale", "0.05", "generate", "pverify", "-o", out_file]) == 0
+        assert main(["simulate", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "pverify" in out
+
+    def test_table_1(self, capsys):
+        assert main(["--scale", "0.02", "table", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table_4_runs_simulation(self, capsys):
+        assert main(["--scale", "0.05", "table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Waiters at Transfer" in out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(ValueError):
+            main(["run", "nosuch"])
+
+    def test_profile_command(self, capsys):
+        assert main(["--scale", "0.05", "profile", "pdsa"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-lock contention profile" in out
+        assert "presto.scheduler" in out
+
+    def test_inspect_workload(self, capsys):
+        assert main(["--scale", "0.05", "inspect", "fullconn"]) == 0
+        out = capsys.readouterr().out
+        assert "program 'fullconn'" in out
+        assert "12 processors" in out
+
+    def test_inspect_with_dump(self, capsys):
+        assert main(["--scale", "0.05", "inspect", "qsort", "--dump", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "records [0:5]" in out
+
+    def test_inspect_trace_file(self, tmp_path, capsys):
+        f = str(tmp_path / "x.npz")
+        main(["--scale", "0.05", "generate", "topopt", "-o", f])
+        assert main(["inspect", f]) == 0
+        assert "topopt" in capsys.readouterr().out
+
+    def test_claims_parser_registered(self):
+        args = build_parser().parse_args(["claims"])
+        assert args.cmd == "claims"

@@ -1,0 +1,126 @@
+"""Tests for the fidelity-comparison engine."""
+
+import pytest
+
+from repro.core.comparison import (
+    SCALE_FACTOR,
+    CellCheck,
+    compare_contention_table,
+    compare_runtime_table,
+    compare_weak_ordering_table,
+    fidelity_checks,
+    render_fidelity_report,
+)
+from tests.test_core_analysis import fake_lock_stats, fake_result
+
+
+class TestCellCheck:
+    def test_row_rendering(self):
+        c = CellCheck(3, "grav", "utilization %", 32.6, 33.5, "+-10", True)
+        row = c.row()
+        assert row[0] == "T3"
+        assert row[-1] == "ok"
+        c2 = CellCheck(3, "grav", "m", 1, 99, "+-10", False)
+        assert c2.row()[-1] == "DEVIATES"
+
+
+class TestRuntimeComparison:
+    def test_within_band(self):
+        r = fake_result("grav", n_procs=1, _stall_miss=32, _stall_lock=968)
+        # fake_result: util = work/completion = 0.5 -> 50% vs paper 32.6
+        checks = compare_runtime_table({"grav": r}, 3)
+        by = {c.metric: c for c in checks}
+        assert not by["utilization %"].ok  # 50 vs 32.6 exceeds +-10
+        # lock stall: 96.8% vs paper 96.5 -> ok
+        assert by["lock stall %"].ok
+
+    def test_missing_programs_skipped(self):
+        checks = compare_runtime_table({}, 3)
+        assert checks == []
+
+
+class TestContentionComparison:
+    def test_scaled_transfer_counts(self):
+        ls = fake_lock_stats(transfers=1436, waiters_at_transfer_total=int(5.2 * 1436))
+        r = fake_result("grav", lock_stats=ls)
+        checks = compare_contention_table({"grav": r}, 4)
+        by = {c.metric: c for c in checks}
+        # 1436 * 20 = 28720 vs paper 28725 -> within x3
+        assert by["transfers (scaled)"].ok
+        assert by["transfers (scaled)"].ours == pytest.approx(1436 * SCALE_FACTOR)
+
+    def test_ratio_check_zero_handling(self):
+        ls = fake_lock_stats(transfers=0, waiters_at_transfer_total=0,
+                             transfer_hold_cycles_total=0)
+        r = fake_result("pverify", lock_stats=ls)
+        checks = compare_contention_table({"pverify": r}, 4)
+        by = {c.metric: c for c in checks}
+        # paper pverify transfers = 28; ours 0 -> ratio check fails honestly
+        assert not by["transfers (scaled)"].ok
+
+
+class TestWeakOrderingComparison:
+    def test_difference_band(self):
+        sc = {"qsort": fake_result("qsort", run_time=100000)}
+        wo = {"qsort": fake_result("qsort", run_time=99980)}
+        checks = compare_weak_ordering_table(sc, wo)
+        by = {c.metric: c for c in checks}
+        assert by["WO difference %"].ok  # 0.02% vs paper 0.02%
+
+    def test_large_difference_flagged(self):
+        sc = {"qsort": fake_result("qsort", run_time=100000)}
+        wo = {"qsort": fake_result("qsort", run_time=90000)}
+        checks = compare_weak_ordering_table(sc, wo)
+        by = {c.metric: c for c in checks}
+        assert not by["WO difference %"].ok
+
+
+class TestReport:
+    def test_report_counts_and_lists_deviations(self):
+        checks = [
+            CellCheck(3, "a", "m1", 1, 1, "+-1", True),
+            CellCheck(4, "b", "m2", 10, 99, "x2", False),
+        ]
+        text = render_fidelity_report(checks)
+        assert "1/2" in text
+        assert "Deviations" in text
+        assert "T4 b m2" in text
+
+    def test_all_ok_report_has_no_deviation_tail(self):
+        checks = [CellCheck(3, "a", "m", 1, 1, "+-1", True)]
+        text = render_fidelity_report(checks)
+        assert "Deviations" not in text
+
+    def test_fidelity_checks_smoke(self):
+        """End-to-end on a tiny suite: produces checks for every table."""
+        from repro.core.experiment import run_suite
+
+        suite = run_suite(programs=["fullconn"], scale=0.05)
+        checks = fidelity_checks(suite)
+        tables = {c.table for c in checks}
+        assert tables == {1, 2, 3, 4, 5, 6, 7, 8}
+
+
+class TestIdealComparison:
+    def test_calibrated_workload_passes_table1(self):
+        from repro.core.comparison import compare_ideal_tables
+        from repro.core.ideal import ideal_stats
+        from repro.workloads import generate_trace
+
+        ideals = {"pverify": ideal_stats(generate_trace("pverify", scale=1.0))}
+        checks = compare_ideal_tables(ideals)
+        by = {(c.table, c.metric): c for c in checks}
+        assert by[(1, "processors")].ok
+        assert by[(1, "work cycles (scaled)")].ok
+        assert by[(2, "avg held (cycles)")].ok
+        assert by[(2, "% time held")].ok
+
+    def test_topopt_na_hold_skipped(self):
+        from repro.core.comparison import compare_ideal_tables
+        from repro.core.ideal import ideal_stats
+        from repro.workloads import generate_trace
+
+        ideals = {"topopt": ideal_stats(generate_trace("topopt", scale=0.1))}
+        checks = compare_ideal_tables(ideals)
+        metrics = {c.metric for c in checks if c.table == 2}
+        assert "avg held (cycles)" not in metrics  # paper says N/A

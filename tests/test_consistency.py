@@ -1,0 +1,89 @@
+"""Tests for the consistency-model policy objects and their registry."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, WEAK, get_model
+from repro.consistency.sequential import SequentialConsistency
+from repro.consistency.weak import WeakOrdering
+
+
+class TestPolicies:
+    def test_sequential_flags(self):
+        m = SEQUENTIAL
+        assert m.stall_on_write_miss
+        assert m.stall_on_upgrade
+        assert not m.bypass_reads
+        assert not m.drain_at_sync
+        assert m.name == "sc"
+
+    def test_weak_flags(self):
+        m = WEAK
+        assert not m.stall_on_write_miss
+        assert not m.stall_on_upgrade
+        assert m.bypass_reads
+        assert m.drain_at_sync
+        assert m.name == "wo"
+
+    def test_models_frozen(self):
+        with pytest.raises(Exception):
+            SEQUENTIAL.name = "x"
+
+    def test_str(self):
+        assert str(SEQUENTIAL) == "sc"
+        assert str(WEAK) == "wo"
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("alias", ["sc", "SC", "sequential"])
+    def test_sequential_aliases(self, alias):
+        assert isinstance(get_model(alias), SequentialConsistency)
+
+    @pytest.mark.parametrize("alias", ["wo", "WO", "weak"])
+    def test_weak_aliases(self, alias):
+        assert isinstance(get_model(alias), WeakOrdering)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown consistency"):
+            get_model("release-consistency")
+
+
+class TestBehavioralContrast:
+    """The two models must actually diverge on a write-heavy trace and
+    agree on a read-only one."""
+
+    def _run(self, fn, model, n=1):
+        from repro.machine.system import System
+        from repro.sync import QueuingLockManager
+        from tests.conftest import make_traceset, tiny_machine
+
+        ts = make_traceset([fn] * n)
+        return System(ts, tiny_machine(n_procs=n), QueuingLockManager(), model).run()
+
+    def test_write_heavy_trace_faster_under_wo(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(65536)
+            code = layout.alloc_code(16)
+            for i in range(64):
+                b.write(sh + i * 16)
+                b.block(1, 3, code)
+
+        sc = self._run(fn, SEQUENTIAL)
+        wo = self._run(fn, WEAK)
+        assert wo.run_time < sc.run_time
+
+    def test_read_only_trace_identical(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(1024)
+            for i in range(32):
+                b.read(sh + i * 16)
+
+        sc = self._run(fn, SEQUENTIAL)
+        wo = self._run(fn, WEAK)
+        assert wo.run_time == sc.run_time
+
+    def test_wo_results_stamped(self):
+        def fn(b, layout):
+            b.read(layout.alloc_shared(16))
+
+        wo = self._run(fn, WEAK)
+        assert wo.consistency == "wo"

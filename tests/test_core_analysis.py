@@ -1,0 +1,183 @@
+"""Tests for contention rows, the §3.2 decomposition and the predictor
+study."""
+
+import pytest
+
+from repro.core.contention import contention_row
+from repro.core.decomposition import decompose_ttas_slowdown
+from repro.core.predictors import predictor_study, spearman
+from repro.machine.metrics import RunResult
+from repro.sync.stats import LockStats
+
+
+def fake_lock_stats(**kw):
+    base = dict(
+        acquisitions=100,
+        hold_cycles_total=20000,
+        transfers=40,
+        waiters_at_transfer_total=120,
+        transfer_hold_cycles_total=12000,
+        handoff_cycles_total=200,
+        uncontended_acquire_cycles_total=360,
+        uncontended_acquires=60,
+    )
+    base.update(kw)
+    return LockStats(**base)
+
+
+def fake_result(program="x", run_time=100000, lock_stats=None, n_procs=10, **kw):
+    from repro.machine.metrics import ProcMetrics
+
+    pm = []
+    for p in range(n_procs):
+        m = ProcMetrics(p)
+        m.work_cycles = run_time // 2
+        m.stall_miss = kw.pop("_stall_miss", run_time // 4)
+        m.stall_lock = kw.pop("_stall_lock", run_time // 4)
+        m.completion_time = run_time
+        pm.append(m)
+    defaults = dict(
+        program=program,
+        n_procs=n_procs,
+        lock_scheme="queuing",
+        consistency="sc",
+        run_time=run_time,
+        proc_metrics=tuple(pm),
+        lock_stats=lock_stats or fake_lock_stats(),
+        bus_busy_cycles=run_time // 5,
+        bus_op_counts={},
+        read_hits=900,
+        read_misses=100,
+        write_hits=95,
+        write_misses=5,
+        ifetch_hits=1000,
+        ifetch_misses=10,
+        writebacks=3,
+        c2c_supplied=7,
+        invalidations_received=11,
+        buffer_max_occupancy=2,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestContentionRow:
+    def test_row_fields(self):
+        row = contention_row(fake_result())
+        assert row.time_held == pytest.approx(200.0)
+        assert row.transfers == 40
+        assert row.waiters_at_transfer == pytest.approx(3.0)
+        assert row.transfer_time_held == pytest.approx(300.0)
+        assert row.handoff_cycles == pytest.approx(5.0)
+        assert row.contended_fraction == pytest.approx(0.4)
+
+    def test_zero_division_safety(self):
+        row = contention_row(
+            fake_result(lock_stats=fake_lock_stats(acquisitions=0, transfers=0))
+        )
+        assert row.time_held == 0
+        assert row.waiters_at_transfer == 0
+        assert row.contended_fraction == 0
+
+
+class TestDecomposition:
+    def test_factor_arithmetic(self):
+        q = fake_result(
+            run_time=100000,
+            lock_stats=fake_lock_stats(handoff_cycles_total=40 * 3),
+        )
+        t = fake_result(
+            run_time=108000,
+            lock_stats=fake_lock_stats(
+                handoff_cycles_total=40 * 23, transfer_hold_cycles_total=12400
+            ),
+        )
+        d = decompose_ttas_slowdown(q, t)
+        assert d.slowdown_cycles == 8000
+        assert d.slowdown_pct == pytest.approx(8.0)
+        # paper accounting: delta-handoff x transfers
+        assert d.handoff_cycles == pytest.approx((23 - 3) * 40)
+        # delta transfer-hold = 310 - 300 = 10 cycles x 40 transfers
+        assert d.hold_cycles == pytest.approx(10 * 40)
+        assert d.residual_cycles == pytest.approx(8000 - 800 - 400)
+        assert d.handoff_pct + d.hold_pct + d.residual_pct == pytest.approx(100.0)
+        assert 0 < d.handoff_share < 1
+        assert d.handoff_ratio == pytest.approx(23 / 3)
+
+    def test_program_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same program"):
+            decompose_ttas_slowdown(fake_result("a"), fake_result("b"))
+
+    def test_real_grav_decomposition_shape(self):
+        """On the real workload: T&T&S is measurably slower, its
+        hand-off is several times the queuing hand-off, the hand-off
+        factor alone covers a large part of the increase, and bus
+        utilization grows substantially (§3.2)."""
+        from repro.core.experiment import run_suite
+
+        suite = run_suite(
+            programs=["grav"],
+            scale=0.5,
+            configs=(("queuing", "sc"), ("ttas", "sc")),
+        )
+        d = decompose_ttas_slowdown(suite.queuing_sc["grav"], suite.ttas_sc["grav"])
+        assert d.slowdown_pct > 1.0
+        assert d.handoff_ratio > 3
+        assert d.handoff_pct > 40
+        assert d.bus_util_growth > 0.25
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert spearman([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_nonlinear_still_perfect(self):
+        assert spearman([1, 2, 3, 4], [1, 8, 27, 1000]) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        x = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0]
+        y = [2.0, 7.0, 1.0, 8.0, 2.5, 0.5]
+        assert spearman(x, y) == pytest.approx(spearmanr(x, y).statistic)
+
+    def test_ties_handled(self):
+        from scipy.stats import spearmanr
+
+        x = [1.0, 1.0, 2.0, 3.0]
+        y = [4.0, 5.0, 6.0, 7.0]
+        assert spearman(x, y) == pytest.approx(spearmanr(x, y).statistic)
+
+    def test_constant_input_gives_zero(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestPredictorStudy:
+    def test_real_suite_confirms_paper_conclusion(self):
+        """§5: acquisitions predict contention; % time held does not."""
+        from repro.core.experiment import run_suite
+        from repro.core.ideal import ideal_stats
+
+        programs = ["grav", "pdsa", "fullconn", "pverify", "qsort"]
+        suite = run_suite(programs=programs, scale=0.5, configs=(("queuing", "sc"),))
+        ideals = [ideal_stats(suite.traces[p]) for p in programs]
+        results = [suite.queuing_sc[p] for p in programs]
+        study = predictor_study(ideals, results)
+        assert study.best_predictor == "lock_pairs"
+        assert study.corr_lock_pairs > 0.55  # paper's own data gives 0.6
+        assert study.corr_pct_time_held < study.corr_lock_pairs - 0.2
+        assert "lock" in study.conclusion()
+
+    def test_mismatched_lists_rejected(self):
+        from repro.core.ideal import BenchmarkIdeal
+
+        ideal = BenchmarkIdeal("a", 1, 1, 1, 1, 1, 1, 0, 0, 0, ())
+        with pytest.raises(ValueError):
+            predictor_study([ideal], [])

@@ -1,0 +1,111 @@
+"""Tests for the core ideal analysis (Tables 1/2 aggregation)."""
+
+import pytest
+
+from repro.core.ideal import ideal_stats
+from repro.workloads import generate_trace
+from tests.conftest import make_traceset
+
+
+class TestAggregation:
+    def test_averages_over_processors(self):
+        def short(b, layout):
+            code = layout.alloc_code(64)
+            b.block(4, 100, code)
+
+        def long(b, layout):
+            code = layout.alloc_code(64)
+            b.block(4, 300, code)
+            b.read(layout.alloc_shared(16))
+
+        ideal = ideal_stats(make_traceset([short, long]))
+        assert ideal.n_procs == 2
+        assert ideal.work_cycles == pytest.approx(200)
+        assert ideal.all_refs == pytest.approx((4 + 5) / 2)
+        assert ideal.data_refs == pytest.approx(0.5)
+
+    def test_hold_time_weighted_by_pairs(self):
+        state = {}
+
+        def one_hold(b, layout):
+            if "l" not in state:
+                state["l"] = layout.alloc_lock()
+                state["c"] = layout.alloc_code(64)
+            b.lock(0, state["l"])
+            b.block(2, 100, state["c"])
+            b.unlock(0, state["l"])
+
+        def three_holds(b, layout):
+            for _ in range(3):
+                b.lock(0, state["l"])
+                b.block(2, 200, state["c"])
+                b.unlock(0, state["l"])
+
+        ideal = ideal_stats(make_traceset([one_hold, three_holds]))
+        # weighted: (1*100 + 3*200) / 4, not (100+200)/2
+        assert ideal.avg_held == pytest.approx(175.0)
+        assert ideal.lock_pairs == pytest.approx(2.0)
+
+    def test_pct_time_held(self):
+        state = {}
+
+        def fn(b, layout):
+            if "l" not in state:
+                state["l"] = layout.alloc_lock()
+                state["c"] = layout.alloc_code(64)
+            b.lock(0, state["l"])
+            b.block(2, 30, state["c"])
+            b.unlock(0, state["l"])
+            b.block(2, 70, state["c"])
+
+        ideal = ideal_stats(make_traceset([fn, fn]))
+        assert ideal.pct_time_held == pytest.approx(30.0)
+
+    def test_derived_fractions(self):
+        def fn(b, layout):
+            code = layout.alloc_code(64)
+            b.block(6, 20, code)
+            b.read(layout.alloc_shared(16))
+            b.read(layout.alloc_private(0, 16))
+
+        ideal = ideal_stats(make_traceset([fn]))
+        assert ideal.data_fraction == pytest.approx(2 / 8)
+        assert ideal.shared_fraction == pytest.approx(0.5)
+        assert ideal.cycles_per_ref == pytest.approx(20 / 8)
+
+
+class TestPaperShape:
+    """The ideal-statistics *orderings* the paper's analysis rests on."""
+
+    @pytest.fixture(scope="class")
+    def ideals(self):
+        return {
+            name: ideal_stats(generate_trace(name, scale=0.25))
+            for name in ("grav", "pdsa", "fullconn", "pverify", "qsort", "topopt")
+        }
+
+    def test_lock_pair_ordering(self, ideals):
+        """Grav >> Pdsa >> FullConn ~ Pverify ~ Qsort > Topopt = 0."""
+        assert ideals["grav"].lock_pairs > 1.5 * ideals["pdsa"].lock_pairs
+        assert ideals["pdsa"].lock_pairs > 3 * ideals["fullconn"].lock_pairs
+        assert ideals["topopt"].lock_pairs == 0
+
+    def test_pverify_holds_longest_by_an_order_of_magnitude(self, ideals):
+        others = [
+            ideals[n].avg_held for n in ("grav", "pdsa", "fullconn", "qsort")
+        ]
+        assert ideals["pverify"].avg_held > 5 * max(others)
+
+    def test_grav_and_pverify_high_pct_held(self, ideals):
+        assert ideals["grav"].pct_time_held > 15
+        assert ideals["pverify"].pct_time_held > 25
+        assert ideals["qsort"].pct_time_held < 3
+
+    def test_nested_locks_only_in_presto_programs(self, ideals):
+        for name in ("grav", "pdsa", "fullconn"):
+            assert ideals[name].nested_locks > 0
+        for name in ("pverify", "qsort", "topopt"):
+            assert ideals[name].nested_locks == 0
+
+    def test_qsort_short_holds(self, ideals):
+        assert ideals["qsort"].avg_held < 100

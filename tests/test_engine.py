@@ -1,0 +1,97 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.machine.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        log = []
+        e.at(5, lambda t: log.append(("b", t)))
+        e.at(2, lambda t: log.append(("a", t)))
+        e.at(9, lambda t: log.append(("c", t)))
+        e.run()
+        assert log == [("a", 2), ("b", 5), ("c", 9)]
+
+    def test_same_cycle_events_fire_in_scheduling_order(self):
+        e = Engine()
+        log = []
+        for name in "abcd":
+            e.at(3, lambda t, n=name: log.append(n))
+        e.run()
+        assert log == list("abcd")
+
+    def test_now_tracks_dispatch_time(self):
+        e = Engine()
+        seen = []
+        e.at(4, lambda t: seen.append(e.now))
+        e.run()
+        assert seen == [4]
+
+    def test_events_scheduled_from_events(self):
+        e = Engine()
+        log = []
+
+        def first(t):
+            log.append(t)
+            e.at(t + 10, lambda t2: log.append(t2))
+
+        e.at(1, first)
+        e.run()
+        assert log == [1, 11]
+
+    def test_after_is_relative(self):
+        e = Engine()
+        log = []
+        e.at(7, lambda t: e.after(3, lambda t2: log.append(t2)))
+        e.run()
+        assert log == [10]
+
+    def test_past_event_rejected(self):
+        e = Engine()
+        e.at(10, lambda t: None)
+        e.run()
+        with pytest.raises(ValueError, match="past"):
+            e.at(5, lambda t: None)
+
+    def test_run_returns_dispatch_count(self):
+        e = Engine()
+        for i in range(5):
+            e.at(i, lambda t: None)
+        assert e.run() == 5
+
+    def test_until_bound(self):
+        e = Engine()
+        log = []
+        e.at(1, lambda t: log.append(t))
+        e.at(100, lambda t: log.append(t))
+        e.run(until=50)
+        assert log == [1]
+        assert e.pending() == 1
+
+    def test_max_events_guard(self):
+        e = Engine()
+
+        def loop(t):
+            e.at(t + 1, loop)
+
+        e.at(0, loop)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            e.run(max_events=100)
+
+    def test_not_reentrant(self):
+        e = Engine()
+
+        def bad(t):
+            e.run()
+
+        e.at(0, bad)
+        with pytest.raises(RuntimeError, match="reentrant"):
+            e.run()
+
+    def test_empty_run_is_noop(self):
+        e = Engine()
+        assert e.run() == 0
+        assert e.now == 0

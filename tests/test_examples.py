@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run to completion at a small
+scale and print its headline content."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "fullconn", "0.05")
+        assert "ideal analysis" in out
+        assert "utilization" in out
+
+    def test_quickstart_contended_branch(self):
+        out = run_example("quickstart.py", "pdsa", "0.3")
+        assert "waiting for locks" in out or "cache" in out
+
+    def test_lock_comparison(self):
+        out = run_example("lock_comparison.py", "pdsa", "0.15")
+        assert "queuing" in out and "ttas" in out and "tas" in out
+        assert "decomposition" in out
+        assert "conjecture" in out
+
+    def test_weak_ordering_study(self):
+        out = run_example("weak_ordering_study.py", "0.05")
+        assert "largest |difference|" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "mailring" not in out.lower() or True
+        assert "lock pairs" in out
+
+    def test_contention_predictors(self):
+        out = run_example("contention_predictors.py", "0.15")
+        assert "Spearman" in out
+        assert "best predictor" in out
+
+    def test_synthetic_vs_real(self):
+        out = run_example("synthetic_vs_real.py", "0.1")
+        assert "artificial programs" in out
+        assert "real programs" in out
+
+    def test_machine_scaling(self):
+        out = run_example("machine_scaling.py", "fullconn", "0.05")
+        assert "speedup" in out
+
+    def test_why_the_misses(self):
+        out = run_example("why_the_misses.py", "0.05")
+        assert "fits 64KB" in out
+        assert "topopt" in out
+
+    def test_bus_anatomy(self):
+        out = run_example("bus_anatomy.py", "pdsa", "0.1")
+        assert "Bus anatomy" in out
+        assert "lock traffic" in out

@@ -1,0 +1,92 @@
+"""Tests for the experiment driver and suite runner."""
+
+import pytest
+
+from repro.core.experiment import Experiment, SuiteResults, run_experiment, run_suite
+from repro.machine.config import MachineConfig
+from repro.workloads import generate_trace
+
+
+class TestExperiment:
+    def test_needs_program_or_traceset(self):
+        with pytest.raises(ValueError, match="traceset or a program"):
+            Experiment().run()
+
+    def test_generates_and_caches_trace(self):
+        exp = Experiment(program="fullconn", scale=0.05)
+        ts1 = exp.trace()
+        ts2 = exp.trace()
+        assert ts1 is ts2
+
+    def test_run_returns_result_with_config_stamp(self):
+        r = run_experiment("fullconn", lock_scheme="ttas", consistency="wo", scale=0.05)
+        assert r.program == "fullconn"
+        assert r.lock_scheme == "ttas"
+        assert r.consistency == "wo"
+        assert r.run_time > 0
+
+    def test_explicit_traceset_reused(self):
+        ts = generate_trace("pverify", scale=0.05)
+        r1 = run_experiment("", traceset=ts)
+        r2 = run_experiment("", traceset=ts, lock_scheme="ttas")
+        assert r1.n_procs == r2.n_procs == ts.n_procs
+
+    def test_trace_is_not_mutated_by_simulation(self):
+        import numpy as np
+
+        ts = generate_trace("fullconn", scale=0.05)
+        before = [t.records.copy() for t in ts]
+        run_experiment("", traceset=ts)
+        run_experiment("", traceset=ts, consistency="wo")
+        for orig, t in zip(before, ts):
+            assert np.array_equal(orig, t.records)
+
+    def test_same_traceset_two_runs_identical(self):
+        ts = generate_trace("pverify", scale=0.05)
+        r1 = run_experiment("", traceset=ts)
+        r2 = run_experiment("", traceset=ts)
+        assert r1.run_time == r2.run_time
+        assert r1.lock_stats == r2.lock_stats
+
+    def test_custom_machine_config(self):
+        cfg = MachineConfig(n_procs=12, cachebus_buffer_depth=1)
+        r = run_experiment("fullconn", scale=0.05, machine=cfg)
+        assert r.buffer_max_occupancy >= 1
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown lock scheme"):
+            run_experiment("fullconn", lock_scheme="magic", scale=0.05)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown consistency"):
+            run_experiment("fullconn", consistency="rc", scale=0.05)
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        return run_suite(programs=["fullconn", "pverify"], scale=0.05)
+
+    def test_all_three_configs_populated(self, small_suite):
+        for bucket in (
+            small_suite.queuing_sc,
+            small_suite.ttas_sc,
+            small_suite.queuing_wo,
+        ):
+            assert set(bucket) == {"fullconn", "pverify"}
+
+    def test_traces_shared_across_configs(self, small_suite):
+        assert set(small_suite.traces) == {"fullconn", "pverify"}
+
+    def test_programs_in_table_order(self, small_suite):
+        assert small_suite.programs() == ["fullconn", "pverify"]
+
+    def test_result_configs_stamped(self, small_suite):
+        assert small_suite.ttas_sc["fullconn"].lock_scheme == "ttas"
+        assert small_suite.queuing_wo["pverify"].consistency == "wo"
+
+    def test_partial_config_selection(self):
+        s = run_suite(programs=["fullconn"], scale=0.05, configs=(("queuing", "sc"),))
+        assert s.queuing_sc
+        assert not s.ttas_sc
+        assert not s.queuing_wo

@@ -1,0 +1,113 @@
+"""Tests for the footprint/sharing analysis."""
+
+import pytest
+
+from repro.trace.footprint import proc_footprint, sharing_profile
+from repro.workloads import generate_trace
+from tests.conftest import make_traceset
+
+
+class TestProcFootprint:
+    def test_counts_unique_lines(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(256)
+            b.read(sh)  # line 0 of the allocation
+            b.read(sh + 4)  # same line
+            b.read(sh + 16)  # next line
+            b.write(sh + 32, reps=8)  # two lines (8 words)
+
+        fp = proc_footprint(make_traceset([fn])[0])
+        assert fp.data_lines == 4
+        assert fp.shared_data_lines == 4
+        assert fp.code_lines == 0
+
+    def test_rep_records_expand_across_lines(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(1024)
+            b.read(sh, reps=64)  # 64 words = 16 lines
+
+        fp = proc_footprint(make_traceset([fn])[0])
+        assert fp.data_lines == 16
+
+    def test_private_lines_not_shared(self):
+        def fn(b, layout):
+            b.read(layout.alloc_private(0, 64))
+            b.read(layout.alloc_shared(64))
+
+        fp = proc_footprint(make_traceset([fn])[0])
+        assert fp.data_lines == 2
+        assert fp.shared_data_lines == 1
+
+    def test_code_lines_counted(self):
+        def fn(b, layout):
+            code = layout.alloc_code(256)
+            b.block(12, 30, code)  # 48 bytes = 3 lines
+
+        fp = proc_footprint(make_traceset([fn])[0])
+        assert fp.code_lines == 3
+        assert fp.total_lines == 3
+
+    def test_fits_in_cache(self):
+        def small(b, layout):
+            b.read(layout.alloc_shared(64))
+
+        fp = proc_footprint(make_traceset([small])[0])
+        assert fp.fits_in(4096)
+        assert not fp.fits_in(0)
+
+    def test_empty_trace(self):
+        fp = proc_footprint(make_traceset([lambda b, l: None])[0])
+        assert fp.total_lines == 0
+
+
+class TestSharingProfile:
+    def test_actively_shared_detection(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["common"] = layout.alloc_shared(16)
+            addr["solo"] = layout.alloc_shared(16)
+            b.read(addr["common"])
+            b.read(addr["solo"])
+
+        def p1(b, layout):
+            b.read(addr["common"])
+
+        prof = sharing_profile(make_traceset([p0, p1]))
+        assert prof.shared_lines == 2
+        assert prof.actively_shared == 1
+        assert prof.active_fraction == pytest.approx(0.5)
+
+    def test_write_shared_requires_cross_proc_touch(self):
+        addr = {}
+
+        def writer(b, layout):
+            addr["a"] = layout.alloc_shared(16)
+            addr["b"] = layout.alloc_shared(16)
+            b.write(addr["a"])  # later read by p1 -> write-shared
+            b.write(addr["b"])  # never touched by others -> not
+
+        def reader(b, layout):
+            b.read(addr["a"])
+
+        prof = sharing_profile(make_traceset([writer, reader]))
+        assert prof.write_shared == 1
+
+    def test_benchmark_contrast_qsort_vs_topopt(self):
+        """The explanatory payload: Qsort's shared lines are actively
+        write-shared (migration), Topopt's shared lines are read-only
+        and its footprint fits the cache."""
+        qs = sharing_profile(generate_trace("qsort", scale=0.2))
+        to = sharing_profile(generate_trace("topopt", scale=0.2))
+        assert qs.active_fraction > 0.5
+        assert qs.write_shared > 50 * max(1, to.write_shared)
+        # topopt per-proc footprints fit the 64KB cache; qsort's exceed it
+        assert all(f.fits_in() for f in to.footprints)
+
+    def test_presto_shared_is_not_all_active(self):
+        """Table 1 says ~all Presto data is 'shared'; the profile shows
+        much of it is touched by a single processor (Presto's allocator,
+        not real communication)."""
+        prof = sharing_profile(generate_trace("grav", scale=0.2))
+        assert prof.shared_lines > 0
+        assert prof.active_fraction < 0.9

@@ -1,0 +1,70 @@
+"""Property tests: the inspection and footprint tools must handle any
+valid trace without crashing, and their numbers must agree with the
+statistics module."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.footprint import proc_footprint, sharing_profile
+from repro.trace.inspect import dump_records, lock_event_log, summarize_traceset
+from repro.trace.records import LOCK, UNLOCK
+from repro.trace.stats import compute_trace_stats
+from tests.test_trace_properties import build_traceset, trace_programs
+
+programs_strategy = st.lists(trace_programs(max_ops=30), min_size=1, max_size=3)
+
+
+class TestInspectProperties:
+    @given(programs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_summary_never_crashes(self, programs):
+        ts = build_traceset(programs)
+        text = summarize_traceset(ts)
+        assert "program" in text
+        # one summary row per processor
+        assert text.count("\n") >= ts.n_procs
+
+    @given(programs_strategy, st.integers(0, 100), st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_dump_any_window(self, programs, start, count):
+        ts = build_traceset(programs)
+        text = dump_records(ts[0], start=start, count=count)
+        assert "records" in text
+
+    @given(programs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_lock_log_matches_stats(self, programs):
+        ts = build_traceset(programs)
+        events = lock_event_log(ts)
+        locks = sum(1 for e in events if e[3] == "LOCK")
+        unlocks = sum(1 for e in events if e[3] == "UNLOCK")
+        expected = sum(compute_trace_stats(t).lock_pairs for t in ts)
+        assert locks == unlocks == expected
+
+    @given(programs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_consistent_with_stats(self, programs):
+        ts = build_traceset(programs)
+        for t in ts:
+            fp = proc_footprint(t)
+            s = compute_trace_stats(t)
+            # lines <= elementary references of each category
+            assert fp.data_lines <= max(1, s.data_refs) or s.data_refs == 0
+            assert fp.shared_data_lines <= fp.data_lines
+            if s.data_refs == 0:
+                assert fp.data_lines == 0
+
+    @given(programs_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_sharing_profile_bounds(self, programs):
+        ts = build_traceset(programs)
+        prof = sharing_profile(ts)
+        assert 0 <= prof.actively_shared <= prof.shared_lines
+        assert 0 <= prof.write_shared <= prof.shared_lines
+        assert 0.0 <= prof.active_fraction <= 1.0
+        union = set()
+        for f in prof.footprints:
+            assert f.shared_data_lines <= f.data_lines
+        # union of per-proc shared lines == profile's shared_lines
+        total_per_proc = sum(f.shared_data_lines for f in prof.footprints)
+        assert prof.shared_lines <= max(1, total_per_proc) or total_per_proc == 0

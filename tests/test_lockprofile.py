@@ -1,0 +1,81 @@
+"""Tests for the per-lock contention profile extension."""
+
+import pytest
+
+from repro.core.lockprofile import lock_profile, render_lock_profile
+from repro.machine.system import simulate
+from repro.workloads import generate_trace
+
+
+@pytest.fixture(scope="module")
+def grav_run():
+    ts = generate_trace("grav", scale=0.3)
+    return ts, simulate(ts)
+
+
+class TestLockProfile:
+    def test_rows_sorted_hottest_first(self, grav_run):
+        ts, result = grav_run
+        rows = lock_profile(result, ts)
+        transfers = [r.transfers for r in rows]
+        assert transfers == sorted(transfers, reverse=True)
+
+    def test_scheduler_lock_dominates_grav(self, grav_run):
+        """§3.1: the Presto scheduler lock is Grav's hot spot."""
+        ts, result = grav_run
+        rows = lock_profile(result, ts)
+        assert rows[0].name == "presto.scheduler"
+        total = sum(r.transfers for r in rows)
+        assert rows[0].transfers > 0.6 * total
+
+    def test_names_resolved_from_layout(self, grav_run):
+        ts, result = grav_run
+        names = {r.name for r in lock_profile(result, ts)}
+        assert {"presto.scheduler", "presto.runqueue", "grav.tree"} <= names
+
+    def test_without_traceset_uses_generic_names(self, grav_run):
+        _, result = grav_run
+        rows = lock_profile(result)
+        assert all(r.name.startswith("lock") for r in rows)
+
+    def test_acquisition_totals_match_run(self, grav_run):
+        ts, result = grav_run
+        rows = lock_profile(result, ts)
+        assert sum(r.acquisitions for r in rows) == result.lock_stats.acquisitions
+        assert sum(r.transfers for r in rows) == result.lock_stats.transfers
+
+    def test_derived_row_stats(self, grav_run):
+        ts, result = grav_run
+        for r in lock_profile(result, ts):
+            assert 0 <= r.contended_fraction <= 1
+            assert r.avg_waiters_at_transfer >= 0
+            if r.acquisitions:
+                assert r.avg_hold >= 0
+
+    def test_render_includes_names_and_truncation(self, grav_run):
+        ts, result = grav_run
+        text = render_lock_profile(result, ts, top=2)
+        assert "presto.scheduler" in text
+        assert "more locks" in text  # there are >2 locks in grav
+
+    def test_fullconn_spreads_transfers(self):
+        """FullConn's per-node locks: no single lock dominates like
+        Grav's scheduler (the paper's low-contention contrast)."""
+        ts = generate_trace("fullconn", scale=1.0)
+        result = simulate(ts)
+        rows = lock_profile(result, ts)
+        node_rows = [r for r in rows if r.name.startswith("fullconn.node")]
+        assert len(node_rows) >= 10  # every node lock used
+        total = sum(r.transfers for r in rows)
+        if total:
+            assert rows[0].transfers <= 0.8 * total
+
+    def test_layout_names_survive_trace_roundtrip(self, tmp_path):
+        from repro.trace import load_traceset, save_traceset
+
+        ts = generate_trace("pdsa", scale=0.05)
+        path = tmp_path / "t.npz"
+        save_traceset(ts, path)
+        ts2 = load_traceset(path)
+        assert ts2.layout.lock_names == ts.layout.lock_names
+        assert "pdsa.anneal" in ts2.layout.lock_names.values()

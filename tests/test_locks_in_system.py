@@ -1,0 +1,182 @@
+"""Integration tests: locks running in the full simulated machine.
+
+The key safety property is mutual exclusion: with the lock managers
+deciding contention at simulation time, no two processors may ever be
+inside a critical section for the same lock simultaneously.  We verify
+it by instrumenting grant/release times.
+"""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.system import System
+from repro.sync import (
+    ExactQueuingLockManager,
+    QueuingLockManager,
+    TestAndSetLockManager,
+    TestAndTestAndSetLockManager,
+)
+from tests.conftest import make_traceset, tiny_machine
+
+ALL_SCHEMES = [
+    QueuingLockManager,
+    ExactQueuingLockManager,
+    TestAndTestAndSetLockManager,
+    TestAndSetLockManager,
+]
+
+
+class IntervalRecorder:
+    """Wraps a lock manager to record [grant, release) per proc/lock."""
+
+    def __init__(self, mgr):
+        self.mgr = mgr
+        self.intervals: dict[int, list] = {}
+        self._open: dict[tuple, int] = {}
+        self._wrap()
+
+    def _wrap(self):
+        orig_acquire = self.mgr.acquire
+        orig_release = self.mgr.release
+
+        def acquire(proc, lock_id, line, time, grant_cb):
+            def cb(t, contended):
+                self._open[(proc, lock_id)] = t
+                grant_cb(t, contended)
+
+            orig_acquire(proc, lock_id, line, time, cb)
+
+        def release(proc, lock_id, line, time, done_cb):
+            start = self._open.pop((proc, lock_id))
+            self.intervals.setdefault(lock_id, []).append((start, time, proc))
+            orig_release(proc, lock_id, line, time, done_cb)
+
+        self.mgr.acquire = acquire
+        self.mgr.release = release
+
+    def assert_mutual_exclusion(self):
+        for lock_id, ivals in self.intervals.items():
+            ivals = sorted(ivals)
+            for (s1, e1, p1), (s2, e2, p2) in zip(ivals, ivals[1:]):
+                assert s2 >= e1, (
+                    f"lock {lock_id}: proc {p2} entered at {s2} before "
+                    f"proc {p1} left at {e1}"
+                )
+
+
+def contended_traceset(n_procs=4, css=6):
+    """Every processor hammers one lock with work inside and outside."""
+
+    state = {}
+
+    def fn(b, layout):
+        if "lock" not in state:
+            state["lock"] = layout.alloc_lock()
+            state["sh"] = layout.alloc_shared(64)
+            state["code"] = layout.alloc_code(64)
+        la, sh, code = state["lock"], state["sh"], state["code"]
+        for i in range(css):
+            b.block(4, 30, code)
+            b.lock(0, la)
+            b.block(4, 40, code)
+            b.read(sh)
+            b.write(sh + 4)
+            b.unlock(0, la)
+
+    return make_traceset([fn] * n_procs)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda c: c.name)
+class TestMutualExclusion:
+    def test_no_overlapping_critical_sections(self, scheme):
+        ts = contended_traceset()
+        mgr = scheme()
+        rec = IntervalRecorder(mgr)
+        system = System(ts, tiny_machine(n_procs=4), mgr, SEQUENTIAL)
+        system.run()
+        assert sum(len(v) for v in rec.intervals.values()) == 4 * 6
+        rec.assert_mutual_exclusion()
+
+    def test_all_acquisitions_granted(self, scheme):
+        ts = contended_traceset(n_procs=3, css=4)
+        mgr = scheme()
+        system = System(ts, tiny_machine(n_procs=3), mgr, SEQUENTIAL)
+        result = system.run()
+        assert result.lock_stats.acquisitions == 12
+
+    def test_weak_ordering_also_safe(self, scheme):
+        ts = contended_traceset(n_procs=3, css=4)
+        mgr = scheme()
+        rec = IntervalRecorder(mgr)
+        system = System(ts, tiny_machine(n_procs=3), mgr, WEAK)
+        system.run()
+        rec.assert_mutual_exclusion()
+
+
+class TestContentionMetricsEndToEnd:
+    def test_transfers_happen_under_contention(self):
+        ts = contended_traceset(n_procs=6, css=8)
+        mgr = QueuingLockManager()
+        system = System(ts, tiny_machine(n_procs=6), mgr, SEQUENTIAL)
+        result = system.run()
+        assert result.lock_stats.transfers > 0
+        assert result.lock_stats.avg_waiters_at_transfer > 0
+        assert result.stall_pct_lock > 30
+
+    def test_uncontended_locks_cost_misses_not_lock_waits(self):
+        """A single processor locking alone never waits."""
+
+        def fn(b, layout):
+            la = layout.alloc_lock()
+            code = layout.alloc_code(16)
+            for _ in range(5):
+                b.lock(0, la)
+                b.block(2, 20, code)
+                b.unlock(0, la)
+
+        ts = make_traceset([fn])
+        system = System(ts, tiny_machine(n_procs=1), QueuingLockManager(), SEQUENTIAL)
+        result = system.run()
+        m = result.proc_metrics[0]
+        assert m.stall_lock == 0
+        assert m.stall_miss > 0  # the acquire/release memory accesses
+
+    def test_ttas_generates_more_bus_traffic_than_queuing(self):
+        ts1 = contended_traceset(n_procs=6, css=8)
+        r_q = System(
+            ts1, tiny_machine(n_procs=6), QueuingLockManager(), SEQUENTIAL
+        ).run()
+        ts2 = contended_traceset(n_procs=6, css=8)
+        r_t = System(
+            ts2, tiny_machine(n_procs=6), TestAndTestAndSetLockManager(), SEQUENTIAL
+        ).run()
+        assert r_t.bus_busy_cycles > r_q.bus_busy_cycles
+        assert r_t.lock_stats.avg_handoff > r_q.lock_stats.avg_handoff
+
+    def test_nested_locks_simulate_correctly(self):
+        """The Presto pattern: inner lock inside outer, plus the inner
+        alone -- must run to completion under contention."""
+        state = {}
+
+        def fn(b, layout):
+            if "outer" not in state:
+                state["outer"] = layout.alloc_lock()
+                state["inner"] = layout.alloc_lock()
+                state["code"] = layout.alloc_code(16)
+            o, i, code = state["outer"], state["inner"], state["code"]
+            for _ in range(4):
+                b.lock(0, o)
+                b.lock(1, i)
+                b.block(2, 30, code)
+                b.unlock(1, i)
+                b.unlock(0, o)
+                b.lock(1, i)  # inner alone (enqueue path)
+                b.block(2, 10, code)
+                b.unlock(1, i)
+
+        ts = make_traceset([fn] * 4)
+        mgr = QueuingLockManager()
+        rec = IntervalRecorder(mgr)
+        result = System(ts, tiny_machine(n_procs=4), mgr, SEQUENTIAL).run()
+        assert result.lock_stats.acquisitions == 4 * 4 * 3
+        rec.assert_mutual_exclusion()

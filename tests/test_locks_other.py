@@ -1,0 +1,155 @@
+"""Unit tests for the exact queuing lock, the naive test-and-set
+baseline, and the barrier manager."""
+
+import pytest
+
+from repro.sync.barrier import BarrierManager
+from repro.sync.exact_queuing import ExactQueuingLockManager
+from repro.sync.queuing import QueuingLockManager
+from repro.sync.tas import TestAndSetLockManager
+from tests.mock_machine import MockMachine, Recorder
+
+LINE = 0x2000_0000 >> 4
+
+
+def make(mgr_cls, **kw):
+    m = MockMachine()
+    mgr = mgr_cls(**kw)
+    m.attach_manager(mgr)
+    return m, mgr, Recorder()
+
+
+class TestExactQueuing:
+    def test_acquire_costs_two_memory_accesses(self):
+        m, mgr, rec = make(ExactQueuingLockManager)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.run()
+        assert [e[1] for e in m.log] == ["LOCK_MEM", "LOCK_MEM"]
+        assert rec.grants == [(0, 12, False)]
+
+    def test_contended_handoff_goes_to_memory_not_c2c(self):
+        m, mgr, rec = make(ExactQueuingLockManager)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.at(20, lambda t: mgr.acquire(1, 1, LINE, t, rec.grant_cb(1)))
+        m.at(100, lambda t: mgr.release(0, 1, LINE, t, rec.release_cb(0)))
+        m.run()
+        assert mgr.locks[1].owner == 1
+        # no LOCK_XFER: Illinois forces the re-read from memory
+        assert not m.ops("LOCK_XFER")
+        # hand-off latency = a 6-cycle memory access, not a 3-cycle c2c
+        assert mgr.stats.snapshot().avg_handoff >= 6
+
+    def test_extra_accesses_vs_approximation(self):
+        """The exact scheme issues strictly more bus operations for the
+        same locking pattern."""
+
+        def drive(mgr_cls):
+            m, mgr, rec = make(mgr_cls)
+            m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+            m.at(30, lambda t: mgr.acquire(1, 1, LINE, t, rec.grant_cb(1)))
+            m.at(100, lambda t: mgr.release(0, 1, LINE, t, rec.release_cb(0)))
+            m.at(300, lambda t: mgr.release(1, 1, LINE, t, rec.release_cb(1)))
+            m.run()
+            return len(m.log)
+
+        assert drive(ExactQueuingLockManager) > drive(QueuingLockManager)
+
+
+class TestTAS:
+    def test_uncontended_acquire(self):
+        m, mgr, rec = make(TestAndSetLockManager)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.run()
+        assert mgr.locks[1].owner == 0
+        assert [e[1] for e in m.log] == ["LOCK_RFO"]
+
+    def test_spinner_hammers_bus_while_held(self):
+        m, mgr, rec = make(TestAndSetLockManager, backoff_cycles=10)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.at(5, lambda t: mgr.acquire(1, 1, LINE, t, rec.grant_cb(1)))
+        m.at(200, lambda t: mgr.release(0, 1, LINE, t, rec.release_cb(0)))
+        m.run()
+        # spinner retried roughly every (RFO + backoff) cycles: far more
+        # traffic than T&T&S's single read
+        rfos = m.ops("LOCK_RFO")
+        assert len(rfos) >= 10
+        assert mgr.locks[1].owner == 1
+
+    def test_release_reclaims_stolen_line(self):
+        m, mgr, rec = make(TestAndSetLockManager, backoff_cycles=10)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.at(5, lambda t: mgr.acquire(1, 1, LINE, t, rec.grant_cb(1)))
+        m.at(100, lambda t: mgr.release(0, 1, LINE, t, rec.release_cb(0)))
+        m.run()
+        # the release itself needed an RFO (spinners stole the line)
+        releases = [e for e in m.log if e[2] == 0 and e[0] >= 100]
+        assert releases
+
+    def test_zero_backoff_rejected_negative(self):
+        with pytest.raises(ValueError):
+            TestAndSetLockManager(backoff_cycles=-1)
+
+    def test_transfer_stats_recorded(self):
+        m, mgr, rec = make(TestAndSetLockManager, backoff_cycles=8)
+        m.at(0, lambda t: mgr.acquire(0, 1, LINE, t, rec.grant_cb(0)))
+        m.at(5, lambda t: mgr.acquire(1, 1, LINE, t, rec.grant_cb(1)))
+        m.at(100, lambda t: mgr.release(0, 1, LINE, t, rec.release_cb(0)))
+        m.run()
+        s = mgr.stats.snapshot()
+        assert s.transfers == 1
+        assert s.acquisitions == 2
+
+
+class TestBarrier:
+    def _mgr(self, n):
+        m = MockMachine()
+        mgr = BarrierManager(n_procs=n, line=LINE)
+        mgr.attach(m)
+        return m, mgr
+
+    def test_all_wait_until_last_arrival(self):
+        m, mgr = self._mgr(3)
+        resumed = []
+        for p, t in [(0, 0), (1, 50), (2, 200)]:
+            m.at(t, lambda t2, p=p: mgr.arrive(p, 0, t2, lambda t3, c, p=p: resumed.append((p, t3))))
+        m.run()
+        assert sorted(r[0] for r in resumed) == [0, 1, 2]
+        # nobody resumed before the last arrival
+        assert min(r[1] for r in resumed) >= 200
+
+    def test_waiters_seen_average_below_half(self):
+        """The paper's §3.1 barrier bound: average waiters seen at
+        arrival is (P-1)/2 < P/2."""
+        n = 8
+        m, mgr = self._mgr(n)
+        for p in range(n):
+            m.at(p * 10, lambda t, p=p: mgr.arrive(p, 0, t, lambda t2, c: None))
+        m.run()
+        assert mgr.stats.episodes == 1
+        assert mgr.stats.avg_waiters_seen == pytest.approx((n - 1) / 2)
+        assert mgr.stats.avg_waiters_seen < n / 2
+
+    def test_multiple_episodes(self):
+        n = 2
+        m, mgr = self._mgr(n)
+        resumed = []
+        for b in range(3):
+            for p in range(n):
+                m.at(
+                    100 * b + p,
+                    lambda t, p=p, b=b: mgr.arrive(
+                        p, b, t, lambda t2, c: resumed.append((b, p))
+                    ),
+                )
+        m.run()
+        assert mgr.stats.episodes == 3
+        assert len(resumed) == 6
+
+    def test_last_arrival_not_contended(self):
+        m, mgr = self._mgr(2)
+        flags = {}
+        m.at(0, lambda t: mgr.arrive(0, 0, t, lambda t2, c: flags.setdefault(0, c)))
+        m.at(50, lambda t: mgr.arrive(1, 0, t, lambda t2, c: flags.setdefault(1, c)))
+        m.run()
+        assert flags[0] is True  # waited
+        assert flags[1] is False  # last in, straight through

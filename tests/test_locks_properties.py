@@ -1,0 +1,146 @@
+"""Property-based tests for the lock managers on the mock machine.
+
+Random interleavings of acquire/release requests from several processors
+are driven through each scheme; the properties:
+
+* safety: at most one owner at any time, and ownership only changes
+  hand at releases (checked via the manager's own invariants plus an
+  ownership log);
+* liveness: every requested acquisition is eventually granted and every
+  processor finishes its script;
+* accounting: grants == acquisitions stat; transfers <= acquisitions;
+  per-lock acquisition counts sum to the total.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync.exact_queuing import ExactQueuingLockManager
+from repro.sync.queuing import QueuingLockManager
+from repro.sync.tas import TestAndSetLockManager
+from repro.sync.ttas import TestAndTestAndSetLockManager
+from tests.mock_machine import MockMachine
+
+LINE = 0x2000_0000 >> 4
+
+schemes = st.sampled_from(
+    [
+        QueuingLockManager,
+        ExactQueuingLockManager,
+        TestAndTestAndSetLockManager,
+        TestAndSetLockManager,
+    ]
+)
+
+#: per-processor scripts: a list of (start_delay, hold_cycles) critical
+#: sections on one shared lock
+scripts = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 120), st.integers(1, 80)),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class Driver:
+    """Runs one processor's script of critical sections."""
+
+    def __init__(self, machine, mgr, proc, script, log):
+        self.machine = machine
+        self.mgr = mgr
+        self.proc = proc
+        self.script = list(script)
+        self.log = log
+        self.done = False
+
+    def start(self):
+        self._next(0)
+
+    def _next(self, t):
+        if not self.script:
+            self.done = True
+            return
+        delay, hold = self.script.pop(0)
+        self.machine.at(
+            t + delay, lambda t2: self.mgr.acquire(self.proc, 1, LINE, t2, self._got(hold))
+        )
+
+    def _got(self, hold):
+        def granted(t, contended):
+            self.log.append(("acq", self.proc, t))
+
+            def do_release(t2):
+                # the critical section ends at the release *call*; the
+                # release's own bus traffic completes later
+                self.log.append(("rel", self.proc, t2))
+                self.mgr.release(self.proc, 1, LINE, t2, self._released)
+
+            self.machine.at(t + hold, do_release)
+
+        return granted
+
+    def _released(self, t, contended):
+        self._next(t)
+
+
+class TestLockManagerProperties:
+    @given(schemes, scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_safety_and_liveness(self, scheme_cls, procs_scripts):
+        m = MockMachine()
+        mgr = scheme_cls()
+        m.attach_manager(mgr)
+        log = []
+        drivers = [
+            Driver(m, mgr, p, script, log) for p, script in enumerate(procs_scripts)
+        ]
+        for d in drivers:
+            d.start()
+        m.run()
+
+        # liveness: everyone finished every critical section
+        assert all(d.done for d in drivers)
+        total_cs = sum(len(s) for s in procs_scripts)
+        acquires = [e for e in log if e[0] == "acq"]
+        releases = [e for e in log if e[0] == "rel"]
+        assert len(acquires) == len(releases) == total_cs
+
+        # safety: acquire/release events alternate per the lock -- no
+        # acquire while another processor holds it
+        holder = None
+        for kind, proc, t in sorted(log, key=lambda e: (e[2], e[0] == "acq")):
+            if kind == "acq":
+                assert holder is None, f"proc {proc} acquired while {holder} held"
+                holder = proc
+            else:
+                assert holder == proc
+                holder = None
+        assert holder is None
+        mgr.check_invariants()
+
+    @given(schemes, scripts)
+    @settings(max_examples=50, deadline=None)
+    def test_statistics_identities(self, scheme_cls, procs_scripts):
+        m = MockMachine()
+        mgr = scheme_cls()
+        m.attach_manager(mgr)
+        log = []
+        drivers = [
+            Driver(m, mgr, p, script, log) for p, script in enumerate(procs_scripts)
+        ]
+        for d in drivers:
+            d.start()
+        m.run()
+        s = mgr.stats.snapshot()
+        total_cs = sum(len(x) for x in procs_scripts)
+        assert s.acquisitions == total_cs
+        assert s.transfers <= s.acquisitions
+        assert sum(s.per_lock_acquisitions.values()) == total_cs
+        assert sum(s.per_lock_transfers.values()) == s.transfers
+        assert s.hold_cycles_total >= 0
+        if s.transfers:
+            assert s.avg_waiters_at_transfer >= 0
+            assert s.avg_handoff >= 0

@@ -1,0 +1,167 @@
+"""Unit tests for the test-and-test-and-set lock (§2.4): local spinning,
+the release burst, winner selection, and the traffic signature."""
+
+import pytest
+
+from repro.sync.ttas import TestAndTestAndSetLockManager
+from tests.mock_machine import MockMachine, Recorder
+
+LINE = 0x2000_0000 >> 4
+
+
+@pytest.fixture
+def setup():
+    m = MockMachine()
+    mgr = TestAndTestAndSetLockManager()
+    m.attach_manager(mgr)
+    return m, mgr, Recorder()
+
+
+def acquire_at(m, mgr, rec, t, proc):
+    m.at(t, lambda t2: mgr.acquire(proc, 1, LINE, t2, rec.grant_cb(proc)))
+
+
+def release_at(m, mgr, rec, t, proc):
+    m.at(t, lambda t2: mgr.release(proc, 1, LINE, t2, rec.release_cb(proc)))
+
+
+class TestUncontended:
+    def test_acquire_is_read_then_test_and_set(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        m.run()
+        assert [e[1] for e in m.log] == ["LOCK_READ", "LOCK_RFO"]
+        assert rec.grants == [(0, 6, False)]  # 3 + 3 cycles
+        assert mgr.locks[1].owner == 0
+
+    def test_silent_release_when_line_still_modified(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        release_at(m, mgr, rec, 50, 0)
+        m.run()
+        # release write hits the M line: no bus op beyond the acquire's
+        assert [e[1] for e in m.log] == ["LOCK_READ", "LOCK_RFO"]
+        assert rec.releases == [(0, 51, False)]
+
+    def test_reacquire_after_release_uses_cached_copy(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        release_at(m, mgr, rec, 50, 0)
+        acquire_at(m, mgr, rec, 60, 0)
+        m.run()
+        # owner still caches the line: straight to the T&S
+        assert [e[1] for e in m.log] == ["LOCK_READ", "LOCK_RFO", "LOCK_RFO"]
+
+
+class TestSpinning:
+    def test_spinner_causes_no_traffic_while_held(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        acquire_at(m, mgr, rec, 10, 1)
+        m.run()
+        # spinner did one read to install its copy, then silence
+        ops = [e[1] for e in m.log]
+        assert ops.count("LOCK_READ") == 2  # owner's + spinner's
+        assert mgr.locks[1].owner == 0
+        assert 1 in mgr.locks[1].spinners
+        assert len(rec.grants) == 1
+
+    def test_release_invalidates_and_wakes_spinners(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        acquire_at(m, mgr, rec, 10, 1)
+        release_at(m, mgr, rec, 100, 0)
+        m.run()
+        ops = [e[1] for e in m.log]
+        assert "LOCK_INVAL" in ops  # the release store's invalidation
+        assert mgr.locks[1].owner == 1
+        grant = [g for g in rec.grants if g[0] == 1][0]
+        assert grant[2] is True  # contended
+
+    def test_burst_traffic_grows_with_spinners(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 5):
+            acquire_at(m, mgr, rec, 10, p)
+        release_at(m, mgr, rec, 200, 0)
+        m.run()
+        # every spinner re-reads; the winner's T&S invalidates the rest,
+        # who re-read again: >= 2 ops per loser
+        after_release = [e for e in m.log if e[0] >= 200]
+        assert len(after_release) >= 1 + 4 + 1 + 3
+        assert mgr.locks[1].owner in (1, 2, 3, 4)
+
+    def test_exactly_one_winner(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 6):
+            acquire_at(m, mgr, rec, 10, p)
+        release_at(m, mgr, rec, 100, 0)
+        m.run()
+        contended_grants = [g for g in rec.grants if g[2]]
+        assert len(contended_grants) == 1
+        # the rest still spin
+        assert len(mgr.locks[1].spinners) == 4
+
+    def test_handoff_slower_than_queuing(self, setup):
+        """The emergent hand-off cost must be several times the queuing
+        lock's ~3 cycles once a few processors spin."""
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 6):
+            acquire_at(m, mgr, rec, 10, p)
+        release_at(m, mgr, rec, 100, 0)
+        m.run()
+        s = mgr.stats.snapshot()
+        assert s.transfers == 1
+        assert s.avg_handoff >= 7
+
+    def test_waiters_at_transfer_counts_losers(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 4):
+            acquire_at(m, mgr, rec, 10, p)
+        release_at(m, mgr, rec, 100, 0)
+        m.run()
+        s = mgr.stats.snapshot()
+        assert s.waiters_at_transfer_total == 2  # 3 spinners, one won
+
+    def test_chain_drains_all_spinners(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 4):
+            acquire_at(m, mgr, rec, 10, p)
+        # release repeatedly until everyone has held the lock once
+        def chain(t):
+            holder = mgr.locks[1].owner
+            if holder is None:
+                return
+            mgr.release(holder, 1, LINE, t, rec.release_cb(holder))
+            m.at(t + 150, chain)
+
+        m.at(150, chain)
+        m.run()
+        assert len(rec.grants) == 4
+        assert mgr.locks[1].spinners == {}
+        assert mgr.stats.snapshot().transfers == 3
+
+    def test_invariants(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        for p in range(1, 4):
+            acquire_at(m, mgr, rec, 10, p)
+        m.run()
+        mgr.check_invariants()
+
+
+class TestReleaseWithSharedCopies:
+    def test_release_needs_invalidation_when_spinners_cache_line(self, setup):
+        m, mgr, rec = setup
+        acquire_at(m, mgr, rec, 0, 0)
+        acquire_at(m, mgr, rec, 10, 1)
+        m.run()
+        n_before = len(m.log)
+        release_at(m, mgr, rec, 100, 0)
+        m.run()
+        kinds = [e[1] for e in m.log[n_before:]]
+        assert kinds[0] == "LOCK_INVAL"

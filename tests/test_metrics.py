@@ -1,0 +1,135 @@
+"""Tests for the metrics records (ProcMetrics / RunResult derived
+quantities)."""
+
+import pytest
+
+from repro.machine.metrics import ProcMetrics, RunResult
+from repro.sync.stats import LockStats, LockStatsCollector
+
+
+def metrics(work=100, miss=20, lock=30, drain=0, buf=0, completion=150):
+    m = ProcMetrics(0)
+    m.work_cycles = work
+    m.stall_miss = miss
+    m.stall_lock = lock
+    m.stall_drain = drain
+    m.stall_buffer = buf
+    m.completion_time = completion
+    return m
+
+
+def empty_lock_stats():
+    return LockStatsCollector().snapshot()
+
+
+def result(procs, **kw):
+    defaults = dict(
+        program="p",
+        n_procs=len(procs),
+        lock_scheme="queuing",
+        consistency="sc",
+        run_time=max(m.completion_time for m in procs),
+        proc_metrics=tuple(procs),
+        lock_stats=empty_lock_stats(),
+        bus_busy_cycles=50,
+        bus_op_counts={},
+        read_hits=80,
+        read_misses=20,
+        write_hits=18,
+        write_misses=2,
+        ifetch_hits=200,
+        ifetch_misses=4,
+        writebacks=1,
+        c2c_supplied=2,
+        invalidations_received=3,
+        buffer_max_occupancy=2,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestProcMetrics:
+    def test_total_stall(self):
+        m = metrics(miss=10, lock=20, drain=5, buf=7)
+        assert m.total_stall == 42
+
+    def test_utilization(self):
+        m = metrics(work=75, completion=100)
+        assert m.utilization == pytest.approx(0.75)
+
+    def test_utilization_before_completion(self):
+        m = ProcMetrics(0)
+        assert m.utilization == 1.0
+
+
+class TestRunResult:
+    def test_avg_utilization_is_mean_of_per_proc(self):
+        r = result([metrics(work=50, completion=100), metrics(work=100, completion=100)])
+        assert r.avg_utilization == pytest.approx(0.75)
+
+    def test_stall_percentages(self):
+        r = result([metrics(miss=30, lock=70, completion=200)])
+        assert r.stall_pct_miss == pytest.approx(30.0)
+        assert r.stall_pct_lock == pytest.approx(70.0)
+        assert r.stall_pct_drain == 0.0
+
+    def test_stall_percentages_no_stalls(self):
+        r = result([metrics(miss=0, lock=0, completion=100)])
+        assert r.stall_pct_miss == 0.0
+        assert r.stall_pct_lock == 0.0
+
+    def test_hit_ratios(self):
+        r = result([metrics()])
+        assert r.write_hit_ratio == pytest.approx(0.9)
+        assert r.read_hit_ratio == pytest.approx(0.8)
+
+    def test_bus_utilization(self):
+        r = result([metrics(completion=200)], bus_busy_cycles=50)
+        assert r.bus_utilization == pytest.approx(0.25)
+
+    def test_summary_mentions_key_numbers(self):
+        r = result([metrics()])
+        s = r.summary()
+        assert "p:" in s
+        assert "utilization" in s
+        assert "locks=queuing" in s
+
+    def test_total_work(self):
+        r = result([metrics(work=10), metrics(work=20)])
+        assert r.total_work_cycles == 30
+
+
+class TestLockStatsDerived:
+    def test_empty_stats_zero_safe(self):
+        s = empty_lock_stats()
+        assert s.avg_hold == 0.0
+        assert s.avg_waiters_at_transfer == 0.0
+        assert s.avg_handoff == 0.0
+        assert s.avg_uncontended_acquire == 0.0
+
+    def test_collector_accumulates(self):
+        c = LockStatsCollector()
+        c.on_acquire(1, via_transfer=False)
+        c.on_uncontended_acquire_latency(6)
+        c.on_release(100, waiters_left=0, transferred=False)
+        c.on_acquire(1, via_transfer=True)
+        c.on_handoff(4)
+        c.on_release(50, waiters_left=2, transferred=True)
+        s = c.snapshot()
+        assert s.acquisitions == 2
+        assert s.avg_hold == pytest.approx(75.0)
+        assert s.transfers == 1
+        assert s.avg_waiters_at_transfer == 2.0
+        assert s.avg_transfer_hold == 50.0
+        assert s.avg_handoff == 4.0
+        assert c.per_lock_acquisitions[1] == 2
+
+    def test_snapshot_is_frozen_value(self):
+        c = LockStatsCollector()
+        c.on_acquire(1, via_transfer=False)
+        s1 = c.snapshot()
+        c.on_acquire(1, via_transfer=False)
+        s2 = c.snapshot()
+        assert s1.acquisitions == 1
+        assert s2.acquisitions == 2
+        assert isinstance(s1, LockStats)

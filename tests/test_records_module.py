@@ -1,0 +1,95 @@
+"""Tests for the Trace/TraceSet containers and record model."""
+
+import numpy as np
+import pytest
+
+from repro.trace.layout import AddressLayout
+from repro.trace.records import (
+    IBLOCK,
+    KIND_NAMES,
+    LOCK,
+    READ,
+    RECORD_DTYPE,
+    REP_STRIDE,
+    UNLOCK,
+    WRITE,
+    Trace,
+    TraceSet,
+)
+
+
+def raw(rows, proc=0, program="p"):
+    rec = np.zeros(len(rows), dtype=RECORD_DTYPE)
+    for i, row in enumerate(rows):
+        rec[i] = row
+    return Trace(rec, proc=proc, program=program)
+
+
+class TestRecordModel:
+    def test_dtype_fields(self):
+        assert set(RECORD_DTYPE.names) == {"kind", "addr", "arg", "cycles"}
+
+    def test_kind_names_complete(self):
+        assert KIND_NAMES[IBLOCK] == "IBLOCK"
+        assert len(KIND_NAMES) == 6
+
+    def test_rep_stride_is_word(self):
+        assert REP_STRIDE == 4
+
+
+class TestTrace:
+    def test_len_and_views(self):
+        t = raw([(READ, 0x100, 1, 0), (WRITE, 0x200, 2, 0)])
+        assert len(t) == 2
+        assert t.addrs.tolist() == [0x100, 0x200]
+        assert t.args.tolist() == [1, 2]
+
+    def test_mask_multiple_kinds(self):
+        t = raw(
+            [
+                (READ, 0x100, 1, 0),
+                (IBLOCK, 0x2000, 4, 8),
+                (WRITE, 0x200, 1, 0),
+            ]
+        )
+        data = t.mask(READ, WRITE)
+        assert data.tolist() == [True, False, True]
+
+    def test_count_kind(self):
+        t = raw([(READ, 0, 1, 0)] * 3 + [(WRITE, 0, 1, 0)])
+        assert t.count_kind(READ) == 3
+        assert t.count_kind(WRITE) == 1
+        assert t.count_kind(LOCK) == 0
+
+    def test_dtype_coercion(self):
+        rec = np.zeros(1, dtype=RECORD_DTYPE)
+        t = Trace(rec.astype(RECORD_DTYPE), proc=3)
+        assert t.proc == 3
+
+
+class TestTraceSet:
+    def _ts(self, n=3):
+        layout = AddressLayout(n)
+        return TraceSet(
+            [raw([(READ, 0x1000_0000, 1, 0)], proc=p) for p in range(n)],
+            layout,
+            program="x",
+            meta={"k": 1},
+        )
+
+    def test_iteration_and_indexing(self):
+        ts = self._ts()
+        assert len(ts) == 3
+        assert ts[1].proc == 1
+        assert [t.proc for t in ts] == [0, 1, 2]
+
+    def test_total_records(self):
+        assert self._ts().total_records() == 3
+
+    def test_program_defaults_from_traces(self):
+        layout = AddressLayout(1)
+        ts = TraceSet([raw([], program="inner")], layout)
+        assert ts.program == "inner"
+
+    def test_meta_preserved(self):
+        assert self._ts().meta == {"k": 1}

@@ -1,0 +1,125 @@
+"""Tests for the table renderers and Figure 1."""
+
+import pytest
+
+from repro.core.report import (
+    PAPER_TABLES,
+    render_architecture,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.machine.config import BusConfig, CacheConfig, MachineConfig, MemoryConfig
+
+
+class TestGenericRenderer:
+    def test_columns_aligned(self):
+        text = render_table(["A", "Blong"], [["x", 1], ["yy", 22]])
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 3  # header + 2 rows
+        assert len({line.index("|") for line in lines}) == 1
+
+    def test_title_included(self):
+        assert render_table(["A"], [["x"]], title="T").startswith("T\n")
+
+    def test_none_renders_na(self):
+        assert "N/A" in render_table(["A"], [[None]])
+
+    def test_numbers_formatted_with_separators(self):
+        assert "1,234,567" in render_table(["A"], [[1234567]])
+
+    def test_floats_two_decimals(self):
+        assert "3.14" in render_table(["A"], [[3.14159]])
+
+
+class TestPaperTables:
+    def test_all_eight_tables_present(self):
+        assert set(PAPER_TABLES) == set(range(1, 9))
+
+    def test_table_1_has_all_six_programs(self):
+        assert set(PAPER_TABLES[1]) == {
+            "grav",
+            "pdsa",
+            "fullconn",
+            "pverify",
+            "qsort",
+            "topopt",
+        }
+
+    def test_contention_tables_exclude_topopt(self):
+        for n in (4, 5, 6, 8):
+            assert "topopt" not in PAPER_TABLES[n]
+
+    def test_published_values_sanity(self):
+        # spot checks against the paper text
+        assert PAPER_TABLES[3]["grav"]["util"] == 32.6
+        assert PAPER_TABLES[4]["pdsa"]["waiters"] == 6.18
+        assert PAPER_TABLES[7]["qsort"]["diff"] == 0.02
+        assert PAPER_TABLES[2]["pverify"]["avg_held"] == 3642
+
+
+class TestIdealRenderers:
+    def test_table1_renders_all_programs(self):
+        from repro.core.ideal import ideal_stats
+        from repro.workloads import generate_trace
+
+        ideals = [ideal_stats(generate_trace(p, scale=0.02)) for p in ("grav", "topopt")]
+        text = render_table1(ideals)
+        assert "grav" in text and "topopt" in text
+        assert "Work Cycles" in text
+
+    def test_table2_shows_na_for_lockless(self):
+        from repro.core.ideal import ideal_stats
+        from repro.workloads import generate_trace
+
+        ideals = [ideal_stats(generate_trace("topopt", scale=0.02))]
+        text = render_table2(ideals)
+        assert "N/A" in text
+
+
+class TestArchitectureDiagram:
+    def test_default_matches_paper_parameters(self):
+        text = render_architecture()
+        assert "64KB" in text
+        assert "16B lines" in text
+        assert "Illinois" in text
+        assert "split-transaction" in text
+        assert "round-robin" in text
+        assert "= 6 cycles" in text  # the paper's miss accounting
+
+    def test_parameterized_by_config(self):
+        cfg = MachineConfig(
+            n_procs=4,
+            cache=CacheConfig(size_bytes=32 * 1024),
+            memory=MemoryConfig(access_cycles=5),
+        )
+        text = render_architecture(cfg)
+        assert "32KB" in text
+        assert "access: 5 cycles" in text
+        assert "4 processors" in text
+
+    def test_miss_cycle_formula_consistent(self):
+        cfg = MachineConfig(memory=MemoryConfig(access_cycles=7))
+        assert f"= {cfg.uncontended_miss_cycles} cycles" in render_architecture(cfg)
+
+
+class TestConfigDerived:
+    def test_uncontended_miss_is_six_cycles(self):
+        assert MachineConfig().uncontended_miss_cycles == 6
+
+    def test_line_data_cycles(self):
+        assert MachineConfig().line_data_cycles == 2
+        assert BusConfig(width_bytes=16).data_cycles(16) == 1
+
+    def test_with_procs(self):
+        cfg = MachineConfig(n_procs=12)
+        assert cfg.with_procs(9).n_procs == 9
+        assert cfg.with_procs(9).cache == cfg.cache
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_procs=0)
+        with pytest.raises(ValueError):
+            MachineConfig(cachebus_buffer_depth=0)
+        with pytest.raises(ValueError):
+            MachineConfig(batch_records=0)

@@ -1,0 +1,40 @@
+"""Tests for the per-processor report and report odds-and-ends."""
+
+import pytest
+
+from repro.core.report import render_per_proc
+from repro.machine.system import simulate
+from repro.workloads import generate_trace
+
+
+class TestPerProcReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate(generate_trace("topopt", scale=0.05))
+
+    def test_row_per_processor(self, result):
+        text = render_per_proc(result)
+        rows = [l for l in text.splitlines() if l and l.split("|")[0].strip().isdigit()]
+        assert len(rows) == result.n_procs
+
+    def test_average_in_title(self, result):
+        text = render_per_proc(result)
+        assert f"{100 * result.avg_utilization:.1f}%" in text
+
+    def test_skewed_processor_visible(self, result):
+        """Topopt's processor 0 (higher CPI) shows the longest completion."""
+        times = [m.completion_time for m in result.proc_metrics]
+        text = render_per_proc(result)
+        assert f"{max(times):,}" in text
+
+    def test_columns_cover_stall_categories(self, result):
+        text = render_per_proc(result)
+        for col in ("completion", "work", "util %", "miss stall", "lock stall", "other"):
+            assert col in text
+
+    def test_cli_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["--scale", "0.05", "run", "fullconn", "--per-proc"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-processor detail" in out

@@ -1,0 +1,207 @@
+"""The headline reproduction: the paper's findings as assertions.
+
+These run the full suite at the default scale (the library's reproduction
+scale, ~1/20 of the paper's traces) and check the *shape* of every
+result the paper argues from: utilization orderings, stall causes,
+waiters at transfer, the queuing vs. T&T&S gap and its decomposition,
+and the weak-ordering non-result.  They are the slowest tests in the
+suite (tens of seconds) and are marked ``repro``.
+"""
+
+import pytest
+
+from repro.core.decomposition import decompose_ttas_slowdown
+from repro.core.experiment import run_suite
+from repro.core.ideal import ideal_stats
+
+pytestmark = pytest.mark.repro
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(scale=1.0, seed=1991)
+
+
+class TestTable3QueuingRuntime:
+    def test_utilization_ordering(self, suite):
+        u = {p: r.avg_utilization for p, r in suite.queuing_sc.items()}
+        # Grav and Pdsa collapse; the others stay high; Qsort in between
+        assert u["grav"] < 0.55
+        assert u["pdsa"] < 0.55
+        assert u["qsort"] < 0.85
+        for p in ("fullconn", "pverify", "topopt"):
+            assert u[p] > 0.90, p
+        assert max(u["grav"], u["pdsa"]) < u["qsort"] < min(
+            u["fullconn"], u["pverify"], u["topopt"]
+        )
+
+    def test_stall_causes(self, suite):
+        r = suite.queuing_sc
+        # contended programs: stalls are lock waits
+        assert r["grav"].stall_pct_lock > 85
+        assert r["pdsa"].stall_pct_lock > 85
+        # the rest: stalls are cache misses
+        for p in ("pverify", "qsort", "topopt"):
+            assert r[p].stall_pct_miss > 85, p
+        assert r["fullconn"].stall_pct_miss > 70
+
+    def test_grav_has_lowest_utilization(self, suite):
+        u = {p: r.avg_utilization for p, r in suite.queuing_sc.items()}
+        assert min(u, key=u.get) in ("grav", "pdsa")
+
+
+class TestTable4QueuingContention:
+    def test_waiters_above_half_machine_for_contended(self, suite):
+        """'For Grav and Pdsa this number is slightly over half the
+        number of processors' -- extremely heavy contention."""
+        for p in ("grav", "pdsa"):
+            r = suite.queuing_sc[p]
+            w = r.lock_stats.avg_waiters_at_transfer
+            assert w > r.n_procs * 0.35, (p, w)
+
+    def test_pverify_waiters_near_zero(self, suite):
+        assert suite.queuing_sc["pverify"].lock_stats.avg_waiters_at_transfer < 0.2
+
+    def test_low_contention_programs(self, suite):
+        for p in ("fullconn", "qsort"):
+            assert suite.queuing_sc[p].lock_stats.avg_waiters_at_transfer < 2.0, p
+
+    def test_transfer_counts_ordering(self, suite):
+        n = {p: suite.queuing_sc[p].lock_stats.transfers for p in suite.programs() if p != "topopt"}
+        assert n["grav"] > n["pdsa"] > n["fullconn"]
+        assert n["pverify"] < 20
+
+    def test_transfer_holds_exceed_overall_holds_for_contended(self, suite):
+        for p in ("grav", "pdsa"):
+            ls = suite.queuing_sc[p].lock_stats
+            assert ls.avg_transfer_hold > ls.avg_hold
+
+
+class TestSection31Predictor:
+    def test_acquisitions_predict_contention_held_time_does_not(self, suite):
+        from repro.core.predictors import predictor_study
+
+        programs = [p for p in suite.programs() if p != "topopt"]
+        ideals = [ideal_stats(suite.traces[p]) for p in programs]
+        results = [suite.queuing_sc[p] for p in programs]
+        study = predictor_study(ideals, results)
+        assert study.best_predictor == "lock_pairs"
+        # The paper's own Table 2 vs Table 4 numbers give Spearman
+        # rho = 0.6 for lock pairs (Pdsa out-ranks Grav in waiters);
+        # require at least that, and a wide gap to %-time-held.
+        assert study.corr_lock_pairs >= 0.55
+        assert study.corr_pct_time_held <= study.corr_lock_pairs - 0.4
+        assert study.corr_avg_held <= study.corr_lock_pairs - 0.4
+
+
+class TestSection32TTAS:
+    def test_contended_programs_slow_down(self, suite):
+        """Paper: +8.0% (Grav), +8.1% (Pdsa).  Band: 2-15%."""
+        for p in ("grav", "pdsa"):
+            q = suite.queuing_sc[p].run_time
+            t = suite.ttas_sc[p].run_time
+            slow = (t - q) / q
+            assert 0.02 < slow < 0.15, (p, slow)
+
+    def test_uncontended_programs_unaffected(self, suite):
+        for p in ("fullconn", "pverify", "qsort"):
+            q = suite.queuing_sc[p].run_time
+            t = suite.ttas_sc[p].run_time
+            assert abs(t - q) / q < 0.02, p
+
+    def test_handoff_latency_gap(self, suite):
+        """Paper: 21-25 cycles vs 1.2-1.5.  Our queuing hand-off is a
+        3-cycle cache-to-cache transfer, so the ratio band is >= 4x with
+        T&T&S in the 12-40 cycle range."""
+        for p in ("grav", "pdsa"):
+            q = suite.queuing_sc[p].lock_stats.avg_handoff
+            t = suite.ttas_sc[p].lock_stats.avg_handoff
+            assert 12 < t < 40, (p, t)
+            assert t / q > 4, (p, t, q)
+
+    def test_bus_contention_grows(self, suite):
+        """Paper: bus utilization doubled for Grav, +40% for Pdsa."""
+        g = decompose_ttas_slowdown(suite.queuing_sc["grav"], suite.ttas_sc["grav"])
+        p = decompose_ttas_slowdown(suite.queuing_sc["pdsa"], suite.ttas_sc["pdsa"])
+        assert g.bus_util_growth > 0.5
+        assert p.bus_util_growth > 0.25
+
+    def test_handoff_factor_is_large(self, suite):
+        for prog in ("grav", "pdsa"):
+            d = decompose_ttas_slowdown(
+                suite.queuing_sc[prog], suite.ttas_sc[prog]
+            )
+            assert d.handoff_pct > 40, prog
+
+    def test_waiters_essentially_unchanged(self, suite):
+        """Table 4 vs 6: contention pattern is a program property, not a
+        lock-scheme property."""
+        for p in ("grav", "pdsa"):
+            wq = suite.queuing_sc[p].lock_stats.avg_waiters_at_transfer
+            wt = suite.ttas_sc[p].lock_stats.avg_waiters_at_transfer
+            assert abs(wq - wt) < 1.2, (p, wq, wt)
+
+
+class TestSection4WeakOrdering:
+    def test_improvement_below_one_percent(self, suite):
+        """Table 7: 'in all cases it is less than 1%'."""
+        for p in suite.programs():
+            sc = suite.queuing_sc[p].run_time
+            wo = suite.queuing_wo[p].run_time
+            diff = abs(sc - wo) / sc
+            assert diff < 0.01, (p, diff)
+
+    def test_lock_patterns_unchanged(self, suite):
+        """Table 8 vs 4."""
+        for p in ("grav", "pdsa"):
+            a = suite.queuing_sc[p].lock_stats
+            b = suite.queuing_wo[p].lock_stats
+            assert abs(a.avg_waiters_at_transfer - b.avg_waiters_at_transfer) < 1.0
+            assert abs(a.transfers - b.transfers) / a.transfers < 0.1
+
+    def test_drains_cost_almost_nothing(self, suite):
+        """§4.2: 'there were almost never any uncompleted shared
+        accesses when a lock or unlock was done' -- so the deep
+        cache-bus buffers are questionable.  Consequential form: the
+        stall time spent draining at sync points is a negligible
+        fraction of run-time, and most drains find at most one buffered
+        access (never a deep buffer)."""
+        for p in suite.programs():
+            r = suite.queuing_wo[p]
+            drain = sum(m.stall_drain for m in r.proc_metrics)
+            total = sum(m.completion_time for m in r.proc_metrics)
+            assert drain / total < 0.01, (p, drain / total)
+        # and across the suite, a majority-ish of sync points drain an
+        # already-empty buffer
+        totals = nonempty = 0
+        for p in suite.programs():
+            meta = suite.queuing_wo[p].meta
+            totals += meta["drains"]
+            nonempty += meta["drains_nonempty"]
+        assert nonempty / totals < 0.7
+
+    def test_write_hit_ratios_high(self, suite):
+        """Table 7: write-hit ratios 90-99% explain why bypassing buys
+        so little."""
+        for p in suite.programs():
+            assert suite.queuing_wo[p].write_hit_ratio > 0.85, p
+
+
+class TestScaleStability:
+    def test_conclusions_stable_at_half_scale(self):
+        """'Grav and Qsort have been simulated with significantly longer
+        traces with no change in the basic results' -- our analog, run
+        downward: the shape holds at half scale too."""
+        suite = run_suite(
+            programs=["grav", "qsort"],
+            scale=0.5,
+            configs=(("queuing", "sc"), ("ttas", "sc")),
+        )
+        g = suite.queuing_sc["grav"]
+        assert g.avg_utilization < 0.55
+        assert g.stall_pct_lock > 85
+        assert g.lock_stats.avg_waiters_at_transfer > 3.5
+        q = suite.queuing_sc["qsort"]
+        assert q.stall_pct_miss > 90
+        slow = (suite.ttas_sc["grav"].run_time - g.run_time) / g.run_time
+        assert slow > 0.02

@@ -1,0 +1,170 @@
+"""Property-based tests of the full simulator.
+
+Random (valid) multi-processor traces are simulated under every lock
+scheme and both consistency models; the properties are global accounting
+identities and liveness:
+
+* the simulation always terminates (no deadlock) and every processor
+  completes its trace;
+* per-processor, ``completion_time == work + all stall categories``;
+* reference conservation: cache hit+miss counters equal the trace's
+  reference counts;
+* every lock acquire in the trace is granted exactly once;
+* run-time never beats the ideal critical path (max work cycles).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.system import System
+from repro.sync import (
+    QueuingLockManager,
+    TestAndTestAndSetLockManager,
+)
+from repro.trace.records import IBLOCK, LOCK, READ, WRITE
+from tests.conftest import tiny_machine
+from tests.test_trace_properties import build_traceset, trace_programs
+
+schemes = st.sampled_from([QueuingLockManager, TestAndTestAndSetLockManager])
+models = st.sampled_from([SEQUENTIAL, WEAK])
+programs_strategy = st.lists(trace_programs(max_ops=30), min_size=1, max_size=4)
+
+
+def simulate(ts, scheme_cls, model):
+    system = System(
+        ts,
+        tiny_machine(n_procs=ts.n_procs),
+        scheme_cls(),
+        model,
+        max_events=2_000_000,
+    )
+    return system.run(), system
+
+
+class TestSimulationProperties:
+    @given(programs_strategy, schemes, models)
+    @settings(max_examples=50, deadline=None)
+    def test_terminates_and_accounts_time(self, programs, scheme_cls, model):
+        ts = build_traceset(programs)
+        result, _ = simulate(ts, scheme_cls, model)
+        for m in result.proc_metrics:
+            assert m.completion_time == m.work_cycles + m.total_stall
+        assert result.run_time == max(m.completion_time for m in result.proc_metrics)
+
+    @given(programs_strategy, schemes, models)
+    @settings(max_examples=40, deadline=None)
+    def test_reference_conservation(self, programs, scheme_cls, model):
+        ts = build_traceset(programs)
+        result, _ = simulate(ts, scheme_cls, model)
+        reads = writes = ifetches = 0
+        for t in ts:
+            rec = t.records
+            reads += int(rec["arg"][rec["kind"] == READ].sum())
+            writes += int(rec["arg"][rec["kind"] == WRITE].sum())
+            ifetches += int(rec["arg"][rec["kind"] == IBLOCK].sum())
+        assert result.read_hits + result.read_misses == reads
+        assert result.write_hits + result.write_misses == writes
+        assert result.ifetch_hits + result.ifetch_misses == ifetches
+
+    @given(programs_strategy, schemes, models)
+    @settings(max_examples=40, deadline=None)
+    def test_every_lock_acquire_granted_once(self, programs, scheme_cls, model):
+        ts = build_traceset(programs)
+        expected = sum(int((t.records["kind"] == LOCK).sum()) for t in ts)
+        result, _ = simulate(ts, scheme_cls, model)
+        assert result.lock_stats.acquisitions == expected
+
+    @given(programs_strategy, schemes, models)
+    @settings(max_examples=40, deadline=None)
+    def test_runtime_at_least_ideal(self, programs, scheme_cls, model):
+        ts = build_traceset(programs)
+        result, _ = simulate(ts, scheme_cls, model)
+        ideal = max(int(t.records["cycles"].sum()) for t in ts)
+        assert result.run_time >= ideal
+
+    @given(programs_strategy, schemes)
+    @settings(max_examples=25, deadline=None)
+    def test_wo_never_slower_than_sc_by_much(self, programs, scheme_cls):
+        """Weak ordering relaxes constraints; it may reorder contention
+        but must not blow up run-time (sanity band, not a theorem)."""
+        ts = build_traceset(programs)
+        sc, _ = simulate(ts, scheme_cls, SEQUENTIAL)
+        ts2 = build_traceset(programs)
+        wo, _ = simulate(ts2, scheme_cls, WEAK)
+        assert wo.run_time <= sc.run_time * 1.5 + 200
+
+    @given(programs_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_replay(self, programs):
+        ts1 = build_traceset(programs)
+        r1, _ = simulate(ts1, QueuingLockManager, SEQUENTIAL)
+        ts2 = build_traceset(programs)
+        r2, _ = simulate(ts2, QueuingLockManager, SEQUENTIAL)
+        assert r1.run_time == r2.run_time
+        assert r1.bus_busy_cycles == r2.bus_busy_cycles
+        assert r1.lock_stats == r2.lock_stats
+
+    @given(programs_strategy, models)
+    @settings(max_examples=25, deadline=None)
+    def test_cache_invariants_after_simulation(self, programs, model):
+        ts = build_traceset(programs)
+        _, system = simulate(ts, QueuingLockManager, model)
+        for cache in system.caches:
+            cache.check_invariants()
+        # single-writer invariant: a MODIFIED line is in exactly one cache
+        from repro.machine.cache import MODIFIED
+
+        seen_dirty = {}
+        for p, cache in enumerate(system.caches):
+            for line, state in cache.state.items():
+                if state == MODIFIED:
+                    assert line not in seen_dirty, (
+                        f"line {line:#x} MODIFIED in caches {seen_dirty[line]} and {p}"
+                    )
+                    seen_dirty[line] = p
+
+    @given(
+        programs_strategy,
+        models,
+        st.sampled_from(["illinois", "update"]),
+        st.sampled_from(["writeback", "writethrough"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_holds_for_every_machine_variant(
+        self, programs, model, coherence, policy
+    ):
+        """The accounting identity and termination must survive every
+        combination of protocol, write policy and consistency model."""
+        from dataclasses import replace
+
+        from repro.machine.config import CacheConfig
+
+        ts = build_traceset(programs)
+        cfg = replace(
+            tiny_machine(n_procs=ts.n_procs),
+            coherence=coherence,
+            cache=CacheConfig(write_policy=policy),
+        )
+        system = System(ts, cfg, QueuingLockManager(), model, max_events=2_000_000)
+        result = system.run()
+        for m in result.proc_metrics:
+            assert m.completion_time == m.work_cycles + m.total_stall
+        for cache in system.caches:
+            cache.check_invariants()
+
+    @given(programs_strategy, models)
+    @settings(max_examples=25, deadline=None)
+    def test_shared_lines_never_coexist_with_modified(self, programs, model):
+        ts = build_traceset(programs)
+        _, system = simulate(ts, QueuingLockManager, model)
+        from repro.machine.cache import EXCLUSIVE, MODIFIED
+
+        holders: dict[int, list] = {}
+        for p, cache in enumerate(system.caches):
+            for line, state in cache.state.items():
+                holders.setdefault(line, []).append(state)
+        for line, states in holders.items():
+            if len(states) > 1:
+                assert MODIFIED not in states, f"M coexists on line {line:#x}"
+                assert EXCLUSIVE not in states, f"E coexists on line {line:#x}"

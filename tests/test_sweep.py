@@ -1,0 +1,67 @@
+"""Tests for the parameter-sweep utilities."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.sweep import SweepPoint, render_sweep, sweep_machine, sweep_procs
+from repro.machine.config import MachineConfig, MemoryConfig
+from repro.workloads import generate_trace
+
+
+class TestSweepProcs:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_procs("fullconn", [2, 4], scale=0.05)
+
+    def test_one_point_per_size(self, points):
+        assert [p.value for p in points] == [2, 4]
+        assert all(isinstance(p, SweepPoint) for p in points)
+
+    def test_machine_size_matches(self, points):
+        for p in points:
+            assert p.result.n_procs == p.value
+
+    def test_labels_readable(self, points):
+        assert points[0].label == "2 procs"
+
+    def test_lock_scheme_passthrough(self):
+        pts = sweep_procs("fullconn", [2], scale=0.05, lock_scheme="ttas")
+        assert pts[0].result.lock_scheme == "ttas"
+
+
+class TestSweepMachine:
+    def test_config_family(self):
+        ts = generate_trace("pverify", scale=0.05)
+        base = MachineConfig()
+        pts = sweep_machine(
+            ts,
+            [
+                ("fast", replace(base, memory=MemoryConfig(access_cycles=1))),
+                ("slow", replace(base, memory=MemoryConfig(access_cycles=9))),
+            ],
+        )
+        assert [p.label for p in pts] == ["fast", "slow"]
+        assert pts[0].result.run_time < pts[1].result.run_time
+
+    def test_proc_count_adapted_to_trace(self):
+        ts = generate_trace("topopt", scale=0.02)  # 9 procs
+        pts = sweep_machine(ts, [("base", MachineConfig(n_procs=12))])
+        assert pts[0].result.n_procs == 9
+
+
+class TestRenderSweep:
+    def test_default_columns(self):
+        pts = sweep_procs("fullconn", [2], scale=0.05)
+        text = render_sweep(pts, title="T")
+        assert text.startswith("T\n")
+        for col in ("run-time", "util %", "waiters"):
+            assert col in text
+
+    def test_custom_columns(self):
+        pts = sweep_procs("fullconn", [2], scale=0.05)
+        text = render_sweep(
+            pts, columns=[("whr", lambda r: round(100 * r.write_hit_ratio, 1))]
+        )
+        assert "whr" in text
+        assert "run-time" not in text

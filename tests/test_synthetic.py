@@ -1,0 +1,79 @@
+"""Tests for the synthetic high-contention microbenchmark."""
+
+import pytest
+
+from repro.machine.system import simulate
+from repro.sync import get_lock_manager
+from repro.trace.validate import validate_traceset
+from repro.workloads import SyntheticContention
+
+
+class TestGeneration:
+    def test_trace_validates(self):
+        ts = SyntheticContention(scale=0.2).generate()
+        validate_traceset(ts)
+
+    def test_single_global_lock(self):
+        ts = SyntheticContention(scale=0.2).generate()
+        from repro.trace.records import LOCK
+
+        ids = set()
+        for t in ts:
+            rec = t.records
+            ids.update(rec["arg"][rec["kind"] == LOCK].tolist())
+        assert len(ids) == 1
+        assert "synthetic.global" in ts.layout.lock_names.values()
+
+    def test_iteration_count_scales(self):
+        small = SyntheticContention(scale=0.1).generate()
+        big = SyntheticContention(scale=0.4).generate()
+        assert big.total_records() > 3 * small.total_records()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticContention(critical_instr=0)
+        with pytest.raises(ValueError):
+            SyntheticContention(think_instr=-1)
+
+    def test_zero_think_time_allowed(self):
+        ts = SyntheticContention(scale=0.05, think_instr=0).generate()
+        validate_traceset(ts)
+
+
+class TestContentionBehaviour:
+    def test_total_contention_with_small_think(self):
+        ts = SyntheticContention(scale=0.2, think_instr=10).generate()
+        r = simulate(ts)
+        # nearly every acquisition is contended; waiters near machine size
+        assert r.lock_stats.avg_waiters_at_transfer > ts.n_procs * 0.5
+        assert r.stall_pct_lock > 90
+        assert r.avg_utilization < 0.35
+
+    def test_contention_falls_with_think_time(self):
+        busy = simulate(SyntheticContention(scale=0.2, think_instr=10).generate())
+        idle = simulate(SyntheticContention(scale=0.2, think_instr=400).generate())
+        assert (
+            idle.lock_stats.avg_waiters_at_transfer
+            < busy.lock_stats.avg_waiters_at_transfer
+        )
+        assert idle.avg_utilization > busy.avg_utilization
+
+    def test_queuing_beats_ttas_dramatically(self):
+        """The literature's result on the literature's benchmark: the
+        sophisticated lock wins big under artificial contention --
+        compare with the few percent on the real suite."""
+        wl = SyntheticContention(scale=0.2, think_instr=40)
+        ts = wl.generate()
+        q = simulate(ts, lock_manager=get_lock_manager("queuing"))
+        t = simulate(ts, lock_manager=get_lock_manager("ttas"))
+        slow = (t.run_time - q.run_time) / q.run_time
+        assert slow > 0.15  # >15%, an order beyond the real programs
+
+    def test_serialization_bound(self):
+        """With total contention the run-time approaches the serialized
+        sum of critical sections (the lock is the whole program)."""
+        wl = SyntheticContention(scale=0.2, critical_instr=30, think_instr=0)
+        ts = wl.generate()
+        r = simulate(ts)
+        total_hold = r.lock_stats.hold_cycles_total
+        assert total_hold > 0.6 * r.run_time

@@ -1,0 +1,116 @@
+"""Unit tests for System.can_issue / the MSHR in-flight table: the
+arbitration-time decisions that keep coherence and memory flow correct."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL
+from repro.machine.buffers import (
+    LOCK_MEM,
+    LOCK_READ,
+    READ_MISS,
+    RFO,
+    UPGRADE,
+    WRITEBACK,
+    BusOp,
+)
+from repro.machine.cache import SHARED
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from tests.conftest import make_traceset, tiny_machine
+
+
+@pytest.fixture
+def system():
+    ts = make_traceset([lambda b, l: None] * 3)
+    return System(ts, tiny_machine(n_procs=3), QueuingLockManager(), SEQUENTIAL)
+
+
+class TestCanIssue:
+    def test_read_miss_needs_memory_space_without_supplier(self, system):
+        op = BusOp(READ_MISS, 0x111, 0)
+        assert system.can_issue(op, 0)
+        system.memory.reserve()
+        system.memory.reserve()  # input buffer (2) fully committed
+        assert not system.can_issue(op, 0)
+
+    def test_read_miss_with_supplier_ignores_memory(self, system):
+        system.caches[1].install(0x111, SHARED)
+        system.memory.reserve()
+        system.memory.reserve()
+        op = BusOp(READ_MISS, 0x111, 0)
+        assert system.can_issue(op, 0)
+        assert op.supplier[0] == "cache"
+        assert op.supplier[1] == 1
+
+    def test_writeback_needs_memory_space(self, system):
+        op = BusOp(WRITEBACK, 0x222, 0)
+        assert system.can_issue(op, 0)
+        system.memory.reserve()
+        system.memory.reserve()
+        assert not system.can_issue(op, 0)
+
+    def test_upgrade_issuable_while_line_resident(self, system):
+        system.caches[0].install(0x333, SHARED)
+        system.memory.reserve()
+        system.memory.reserve()
+        # even with memory full: an invalidation needs no memory
+        assert system.can_issue(BusOp(UPGRADE, 0x333, 0), 0)
+
+    def test_lost_upgrade_needs_rfo_resources(self, system):
+        system.memory.reserve()
+        system.memory.reserve()
+        # line not resident anywhere, memory full: cannot issue
+        assert not system.can_issue(BusOp(UPGRADE, 0x333, 0), 0)
+
+    def test_lock_read_supplier_from_lock_manager(self, system):
+        st = system.locks.state_of(1, 0x2000_0000 >> 4)
+        st.cached_by.add(2)
+        op = BusOp(LOCK_READ, st.line, 0)
+        system.memory.reserve()
+        system.memory.reserve()
+        assert system.can_issue(op, 0)
+        assert op.supplier == ("lock", 2, None)
+
+    def test_lock_mem_always_goes_to_memory(self, system):
+        st = system.locks.state_of(1, 0x2000_0000 >> 4)
+        st.cached_by.add(2)
+        op = BusOp(LOCK_MEM, st.line, 0)
+        assert system.can_issue(op, 0)
+        system.memory.reserve()
+        system.memory.reserve()
+        assert not system.can_issue(op, 0)
+
+
+class TestMSHRTable:
+    def test_second_miss_on_inflight_line_waits(self, system):
+        a = BusOp(READ_MISS, 0x444, 0)
+        assert system.can_issue(a, 0)
+        system._exec_read_miss(a, 0)  # registers the in-flight fill
+        b = BusOp(READ_MISS, 0x444, 1)
+        assert not system.can_issue(b, 0)
+        c = BusOp(RFO, 0x444, 2)
+        assert not system.can_issue(c, 0)
+
+    def test_own_inflight_line_does_not_block(self, system):
+        a = BusOp(READ_MISS, 0x444, 0)
+        system._exec_read_miss(a, 0)
+        again = BusOp(RFO, 0x444, 0)
+        assert system.can_issue(again, 0)
+
+    def test_fill_completion_clears_and_serves_c2c(self, system):
+        a = BusOp(READ_MISS, 0x444, 0)
+        from repro.machine.cache import EXCLUSIVE
+
+        a.fill_state = EXCLUSIVE
+        system._exec_read_miss(a, 0)
+        system.engine.run()  # lets the c2c completion fire
+        assert 0x444 not in system._fills_in_flight
+        b = BusOp(READ_MISS, 0x444, 1)
+        assert system.can_issue(b, system.engine.now)
+        assert b.supplier[0] == "cache"
+
+    def test_other_lines_unaffected(self, system):
+        a = BusOp(READ_MISS, 0x444, 0)
+        system._exec_read_miss(a, 0)
+        other = BusOp(READ_MISS, 0x445, 1)
+        assert system.can_issue(other, 0)

@@ -1,0 +1,218 @@
+"""Coherence scenarios: Illinois protocol behaviour across processors.
+
+Two-processor hand-built traces checked against the protocol rules of
+§2.2 / Archibald & Baer: cache-to-cache supply, E-on-memory-fill,
+invalidation on write, write-back interception, upgrade conversion.
+"""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.cache import EXCLUSIVE, INVALID, MODIFIED, SHARED
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from tests.conftest import make_traceset, tiny_machine
+
+
+def run_system(build_fns, model=SEQUENTIAL, **cfg_kw):
+    ts = make_traceset(build_fns)
+    cfg = tiny_machine(n_procs=ts.n_procs, **cfg_kw)
+    system = System(ts, cfg, QueuingLockManager(), model)
+    result = system.run()
+    return result, system
+
+
+SH = None  # populated per test via layout
+
+
+class TestFillStates:
+    def test_memory_fill_loads_exclusive(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+
+        result, system = run_system([p0])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == EXCLUSIVE
+
+    def test_second_reader_gets_shared_and_downgrades_supplier(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+
+        def p1(b, layout):
+            # long warmup so p1's read happens after p0's fill
+            code = layout.alloc_code(16)
+            b.block(1, 200, code)
+            b.read(addr["sh"])
+
+        result, system = run_system([p0, p1])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == SHARED
+        assert system.caches[1].probe(line) == SHARED
+        assert system.caches[0].counters.c2c_supplied == 1
+
+    def test_write_miss_fills_modified(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.write(addr["sh"])
+
+        result, system = run_system([p0])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == MODIFIED
+
+
+class TestInvalidation:
+    def test_write_invalidates_other_copy(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 400, code)
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 100, code + 16)
+            b.write(addr["sh"])
+
+        result, system = run_system([p0, p1])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == INVALID
+        assert system.caches[1].probe(line) == MODIFIED
+        assert system.caches[0].counters.invalidations_received == 1
+
+    def test_upgrade_write_hit_on_shared(self):
+        """Both read (S everywhere), then one writes: an invalidation
+        signal, not a data transfer."""
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 300, code)
+            b.write(addr["sh"])  # upgrade S->M
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 50, code + 16)
+            b.read(addr["sh"])
+            b.block(1, 500, code + 16)
+
+        result, system = run_system([p0, p1])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == MODIFIED
+        assert system.caches[1].probe(line) == INVALID
+        # the write counted as a hit (line was resident SHARED)
+        assert result.write_hits >= 1
+        assert result.write_misses == 0
+
+    def test_dirty_supplier_updates_memory_on_read(self):
+        """Illinois: a read miss served by a MODIFIED line also updates
+        memory; both end SHARED."""
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.write(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 400, code)
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 100, code + 16)
+            b.read(addr["sh"])
+
+        result, system = run_system([p0, p1])
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == SHARED
+        assert system.caches[1].probe(line) == SHARED
+
+
+class TestUpgradeConversion:
+    def test_lost_upgrade_becomes_write_miss(self):
+        """§4.1: two processors write-hit the same SHARED line; the first
+        invalidation converts the other's into a write miss.
+
+        Built deterministically: both caches hold the line SHARED and
+        both upgrades sit queued when arbitration starts."""
+        from repro.machine.buffers import UPGRADE, BusOp
+
+        ts = make_traceset([lambda b, l: None, lambda b, l: None])
+        system = System(ts, tiny_machine(n_procs=2), QueuingLockManager(), WEAK)
+        line = 77
+        system.caches[0].install(line, SHARED)
+        system.caches[1].install(line, SHARED)
+        for p in (0, 1):
+            op = BusOp(UPGRADE, line, p)
+            system.buffers[p].push(op)
+            system.procs[p].outstanding += 1
+            system.procs[p].pending_upgrades.add(line)
+        system.bus.kick(0)
+        system.engine.run()
+        assert system.upgrade_conversions == 1
+        states = [c.probe(line) for c in system.caches]
+        # the converted write miss re-fetched the line MODIFIED; the
+        # first upgrader lost its copy to the RFO's invalidation
+        assert states.count(MODIFIED) == 1
+        assert states.count(INVALID) == 1
+
+
+class TestWritebackInterception:
+    def test_snoop_hits_dirty_line_in_buffer(self):
+        """'If a dirty line is in the buffer to be written-back, it is
+        visible to the cache coherence mechanism' (§2.2)."""
+        from repro.machine.buffers import WRITEBACK, BusOp
+
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+
+        ts = make_traceset([p0, lambda b, l: None])
+        cfg = tiny_machine(n_procs=2)
+        system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+        # plant a dirty line in proc 1's write-back buffer
+        line = addr["sh"] >> 4
+        wb = BusOp(WRITEBACK, line, 1)
+        system.buffers[1].push(wb)
+        system.procs[1].outstanding_wb += 1
+        result = system.run()
+        # proc 0's miss was served from the buffer: WB cancelled,
+        # nothing read from memory
+        assert wb.cancelled
+        assert system.memory.reads_serviced == 0
+        assert system.caches[0].probe(line) == SHARED
+
+
+class TestBusAccounting:
+    def test_bus_busy_while_transfers_happen(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(1024)
+            for i in range(16):
+                b.read(sh + i * 16)
+
+        result, system = run_system([fn])
+        assert result.bus_busy_cycles > 0
+        assert result.bus_busy_cycles <= result.run_time
+
+    def test_op_counts_recorded(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(64)
+            b.read(sh)
+            b.write(sh + 16)
+
+        from repro.machine.buffers import READ_MISS, RFO
+
+        result, _ = run_system([fn])
+        assert result.bus_op_counts[READ_MISS] == 1
+        assert result.bus_op_counts[RFO] == 1

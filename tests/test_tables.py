@@ -1,0 +1,88 @@
+"""Tests for the per-table entry points (repro.core.tables)."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.experiment import run_suite
+
+SMALL = 0.05
+
+
+class TestFigure1:
+    def test_returns_text_and_config(self):
+        text, cfg = tables.figure1()
+        assert "Model Architecture" in text
+        assert cfg.n_procs == 12
+
+
+class TestIdealTables:
+    def test_table1_rows_in_order(self):
+        text, ideals = tables.table1(scale=SMALL)
+        assert [i.program for i in ideals] == [
+            "grav",
+            "pdsa",
+            "fullconn",
+            "pverify",
+            "qsort",
+            "topopt",
+        ]
+        assert "Table 1" in text
+
+    def test_table2(self):
+        text, ideals = tables.table2(scale=SMALL)
+        assert "Lock Pairs" in text
+        assert ideals[-1].lock_pairs == 0  # topopt
+
+
+class TestSimulationTables:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return run_suite(scale=SMALL)
+
+    def test_table3_uses_queuing_sc(self, suite):
+        text, rows = tables.table3(suite=suite)
+        assert len(rows) == 6
+        assert all(r.lock_scheme == "queuing" and r.consistency == "sc" for r in rows)
+        assert "Queuing" in text
+
+    def test_table4_excludes_topopt(self, suite):
+        _, rows = tables.table4(suite=suite)
+        assert [r.program for r in rows] == [
+            "grav",
+            "pdsa",
+            "fullconn",
+            "pverify",
+            "qsort",
+        ]
+
+    def test_table5_and_6_use_ttas(self, suite):
+        _, rows5 = tables.table5(suite=suite)
+        _, rows6 = tables.table6(suite=suite)
+        assert all(r.lock_scheme == "ttas" for r in rows5)
+        assert all(r.lock_scheme == "ttas" for r in rows6)
+
+    def test_table7_pairs_sc_and_wo(self, suite):
+        text, (sc, wo) = tables.table7(suite=suite)
+        assert len(sc) == len(wo) == 6
+        assert all(r.consistency == "sc" for r in sc)
+        assert all(r.consistency == "wo" for r in wo)
+        assert "Difference" in text
+
+    def test_table8_uses_wo(self, suite):
+        _, rows = tables.table8(suite=suite)
+        assert all(r.consistency == "wo" for r in rows)
+
+    def test_section32_decomposes_contended_pair(self, suite):
+        text, decomps = tables.section32(suite=suite)
+        assert [d.program for d in decomps] == ["grav", "pdsa"]
+        assert "decomposition" in text
+
+
+class TestRenderAny:
+    def test_valid_numbers(self):
+        text = tables.render_any(1, scale=SMALL)
+        assert "Table 1" in text
+
+    def test_invalid_number_rejected(self):
+        with pytest.raises(ValueError, match="tables 1-8"):
+            tables.render_any(9)

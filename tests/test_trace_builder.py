@@ -1,0 +1,144 @@
+"""Unit tests for the trace builder."""
+
+import pytest
+
+from repro.trace.builder import TraceBuildError, TraceBuilder
+from repro.trace.layout import AddressLayout
+from repro.trace.records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE
+
+
+@pytest.fixture
+def layout():
+    return AddressLayout(2)
+
+
+@pytest.fixture
+def b(layout):
+    return TraceBuilder(0, layout, program="t")
+
+
+class TestEmission:
+    def test_block_record(self, b, layout):
+        code = layout.alloc_code(64)
+        b.block(10, 25, code)
+        t = b.finish()
+        assert len(t) == 1
+        rec = t.records[0]
+        assert rec["kind"] == IBLOCK
+        assert rec["addr"] == code
+        assert rec["arg"] == 10
+        assert rec["cycles"] == 25
+
+    def test_read_write_records(self, b, layout):
+        a = layout.alloc_shared(64)
+        b.read(a)
+        b.write(a + 4, reps=4)
+        t = b.finish()
+        assert t.records[0]["kind"] == READ
+        assert t.records[0]["arg"] == 1
+        assert t.records[1]["kind"] == WRITE
+        assert t.records[1]["arg"] == 4
+
+    def test_lock_unlock_records(self, b, layout):
+        la = layout.alloc_lock()
+        b.lock(7, la)
+        b.unlock(7, la)
+        t = b.finish()
+        assert t.records[0]["kind"] == LOCK
+        assert t.records[0]["arg"] == 7
+        assert t.records[1]["kind"] == UNLOCK
+
+    def test_barrier_record(self, b):
+        b.barrier(3)
+        t = b.finish()
+        assert t.records[0]["kind"] == BARRIER
+        assert t.records[0]["arg"] == 3
+
+    def test_len_tracks_records(self, b, layout):
+        a = layout.alloc_shared(64)
+        assert len(b) == 0
+        b.read(a)
+        b.read(a)
+        assert len(b) == 2
+
+
+class TestValidationAtBuild:
+    def test_zero_instruction_block_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.block(0, 5, layout.alloc_code(16))
+
+    def test_zero_cycle_block_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.block(4, 0, layout.alloc_code(16))
+
+    def test_block_outside_code_region_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.block(4, 8, layout.alloc_shared(16))
+
+    def test_zero_reps_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.read(layout.alloc_shared(16), reps=0)
+
+    def test_reacquire_held_lock_rejected(self, b, layout):
+        la = layout.alloc_lock()
+        b.lock(1, la)
+        with pytest.raises(TraceBuildError):
+            b.lock(1, la)
+
+    def test_release_unheld_lock_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.unlock(1, layout.alloc_lock())
+
+    def test_lock_with_two_addresses_rejected(self, b, layout):
+        a1, a2 = layout.alloc_lock(), layout.alloc_lock()
+        b.lock(1, a1)
+        b.unlock(1, a1)
+        with pytest.raises(TraceBuildError):
+            b.lock(1, a2)
+
+    def test_lock_at_data_address_rejected(self, b, layout):
+        with pytest.raises(TraceBuildError):
+            b.lock(1, layout.alloc_shared(16))
+
+    def test_finish_with_held_lock_rejected(self, b, layout):
+        b.lock(1, layout.alloc_lock())
+        with pytest.raises(TraceBuildError):
+            b.finish()
+
+    def test_barrier_while_holding_lock_rejected(self, b, layout):
+        b.lock(1, layout.alloc_lock())
+        with pytest.raises(TraceBuildError):
+            b.barrier(0)
+
+    def test_emit_after_finish_rejected(self, b, layout):
+        a = layout.alloc_shared(16)
+        b.read(a)
+        b.finish()
+        with pytest.raises(TraceBuildError):
+            b.read(a)
+
+
+class TestNesting:
+    def test_nested_locks_allowed(self, b, layout):
+        outer, inner = layout.alloc_lock(), layout.alloc_lock()
+        b.lock(1, outer)
+        b.lock(2, inner)
+        assert b.held_locks == (1, 2)
+        b.unlock(2, inner)
+        b.unlock(1, outer)
+        assert b.held_locks == ()
+        b.finish()
+
+    def test_hand_over_hand_release_order(self, b, layout):
+        """Releases need not be LIFO."""
+        l1, l2 = layout.alloc_lock(), layout.alloc_lock()
+        b.lock(1, l1)
+        b.lock(2, l2)
+        b.unlock(1, l1)  # outer released first
+        b.unlock(2, l2)
+        b.finish()
+
+    def test_unchecked_builder_skips_validation(self, layout):
+        b = TraceBuilder(0, layout, check=False)
+        b.read(layout.alloc_shared(16), reps=1)
+        b.finish()

@@ -1,0 +1,101 @@
+"""Tests for the trace inspection utilities."""
+
+import pytest
+
+from repro.trace.inspect import dump_records, lock_event_log, summarize_traceset
+from repro.workloads import generate_trace
+from tests.conftest import make_traceset
+
+
+@pytest.fixture(scope="module")
+def grav_ts():
+    return generate_trace("grav", scale=0.05)
+
+
+class TestSummarize:
+    def test_mentions_program_and_procs(self, grav_ts):
+        text = summarize_traceset(grav_ts)
+        assert "program 'grav'" in text
+        assert "10 processors" in text
+
+    def test_one_row_per_processor(self, grav_ts):
+        text = summarize_traceset(grav_ts)
+        rows = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert len(rows) == grav_ts.n_procs
+
+    def test_lists_lock_names(self, grav_ts):
+        text = summarize_traceset(grav_ts)
+        assert "presto.scheduler" in text
+
+    def test_meta_shown(self, grav_ts):
+        assert "scale=0.05" in summarize_traceset(grav_ts)
+
+
+class TestDump:
+    def test_dump_window(self, grav_ts):
+        text = dump_records(grav_ts[0], start=0, count=5)
+        assert "[     0]" in text
+        assert "more records" in text
+
+    def test_dump_kinds_described(self):
+        def fn(b, layout):
+            code = layout.alloc_code(64)
+            la = layout.alloc_lock()
+            b.block(4, 10, code)
+            b.read(layout.alloc_shared(16), reps=3)
+            b.write(layout.alloc_private(0, 16))
+            b.lock(0, la)
+            b.unlock(0, la)
+            b.barrier(2)
+
+        ts = make_traceset([fn])
+        text = dump_records(ts[0], count=10)
+        assert "IBLOCK" in text and "instr" in text
+        assert "x3 (shared)" in text
+        assert "(private)" in text
+        assert "lock 0" in text
+        assert "barrier 2" in text
+
+    def test_running_cycle_positions(self):
+        def fn(b, layout):
+            code = layout.alloc_code(64)
+            b.block(2, 25, code)
+            b.block(2, 25, code)
+            b.read(layout.alloc_shared(16))
+
+        ts = make_traceset([fn])
+        text = dump_records(ts[0], count=10)
+        assert "t=        0" in text
+        assert "t=       25" in text
+        assert "t=       50" in text
+
+    def test_dump_past_end_is_safe(self, grav_ts):
+        text = dump_records(grav_ts[0], start=10**9, count=5)
+        assert "records" in text
+
+
+class TestLockEventLog:
+    def test_events_paired(self, grav_ts):
+        events = lock_event_log(grav_ts)
+        locks = sum(1 for e in events if e[3] == "LOCK")
+        unlocks = sum(1 for e in events if e[3] == "UNLOCK")
+        assert locks == unlocks > 0
+
+    def test_filter_by_lock(self, grav_ts):
+        all_events = lock_event_log(grav_ts)
+        some_id = all_events[0][4]
+        filtered = lock_event_log(grav_ts, lock_id=some_id)
+        assert filtered
+        assert all(e[4] == some_id for e in filtered)
+        assert len(filtered) < len(all_events)
+
+    def test_event_fields(self, grav_ts):
+        proc, idx, cycle, kind, lid = lock_event_log(grav_ts)[0]
+        assert 0 <= proc < grav_ts.n_procs
+        assert idx >= 0
+        assert cycle >= 0
+        assert kind in ("LOCK", "UNLOCK")
+
+    def test_no_locks_empty_log(self):
+        ts = generate_trace("topopt", scale=0.02)
+        assert lock_event_log(ts) == []

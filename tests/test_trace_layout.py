@@ -1,0 +1,119 @@
+"""Unit tests for the address-space layout."""
+
+import pytest
+
+from repro.trace.layout import (
+    CODE_BASE,
+    LINE_SIZE,
+    LOCK_BASE,
+    PRIVATE_BASE,
+    PRIVATE_SPAN,
+    SHARED_BASE,
+    AddressLayout,
+)
+
+
+class TestAllocation:
+    def test_shared_alloc_is_line_aligned(self):
+        layout = AddressLayout(4)
+        a = layout.alloc_shared(100)
+        assert a % LINE_SIZE == 0
+        assert a >= SHARED_BASE
+
+    def test_shared_allocs_are_disjoint(self):
+        layout = AddressLayout(4)
+        a = layout.alloc_shared(100)
+        b = layout.alloc_shared(100)
+        assert b >= a + 100
+
+    def test_private_allocs_land_in_owner_region(self):
+        layout = AddressLayout(4)
+        for p in range(4):
+            a = layout.alloc_private(p, 64)
+            assert layout.owner_of_private(a) == p
+
+    def test_private_regions_disjoint_across_procs(self):
+        layout = AddressLayout(3)
+        addrs = [layout.alloc_private(p, 1024) for p in range(3)]
+        assert len(set(a // PRIVATE_SPAN for a in addrs)) == 3
+
+    def test_lock_allocs_one_line_apart(self):
+        layout = AddressLayout(2)
+        a = layout.alloc_lock()
+        b = layout.alloc_lock()
+        assert b - a == LINE_SIZE
+        assert AddressLayout.is_lock_addr(a)
+
+    def test_code_alloc(self):
+        layout = AddressLayout(2)
+        a = layout.alloc_code(256)
+        assert AddressLayout.is_code(a)
+        assert a >= CODE_BASE
+
+    def test_custom_alignment(self):
+        layout = AddressLayout(2)
+        a = layout.alloc_shared(10, align=64)
+        assert a % 64 == 0
+
+    def test_shared_overflow_raises(self):
+        layout = AddressLayout(1)
+        with pytest.raises(MemoryError):
+            layout.alloc_shared(LOCK_BASE - SHARED_BASE + 1)
+
+    def test_private_overflow_raises(self):
+        layout = AddressLayout(1)
+        with pytest.raises(MemoryError):
+            layout.alloc_private(0, PRIVATE_SPAN + 16)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            AddressLayout(0)
+
+
+class TestClassification:
+    def test_regions_are_mutually_exclusive(self):
+        layout = AddressLayout(2)
+        samples = {
+            "code": layout.alloc_code(64),
+            "shared": layout.alloc_shared(64),
+            "lock": layout.alloc_lock(),
+            "private": layout.alloc_private(1, 64),
+        }
+        a = samples["code"]
+        assert AddressLayout.is_code(a)
+        assert not AddressLayout.is_shared(a)
+        assert not AddressLayout.is_private(a)
+        a = samples["shared"]
+        assert AddressLayout.is_shared(a)
+        assert not AddressLayout.is_lock_addr(a)
+        assert not AddressLayout.is_code(a)
+        a = samples["lock"]
+        assert AddressLayout.is_shared(a)  # lock words count as shared data
+        assert AddressLayout.is_lock_addr(a)
+        a = samples["private"]
+        assert AddressLayout.is_private(a)
+        assert not AddressLayout.is_shared(a)
+
+    def test_owner_of_private_rejects_shared(self):
+        layout = AddressLayout(2)
+        with pytest.raises(ValueError):
+            layout.owner_of_private(SHARED_BASE)
+
+    def test_private_base_boundary(self):
+        assert AddressLayout.is_private(PRIVATE_BASE)
+        assert not AddressLayout.is_shared(PRIVATE_BASE)
+        assert AddressLayout.is_shared(PRIVATE_BASE - 1)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_breaks(self):
+        layout = AddressLayout(3)
+        layout.alloc_shared(1000)
+        layout.alloc_code(500)
+        layout.alloc_lock()
+        layout.alloc_private(2, 128)
+        clone = AddressLayout.from_dict(layout.to_dict())
+        assert clone.to_dict() == layout.to_dict()
+        # further allocations continue from the same point
+        assert clone.alloc_shared(16) == layout.alloc_shared(16)
+        assert clone.alloc_lock() == layout.alloc_lock()

@@ -1,0 +1,109 @@
+"""Tests for the TSO consistency model (extension)."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, TSO, WEAK, get_model
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from tests.conftest import make_traceset, tiny_machine
+
+
+def run(fn, model, n=1):
+    ts = make_traceset([fn] * n)
+    return System(ts, tiny_machine(n_procs=n), QueuingLockManager(), model).run()
+
+
+class TestPolicy:
+    def test_flags(self):
+        assert not TSO.stall_on_write_miss
+        assert not TSO.stall_on_upgrade
+        assert TSO.bypass_reads
+        assert not TSO.drain_at_sync
+
+    def test_registry_aliases(self):
+        assert get_model("tso") is TSO
+        assert get_model("pc") is TSO
+
+
+class TestBehaviour:
+    def test_never_drains(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(64)
+            la = layout.alloc_lock()
+            b.write(sh)
+            b.lock(0, la)
+            b.unlock(0, la)
+
+        r = run(fn, TSO)
+        assert r.proc_metrics[0].drains == 0
+        assert r.proc_metrics[0].stall_drain == 0
+
+    def test_buffers_stores_like_wo(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(65536)
+            code = layout.alloc_code(16)
+            for i in range(16):
+                b.write(sh + i * 64)
+                b.block(1, 4, code)
+
+        sc = run(fn, SEQUENTIAL)
+        tso = run(fn, TSO)
+        assert tso.run_time < sc.run_time
+
+    def test_between_sc_and_wo_on_sync_heavy_trace(self):
+        """TSO skips WO's drains, so on a sync-heavy write-heavy trace
+        TSO's run-time is <= WO's plus a small bound, and <= SC's."""
+
+        def fn(b, layout):
+            sh = layout.alloc_shared(65536)
+            la = layout.alloc_lock()
+            code = layout.alloc_code(16)
+            for i in range(10):
+                b.write(sh + i * 4096)
+                b.lock(0, la)
+                b.block(1, 10, code)
+                b.unlock(0, la)
+
+        sc = run(fn, SEQUENTIAL)
+        tso = run(fn, TSO)
+        wo = run(fn, WEAK)
+        assert tso.run_time <= sc.run_time
+        assert tso.run_time <= wo.run_time + 20
+
+    def test_accounting_identity(self):
+        state = {}
+
+        def fn(b, layout):
+            if "la" not in state:
+                state["la"] = layout.alloc_lock()
+            sh = layout.alloc_shared(4096)
+            for i in range(8):
+                b.write(sh + i * 128)
+                b.read(sh + ((i * 7) % 32) * 128)
+            b.lock(0, state["la"])
+            b.unlock(0, state["la"])
+
+        r = run(fn, TSO, n=2)
+        for m in r.proc_metrics:
+            assert m.completion_time == m.work_cycles + m.total_stall
+
+    def test_mutual_exclusion_preserved(self):
+        """FIFO store buffering must not break lock semantics."""
+        from tests.test_locks_in_system import IntervalRecorder, contended_traceset
+
+        ts = contended_traceset(n_procs=4, css=5)
+        mgr = QueuingLockManager()
+        rec = IntervalRecorder(mgr)
+        System(ts, tiny_machine(n_procs=4), mgr, TSO).run()
+        rec.assert_mutual_exclusion()
+
+    def test_suite_results_close_to_wo(self):
+        """§4.2 implies drains are nearly free, so TSO ~ WO on the real
+        workloads (the extension's headline)."""
+        from repro.machine.system import simulate
+        from repro.workloads import generate_trace
+
+        ts = generate_trace("pverify", scale=0.3)
+        wo = simulate(ts, model=WEAK)
+        tso = simulate(ts, model=TSO)
+        assert abs(tso.run_time - wo.run_time) / wo.run_time < 0.005

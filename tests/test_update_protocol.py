@@ -1,0 +1,152 @@
+"""Tests for the write-update coherence protocol (extension)."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.buffers import UPDATE
+from repro.machine.cache import SHARED
+from repro.machine.coherence import ILLINOIS, get_protocol
+from repro.machine.config import MachineConfig
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from tests.conftest import make_traceset, tiny_machine
+
+
+def run(build_fns, model=SEQUENTIAL, coherence="update"):
+    ts = make_traceset(build_fns)
+    cfg = tiny_machine(n_procs=ts.n_procs, coherence=coherence)
+    system = System(ts, cfg, QueuingLockManager(), model)
+    return system.run(), system
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_protocol("illinois") is ILLINOIS
+        assert get_protocol("update").write_update
+        assert get_protocol("firefly").write_update  # alias
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown coherence"):
+            get_protocol("dragonfly")
+
+    def test_config_validates_protocol(self):
+        with pytest.raises(ValueError):
+            MachineConfig(coherence="nope")
+        assert MachineConfig(coherence="update").coherence == "update"
+
+
+class TestUpdateSemantics:
+    def _shared_writer(self):
+        """p0 and p1 both read a line (SHARED everywhere), then p0
+        writes it repeatedly."""
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 100, code)
+            for _ in range(4):
+                b.write(addr["sh"])
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 30, code + 16)
+            b.read(addr["sh"])
+            b.block(1, 800, code + 16)
+
+        return [p0, p1], addr
+
+    def test_sharers_keep_their_copies(self):
+        fns, addr = self._shared_writer()
+        result, system = run(fns)
+        line = addr["sh"] >> 4
+        # under Illinois p1 would be INVALID here; under update both
+        # caches still hold the line SHARED
+        assert system.caches[0].probe(line) == SHARED
+        assert system.caches[1].probe(line) == SHARED
+        assert result.invalidations_received == 0
+
+    def test_every_shared_write_hits_the_bus(self):
+        fns, _ = self._shared_writer()
+        result, system = run(fns)
+        assert result.bus_op_counts[UPDATE] == 4
+        assert system.memory.writes_serviced == 4
+
+    def test_illinois_pays_once_then_writes_silently(self):
+        fns, _ = self._shared_writer()
+        upd, _ = run(fns, coherence="update")
+        inv, _ = run(fns, coherence="illinois")
+        # invalidate: one UPGRADE then silent M writes; update: 4 broadcasts
+        from repro.machine.buffers import UPGRADE
+
+        assert inv.bus_op_counts.get(UPGRADE, 0) == 1
+        assert inv.bus_op_counts.get(UPDATE, 0) == 0
+        assert upd.bus_op_counts[UPDATE] == 4
+
+    def test_reader_never_misses_after_updates(self):
+        """The update protocol's payoff: the second reader's later reads
+        hit, because its copy was patched, not destroyed."""
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 100, code)
+            b.write(addr["sh"])
+            b.block(1, 500, code)
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 30, code + 16)
+            b.read(addr["sh"])
+            b.block(1, 400, code + 16)
+            b.read(addr["sh"])  # Illinois: coherence miss; update: hit
+
+        upd, _ = run([p0, p1], coherence="update")
+        inv, _ = run([p0, p1], coherence="illinois")
+        assert upd.read_misses < inv.read_misses
+
+    def test_exclusive_writes_stay_silent(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(16)
+            b.read(sh)  # E from memory
+            for _ in range(5):
+                b.write(sh)
+
+        result, _ = run([fn])
+        assert result.bus_op_counts.get(UPDATE, 0) == 0
+
+    def test_works_under_weak_ordering(self):
+        fns, _ = self._shared_writer()
+        result, _ = run(fns, model=WEAK)
+        assert result.bus_op_counts[UPDATE] == 4
+        for m in result.proc_metrics:
+            assert m.completion_time == m.work_cycles + m.total_stall
+
+    def test_migratory_data_pays_forever(self):
+        """The protocol's known weakness: producer/consumer migration
+        keeps lines shared, so the writer never escapes the bus."""
+        addr = {}
+
+        def writer(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            code = layout.alloc_code(16)
+            b.read(addr["sh"])
+            for _ in range(16):
+                b.write(addr["sh"])
+                b.block(1, 8, code)
+
+        def reader(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 20, code + 16)
+            b.read(addr["sh"])
+            b.block(1, 2000, code + 16)
+
+        upd, _ = run([writer, reader], coherence="update")
+        inv, _ = run([writer, reader], coherence="illinois")
+        # the first few writes are silent (line still EXCLUSIVE until the
+        # reader's snoop downgrades it); every write after that broadcasts
+        assert upd.bus_op_counts[UPDATE] >= 10
+        assert upd.bus_busy_cycles > inv.bus_busy_cycles

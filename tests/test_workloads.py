@@ -1,0 +1,197 @@
+"""Tests for the six workload models and the Presto runtime."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import LOCK, UNLOCK
+from repro.trace.stats import compute_trace_stats
+from repro.trace.validate import validate_traceset
+from repro.workloads import (
+    BENCHMARK_ORDER,
+    WORKLOADS,
+    generate_trace,
+    get_workload,
+)
+
+SMALL = 0.05  # fast generation scale for structural tests
+
+
+@pytest.fixture(scope="module")
+def small_traces():
+    return {name: generate_trace(name, scale=SMALL) for name in BENCHMARK_ORDER}
+
+
+class TestRegistry:
+    def test_all_six_benchmarks_registered(self):
+        assert {
+            "grav",
+            "pdsa",
+            "fullconn",
+            "pverify",
+            "qsort",
+            "topopt",
+        } <= set(WORKLOADS)
+
+    def test_benchmark_order_is_the_paper_suite(self):
+        assert BENCHMARK_ORDER == [
+            "grav",
+            "pdsa",
+            "fullconn",
+            "pverify",
+            "qsort",
+            "topopt",
+        ]
+        assert "synthetic" not in BENCHMARK_ORDER  # extension, not a table row
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("nosuch")
+
+    def test_paper_processor_counts(self, small_traces):
+        expected = {
+            "grav": 10,
+            "pdsa": 12,
+            "fullconn": 12,
+            "pverify": 12,
+            "qsort": 12,
+            "topopt": 9,
+        }
+        for name, ts in small_traces.items():
+            assert ts.n_procs == expected[name], name
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("grav", scale=0)
+
+
+class TestStructure:
+    def test_all_traces_validate(self, small_traces):
+        for ts in small_traces.values():
+            validate_traceset(ts)
+
+    def test_topopt_has_zero_locks(self, small_traces):
+        for t in small_traces["topopt"]:
+            assert t.count_kind(LOCK) == 0
+            assert t.count_kind(UNLOCK) == 0
+
+    def test_locking_benchmarks_have_locks(self, small_traces):
+        for name in ("grav", "pdsa", "fullconn", "pverify", "qsort"):
+            total = sum(t.count_kind(LOCK) for t in small_traces[name])
+            assert total > 0, name
+
+    def test_presto_programs_have_nested_locks(self, small_traces):
+        for name in ("grav", "pdsa", "fullconn"):
+            stats = [compute_trace_stats(t) for t in small_traces[name]]
+            assert sum(s.nested_locks for s in stats) > 0, name
+
+    def test_c_programs_have_no_nested_locks(self, small_traces):
+        for name in ("pverify", "qsort"):
+            stats = [compute_trace_stats(t) for t in small_traces[name]]
+            assert sum(s.nested_locks for s in stats) == 0, name
+
+    def test_presto_shared_fraction_near_one(self, small_traces):
+        """'Due to the allocation scheme used in Presto most data is
+        allocated as shared even when it need not be.'"""
+        for name in ("grav", "pdsa", "fullconn"):
+            s = compute_trace_stats(small_traces[name][0])
+            assert s.shared_refs / s.data_refs > 0.85, name
+
+    def test_c_programs_use_private_data(self, small_traces):
+        for name in ("pverify", "topopt"):
+            s = compute_trace_stats(small_traces[name][0])
+            assert s.shared_refs / s.data_refs < 0.75, name
+
+    def test_meta_records_generation_parameters(self, small_traces):
+        ts = small_traces["grav"]
+        assert ts.meta["scale"] == SMALL
+        assert ts.meta["uses_presto"] is True
+        assert small_traces["qsort"].meta["uses_presto"] is False
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_traces(self):
+        a = generate_trace("fullconn", scale=SMALL, seed=42)
+        b = generate_trace("fullconn", scale=SMALL, seed=42)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.records, tb.records)
+
+    def test_different_seed_gives_different_traces(self):
+        a = generate_trace("pdsa", scale=SMALL, seed=1)
+        b = generate_trace("pdsa", scale=SMALL, seed=2)
+        assert any(
+            not np.array_equal(ta.records, tb.records) for ta, tb in zip(a, b)
+        )
+
+    def test_qsort_coordination_is_deterministic(self):
+        a = generate_trace("qsort", scale=SMALL, seed=9)
+        b = generate_trace("qsort", scale=SMALL, seed=9)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.records, tb.records)
+
+
+class TestScaling:
+    def test_scale_changes_trace_length_roughly_linearly(self):
+        small = generate_trace("pverify", scale=0.1)
+        large = generate_trace("pverify", scale=0.4)
+        ratio = large.total_records() / small.total_records()
+        assert 2.5 < ratio < 6.0
+
+    def test_tiny_scale_still_valid(self):
+        for name in BENCHMARK_ORDER:
+            ts = generate_trace(name, scale=0.01)
+            validate_traceset(ts)
+            assert ts.total_records() > 0
+
+    def test_custom_proc_count(self):
+        ts = generate_trace("fullconn", scale=SMALL, n_procs=4)
+        assert ts.n_procs == 4
+        validate_traceset(ts)
+
+
+class TestQsortSpecifics:
+    def test_every_element_eventually_sorted(self):
+        """Generation must cover the whole array: the partition/local
+        passes must touch every line of the allocation."""
+        ts = generate_trace("qsort", scale=0.1)
+        from repro.trace.records import READ, WRITE
+
+        n_ints = max(64, int(round(32768 * 0.1)))
+        touched = set()
+        base = None
+        for t in ts:
+            rec = t.records
+            data = rec[(rec["kind"] == READ) | (rec["kind"] == WRITE)]
+            for addr, reps in zip(
+                data["addr"].tolist(), data["arg"].tolist()
+            ):
+                if base is None or addr < base:
+                    base = addr
+        # base is the array start (first allocation touched)
+        for t in ts:
+            rec = t.records
+            data = rec[(rec["kind"] == READ) | (rec["kind"] == WRITE)]
+            for addr, reps in zip(data["addr"].tolist(), data["arg"].tolist()):
+                for k in range(reps):
+                    off = addr + 4 * k - base
+                    if 0 <= off < n_ints * 4:
+                        touched.add(off // 4)
+        assert len(touched) >= n_ints * 0.95
+
+
+class TestGravSpecifics:
+    def test_three_timesteps_of_phases(self, small_traces):
+        """Grav runs three timesteps; lock activity must recur in three
+        waves of tree-lock use."""
+        from repro.workloads.grav import Grav
+
+        assert Grav.TIMESTEPS == 3
+
+    def test_tree_lock_contendable(self, small_traces):
+        """All processors use the same tree lock id."""
+        ids_per_proc = []
+        for t in small_traces["grav"]:
+            rec = t.records
+            ids_per_proc.append(set(rec["arg"][rec["kind"] == LOCK].tolist()))
+        common = set.intersection(*ids_per_proc)
+        # scheduler, run-queue and tree locks are global
+        assert len(common) >= 3

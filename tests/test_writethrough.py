@@ -1,0 +1,142 @@
+"""Tests for the write-through cache mode (extension; §4.2 conjecture)."""
+
+import pytest
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.buffers import WRITETHROUGH
+from repro.machine.cache import INVALID, MODIFIED
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from tests.conftest import make_traceset
+
+
+def wt_machine(n_procs=2, **kw):
+    return MachineConfig(
+        n_procs=n_procs,
+        cache=CacheConfig(write_policy="writethrough"),
+        batch_records=1,
+        **kw,
+    )
+
+
+def run(ts, model=SEQUENTIAL, config=None):
+    config = config or wt_machine(n_procs=ts.n_procs)
+    system = System(ts, config, QueuingLockManager(), model)
+    return system.run(), system
+
+
+class TestConfig:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError, match="write_policy"):
+            CacheConfig(write_policy="writeback2")
+
+    def test_default_is_writeback(self):
+        assert CacheConfig().write_policy == "writeback"
+
+
+class TestWriteThroughSemantics:
+    def test_every_write_reaches_memory(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(256)
+            for i in range(8):
+                b.write(sh + i * 16)
+
+        result, system = run(make_traceset([fn]))
+        assert system.memory.writes_serviced == 8
+        assert result.bus_op_counts[WRITETHROUGH] == 8
+
+    def test_no_allocate_on_write_miss(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(16)
+            b.write(sh)
+
+        result, system = run(make_traceset([fn]))
+        line = None
+        for l in system.caches[0].state:
+            line = l
+        assert line is None  # nothing installed by the write
+
+    def test_write_hit_updates_without_dirtying(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(16)
+            b.read(sh)  # install
+            b.write(sh)  # write through
+
+        result, system = run(make_traceset([fn]))
+        (line,) = system.caches[0].resident_lines()
+        assert system.caches[0].probe(line) != MODIFIED
+        assert result.write_hits == 1
+
+    def test_no_writebacks_ever(self):
+        def fn(b, layout):
+            base = layout.alloc_shared(8192)
+            for i in range(64):  # churn the cache
+                b.read(base + i * 128)
+                b.write(base + i * 128)
+
+        result, system = run(make_traceset([fn]))
+        assert result.writebacks == 0
+
+    def test_bus_write_invalidates_other_copies(self):
+        addr = {}
+
+        def p0(b, layout):
+            addr["sh"] = layout.alloc_shared(16)
+            b.read(addr["sh"])
+            code = layout.alloc_code(16)
+            b.block(1, 500, code)
+
+        def p1(b, layout):
+            code = layout.alloc_code(32)
+            b.block(1, 100, code + 16)
+            b.write(addr["sh"])
+
+        result, system = run(make_traceset([p0, p1]))
+        line = addr["sh"] >> 4
+        assert system.caches[0].probe(line) == INVALID
+
+    def test_sc_stalls_on_writes_wo_buffers_them(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(4096)
+            code = layout.alloc_code(16)
+            for i in range(16):
+                b.write(sh + i * 64)
+                b.block(1, 4, code)
+
+        ts1 = make_traceset([fn])
+        sc, _ = run(ts1)
+        ts2 = make_traceset([fn])
+        wo, _ = run(ts2, model=WEAK)
+        assert wo.run_time < sc.run_time
+
+    def test_accounting_identity_holds(self):
+        def fn(b, layout):
+            sh = layout.alloc_shared(1024)
+            for i in range(20):
+                b.write(sh + i * 32)
+                b.read(sh + (i * 48) % 1024)
+
+        result, _ = run(make_traceset([fn, fn]))
+        for m in result.proc_metrics:
+            assert m.completion_time == m.work_cycles + m.total_stall
+
+
+class TestPaperConjecture:
+    def test_wo_benefit_larger_under_writethrough(self):
+        """§4.2: 'if the number of writes to memory increased (as in the
+        case of a write-through cache), then the benefit would be
+        greater'."""
+        from repro.workloads import generate_trace
+
+        ts = generate_trace("pverify", scale=0.3)
+
+        def benefit(cache_cfg):
+            cfg = MachineConfig(n_procs=ts.n_procs, cache=cache_cfg)
+            sc = System(ts, cfg, QueuingLockManager(), SEQUENTIAL).run()
+            wo = System(ts, cfg, QueuingLockManager(), WEAK).run()
+            return (sc.run_time - wo.run_time) / sc.run_time
+
+        wb = benefit(CacheConfig())
+        wt = benefit(CacheConfig(write_policy="writethrough"))
+        assert wt > wb
