@@ -1,0 +1,61 @@
+"""Throughput of the parallel experiment runner.
+
+The full Tables 3-8 grid is 18 independent simulations; the job runner
+(`repro.runner`) fans them across worker processes and memoizes every
+result in a content-addressed cache.  This bench times the parallel
+grid, then demonstrates the cache making a second invocation free --
+the two properties the orchestration layer exists to provide.  Results
+must be identical to the serial harness runs whichever way they are
+produced.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.core.experiment import run_suite
+from repro.runner import ResultCache
+
+from .conftest import BENCH_SCALE, BENCH_SEED, save_table
+
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def test_runner_parallel_suite(benchmark, cache, output_dir):
+    with tempfile.TemporaryDirectory() as tmp:
+        rc = ResultCache(tmp)
+
+        def run():
+            return run_suite(
+                scale=BENCH_SCALE, seed=BENCH_SEED, jobs=JOBS, cache=rc
+            )
+
+        suite = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert suite.batch.stats.failed == 0
+        assert suite.batch.stats.executed == 18
+
+        # warm pass: everything from the cache, zero simulations
+        t0 = time.perf_counter()
+        warm = run_suite(scale=BENCH_SCALE, seed=BENCH_SEED, jobs=JOBS, cache=rc)
+        warm_s = time.perf_counter() - t0
+        assert warm.batch.stats.executed == 0
+        assert warm.batch.stats.cached == 18
+
+        # identical results to the serial harness path
+        serial = cache.simulate("grav", "queuing", "sc")
+        assert suite.queuing_sc["grav"] == serial
+        assert warm.queuing_sc["grav"] == serial
+
+        save_table(
+            output_dir,
+            "runner_parallel",
+            "Parallel experiment runner (Tables 3-8 grid)\n"
+            f"  workers            : {JOBS}\n"
+            f"  jobs               : {suite.batch.stats.total}\n"
+            f"  cold pass          : {suite.batch.stats.summary()}\n"
+            f"  warm pass          : {warm.batch.stats.summary()}\n"
+            f"  warm wall time     : {warm_s:.3f} s\n"
+            f"  cache              : {rc.stats.summary()}",
+        )

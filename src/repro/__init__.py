@@ -40,6 +40,7 @@ from .sync import (
     TestAndTestAndSetLockManager,
     get_lock_manager,
 )
+from .runner import JobFailure, JobSpec, ResultCache, run_jobs
 from .trace import Trace, TraceSet, load_traceset, save_traceset
 from .workloads import (
     BENCHMARK_ORDER,
@@ -58,11 +59,14 @@ __all__ = [
     "CacheConfig",
     "ConsistencyModel",
     "ExactQueuingLockManager",
+    "JobFailure",
+    "JobSpec",
     "LOCK_SCHEMES",
     "LockManager",
     "MachineConfig",
     "MemoryConfig",
     "QueuingLockManager",
+    "ResultCache",
     "RunResult",
     "SEQUENTIAL",
     "System",
@@ -81,6 +85,7 @@ __all__ = [
     "get_model",
     "get_workload",
     "load_traceset",
+    "run_jobs",
     "save_traceset",
     "simulate",
 ]

@@ -1,7 +1,15 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pipe reader (head, less, ...) went away.  Redirect the
+    # interpreter's final stdout flush at devnull so it cannot raise too,
+    # and exit the way a killed pipe writer would (128 + SIGPIPE).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(141)

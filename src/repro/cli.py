@@ -6,7 +6,9 @@ Examples::
     python -m repro table 3                 # regenerate a paper table
     python -m repro table 4 --scale 0.5
     python -m repro run grav --locks ttas --model sc
-    python -m repro suite                   # Tables 3-8 in one pass
+    python -m repro suite --jobs 8          # Tables 3-8, parallel + cached
+    python -m repro batch --locks queuing,ttas --models sc,wo --jobs 4
+    python -m repro cache stats
     python -m repro generate qsort -o qsort.npz
     python -m repro ideal                   # Tables 1 and 2
 """
@@ -17,6 +19,39 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_config_options(sp: argparse.ArgumentParser) -> None:
+    """``--locks``/``--model`` with upfront name validation."""
+    from .consistency import MODEL_NAMES
+    from .sync import LOCK_SCHEMES
+
+    sp.add_argument(
+        "--locks",
+        default="queuing",
+        choices=sorted(LOCK_SCHEMES),
+        help="lock scheme (default: queuing)",
+    )
+    sp.add_argument(
+        "--model",
+        default="sc",
+        choices=MODEL_NAMES,
+        help="consistency model (default: sc)",
+    )
+
+
+def _add_runner_options(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    sp.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,14 +75,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     r = sub.add_parser("run", help="simulate one benchmark")
     r.add_argument("workload")
-    r.add_argument("--locks", default="queuing", help="queuing|exact-queuing|ttas|tas")
-    r.add_argument("--model", default="sc", help="sc|tso|wo")
+    _add_config_options(r)
     r.add_argument("--procs", type=int, default=None)
     r.add_argument(
         "--per-proc", action="store_true", help="also print the per-processor detail"
     )
 
-    sub.add_parser("suite", help="run the full grid and print Tables 3-8")
+    su = sub.add_parser("suite", help="run the full grid and print Tables 3-8")
+    _add_runner_options(su)
+
+    b = sub.add_parser(
+        "batch",
+        help="run an arbitrary experiment grid through the parallel job runner",
+    )
+    b.add_argument(
+        "--programs",
+        default="all",
+        help="comma-separated workload names, or 'all' (default)",
+    )
+    b.add_argument(
+        "--locks",
+        default="queuing",
+        help="comma-separated lock schemes (default: queuing)",
+    )
+    b.add_argument(
+        "--models",
+        default="sc",
+        help="comma-separated consistency models (default: sc)",
+    )
+    b.add_argument("--procs", type=int, default=None, help="processor-count override")
+    b.add_argument(
+        "--spec-file",
+        default=None,
+        help="JSON file with a list of job-spec dicts (overrides the grid options)",
+    )
+    b.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    b.add_argument("--retries", type=int, default=0, help="extra attempts per job")
+    b.add_argument("--manifest", default=None, help="JSONL batch manifest path")
+    b.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already completed in --manifest",
+    )
+    _add_runner_options(b)
+
+    c = sub.add_parser("cache", help="inspect or clear the result cache")
+    c.add_argument("action", choices=["stats", "clear"])
+    c.add_argument("--cache-dir", default=None)
 
     g = sub.add_parser("generate", help="generate a trace file")
     g.add_argument("workload")
@@ -55,15 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("simulate", help="simulate a saved trace file")
     s.add_argument("tracefile")
-    s.add_argument("--locks", default="queuing")
-    s.add_argument("--model", default="sc")
+    _add_config_options(s)
 
     sub.add_parser("decompose", help="section 3.2 T&T&S slowdown decomposition")
 
     pr = sub.add_parser("profile", help="per-lock contention profile of one benchmark")
     pr.add_argument("workload")
-    pr.add_argument("--locks", default="queuing")
-    pr.add_argument("--model", default="sc")
+    _add_config_options(pr)
     pr.add_argument("--top", type=int, default=12)
 
     sub.add_parser(
@@ -122,13 +194,35 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(core.render_per_proc(result))
     elif args.cmd == "suite":
-        suite = core.run_suite(scale=args.scale, seed=args.seed)
+        from .runner import ResultCache
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        suite = core.run_suite(
+            scale=args.scale, seed=args.seed, jobs=args.jobs, cache=cache
+        )
         for fn in (core.table3, core.table4, core.table5, core.table6, core.table7, core.table8):
             text, _ = fn(suite=suite)
             print(text)
             print()
         text, _ = core.section32(suite=suite)
         print(text)
+        # stats go to stderr so stdout stays byte-identical to the
+        # serial, uncached table output
+        if suite.batch is not None:
+            print(f"[runner] {suite.batch.stats.summary()}", file=sys.stderr)
+        if cache is not None:
+            print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+    elif args.cmd == "batch":
+        return _run_batch(args)
+    elif args.cmd == "cache":
+        from .runner import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        if args.action == "stats":
+            print(cache.describe())
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} cached result(s) from {cache.root}")
     elif args.cmd == "generate":
         ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
         save_traceset(ts, args.out)
@@ -192,6 +286,90 @@ def main(argv: list[str] | None = None) -> int:
                 f"{f.code_lines:>6,} {str(f.fits_in()):>10}"
             )
     return 0
+
+
+def _run_batch(args) -> int:
+    """``repro batch``: an arbitrary grid through the job runner."""
+    import json
+
+    from .consistency import MODEL_NAMES
+    from .runner import JobFailure, JobSpec, ResultCache, run_jobs
+    from .sync import LOCK_SCHEMES
+    from .workloads.registry import BENCHMARK_ORDER, WORKLOADS
+
+    if args.spec_file:
+        with open(args.spec_file) as fh:
+            specs = [JobSpec.from_dict(d) for d in json.load(fh)]
+    else:
+        if args.programs.strip().lower() == "all":
+            programs = list(BENCHMARK_ORDER)
+        else:
+            programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+        locks = [s.strip() for s in args.locks.split(",") if s.strip()]
+        models = [m.strip() for m in args.models.split(",") if m.strip()]
+        # validate every name up front, before any simulation starts
+        for prog in programs:
+            if prog not in WORKLOADS:
+                print(
+                    f"error: unknown workload {prog!r}; "
+                    f"expected one of {sorted(WORKLOADS)}",
+                    file=sys.stderr,
+                )
+                return 2
+        for scheme in locks:
+            if scheme not in LOCK_SCHEMES:
+                print(
+                    f"error: unknown lock scheme {scheme!r}; "
+                    f"expected one of {sorted(LOCK_SCHEMES)}",
+                    file=sys.stderr,
+                )
+                return 2
+        for model in models:
+            if model not in MODEL_NAMES:
+                print(
+                    f"error: unknown consistency model {model!r}; "
+                    f"expected one of {MODEL_NAMES}",
+                    file=sys.stderr,
+                )
+                return 2
+        specs = [
+            JobSpec(
+                program=prog,
+                scale=args.scale,
+                seed=args.seed,
+                lock_scheme=scheme,
+                consistency=model,
+                n_procs=args.procs,
+            )
+            for prog in programs
+            for scheme in locks
+            for model in models
+        ]
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    batch = run_jobs(
+        specs,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        manifest_path=args.manifest,
+        resume=args.resume,
+    )
+    width = max((len(s.label()) for s in batch.specs), default=0)
+    for spec, outcome in zip(batch.specs, batch.outcomes):
+        if isinstance(outcome, JobFailure):
+            print(f"{spec.label():<{width}}  FAILED   {outcome.kind}: {outcome.message}")
+        else:
+            print(
+                f"{spec.label():<{width}}  ok       run-time {outcome.run_time:>12,}  "
+                f"util {100 * outcome.avg_utilization:5.1f}%  "
+                f"lock stall {outcome.stall_pct_lock:5.1f}%"
+            )
+    print(f"[runner] {batch.stats.summary()}", file=sys.stderr)
+    if cache is not None:
+        print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+    return 0 if batch.ok() else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

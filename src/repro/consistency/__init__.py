@@ -14,6 +14,7 @@ __all__ = [
     "TotalStoreOrdering",
     "WEAK",
     "WeakOrdering",
+    "MODEL_NAMES",
     "get_model",
 ]
 
@@ -25,6 +26,9 @@ _MODELS = {
     "tso": TSO,
     "pc": TSO,
 }
+
+#: every accepted model name (for CLI validation/help)
+MODEL_NAMES = sorted(_MODELS)
 
 
 def get_model(name: str) -> ConsistencyModel:

@@ -14,6 +14,7 @@ from ..consistency import get_model
 from ..machine.config import MachineConfig
 from ..machine.metrics import RunResult
 from ..machine.system import System
+from ..runner import JobSpec, run_jobs
 from ..sync import get_lock_manager
 from ..trace.records import TraceSet
 from ..workloads.registry import BENCHMARK_ORDER, generate_trace
@@ -91,6 +92,9 @@ class SuiteResults:
     queuing_sc: dict  # program -> RunResult   (Tables 3, 4)
     ttas_sc: dict  # program -> RunResult      (Tables 5, 6)
     queuing_wo: dict  # program -> RunResult   (Tables 7, 8)
+    #: the BatchResult that produced these runs (None when assembled by
+    #: hand, e.g. the benchmark harness); carries executor/cache stats
+    batch: object = None
 
     def programs(self) -> list[str]:
         return [p for p in BENCHMARK_ORDER if p in self.queuing_sc]
@@ -102,20 +106,60 @@ def run_suite(
     seed: int = 1991,
     machine: MachineConfig | None = None,
     configs: tuple = (("queuing", "sc"), ("ttas", "sc"), ("queuing", "wo")),
+    jobs: int = 1,
+    cache=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    manifest_path=None,
+    resume: bool = False,
 ) -> SuiteResults:
     """Run the paper's full experimental grid.
 
     Each program's trace is generated once and reused across the three
-    machine configurations.
+    machine configurations.  The grid executes through
+    :func:`repro.runner.run_jobs`: ``jobs=1`` (the default) is the
+    serial in-process path, ``jobs>1`` fans the grid across worker
+    processes, and ``cache`` (a :class:`repro.runner.ResultCache` or a
+    directory path) skips every simulation whose result is already
+    known.  Either way the table outputs are identical -- every run is
+    deterministic in its spec.
     """
     programs = programs or list(BENCHMARK_ORDER)
-    traces = {p: generate_trace(p, scale=scale, seed=seed) for p in programs}
+    traces = {}
+    for p in programs:
+        try:
+            traces[p] = generate_trace(p, scale=scale, seed=seed)
+        except Exception:
+            # leave the traceset off: the job fails in the executor with
+            # a structured JobFailure instead of aborting the whole grid
+            pass
+    specs = [
+        JobSpec(
+            program=p,
+            scale=scale,
+            seed=seed,
+            lock_scheme=scheme,
+            consistency=model,
+            machine=machine,
+            traceset=traces.get(p),
+        )
+        for p in programs
+        for scheme, model in configs
+    ]
+    batch = run_jobs(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        manifest_path=manifest_path,
+        resume=resume,
+    ).raise_on_failure()
     buckets: dict[tuple, dict] = {c: {} for c in configs}
-    for p, ts in traces.items():
+    it = iter(batch.outcomes)
+    for p in programs:
         for scheme, model in configs:
-            cfg = machine or MachineConfig(n_procs=ts.n_procs)
-            system = System(ts, cfg, get_lock_manager(scheme), get_model(model))
-            buckets[(scheme, model)][p] = system.run()
+            buckets[(scheme, model)][p] = next(it)
     return SuiteResults(
         scale=scale,
         seed=seed,
@@ -123,4 +167,5 @@ def run_suite(
         queuing_sc=buckets.get(("queuing", "sc"), {}),
         ttas_sc=buckets.get(("ttas", "sc"), {}),
         queuing_wo=buckets.get(("queuing", "wo"), {}),
+        batch=batch,
     )

@@ -17,12 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from ..consistency import get_model
 from ..machine.config import MachineConfig
 from ..machine.metrics import RunResult
-from ..machine.system import System
-from ..sync import get_lock_manager
-from ..workloads.registry import get_workload
+from ..runner import JobSpec, run_jobs
 from .report import render_table
 
 __all__ = ["SweepPoint", "sweep_procs", "sweep_machine", "render_sweep"]
@@ -37,11 +34,12 @@ class SweepPoint:
     result: RunResult
 
 
-def _run(ts, config, lock_scheme, consistency) -> RunResult:
-    system = System(
-        ts, config, get_lock_manager(lock_scheme), get_model(consistency)
-    )
-    return system.run()
+def _run_points(labels, values, specs, jobs, cache) -> list[SweepPoint]:
+    batch = run_jobs(specs, jobs=jobs, cache=cache).raise_on_failure()
+    return [
+        SweepPoint(label=lab, value=val, result=res)
+        for lab, val, res in zip(labels, values, batch.outcomes)
+    ]
 
 
 def sweep_procs(
@@ -52,21 +50,32 @@ def sweep_procs(
     lock_scheme: str = "queuing",
     consistency: str = "sc",
     machine: MachineConfig | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
     """Run ``program`` on machines of different sizes.
 
     Each size gets its own generated trace (the work is re-partitioned
     across the new processor count, as re-running the original program
-    would).
+    would).  ``jobs``/``cache`` route the sweep through the job runner
+    (see :mod:`repro.runner`); workers generate their own traces.
     """
-    points = []
-    for n in procs:
-        ts = get_workload(program, scale=scale, seed=seed).generate(n_procs=n)
-        cfg = (machine or MachineConfig()).with_procs(n)
-        points.append(
-            SweepPoint(label=f"{n} procs", value=n, result=_run(ts, cfg, lock_scheme, consistency))
+    sizes = list(procs)
+    specs = [
+        JobSpec(
+            program=program,
+            scale=scale,
+            seed=seed,
+            lock_scheme=lock_scheme,
+            consistency=consistency,
+            machine=(machine or MachineConfig()).with_procs(n),
+            n_procs=n,
         )
-    return points
+        for n in sizes
+    ]
+    return _run_points(
+        [f"{n} procs" for n in sizes], sizes, specs, jobs, cache
+    )
 
 
 def sweep_machine(
@@ -74,15 +83,26 @@ def sweep_machine(
     configs: Sequence[tuple[str, MachineConfig]],
     lock_scheme: str = "queuing",
     consistency: str = "sc",
+    jobs: int = 1,
+    cache=None,
 ) -> list[SweepPoint]:
-    """Run one trace on a family of machine configurations."""
-    points = []
-    for label, cfg in configs:
-        cfg = cfg.with_procs(traceset.n_procs)
-        points.append(
-            SweepPoint(label=label, value=cfg, result=_run(traceset, cfg, lock_scheme, consistency))
+    """Run one trace on a family of machine configurations.
+
+    The trace is addressed by content digest in the cache (it need not
+    be regenerable from a workload name).
+    """
+    cfgs = [cfg.with_procs(traceset.n_procs) for _label, cfg in configs]
+    specs = [
+        JobSpec(
+            program="",
+            lock_scheme=lock_scheme,
+            consistency=consistency,
+            machine=cfg,
+            traceset=traceset,
         )
-    return points
+        for cfg in cfgs
+    ]
+    return _run_points([label for label, _ in configs], cfgs, specs, jobs, cache)
 
 
 _DEFAULT_COLUMNS: list[tuple[str, Callable[[RunResult], object]]] = [

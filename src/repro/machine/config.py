@@ -14,7 +14,7 @@ the request, three in memory, two to return the 16-byte line over the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["CacheConfig", "BusConfig", "MemoryConfig", "MachineConfig"]
 
@@ -148,3 +148,29 @@ class MachineConfig:
     def with_procs(self, n_procs: int) -> "MachineConfig":
         """A copy of this configuration with a different processor count."""
         return replace(self, n_procs=n_procs)
+
+    # -- serialization (used by repro.runner to describe jobs across
+    # -- process boundaries and in cache keys) -------------------------------
+    def to_dict(self) -> dict:
+        """A plain-JSON description of the full machine configuration."""
+        return {
+            "n_procs": self.n_procs,
+            "cache": asdict(self.cache),
+            "bus": asdict(self.bus),
+            "memory": asdict(self.memory),
+            "cachebus_buffer_depth": self.cachebus_buffer_depth,
+            "batch_records": self.batch_records,
+            "coherence": self.coherence,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineConfig":
+        return cls(
+            n_procs=d["n_procs"],
+            cache=CacheConfig(**d["cache"]),
+            bus=BusConfig(**d["bus"]),
+            memory=MemoryConfig(**d["memory"]),
+            cachebus_buffer_depth=d["cachebus_buffer_depth"],
+            batch_records=d["batch_records"],
+            coherence=d["coherence"],
+        )

@@ -62,7 +62,8 @@ class Engine:
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     raise RuntimeError(
-                        f"simulation exceeded {max_events} events; "
+                        f"simulation exceeded {max_events} events at cycle "
+                        f"{self.now} with {len(q)} events still pending; "
                         "likely deadlock or livelock"
                     )
         finally:

@@ -58,6 +58,33 @@ class ProcMetrics:
             return 1.0
         return self.work_cycles / self.completion_time
 
+    # -- serialization support (repro.runner ships results across
+    # -- process boundaries and persists them in the result cache) --------
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ProcMetrics":
+        m = cls(int(d["proc"]))
+        for name in cls.__slots__:
+            setattr(m, name, int(d[name]))
+        return m
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcMetrics):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.__slots__
+        )
+
+    __hash__ = None  # mutable accounting record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcMetrics(proc={self.proc}, work={self.work_cycles}, "
+            f"stall={self.total_stall}, done={self.completion_time})"
+        )
+
 
 @dataclass(frozen=True)
 class RunResult:

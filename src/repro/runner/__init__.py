@@ -1,0 +1,61 @@
+"""Parallel experiment orchestration with a content-addressed result
+cache.
+
+Every simulation in the reproduction is deterministic in its inputs --
+``(program, scale, seed, machine, lock scheme, consistency model)`` --
+so a run is worth exactly one execution, ever.  This package turns that
+observation into infrastructure:
+
+* :class:`JobSpec` canonically describes one simulation and hashes to a
+  stable cache key (:mod:`repro.runner.spec`);
+* :mod:`repro.runner.serialize` moves :class:`~repro.machine.metrics.
+  RunResult`s across process boundaries and onto disk as lossless JSON;
+* :class:`ResultCache` is a content-addressed on-disk store with
+  hit/miss/invalidation accounting (:mod:`repro.runner.cache`);
+* :func:`run_jobs` fans a batch of specs across worker processes with
+  per-job timeout, bounded retry, and structured :class:`JobFailure`
+  capture (:mod:`repro.runner.executor`);
+* each batch appends a JSONL manifest enabling ``resume`` of partially
+  completed grids (:mod:`repro.runner.manifest`).
+
+The suite runner (:func:`repro.core.experiment.run_suite`), the sweep
+API (:mod:`repro.core.sweep`) and the CLI (``repro suite --jobs N``,
+``repro batch``, ``repro cache``) are all built on this layer; serial
+execution is just the ``jobs=1`` degenerate case, so the paper tables
+stay byte-identical however they are produced.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .executor import BatchResult, BatchStats, JobFailure, run_jobs
+from .manifest import append_record, load_completed, load_records
+from .serialize import (
+    machine_from_dict,
+    machine_to_dict,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from .spec import CACHE_FORMAT, JobSpec, traceset_digest
+
+__all__ = [
+    "BatchResult",
+    "BatchStats",
+    "CACHE_FORMAT",
+    "CacheStats",
+    "JobFailure",
+    "JobSpec",
+    "ResultCache",
+    "append_record",
+    "default_cache_dir",
+    "load_completed",
+    "load_records",
+    "machine_from_dict",
+    "machine_to_dict",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_dict",
+    "result_to_json",
+    "run_jobs",
+    "traceset_digest",
+]

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk result cache.
+
+Layout (git-style fan-out to keep directories small)::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+Each object stores the full job spec alongside the result so entries
+are self-describing and verifiable: a load checks the payload's format
+version and that its embedded key matches the file's address, and
+anything unreadable or stale is *invalidated* -- counted, deleted, and
+treated as a miss -- rather than trusted.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a half-written object where a later
+run would find it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..machine.metrics import RunResult
+from .serialize import result_from_dict, result_to_dict
+from .spec import CACHE_FORMAT, JobSpec
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses "
+            f"({100 * self.hit_rate:.0f}% hit rate), {self.puts} stored, "
+            f"{self.invalidated} invalidated"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult`s keyed by job spec."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, key: str) -> Path:
+        return self._objects_dir() / key[:2] / f"{key}.json"
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def get(self, spec: JobSpec) -> RunResult | None:
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        Corrupt, truncated, or format-stale entries are deleted and
+        counted in ``stats.invalidated``.
+        """
+        return self.get_by_key(spec.cache_key())
+
+    def get_by_key(self, key: str) -> RunResult | None:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        try:
+            if payload["format"] != CACHE_FORMAT or payload["key"] != key:
+                raise ValueError("stale or mismatched cache object")
+            result = result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: JobSpec, result: RunResult) -> str:
+        """Store ``result`` under ``spec``'s key; returns the key."""
+        key = spec.cache_key()
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+        self.stats.puts += 1
+        return key
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return self.path_for(spec.cache_key()).exists()
+
+    # ------------------------------------------------------------------
+    def _object_files(self) -> list[Path]:
+        objects = self._objects_dir()
+        if not objects.is_dir():
+            return []
+        return sorted(objects.glob("*/*.json"))
+
+    def count(self) -> int:
+        return len(self._object_files())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._object_files())
+
+    def clear(self) -> int:
+        """Delete every cached object; returns how many were removed."""
+        files = self._object_files()
+        for p in files:
+            self._discard(p)
+        for d in sorted(self._objects_dir().glob("*")):
+            try:
+                d.rmdir()
+            except OSError:
+                pass
+        return len(files)
+
+    def describe(self) -> str:
+        """Multi-line human-readable cache report (``repro cache stats``)."""
+        n = self.count()
+        size = self.size_bytes()
+        return (
+            f"cache directory : {self.root}\n"
+            f"cached results  : {n}\n"
+            f"total size      : {size / 1024:.1f} KiB\n"
+            f"this session    : {self.stats.summary()}"
+        )

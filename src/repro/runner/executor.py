@@ -1,0 +1,388 @@
+"""Batch executor: fan a list of :class:`JobSpec`s across worker
+processes with caching, per-job timeout, bounded retry, and structured
+failure capture.
+
+Design points:
+
+* ``jobs=1`` is the degenerate serial path: specs run in order, in
+  process, with no executor machinery between the spec and the
+  simulator -- existing callers (and the byte-identical table outputs)
+  ride on this path unless they opt into parallelism.
+* Workers return results as JSON dictionaries, never live objects, so
+  every parallel result crosses the process boundary through the same
+  serialization layer the cache uses.
+* A failing or timing-out job yields a :class:`JobFailure` in the batch
+  outcome -- it never aborts the remaining jobs.  Timeouts are enforced
+  *inside* the worker with an interval timer, so a timed-out worker
+  survives to take its next job instead of poisoning the pool.
+* Every outcome is appended to a JSONL manifest (see
+  :mod:`repro.runner.manifest`); ``resume=True`` restores completed
+  jobs from a previous manifest and runs only the rest.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..machine.metrics import RunResult
+from .cache import ResultCache
+from .manifest import append_record, load_completed
+from .serialize import result_from_dict, result_to_dict
+from .spec import JobSpec
+
+__all__ = ["JobFailure", "BatchStats", "BatchResult", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that could not produce a result."""
+
+    key: str
+    label: str
+    kind: str  # "timeout" | "error"
+    message: str
+    attempts: int
+    spec: dict = field(default_factory=dict)
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.kind} after {self.attempts} attempt(s): {self.message}"
+
+
+@dataclass
+class BatchStats:
+    """What actually happened while running one batch."""
+
+    total: int = 0
+    executed: int = 0  # simulations that ran to completion
+    cached: int = 0  # restored from the result cache
+    resumed: int = 0  # restored from a previous batch manifest
+    failed: int = 0
+    retries: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} jobs: {self.executed} executed, "
+            f"{self.cached} from cache, {self.resumed} resumed, "
+            f"{self.failed} failed ({self.retries} retries)"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Outcomes of one batch, in spec order."""
+
+    specs: list
+    outcomes: list  # RunResult | JobFailure, aligned with specs
+    stats: BatchStats
+    manifest_path: str | None = None
+
+    def results(self) -> list:
+        return [o for o in self.outcomes if isinstance(o, RunResult)]
+
+    def failures(self) -> list:
+        return [o for o in self.outcomes if isinstance(o, JobFailure)]
+
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def raise_on_failure(self) -> "BatchResult":
+        fails = self.failures()
+        if fails:
+            lines = "\n  ".join(str(f) for f in fails)
+            raise RuntimeError(f"{len(fails)} job(s) failed:\n  {lines}")
+        return self
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _JobTimeout(Exception):
+    pass
+
+
+def _on_alarm(signum, frame):  # pragma: no cover - fires asynchronously
+    raise _JobTimeout()
+
+
+def _arm_timer(timeout: float | None):
+    """Install a real-time interval timer; returns a disarm callback."""
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return lambda: None
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    # Periodic, not one-shot: a raise from the handler can land inside an
+    # unrelated ``except`` block (lazy imports are the usual victim) and be
+    # swallowed, so keep re-firing until one delivery propagates.
+    signal.setitimer(signal.ITIMER_REAL, timeout, min(timeout, 1.0))
+
+    def disarm() -> None:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+    return disarm
+
+
+#: per-worker memo of generated traces, so the several configurations of
+#: one program landing on the same worker share a single generation
+_TRACE_MEMO: dict[tuple, object] = {}
+_TRACE_MEMO_MAX = 8
+
+
+def _memoized_traceset(spec: JobSpec):
+    if spec.traceset is not None or not spec.program:
+        return spec.traceset
+    key = (spec.program, spec.scale, spec.seed, spec.n_procs)
+    ts = _TRACE_MEMO.get(key)
+    if ts is None:
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.clear()
+        ts = _TRACE_MEMO[key] = spec.resolve_traceset()
+    return ts
+
+
+def _execute(spec: JobSpec, timeout: float | None) -> dict:
+    """Run one job; always returns a JSON-ready payload, never raises."""
+    start = time.perf_counter()
+    disarm = _arm_timer(timeout)
+    try:
+        result = spec.run(traceset=_memoized_traceset(spec))
+        disarm()  # idempotent; a late re-fire must not escape _execute
+        payload = {"ok": True, "result": result_to_dict(result)}
+    except _JobTimeout:
+        disarm()
+        payload = {
+            "ok": False,
+            "kind": "timeout",
+            "message": f"job exceeded {timeout:g}s",
+            "traceback": "",
+        }
+    except BaseException as exc:  # noqa: BLE001 - failures must be captured
+        disarm()
+        payload = {
+            "ok": False,
+            "kind": "error",
+            "message": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    finally:
+        disarm()
+    payload["elapsed_s"] = round(time.perf_counter() - start, 6)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+def _normalize_cache(cache) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+class _Batch:
+    """Mutable coordinator state for one run_jobs invocation."""
+
+    def __init__(self, specs, cache, manifest_path):
+        self.specs = list(specs)
+        self.keys = [s.cache_key() for s in self.specs]
+        self.cache = cache
+        self.manifest_path = str(manifest_path) if manifest_path else None
+        self.outcomes: list = [None] * len(self.specs)
+        self.stats = BatchStats(total=len(self.specs))
+
+    def _record(self, idx: int, status: str, **extra) -> None:
+        if self.manifest_path is None:
+            return
+        rec = {
+            "key": self.keys[idx],
+            "label": self.specs[idx].label(),
+            "status": status,
+            "spec": self.specs[idx].to_dict(),
+        }
+        rec.update(extra)
+        append_record(self.manifest_path, rec)
+
+    def restore(self, idx: int, result_dict: dict, how: str) -> None:
+        self.outcomes[idx] = result_from_dict(result_dict)
+        if how == "resumed":
+            self.stats.resumed += 1
+        self._record(idx, how, attempts=0, elapsed_s=0.0)
+
+    def restore_cached(self, idx: int, result: RunResult) -> None:
+        self.outcomes[idx] = result
+        self.stats.cached += 1
+        self._record(idx, "cached", attempts=0, elapsed_s=0.0)
+
+    def finish_ok(self, idx: int, payload: dict, attempts: int) -> None:
+        result = result_from_dict(payload["result"])
+        self.outcomes[idx] = result
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(self.specs[idx], result)
+        self._record(
+            idx,
+            "ok",
+            attempts=attempts,
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            result=payload["result"],
+        )
+
+    def finish_failed(self, idx: int, payload: dict, attempts: int) -> None:
+        failure = JobFailure(
+            key=self.keys[idx],
+            label=self.specs[idx].label(),
+            kind=payload.get("kind", "error"),
+            message=payload.get("message", ""),
+            attempts=attempts,
+            spec=self.specs[idx].to_dict(),
+            traceback=payload.get("traceback", ""),
+        )
+        self.outcomes[idx] = failure
+        self.stats.failed += 1
+        self._record(
+            idx,
+            "failed",
+            attempts=attempts,
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            error={
+                "kind": failure.kind,
+                "message": failure.message,
+                "traceback": failure.traceback,
+            },
+        )
+
+
+def run_jobs(
+    specs,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    manifest_path: str | Path | None = None,
+    resume: bool = False,
+) -> BatchResult:
+    """Run a list of :class:`JobSpec`s and return their outcomes in order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` runs serially in this process.
+    cache:
+        A :class:`ResultCache`, a cache directory path, or ``None`` to
+        disable caching.  Hits skip simulation entirely.
+    timeout:
+        Per-job wall-clock limit in seconds (enforced in the worker; a
+        timed-out job becomes a ``"timeout"`` :class:`JobFailure`).
+    retries:
+        Extra attempts granted to a failing job before it is recorded
+        as a :class:`JobFailure`.
+    manifest_path:
+        JSONL file receiving one record per outcome.
+    resume:
+        Restore jobs already completed in ``manifest_path`` from a
+        previous invocation instead of re-running them.
+    """
+    if resume and manifest_path is None:
+        raise ValueError("resume=True requires a manifest_path")
+    jobs = max(1, int(jobs))
+    batch = _Batch(specs, _normalize_cache(cache), manifest_path)
+
+    pending = list(range(len(batch.specs)))
+
+    if resume:
+        completed = load_completed(manifest_path)
+        still = []
+        for idx in pending:
+            if batch.keys[idx] in completed:
+                batch.restore(idx, completed[batch.keys[idx]], "resumed")
+            else:
+                still.append(idx)
+        pending = still
+
+    if batch.cache is not None:
+        still = []
+        for idx in pending:
+            hit = batch.cache.get(batch.specs[idx])
+            if hit is not None:
+                batch.restore_cached(idx, hit)
+            else:
+                still.append(idx)
+        pending = still
+
+    if pending:
+        if jobs == 1:
+            _run_serial(batch, pending, timeout, retries)
+        else:
+            _run_parallel(batch, pending, jobs, timeout, retries)
+
+    return BatchResult(
+        specs=batch.specs,
+        outcomes=batch.outcomes,
+        stats=batch.stats,
+        manifest_path=batch.manifest_path,
+    )
+
+
+def _run_serial(batch: _Batch, pending, timeout, retries) -> None:
+    for idx in pending:
+        attempt = 1
+        while True:
+            payload = _execute(batch.specs[idx], timeout)
+            if payload["ok"]:
+                batch.finish_ok(idx, payload, attempt)
+                break
+            if attempt > retries:
+                batch.finish_failed(idx, payload, attempt)
+                break
+            attempt += 1
+            batch.stats.retries += 1
+
+
+def _run_parallel(batch: _Batch, pending, jobs, timeout, retries) -> None:
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        in_flight = {}
+
+        def submit(idx: int, attempt: int) -> None:
+            spec = batch.specs[idx]
+            if spec.program and spec.traceset is not None:
+                # don't pickle megabytes of trace into the job queue: a
+                # provenance-named trace is cheaper to regenerate in the
+                # worker (where the memo shares it across configs)
+                spec = replace(spec, traceset=None)
+            fut = pool.submit(_execute, spec, timeout)
+            in_flight[fut] = (idx, attempt)
+
+        for idx in pending:
+            submit(idx, 1)
+
+        while in_flight:
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx, attempt = in_flight.pop(fut)
+                try:
+                    payload = fut.result()
+                except BaseException as exc:  # worker process died
+                    payload = {
+                        "ok": False,
+                        "kind": "error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "traceback": "",
+                        "elapsed_s": 0.0,
+                    }
+                if payload["ok"]:
+                    batch.finish_ok(idx, payload, attempt)
+                elif attempt <= retries:
+                    batch.stats.retries += 1
+                    submit(idx, attempt + 1)
+                else:
+                    batch.finish_failed(idx, payload, attempt)

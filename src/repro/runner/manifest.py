@@ -1,0 +1,68 @@
+"""Append-only JSONL batch manifest.
+
+Every job the executor finishes -- successfully, from cache, restored
+on resume, or failed -- appends one self-contained JSON line::
+
+    {"key": ..., "label": ..., "status": "ok" | "cached" | "resumed"
+        | "failed",
+     "attempts": ..., "elapsed_s": ..., "spec": {...},
+     "result": {...}    # present on "ok" lines
+     "error": {...}}    # present on "failed" lines
+
+Because ``"ok"`` lines embed the full serialized result, a manifest is
+sufficient on its own to resume a partially completed grid: a later
+invocation with ``resume=True`` restores every completed job from the
+manifest and re-runs only the pending and failed ones, even with the
+object cache disabled.  Truncated or corrupt lines (e.g. from a run
+killed mid-write) are skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["append_record", "load_completed", "load_records"]
+
+
+def append_record(path: str | os.PathLike, record: dict) -> None:
+    """Append one manifest line, creating parent directories as needed."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_records(path: str | os.PathLike) -> list[dict]:
+    """All decodable manifest records, in file order."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    records = []
+    with p.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run
+            if isinstance(rec, dict):
+                records.append(rec)
+    return records
+
+
+def load_completed(path: str | os.PathLike) -> dict[str, dict]:
+    """Map cache-key -> serialized result for every completed job.
+
+    Latest ``"ok"`` line per key wins; other statuses are ignored (a
+    ``"failed"`` line never shadows an earlier success of a *different*
+    attempt batch -- completed work stays completed).
+    """
+    completed: dict[str, dict] = {}
+    for rec in load_records(path):
+        if rec.get("status") == "ok" and "result" in rec and "key" in rec:
+            completed[rec["key"]] = rec["result"]
+    return completed

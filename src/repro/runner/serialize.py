@@ -1,0 +1,135 @@
+"""JSON serialization for simulation results and their components.
+
+Results must cross two boundaries the in-memory objects cannot:
+
+* **process boundaries** — the parallel executor ships every worker
+  result back to the coordinator as JSON, which both exercises this
+  module on every parallel run and guarantees workers cannot leak
+  non-picklable state into the batch;
+* **time** — the content-addressed result cache and the batch manifest
+  persist results on disk between invocations.
+
+Every field of :class:`~repro.machine.metrics.RunResult` is integer or
+string valued (cycle counts, event counts, names), so the round trip is
+lossless: ``result_from_json(result_to_json(r)) == r`` exactly.
+
+Integer-keyed mappings (per-lock breakdowns, bus op counts) are stored
+with stringified keys -- JSON object keys are always strings -- and
+converted back on load.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..machine.config import MachineConfig
+from ..machine.metrics import ProcMetrics, RunResult
+from ..sync.stats import LockStats
+
+__all__ = [
+    "lockstats_to_dict",
+    "lockstats_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+    "machine_to_dict",
+    "machine_from_dict",
+]
+
+#: RunResult scalar fields carried verbatim (all ints or strings).
+_SCALAR_FIELDS = (
+    "program",
+    "n_procs",
+    "lock_scheme",
+    "consistency",
+    "run_time",
+    "bus_busy_cycles",
+    "read_hits",
+    "read_misses",
+    "write_hits",
+    "write_misses",
+    "ifetch_hits",
+    "ifetch_misses",
+    "writebacks",
+    "c2c_supplied",
+    "invalidations_received",
+    "buffer_max_occupancy",
+)
+
+_LOCKSTATS_SCALARS = (
+    "acquisitions",
+    "hold_cycles_total",
+    "transfers",
+    "waiters_at_transfer_total",
+    "transfer_hold_cycles_total",
+    "handoff_cycles_total",
+    "uncontended_acquire_cycles_total",
+    "uncontended_acquires",
+)
+
+_LOCKSTATS_MAPS = (
+    "per_lock_acquisitions",
+    "per_lock_transfers",
+    "per_lock_waiters_total",
+    "per_lock_hold_total",
+)
+
+
+def _intkeys_out(d: dict) -> dict:
+    return {str(k): v for k, v in d.items()}
+
+
+def _intkeys_in(d: dict) -> dict:
+    return {int(k): v for k, v in d.items()}
+
+
+def lockstats_to_dict(ls: LockStats) -> dict:
+    d = {name: getattr(ls, name) for name in _LOCKSTATS_SCALARS}
+    for name in _LOCKSTATS_MAPS:
+        d[name] = _intkeys_out(getattr(ls, name))
+    return d
+
+
+def lockstats_from_dict(d: dict) -> LockStats:
+    kwargs = {name: d[name] for name in _LOCKSTATS_SCALARS}
+    for name in _LOCKSTATS_MAPS:
+        kwargs[name] = _intkeys_in(d.get(name, {}))
+    return LockStats(**kwargs)
+
+
+def machine_to_dict(config: MachineConfig | None) -> dict | None:
+    """``None``-tolerant wrapper around :meth:`MachineConfig.to_dict`."""
+    return None if config is None else config.to_dict()
+
+
+def machine_from_dict(d: dict | None) -> MachineConfig | None:
+    return None if d is None else MachineConfig.from_dict(d)
+
+
+def result_to_dict(r: RunResult) -> dict:
+    d = {name: getattr(r, name) for name in _SCALAR_FIELDS}
+    d["proc_metrics"] = [m.as_dict() for m in r.proc_metrics]
+    d["lock_stats"] = lockstats_to_dict(r.lock_stats)
+    d["bus_op_counts"] = _intkeys_out(r.bus_op_counts)
+    d["meta"] = dict(r.meta)
+    return d
+
+
+def result_from_dict(d: dict) -> RunResult:
+    kwargs = {name: d[name] for name in _SCALAR_FIELDS}
+    return RunResult(
+        proc_metrics=tuple(ProcMetrics.from_dict(m) for m in d["proc_metrics"]),
+        lock_stats=lockstats_from_dict(d["lock_stats"]),
+        bus_op_counts=_intkeys_in(d["bus_op_counts"]),
+        meta=dict(d.get("meta", {})),
+        **kwargs,
+    )
+
+
+def result_to_json(r: RunResult, indent: int | None = None) -> str:
+    return json.dumps(result_to_dict(r), indent=indent, sort_keys=True)
+
+
+def result_from_json(text: str) -> RunResult:
+    return result_from_dict(json.loads(text))

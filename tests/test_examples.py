@@ -69,3 +69,9 @@ class TestExamples:
         out = run_example("bus_anatomy.py", "pdsa", "0.1")
         assert "Bus anatomy" in out
         assert "lock traffic" in out
+
+    def test_parallel_suite(self):
+        out = run_example("parallel_suite.py", "0.05", "2")
+        assert "byte-identical" in out
+        assert "0 executed, 18 from cache" in out
+        assert "Table 3" in out
