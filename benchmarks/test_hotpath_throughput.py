@@ -1,0 +1,211 @@
+"""Hot-path throughput benchmark and perf-smoke gate.
+
+Not a paper artifact: this watches the private-window fast path (see
+docs/performance.md).  Two synthetic single-processor "hot loop" traces
+-- all-private, bus-free after the cold pass, so nearly every record is
+fast-path eligible -- are simulated with ``fast_path`` on and off, and
+each suite program's (queuing, SC) cell is timed with the fast path on.
+Throughput is reported as trace references per second and engine events
+per second, and the full report is written to
+``benchmarks/output/BENCH_hotpath.json``.
+
+Measurement protocol: the fast/reference runs of each trace are timed
+*adjacently* (same process, alternating) with ``time.process_time`` and
+best-of-N is kept per mode, because wall-clock drift between separated
+runs on a shared machine easily exceeds the effect being measured.
+
+Perf smoke: when ``REPRO_PERF_ENFORCE`` is set (the CI perf-smoke job
+does this), the measured fast-path refs/sec for both hot-loop traces is
+compared against the committed baseline ``BENCH_hotpath.json`` at the
+repository root and the test fails on a regression of more than 25%,
+and also fails if the fast path is more than 25% *slower* than the
+reference path on its own home turf.  Regenerate the root baseline on a
+quiet machine with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_hotpath_throughput.py -q
+    cp benchmarks/output/BENCH_hotpath.json BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.consistency import SEQUENTIAL
+from repro.machine.config import MachineConfig
+from repro.machine.system import System
+from repro.sync import QueuingLockManager
+from repro.trace.layout import PRIVATE_BASE, AddressLayout
+from repro.trace.records import IBLOCK, READ, RECORD_DTYPE, WRITE, Trace, TraceSet
+from repro.workloads.registry import BENCHMARK_ORDER, generate_trace
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_DIR = Path(__file__).parent / "output"
+BASELINE_PATH = ROOT / "BENCH_hotpath.json"
+
+#: paired repetitions per (trace, mode); raise for quieter numbers
+REPS = int(os.environ.get("REPRO_PERF_REPS", "5"))
+ENFORCE = bool(os.environ.get("REPRO_PERF_ENFORCE"))
+#: allowed refs/sec regression vs the committed baseline
+TOLERANCE = 0.25
+
+HOTLOOP_RECORDS = 400_000
+HOTLOOP_LINES = 512
+HOTLOOP_SEED = 7
+
+
+def _make_hotloop(name: str, ib_args: tuple[int, int], d_args: tuple[int, int]):
+    """A single-processor trace whose working set (512 data + 512 code
+    lines at 16 bytes/line) fits the default cache: after the cold pass
+    every access hits, no bus traffic, all fast-path eligible."""
+    rng = np.random.default_rng(HOTLOOP_SEED)
+    n, lines, lb = HOTLOOP_RECORDS, HOTLOOP_LINES, 16
+    rec = np.zeros(n, dtype=RECORD_DTYPE)
+    kinds = rng.choice([IBLOCK, READ, WRITE], size=n, p=[0.5, 0.3, 0.2])
+    is_ib = kinds == IBLOCK
+    arg = np.where(
+        is_ib,
+        rng.integers(ib_args[0], ib_args[1] + 1, size=n),
+        rng.integers(d_args[0], d_args[1] + 1, size=n),
+    )
+    line_idx = rng.integers(0, lines, size=n)
+    rec["kind"] = kinds
+    rec["addr"] = np.where(is_ib, PRIVATE_BASE + lines * lb, PRIVATE_BASE) + line_idx * lb
+    rec["arg"] = arg
+    rec["cycles"] = np.where(is_ib, arg, 0)
+    return TraceSet(
+        [Trace(rec, proc=0, program=name)], AddressLayout(n_procs=1), program=name
+    )
+
+
+#: word-granular accesses only: every record stays within one line, so
+#: the fast path's packed single-line codes carry the whole trace
+def _single_line():
+    return _make_hotloop("hotloop-single", ib_args=(4, 4), d_args=(4, 4))
+
+
+#: instruction blocks span 2-4 lines: exercises the tuple (span) codes
+def _mixed():
+    return _make_hotloop("hotloop-mixed", ib_args=(8, 16), d_args=(1, 4))
+
+
+def _timed_run(ts, fast: bool):
+    cfg = MachineConfig(n_procs=ts.n_procs, fast_path=fast)
+    system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+    gc.collect()
+    t0 = time.process_time()
+    result = system.run()
+    seconds = time.process_time() - t0
+    return seconds, result, system.engine.dispatched_total
+
+
+def _measure_pair(make_ts):
+    """Best-of-REPS for fast and reference, interleaved so both modes
+    see the same machine conditions."""
+    ts = make_ts()
+    _timed_run(ts, True)  # warm: imports, fast-path table build
+    _timed_run(ts, False)
+    best = {True: (9e9, None, 0), False: (9e9, None, 0)}
+    for _ in range(REPS):
+        for fast in (True, False):
+            seconds, result, events = _timed_run(ts, fast)
+            if seconds < best[fast][0]:
+                best[fast] = (seconds, result, events)
+    refs = sum(m.refs_processed for m in best[True][1].proc_metrics)
+    assert refs == sum(m.refs_processed for m in best[False][1].proc_metrics)
+
+    def mode(fast):
+        seconds, _result, events = best[fast]
+        return {
+            "seconds": round(seconds, 4),
+            "refs_per_sec": round(refs / seconds),
+            "events_per_sec": round(events / seconds),
+        }
+
+    report = {
+        "records": HOTLOOP_RECORDS,
+        "refs": refs,
+        "fast": mode(True),
+        "reference": mode(False),
+    }
+    report["speedup"] = round(
+        report["fast"]["refs_per_sec"] / report["reference"]["refs_per_sec"], 3
+    )
+    return report
+
+
+def _measure_suite_cell(program: str):
+    ts = generate_trace(program, scale=1.0, seed=1991)
+    _timed_run(ts, True)  # warm
+    best = 9e9
+    result = events = None
+    for _ in range(3):
+        seconds, r, e = _timed_run(ts, True)
+        if seconds < best:
+            best, result, events = seconds, r, e
+    refs = sum(m.refs_processed for m in result.proc_metrics)
+    return {
+        "seconds": round(best, 4),
+        "refs_per_sec": round(refs / best),
+        "events_per_sec": round(events / best),
+    }
+
+
+def test_hotpath_throughput():
+    report = {
+        "protocol": (
+            f"process_time, adjacent fast/reference runs, best of {REPS}; "
+            "hot loops are 400k-record private working sets (single-line "
+            "word accesses / mixed with 8-16 word iblocks); suite cells "
+            "are (queuing, SC) at scale 1.0 with the fast path on"
+        ),
+        "hotloop_single": _measure_pair(_single_line),
+        "hotloop_mixed": _measure_pair(_mixed),
+        "suite": {p: _measure_suite_cell(p) for p in BENCHMARK_ORDER},
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "BENCH_hotpath.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    # sanity floors that hold on any machine
+    for key in ("hotloop_single", "hotloop_mixed"):
+        assert report[key]["fast"]["refs_per_sec"] > 100_000, report[key]
+
+    if not ENFORCE:
+        return
+
+    # perf smoke (CI): the fast path must still pay for itself at home...
+    problems = []
+    for key in ("hotloop_single", "hotloop_mixed"):
+        if report[key]["speedup"] < 1 - TOLERANCE:
+            problems.append(
+                f"{key}: fast path {report[key]['speedup']}x vs reference"
+            )
+    # ...and absolute throughput must not regress vs the committed baseline
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+        for key in ("hotloop_single", "hotloop_mixed"):
+            base = baseline[key]["fast"]["refs_per_sec"]
+            got = report[key]["fast"]["refs_per_sec"]
+            if got < base * (1 - TOLERANCE):
+                problems.append(
+                    f"{key}: {got} refs/sec is >{TOLERANCE:.0%} below the "
+                    f"committed baseline {base}"
+                )
+    else:
+        problems.append(f"committed baseline {BASELINE_PATH} is missing")
+    if problems:
+        pytest.fail(
+            "hot-path throughput regression:\n  " + "\n  ".join(problems),
+            pytrace=False,
+        )

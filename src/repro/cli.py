@@ -38,6 +38,15 @@ def _add_config_options(sp: argparse.ArgumentParser) -> None:
         choices=MODEL_NAMES,
         help="consistency model (default: sc)",
     )
+    sp.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help=(
+            "interpret traces record by record instead of through the "
+            "private-window fast path (identical results, slower; see "
+            "'diff-verify')"
+        ),
+    )
 
 
 def _add_runner_options(sp: argparse.ArgumentParser) -> None:
@@ -157,6 +166,30 @@ def build_parser() -> argparse.ArgumentParser:
         "footprint", help="trace footprint and sharing analysis of one benchmark"
     )
     fp.add_argument("workload")
+
+    dv = sub.add_parser(
+        "diff-verify",
+        help=(
+            "differentially verify the interpreter fast path: run every "
+            "workload/lock/model cell with fast_path on and off and "
+            "require byte-identical results"
+        ),
+    )
+    dv.add_argument(
+        "--programs",
+        default="all",
+        help="comma-separated workload names, or 'all' (default)",
+    )
+    dv.add_argument(
+        "--locks",
+        default="queuing,ttas",
+        help="comma-separated lock schemes (default: queuing,ttas)",
+    )
+    dv.add_argument(
+        "--models",
+        default="sc,wo",
+        help="comma-separated consistency models (default: sc,wo)",
+    )
     return p
 
 
@@ -186,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         result = _simulate(
             ts,
+            config=_machine_config(args, ts),
             lock_manager=get_lock_manager(args.locks),
             model=get_model(args.model),
         )
@@ -231,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         ts = load_traceset(args.tracefile)
         result = _simulate(
             ts,
+            config=_machine_config(args, ts),
             lock_manager=get_lock_manager(args.locks),
             model=get_model(args.model),
         )
@@ -242,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
         result = _simulate(
             ts,
+            config=_machine_config(args, ts),
             lock_manager=get_lock_manager(args.locks),
             model=get_model(args.model),
         )
@@ -285,7 +321,49 @@ def main(argv: list[str] | None = None) -> int:
                 f"{f.proc:>4} {f.data_lines:>11,} {f.shared_data_lines:>8,} "
                 f"{f.code_lines:>6,} {str(f.fits_in()):>10}"
             )
+    elif args.cmd == "diff-verify":
+        return _run_diff_verify(args)
     return 0
+
+
+def _run_diff_verify(args) -> int:
+    """``repro diff-verify``: fast path vs reference, field for field."""
+    from .testing import differential_check
+    from .workloads.registry import BENCHMARK_ORDER
+
+    if args.programs.strip().lower() == "all":
+        programs = tuple(BENCHMARK_ORDER)
+    else:
+        programs = tuple(p.strip() for p in args.programs.split(",") if p.strip())
+    reports = differential_check(
+        programs=programs,
+        lock_schemes=tuple(s.strip() for s in args.locks.split(",") if s.strip()),
+        models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
+        scale=args.scale,
+        seed=args.seed,
+        progress=lambda r: print(r.summary(), flush=True),
+    )
+    bad = [r for r in reports if not r.equal]
+    for r in bad:
+        print(f"\n{r.label}: fast path diverged from reference:")
+        for line in r.diffs:
+            print(f"  {line}")
+    print(
+        f"\n{len(reports) - len(bad)}/{len(reports)} cells byte-identical"
+        + ("" if not bad else f"; {len(bad)} MISMATCHED")
+    )
+    return 1 if bad else 0
+
+
+
+def _machine_config(args, ts):
+    """The machine configuration implied by shared CLI flags (None means
+    the paper defaults, letting ``simulate`` choose)."""
+    if getattr(args, "no_fast_path", False):
+        from .machine.config import MachineConfig
+
+        return MachineConfig(n_procs=ts.n_procs, fast_path=False)
+    return None
 
 
 def _run_batch(args) -> int:

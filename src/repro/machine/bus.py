@@ -16,7 +16,7 @@ cache--bus buffer without holding the bus.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Callable, Protocol
 
 from .buffers import BusOp
 from .engine import Engine
@@ -25,7 +25,23 @@ __all__ = ["Bus", "BusPort", "BusService"]
 
 
 class BusPort(Protocol):
-    """Anything the arbiter can draw operations from."""
+    """Anything the arbiter can draw operations from.
+
+    ``entries`` is the port's underlying queue; the arbiter tests its
+    truthiness directly to skip empty ports without a method call (the
+    scan is the hottest loop outside the trace interpreter).  ``peek``
+    is only consulted for non-empty ports and may clean up lazily
+    cancelled entries.
+
+    ``ready_cb`` is assigned by :meth:`Bus.add_port`; the port MUST call
+    it (no arguments) on every enqueue.  It marks the port as possibly
+    ready, so the arbiter only ever scans ports that have signalled work
+    since it last saw them empty -- the scan set shrinks from "all
+    ports" to "ports with traffic in flight".
+    """
+
+    entries: object  # sized/truthy queue of pending operations
+    ready_cb: Callable[[], None] | None
 
     def peek(self) -> BusOp | None: ...
 
@@ -37,9 +53,15 @@ class BusService(Protocol):
 
     def can_issue(self, op: BusOp, time: int) -> bool: ...
 
-    def execute(self, op: BusOp, time: int) -> int:
-        """Perform the operation's snoop/state effects; return the number
-        of cycles the bus is held."""
+    def execute(self, op: BusOp, time: int) -> tuple[int, Callable | None]:
+        """Perform the operation's snoop/state effects; return ``(hold,
+        done)``: the number of cycles the bus is held, and an optional
+        completion callback the bus invokes at ``time + hold``
+        immediately before releasing.  Returning the callback (instead
+        of the service scheduling it) lets the bus fire completion and
+        release as ONE engine event; because the two were always
+        scheduled back-to-back for the same cycle with nothing in
+        between, the merged dispatch order is identical."""
         ...
 
 
@@ -52,6 +74,8 @@ class Bus:
         self.ports: list[BusPort] = []
         self.busy = False
         self._rr = 0
+        # indices of ports that may have pending work (see add_port)
+        self._waiting: set[int] = set()
         # statistics
         self.busy_cycles = 0
         self.op_counts: dict[int, int] = {}
@@ -61,9 +85,19 @@ class Bus:
         self.observer = None
 
     def add_port(self, port: BusPort) -> int:
-        """Register a port; returns its index."""
+        """Register a port; returns its index.
+
+        The port's ``ready_cb`` is bound to mark it in the arbiter's
+        waiting set.  Membership is a superset of "non-empty": stale
+        entries are discarded when a scan finds the port empty.
+        """
         self.ports.append(port)
-        return len(self.ports) - 1
+        idx = len(self.ports) - 1
+        waiting = self._waiting
+        port.ready_cb = lambda _add=waiting.add, _i=idx: _add(_i)
+        if getattr(port, "entries", None):
+            waiting.add(idx)
+        return idx
 
     # -- operation ------------------------------------------------------------
     def kick(self, time: int) -> None:
@@ -73,19 +107,43 @@ class Bus:
             self._grant(time)
 
     def _grant(self, time: int) -> None:
-        n = len(self.ports)
-        for i in range(n):
-            idx = (self._rr + i) % n
-            op = self.ports[idx].peek()
-            if op is None:
+        waiting = self._waiting
+        if not waiting:
+            return
+        ports = self.ports
+        n = len(ports)
+        service = self.service
+        # Scan only possibly-ready ports, in the same ascending-from-_rr
+        # wrap-around order as a full scan (so grant decisions are
+        # identical: skipped ports are provably empty).
+        if len(waiting) == 1:
+            order = tuple(waiting)
+        else:
+            order = sorted(waiting)
+            rr = self._rr
+            if order[0] < rr <= order[-1]:
+                for s, x in enumerate(order):
+                    if x >= rr:
+                        order = order[s:] + order[:s]
+                        break
+        for idx in order:
+            port = ports[idx]
+            if not port.entries:
+                waiting.discard(idx)
                 continue
-            if not self.service.can_issue(op, time):
+            op = port.peek()
+            if op is None:  # all entries were lazily-dropped cancellations
+                waiting.discard(idx)
                 continue
-            self.ports[idx].pop()
-            self._rr = (idx + 1) % n
+            if not service.can_issue(op, time):
+                continue
+            port.pop()
+            if not port.entries:
+                waiting.discard(idx)
+            self._rr = idx + 1 if idx + 1 < n else 0
             self.busy = True
             op.issued_at = time
-            hold = self.service.execute(op, time)
+            hold, done = service.execute(op, time)
             if hold < 1:
                 raise ValueError(f"bus op {op} reported hold of {hold} cycles")
             self.busy_cycles += hold
@@ -93,7 +151,15 @@ class Bus:
             self.op_counts[op.kind] = self.op_counts.get(op.kind, 0) + 1
             if self.observer is not None:
                 self.observer(op, time, hold)
-            self.engine.at(time + hold, self._release)
+            if done is None:
+                self.engine.at(time + hold, self._release)
+            else:
+
+                def _fire(t, done=done):
+                    done(t)
+                    self._release(t)
+
+                self.engine.at(time + hold, _fire)
             return
         # nothing issuable: bus idles until the next kick
 

@@ -7,9 +7,21 @@ transactions a hit/miss triggers is the coherence controller's business
 (:mod:`repro.machine.coherence`), and timing is the system's.
 
 Lines are identified by their *line number* (``addr >> offset_bits``).
-State storage is a dict plus per-set MRU-ordered lists, which profiling
-shows beats numpy arrays for the point lookups that dominate trace
-interpretation.
+State storage is a dict (``line -> MESI state``; INVALID lines are
+simply absent) plus a single preallocated flat *way array*: set ``s``
+occupies slots ``[s * assoc, (s + 1) * assoc)``, most recently used
+first, with ``-1`` marking empty ways.  The flat array replaces the
+per-set Python lists of the original implementation: an LRU touch is a
+couple of indexed stores instead of a ``list.remove``/``insert`` pair,
+and there is no per-set list object churn.  (The dict stays because the
+coherence layer wants O(1) residency probes by line number alone.)
+
+A cache may additionally be attached to a machine-wide *residency
+directory* (``line -> [holder procs]``, see
+:meth:`Cache.attach_directory`).  The system uses it to snoop only the
+caches that actually hold a line and to find cache-to-cache suppliers
+without scanning every cache; this class keeps it exact on every
+install, eviction and invalidation.
 """
 
 from __future__ import annotations
@@ -24,6 +36,9 @@ EXCLUSIVE = 2
 MODIFIED = 3
 
 STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+#: empty-way marker in the flat way array (line numbers are >= 0)
+_EMPTY = -1
 
 
 class CacheCounters:
@@ -67,9 +82,43 @@ class Cache:
         self._set_mask = self.n_sets - 1
         # line number -> MESI state (INVALID lines are simply absent)
         self.state: dict[int, int] = {}
-        # per-set MRU-ordered resident line numbers
-        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        # flat way array: set s at [s*assoc, (s+1)*assoc), MRU first
+        self._ways: list[int] = [_EMPTY] * (self.n_sets * self.assoc)
+        self._sizes: list[int] = [0] * self.n_sets
         self.counters = CacheCounters()
+        # optional machine-wide residency directory (shared dict) and the
+        # processor index this cache registers under
+        self._dir: dict[int, list[int]] | None = None
+        self._proc = -1
+
+    # -- directory ------------------------------------------------------------
+    def attach_directory(self, directory: dict[int, list[int]], proc: int) -> None:
+        """Register this cache in a shared line->holders directory.
+
+        Must be called while the cache is empty (the system attaches at
+        construction time).
+        """
+        if self.state:
+            raise RuntimeError("attach_directory on a non-empty cache")
+        self._dir = directory
+        self._proc = proc
+
+    def _dir_add(self, line: int) -> None:
+        d = self._dir
+        if d is not None:
+            holders = d.get(line)
+            if holders is None:
+                d[line] = [self._proc]
+            else:
+                holders.append(self._proc)
+
+    def _dir_remove(self, line: int) -> None:
+        d = self._dir
+        if d is not None:
+            holders = d[line]
+            holders.remove(self._proc)
+            if not holders:
+                del d[line]
 
     # -- helpers -------------------------------------------------------------
     def set_of(self, line: int) -> int:
@@ -80,10 +129,17 @@ class Cache:
         return self.state.get(line, INVALID)
 
     def _touch(self, line: int) -> None:
-        lst = self.sets[line & self._set_mask]
-        if lst and lst[0] != line:
-            lst.remove(line)
-            lst.insert(0, line)
+        """Move a resident line to the MRU slot of its set."""
+        ways = self._ways
+        base = (line & self._set_mask) * self.assoc
+        if ways[base] != line:
+            i = base + 1
+            while ways[i] != line:
+                i += 1
+            while i > base:
+                ways[i] = ways[i - 1]
+                i -= 1
+            ways[base] = line
 
     # -- processor-side accesses ----------------------------------------------
     def lookup(self, line: int) -> int:
@@ -91,7 +147,16 @@ class Cache:
         refreshes LRU on a hit."""
         st = self.state.get(line, INVALID)
         if st:
-            self._touch(line)
+            ways = self._ways
+            base = (line & self._set_mask) * self.assoc
+            if ways[base] != line:
+                i = base + 1
+                while ways[i] != line:
+                    i += 1
+                while i > base:
+                    ways[i] = ways[i - 1]
+                    i -= 1
+                ways[base] = line
         return st
 
     def set_state(self, line: int, state: int) -> None:
@@ -116,16 +181,27 @@ class Cache:
             self.state[line] = state
             self._touch(line)
             return None
-        idx = line & self._set_mask
-        lst = self.sets[idx]
+        set_idx = line & self._set_mask
+        base = set_idx * self.assoc
+        size = self._sizes[set_idx]
+        ways = self._ways
         victim = None
-        if len(lst) >= self.assoc:
-            vline = lst.pop()  # LRU victim
+        if size >= self.assoc:
+            vline = ways[base + self.assoc - 1]  # LRU victim
             vstate = self.state.pop(vline)
             self.counters.evictions += 1
+            self._dir_remove(vline)
             victim = (vline, vstate == MODIFIED)
-        lst.insert(0, line)
+            last = base + self.assoc - 1
+        else:
+            self._sizes[set_idx] = size + 1
+            last = base + size
+        while last > base:
+            ways[last] = ways[last - 1]
+            last -= 1
+        ways[base] = line
         self.state[line] = state
+        self._dir_add(line)
         return victim
 
     # -- snoop side -------------------------------------------------------------
@@ -150,11 +226,36 @@ class Cache:
         st = self.state.pop(line, INVALID)
         if not st:
             return (False, False)
-        self.sets[line & self._set_mask].remove(line)
+        set_idx = line & self._set_mask
+        base = set_idx * self.assoc
+        size = self._sizes[set_idx]
+        ways = self._ways
+        i = base
+        while ways[i] != line:
+            i += 1
+        end = base + size - 1
+        while i < end:
+            ways[i] = ways[i + 1]
+            i += 1
+        ways[end] = _EMPTY
+        self._sizes[set_idx] = size - 1
         self.counters.invalidations_received += 1
+        self._dir_remove(line)
         return (True, st == MODIFIED)
 
     # -- introspection ---------------------------------------------------------
+    @property
+    def sets(self) -> list[list[int]]:
+        """Per-set MRU-ordered resident line numbers (a reconstructed
+        view of the flat way array; introspection and tests only)."""
+        out = []
+        for s in range(self.n_sets):
+            base = s * self.assoc
+            out.append(
+                [l for l in self._ways[base : base + self._sizes[s]] if l != _EMPTY]
+            )
+        return out
+
     def resident_lines(self) -> list[int]:
         return list(self.state)
 
@@ -162,17 +263,25 @@ class Cache:
         return len(self.state)
 
     def check_invariants(self) -> None:
-        """Internal consistency between the state dict and the set lists
-        (used by tests and the property suite)."""
+        """Internal consistency between the state dict, the way array and
+        the occupancy counts (used by tests and the property suite)."""
         seen = set()
-        for idx, lst in enumerate(self.sets):
-            if len(lst) > self.assoc:
-                raise AssertionError(f"set {idx} over-full: {lst}")
-            for line in lst:
-                if line & self._set_mask != idx:
-                    raise AssertionError(f"line {line:#x} in wrong set {idx}")
-                if line not in self.state:
-                    raise AssertionError(f"line {line:#x} listed but stateless")
-                seen.add(line)
+        for idx in range(self.n_sets):
+            base = idx * self.assoc
+            size = self._sizes[idx]
+            if size > self.assoc:
+                raise AssertionError(f"set {idx} over-full: size {size}")
+            lst = self._ways[base : base + self.assoc]
+            for slot, line in enumerate(lst):
+                if slot < size:
+                    if line == _EMPTY:
+                        raise AssertionError(f"set {idx} slot {slot} empty but counted")
+                    if line & self._set_mask != idx:
+                        raise AssertionError(f"line {line:#x} in wrong set {idx}")
+                    if line not in self.state:
+                        raise AssertionError(f"line {line:#x} listed but stateless")
+                    seen.add(line)
+                elif line != _EMPTY:
+                    raise AssertionError(f"set {idx} slot {slot} stale entry {line:#x}")
         if seen != set(self.state):
-            raise AssertionError("state dict and set lists disagree")
+            raise AssertionError("state dict and way array disagree")

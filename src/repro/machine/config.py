@@ -103,6 +103,16 @@ class MachineConfig:
         it is not stalling.  Smaller values interleave snoop traffic more
         finely at the cost of simulation speed; 1 is exact
         record-by-record interleaving.
+    fast_path:
+        Enable the private-window fast path through the trace
+        interpreter (:mod:`repro.machine.fastpath`).  Runs of references
+        that provably hit in the local cache with no bus, snoop or lock
+        interaction are retired in one step instead of one access at a
+        time.  **Metric-neutral by construction**: results are
+        byte-identical to the reference interpreter (enforced by
+        :mod:`repro.testing.differential` and the golden fixtures), so
+        this is purely an escape hatch for debugging and for measuring
+        the fast path itself.
     """
 
     n_procs: int = 12
@@ -111,6 +121,7 @@ class MachineConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     cachebus_buffer_depth: int = 4
     batch_records: int = 32
+    fast_path: bool = True
     #: snooping coherence protocol: "illinois" (the paper's
     #: write-invalidate MESI) or "update" (Firefly-style write-update;
     #: extension -- see repro.machine.coherence)
@@ -160,6 +171,7 @@ class MachineConfig:
             "memory": asdict(self.memory),
             "cachebus_buffer_depth": self.cachebus_buffer_depth,
             "batch_records": self.batch_records,
+            "fast_path": self.fast_path,
             "coherence": self.coherence,
         }
 
@@ -172,5 +184,7 @@ class MachineConfig:
             memory=MemoryConfig(**d["memory"]),
             cachebus_buffer_depth=d["cachebus_buffer_depth"],
             batch_records=d["batch_records"],
+            # absent in descriptions serialized before the fast path existed
+            fast_path=d.get("fast_path", True),
             coherence=d["coherence"],
         )

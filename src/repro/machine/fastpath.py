@@ -1,0 +1,162 @@
+"""Private-window tables for the trace-interpreter fast path.
+
+The reference interpreter (:mod:`repro.machine.processor`) walks a trace
+record by record and a cache line at a time.  Most of those accesses are
+*private-window* traffic: runs of consecutive references that hit in the
+local cache and therefore interact with nothing shared -- no bus
+transaction, no snoop, no lock, no engine event.  Because the simulated
+processor only observes the rest of the machine through engine events,
+an entire such run can be retired in one step -- counters bumped by
+precomputed sums, the local clock advanced by the precomputed ideal
+cycles, LRU refreshed in last-touch order -- with results byte-identical
+to the record-by-record replay.
+
+This module does the *static* half of that bargain, vectorized over the
+numpy record array once per trace:
+
+* which records are **window-eligible** (data/instruction references
+  that can possibly retire without a bus transaction; LOCK / UNLOCK /
+  BARRIER records never are, and WRITE records are not under a
+  write-through cache where every write is a bus word);
+* the **line span** ``[line_lo, line_hi]`` each record touches (records
+  scan a contiguous byte range, so their lines are contiguous);
+* for each record, the **end of the eligible run** containing it
+  (``win_end``), so the interpreter knows how far a window may extend
+  before static analysis alone rules it out;
+* **prefix sums** of every counter a retired window must advance, so a
+  window of any extent ``[i, k)`` costs O(1) to account.
+
+The *dynamic* half lives in ``Processor._run``: at a window entry it
+probes the current MESI state of the span's lines -- any valid state for
+a read or instruction fetch, MODIFIED for a write (the only write hit
+that is silent in every protocol) -- and retires exactly the validated
+prefix.  Validation is conservative by construction: a window is only
+retired when the reference interpreter would have scored every single
+reference in it as a local hit (the property suite replays random traces
+through the reference path to enforce precisely this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.records import IBLOCK, READ, REP_STRIDE, WRITE
+
+__all__ = ["WindowTables", "build_tables"]
+
+
+class WindowTables:
+    """Per-trace static tables consumed by the interpreter's fast path.
+
+    All fields are plain Python lists (scalar indexing in the hot loop
+    is several times faster than numpy element access); cumulative
+    fields have ``n_records + 1`` entries so ``c[k] - c[i]`` is the sum
+    over records ``[i, k)``.
+    """
+
+    __slots__ = (
+        "elig",  # record is window-eligible
+        "need_mod",  # record is a WRITE: its lines must probe writable
+        "line_lo",  # first cache line the record touches
+        "line_hi",  # last cache line the record touches (inclusive)
+        "win_end",  # one past the eligible run containing this record
+        "code",  # packed per-record validation code (see build_tables)
+        "c_read",  # prefix sums: elementary READ references
+        "c_write",  # elementary WRITE references
+        "c_ifetch",  # elementary instruction fetches
+        "c_cycles",  # ideal (IBLOCK) cycles
+        "c_refs",  # elementary references of any kind
+    )
+
+    def __init__(self, **fields) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @property
+    def n_records(self) -> int:
+        return len(self.elig)
+
+    def window_of(self, i: int) -> tuple[int, int] | None:
+        """The full eligible run containing record ``i`` (introspection:
+        tests and tooling; the interpreter uses the raw arrays)."""
+        if not self.elig[i]:
+            return None
+        end = self.win_end[i]
+        start = i
+        while start > 0 and self.elig[start - 1]:
+            start -= 1
+        return (start, end)
+
+
+def build_tables(
+    records: np.ndarray, offset_bits: int, writethrough: bool
+) -> WindowTables:
+    """Vectorized one-pass analysis of a trace's record array."""
+    kind = records["kind"]
+    addr = records["addr"].astype(np.int64)
+    arg = records["arg"].astype(np.int64)
+    cycles = records["cycles"].astype(np.int64)
+    n = len(kind)
+
+    is_ib = kind == IBLOCK
+    is_rd = kind == READ
+    is_wr = kind == WRITE
+    elig = is_ib | is_rd
+    if not writethrough:
+        elig = elig | is_wr
+
+    # Every eligible record scans a contiguous byte range with stride
+    # REP_STRIDE, so its touched lines are the contiguous span
+    # [addr >> off, (addr + (arg - 1) * stride) >> off].
+    line_lo = addr >> offset_bits
+    line_hi = (addr + (arg - 1) * REP_STRIDE) >> offset_bits
+
+    # win_end[i]: index of the first non-eligible record at or after i
+    # (n if none) == one past the end of the eligible run containing i;
+    # equals i itself for non-eligible records.
+    stop = np.full(n, n, dtype=np.int64)
+    blocked = np.nonzero(~elig)[0]
+    stop[blocked] = blocked
+    win_end = np.minimum.accumulate(stop[::-1])[::-1]
+
+    def prefix(values) -> list:
+        out = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(values, out=out[1:])
+        return out.tolist()
+
+    # Packed per-record validation code, one list subscript per record in
+    # the interpreter's window loop:
+    #   None          -- not eligible (window entry / run boundary)
+    #   line  (>= 0)  -- single-line read or ifetch: probe any valid state
+    #   ~line (< 0)   -- single-line write: probe EXCLUSIVE/MODIFIED
+    #   (lo, hi, wr)  -- multi-line span (rare): probe each line in turn
+    elig_l = elig.tolist()
+    wr_l = is_wr.tolist()
+    lo_l = line_lo.tolist()
+    hi_l = line_hi.tolist()
+    code = [
+        (
+            None
+            if not e
+            else (
+                (~lo if w else lo)
+                if lo == hi
+                else (lo, hi, w)
+            )
+        )
+        for e, w, lo, hi in zip(elig_l, wr_l, lo_l, hi_l)
+    ]
+
+    return WindowTables(
+        elig=elig_l,
+        need_mod=wr_l,
+        line_lo=lo_l,
+        line_hi=hi_l,
+        win_end=win_end.tolist(),
+        code=code,
+        c_read=prefix(np.where(is_rd, arg, 0)),
+        c_write=prefix(np.where(is_wr & elig, arg, 0)),
+        c_ifetch=prefix(np.where(is_ib, arg, 0)),
+        c_cycles=prefix(np.where(is_ib, cycles, 0)),
+        c_refs=prefix(np.where(elig, arg, 0)),
+    )

@@ -88,6 +88,9 @@ class Memory:
             ret = BusOp(DATA_RETURN, op.line, op.proc)
             ret.orig = op
             self._out.append(ret)
+            cb = self.port.ready_cb
+            if cb is not None:
+                cb()
         self._maybe_start(time)
         if self._bus_kick is not None:
             self._bus_kick(time)
@@ -109,6 +112,9 @@ class MemoryPort:
 
     def __init__(self, memory: Memory) -> None:
         self.memory = memory
+        # the arbiter skips empty ports by testing this queue directly
+        self.entries = memory._out
+        self.ready_cb = None  # assigned by Bus.add_port
 
     def peek(self) -> BusOp | None:
         out = self.memory._out

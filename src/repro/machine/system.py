@@ -61,13 +61,14 @@ class System:
         model: ConsistencyModel,
         barrier_manager=None,
         max_events: int | None = None,
+        engine_factory: Callable[[], Engine] | None = None,
     ) -> None:
         if traceset.n_procs != config.n_procs:
             config = config.with_procs(traceset.n_procs)
         self.traceset = traceset
         self.config = config
         self.model = model
-        self.engine = Engine()
+        self.engine = (engine_factory or Engine)()
         self.locks = lock_manager
         self.locks.attach(self)
         self.barriers = barrier_manager
@@ -84,6 +85,13 @@ class System:
 
         n = config.n_procs
         self.caches = [Cache(config.cache) for _ in range(n)]
+        #: machine-wide residency directory: line -> [procs caching it].
+        #: Maintained exactly by the caches; lets the bus service snoop
+        #: only actual holders and find c2c suppliers without scanning
+        #: every cache (see docs/performance.md).
+        self.directory: dict[int, list[int]] = {}
+        for p, cache in enumerate(self.caches):
+            cache.attach_directory(self.directory, p)
         self.buffers = [
             CacheBusBuffer(p, config.cachebus_buffer_depth) for p in range(n)
         ]
@@ -92,7 +100,15 @@ class System:
         self.bus.add_port(self.memory.port)
 
         self.procs = [
-            Processor(p, traceset[p], self.caches[p], self, model, config.batch_records)
+            Processor(
+                p,
+                traceset[p],
+                self.caches[p],
+                self,
+                model,
+                config.batch_records,
+                fast_path=config.fast_path,
+            )
             for p in range(n)
         ]
         self._done_count = 0
@@ -106,6 +122,22 @@ class System:
         # serviced cache-to-cache -- without this, two simultaneous
         # misses could both install EXCLUSIVE.
         self._fills_in_flight: dict[int, int] = {}
+        # grant-time dispatch: op kind -> executor (replaces an if-chain
+        # walked once per bus grant)
+        self._exec_table = {
+            READ_MISS: self._exec_read_miss,
+            RFO: self._exec_rfo,
+            UPGRADE: self._exec_upgrade,
+            WRITEBACK: self._exec_writeback,
+            WRITETHROUGH: self._exec_writethrough,
+            UPDATE: self._exec_update,
+            LOCK_MEM: self._exec_lock_mem,
+            LOCK_READ: self._exec_lock_read,
+            LOCK_RFO: self._exec_lock_rfo,
+            LOCK_INVAL: self._exec_lock_inval,
+            LOCK_XFER: self._exec_lock_xfer,
+            DATA_RETURN: self._exec_data_return,
+        }
 
     # ------------------------------------------------------------------
     # Processor-facing services
@@ -170,12 +202,21 @@ class System:
     # ------------------------------------------------------------------
     def _find_supplier(self, line: int, requester: int):
         """Who can source ``line`` cache-to-cache: another cache, or a
-        dirty copy waiting in another processor's write-back buffer."""
-        for p, cache in enumerate(self.caches):
-            if p != requester and line in cache.state:
-                return ("cache", p, None)
+        dirty copy waiting in another processor's write-back buffer.
+
+        Cache holders come from the residency directory (lowest processor
+        index first, matching the original full scan).
+        """
+        holders = self.directory.get(line)
+        if holders:
+            best = -1
+            for p in holders:
+                if p != requester and (best < 0 or p < best):
+                    best = p
+            if best >= 0:
+                return ("cache", best, None)
         for p, buf in enumerate(self.buffers):
-            if p == requester:
+            if p == requester or not buf.wb_count:
                 continue
             wb = buf.find(WRITEBACK, line)
             if wb is not None:
@@ -225,74 +266,65 @@ class System:
     # ------------------------------------------------------------------
     # Bus service: grant-time execution
     # ------------------------------------------------------------------
-    def execute(self, op: BusOp, time: int) -> int:
+    def execute(self, op: BusOp, time: int):
+        """Perform a granted operation's snoop/state effects.
+
+        Returns ``(hold, done)`` per the :class:`~repro.machine.bus.
+        BusService` protocol: the bus fires ``done`` (if any) at
+        ``time + hold`` in the same engine event as its release.
+        """
         k = op.kind
         if k != DATA_RETURN:
             # The granted op just left its processor's buffer: a slot freed.
             self.buffers[op.proc].notify_space(time)
+        handler = self._exec_table.get(k)
+        if handler is None:
+            raise ValueError(f"unexpected bus op kind {k}")
+        return handler(op, time)
 
-        if k == READ_MISS:
-            return self._exec_read_miss(op, time)
-        if k == RFO:
-            return self._exec_rfo(op, time)
-        if k == UPGRADE:
-            return self._exec_upgrade(op, time)
-        if k == WRITEBACK:
-            return self._exec_writeback(op, time)
-        if k == WRITETHROUGH:
-            return self._exec_writethrough(op, time)
-        if k == UPDATE:
-            return self._exec_update(op, time)
-        if k == LOCK_MEM:
-            self.memory.reserve()
-            op.return_cycles = self._line_data_cycles
-            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
-            return self._addr_cycles
-        if k == LOCK_READ:
-            if op.supplier is not None:
-                hold = self._addr_cycles + self._line_data_cycles
-                self.engine.at(time + hold, lambda t: op.on_done(t))
-                return hold
-            self.memory.reserve()
-            op.return_cycles = self._line_data_cycles
-            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
-            return self._addr_cycles
-        if k == LOCK_RFO:
-            # address phase invalidates every other cached copy
-            hook = getattr(self.locks, "on_lock_rfo", None)
-            if hook is not None:
-                hook(op.line, op.proc, time)
-            if op.supplier is not None and op.supplier[0] == "self":
-                self.engine.at(time + self._addr_cycles, lambda t: op.on_done(t))
-                return self._addr_cycles
-            if op.supplier is not None:
-                hold = self._addr_cycles + self._line_data_cycles
-                self.engine.at(time + hold, lambda t: op.on_done(t))
-                return hold
-            self.memory.reserve()
-            op.return_cycles = self._line_data_cycles
-            self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
-            return self._addr_cycles
-        if k == LOCK_INVAL:
-            hook = getattr(self.locks, "on_lock_inval", None)
-            if hook is not None:
-                hook(op.line, op.proc, time)
-            self.engine.at(time + self._addr_cycles, lambda t: op.on_done(t))
-            return self._addr_cycles
-        if k == LOCK_XFER:
-            hold = self._addr_cycles + self._line_data_cycles
-            self.engine.at(time + hold, lambda t: op.on_done(t))
-            return hold
-        if k == DATA_RETURN:
-            orig = op.orig
-            hold = max(1, orig.return_cycles)
-            self.memory.release_output(time)
-            self.engine.at(time + hold, lambda t: self._split_complete(orig, t))
-            return hold
-        raise ValueError(f"unexpected bus op kind {k}")
+    # -- lock-scheme and split-transaction operations --------------------------
+    def _exec_lock_mem(self, op: BusOp, time: int):
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        return (self._addr_cycles, lambda t: self.memory.arrive(op, t))
+
+    def _exec_lock_read(self, op: BusOp, time: int):
+        if op.supplier is not None:
+            return (self._addr_cycles + self._line_data_cycles, op.on_done)
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        return (self._addr_cycles, lambda t: self.memory.arrive(op, t))
+
+    def _exec_lock_rfo(self, op: BusOp, time: int):
+        # address phase invalidates every other cached copy
+        hook = getattr(self.locks, "on_lock_rfo", None)
+        if hook is not None:
+            hook(op.line, op.proc, time)
+        if op.supplier is not None and op.supplier[0] == "self":
+            return (self._addr_cycles, op.on_done)
+        if op.supplier is not None:
+            return (self._addr_cycles + self._line_data_cycles, op.on_done)
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        return (self._addr_cycles, lambda t: self.memory.arrive(op, t))
+
+    def _exec_lock_inval(self, op: BusOp, time: int):
+        hook = getattr(self.locks, "on_lock_inval", None)
+        if hook is not None:
+            hook(op.line, op.proc, time)
+        return (self._addr_cycles, op.on_done)
+
+    def _exec_lock_xfer(self, op: BusOp, time: int):
+        return (self._addr_cycles + self._line_data_cycles, op.on_done)
+
+    def _exec_data_return(self, op: BusOp, time: int):
+        orig = op.orig
+        hold = max(1, orig.return_cycles)
+        self.memory.release_output(time)
+        return (hold, lambda t: self._split_complete(orig, t))
 
     # -- coherent data operations --------------------------------------------
-    def _exec_read_miss(self, op: BusOp, time: int) -> int:
+    def _exec_read_miss(self, op: BusOp, time: int):
         self._fills_in_flight[op.line] = op.proc
         if op.supplier is not None:
             where, p, wb = op.supplier
@@ -306,24 +338,25 @@ class System:
                 self.buffers[p].notify_space(time)
             op.fill_state = SHARED
             hold = self._addr_cycles + self._line_data_cycles
-            self.engine.at(time + hold, lambda t: self._fill_complete(op, t))
-            return hold
+            return (hold, lambda t: self._fill_complete(op, t))
         # from memory: Illinois loads EXCLUSIVE when no one else has it
         op.fill_state = EXCLUSIVE
         op.return_cycles = self._line_data_cycles
         self.memory.reserve()
-        self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
-        return self._addr_cycles
+        return (self._addr_cycles, lambda t: self.memory.arrive(op, t))
 
-    def _exec_rfo(self, op: BusOp, time: int) -> int:
+    def _exec_rfo(self, op: BusOp, time: int):
         self._fills_in_flight[op.line] = op.proc
-        # the address phase invalidates every other copy
+        # the address phase invalidates every other copy (holders only;
+        # snooping a cache without the line is a no-op)
         supplier = op.supplier
-        for p, cache in enumerate(self.caches):
-            if p != op.proc:
-                cache.snoop_invalidate(op.line)
+        holders = self.directory.get(op.line)
+        if holders:
+            for p in tuple(holders):  # copy: invalidation edits the directory
+                if p != op.proc:
+                    self.caches[p].snoop_invalidate(op.line)
         for p, buf in enumerate(self.buffers):
-            if p == op.proc:
+            if p == op.proc or not buf.wb_count:
                 continue
             wb = buf.find(WRITEBACK, op.line)
             if wb is not None and not (supplier and supplier[2] is wb):
@@ -338,55 +371,65 @@ class System:
                 self.procs[p].outstanding_wb -= 1
                 self.buffers[p].notify_space(time)
             hold = self._addr_cycles + self._line_data_cycles
-            self.engine.at(time + hold, lambda t: self._fill_complete(op, t))
-            return hold
+            return (hold, lambda t: self._fill_complete(op, t))
         op.return_cycles = self._line_data_cycles
         self.memory.reserve()
-        self.engine.at(time + self._addr_cycles, lambda t: self.memory.arrive(op, t))
-        return self._addr_cycles
+        return (self._addr_cycles, lambda t: self.memory.arrive(op, t))
 
-    def _exec_upgrade(self, op: BusOp, time: int) -> int:
+    def _exec_upgrade(self, op: BusOp, time: int):
         cache = self.caches[op.proc]
         if op.line in cache.state:
-            for p, other in enumerate(self.caches):
-                if p != op.proc:
-                    other.snoop_invalidate(op.line)
+            holders = self.directory.get(op.line)
+            if holders:
+                for p in tuple(holders):
+                    if p != op.proc:
+                        self.caches[p].snoop_invalidate(op.line)
             cache.set_state(op.line, MODIFIED)
-            self.engine.at(time + self._addr_cycles, lambda t: self._op_done(op, t))
-            return self._addr_cycles
+            return (self._addr_cycles, lambda t: self._op_done(op, t))
         # line vanished: perform a full write miss instead
         op.converted = True
         self.upgrade_conversions += 1
         return self._exec_rfo(op, time)
 
-    def _exec_writeback(self, op: BusOp, time: int) -> int:
+    def _exec_writeback(self, op: BusOp, time: int):
         hold = self._addr_cycles + self._line_data_cycles
         self.memory.reserve()
-        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
-        self.engine.at(time + hold, lambda t: self._op_done(op, t))
-        return hold
 
-    def _exec_update(self, op: BusOp, time: int) -> int:
+        def done(t, op=op):  # memory arrival, then completion: the
+            self.memory.arrive(op, t)  # order the two events fired in
+            self._op_done(op, t)
+
+        return (hold, done)
+
+    def _exec_update(self, op: BusOp, time: int):
         """Write-update broadcast: sharers patch their copies in place
         (no state change -- everyone stays SHARED) and memory absorbs the
         words.  If our copy vanished while the update was buffered, the
         broadcast still updates memory and any remaining sharers."""
         hold = self._addr_cycles + 1  # address + one word-burst of data
         self.memory.reserve()
-        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
-        self.engine.at(time + hold, lambda t: self._op_done(op, t))
-        return hold
 
-    def _exec_writethrough(self, op: BusOp, time: int) -> int:
+        def done(t, op=op):
+            self.memory.arrive(op, t)
+            self._op_done(op, t)
+
+        return (hold, done)
+
+    def _exec_writethrough(self, op: BusOp, time: int):
         # the bus write's address phase invalidates every other copy
-        for p, cache in enumerate(self.caches):
-            if p != op.proc:
-                cache.snoop_invalidate(op.line)
+        holders = self.directory.get(op.line)
+        if holders:
+            for p in tuple(holders):
+                if p != op.proc:
+                    self.caches[p].snoop_invalidate(op.line)
         hold = self._addr_cycles + 1  # address + one word of data
         self.memory.reserve()
-        self.engine.at(time + hold, lambda t: self.memory.arrive(op, t))
-        self.engine.at(time + hold, lambda t: self._op_done(op, t))
-        return hold
+
+        def done(t, op=op):
+            self.memory.arrive(op, t)
+            self._op_done(op, t)
+
+        return (hold, done)
 
     # -- completions ----------------------------------------------------------
     def _split_complete(self, orig: BusOp, t: int) -> None:

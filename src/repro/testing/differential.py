@@ -1,0 +1,222 @@
+"""Differential verification of the trace-interpreter fast path.
+
+The machine's private-window fast path (:mod:`repro.machine.fastpath`)
+claims to be *metric-neutral*: for any traceset and configuration, a run
+with ``fast_path=True`` must produce a :class:`~repro.machine.metrics.
+RunResult` that serializes byte-for-byte identically to a run with the
+reference record-by-record interpreter.  This module checks that claim
+the only way it can be checked -- by running both and comparing every
+serialized field.
+
+:func:`differential_check` sweeps the paper's six workloads under both
+lock schemes and both consistency models (24 cells at default scale) and
+reports, per cell, whether the two runs agree and how much work the fast
+path actually retired.  :func:`dict_diff` renders any disagreement as a
+readable per-field report (shared with the golden-result regression
+test, which has the same problem: "two result dicts differ -- where?").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..consistency import get_model
+from ..machine.config import MachineConfig
+from ..machine.system import System
+from ..runner.serialize import result_to_dict
+from ..sync import get_lock_manager
+from ..trace.records import TraceSet
+
+__all__ = [
+    "SUITE_PROGRAMS",
+    "LOCK_SCHEMES",
+    "MODELS",
+    "CellReport",
+    "dict_diff",
+    "run_cell",
+    "differential_check",
+]
+
+#: the paper's six benchmarks (Table 1 order)
+SUITE_PROGRAMS = ("grav", "pdsa", "fullconn", "pverify", "qsort", "topopt")
+LOCK_SCHEMES = ("queuing", "ttas")
+MODELS = ("sc", "wo")
+
+
+def dict_diff(expected, got, path: str = "", limit: int = 40) -> list[str]:
+    """Readable per-field differences between two JSON-like values.
+
+    Returns one line per leaf difference, e.g.::
+
+        proc_metrics[3].refs_processed: expected 10242, got 10178
+        meta.bus_grants: expected 5511, got 5512
+
+    Containers of mismatched type or length are reported at the
+    container, then element-wise up to ``limit`` total lines.
+    """
+    diffs: list[str] = []
+    _diff_into(expected, got, path, diffs)
+    if len(diffs) > limit:
+        dropped = len(diffs) - limit
+        diffs = diffs[:limit]
+        diffs.append(f"... and {dropped} more difference(s)")
+    return diffs
+
+
+def _diff_into(expected, got, path: str, out: list[str]) -> None:
+    here = path or "<root>"
+    if type(expected) is not type(got) and not (
+        isinstance(expected, (int, float)) and isinstance(got, (int, float))
+    ):
+        out.append(
+            f"{here}: expected {type(expected).__name__} "
+            f"({expected!r}), got {type(got).__name__} ({got!r})"
+        )
+        return
+    if isinstance(expected, dict):
+        for k in expected.keys() | got.keys():
+            sub = f"{path}.{k}" if path else str(k)
+            if k not in got:
+                out.append(f"{sub}: missing (expected {expected[k]!r})")
+            elif k not in expected:
+                out.append(f"{sub}: unexpected (got {got[k]!r})")
+            else:
+                _diff_into(expected[k], got[k], sub, out)
+    elif isinstance(expected, list):
+        if len(expected) != len(got):
+            out.append(
+                f"{here}: length {len(expected)} expected, got {len(got)}"
+            )
+        for i, (e, g) in enumerate(zip(expected, got)):
+            _diff_into(e, g, f"{path}[{i}]", out)
+    elif expected != got:
+        out.append(f"{here}: expected {expected!r}, got {got!r}")
+
+
+@dataclass
+class CellReport:
+    """Outcome of one differential cell (one workload/lock/model run)."""
+
+    program: str
+    lock_scheme: str
+    consistency: str
+    equal: bool
+    #: per-field differences (empty when ``equal``)
+    diffs: list[str] = field(default_factory=list)
+    #: fast-path coverage: windows retired, records and elementary
+    #: references retired through them, total references of the run
+    fp_windows: int = 0
+    fp_records: int = 0
+    fp_refs: int = 0
+    total_refs: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.program}/{self.lock_scheme}/{self.consistency}"
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of elementary references retired by the fast path."""
+        return self.fp_refs / self.total_refs if self.total_refs else 0.0
+
+    def summary(self) -> str:
+        verdict = "ok" if self.equal else "MISMATCH"
+        return (
+            f"{self.label:28s} {verdict:8s} "
+            f"fp: {self.fp_windows:7d} windows, "
+            f"{self.fp_records:8d} records, "
+            f"{100.0 * self.coverage:5.1f}% of refs"
+        )
+
+
+def _canonical(result) -> dict:
+    """The serialized result, through a JSON round-trip so comparison
+    happens on exactly what ``to_json`` would persist."""
+    return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
+
+
+def run_cell(
+    traceset: TraceSet,
+    lock_scheme: str = "queuing",
+    consistency: str = "sc",
+    program: str = "",
+    config: MachineConfig | None = None,
+    engine_factory=None,
+) -> CellReport:
+    """Run one traceset through both interpreter paths and compare.
+
+    ``config`` (if given) supplies everything but ``fast_path``, which
+    this function overrides in both directions.  ``engine_factory`` is
+    forwarded to :class:`System` (e.g. ``HeapEngine`` to also cross-check
+    the event-queue implementation).
+    """
+    from dataclasses import replace
+
+    base = config or MachineConfig(n_procs=traceset.n_procs)
+    canon = {}
+    fp_stats = (0, 0, 0)
+    total_refs = 0
+    for fast in (True, False):
+        system = System(
+            traceset,
+            replace(base, fast_path=fast),
+            get_lock_manager(lock_scheme),
+            get_model(consistency),
+            engine_factory=engine_factory,
+        )
+        result = system.run()
+        canon[fast] = _canonical(result)
+        if fast:
+            fp_stats = (
+                sum(p.fp_windows for p in system.procs),
+                sum(p.fp_records for p in system.procs),
+                sum(p.fp_refs for p in system.procs),
+            )
+            total_refs = sum(m.refs_processed for m in result.proc_metrics)
+    equal = canon[True] == canon[False]
+    return CellReport(
+        program=program or traceset.program,
+        lock_scheme=lock_scheme,
+        consistency=consistency,
+        equal=equal,
+        diffs=[] if equal else dict_diff(canon[False], canon[True]),
+        fp_windows=fp_stats[0],
+        fp_records=fp_stats[1],
+        fp_refs=fp_stats[2],
+        total_refs=total_refs,
+    )
+
+
+def differential_check(
+    programs=SUITE_PROGRAMS,
+    lock_schemes=LOCK_SCHEMES,
+    models=MODELS,
+    scale: float = 1.0,
+    seed: int = 1991,
+    progress=None,
+) -> list[CellReport]:
+    """Differentially verify every (program, lock, model) cell.
+
+    Tracesets are generated once per program and shared across that
+    program's cells.  ``progress`` (if given) is called with each
+    :class:`CellReport` as it completes.  Returns all reports; the run
+    passed iff ``all(r.equal for r in reports)``.
+    """
+    from ..workloads import generate_trace
+
+    reports: list[CellReport] = []
+    for program in programs:
+        traceset = generate_trace(program, scale=scale, seed=seed)
+        for lock_scheme in lock_schemes:
+            for model in models:
+                report = run_cell(
+                    traceset,
+                    lock_scheme=lock_scheme,
+                    consistency=model,
+                    program=program,
+                )
+                reports.append(report)
+                if progress is not None:
+                    progress(report)
+    return reports

@@ -11,6 +11,19 @@ from repro.trace.layout import AddressLayout
 from repro.trace.records import TraceSet
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/golden/*.json from the current simulator "
+            "instead of comparing against it (review the diff before "
+            "committing: goldens pin simulator behaviour)"
+        ),
+    )
+
+
 @pytest.fixture
 def layout2():
     return AddressLayout(n_procs=2)

@@ -12,6 +12,13 @@ from repro.machine.engine import Engine
 class ListPort:
     def __init__(self):
         self.q = deque()
+        self.entries = self.q  # arbiter skips empty ports via this attr
+        self.ready_cb = None  # assigned by Bus.add_port
+
+    def push(self, op):
+        self.q.append(op)
+        if self.ready_cb is not None:
+            self.ready_cb()
 
     def peek(self):
         return self.q[0] if self.q else None
@@ -33,7 +40,7 @@ class ScriptService:
 
     def execute(self, op, time):
         self.executed.append((op, time))
-        return self.hold
+        return (self.hold, None)
 
 
 def make(n_ports=3, **kw):
@@ -54,7 +61,7 @@ class TestArbitration:
     def test_single_op_granted_immediately(self):
         engine, service, bus, ports = make()
         o = op()
-        ports[0].q.append(o)
+        ports[0].push(o)
         bus.kick(0)
         assert service.executed == [(o, 0)]
         assert bus.busy
@@ -62,7 +69,8 @@ class TestArbitration:
     def test_serialization_respects_hold(self):
         engine, service, bus, ports = make(hold=3)
         a, b = op(1), op(2)
-        ports[0].q.extend([a, b])
+        ports[0].push(a)
+        ports[0].push(b)
         bus.kick(0)
         engine.run()
         assert service.executed == [(a, 0), (b, 3)]
@@ -70,9 +78,9 @@ class TestArbitration:
     def test_round_robin_across_ports(self):
         engine, service, bus, ports = make(n_ports=3, hold=2)
         a, b, c = op(1, 0), op(2, 1), op(3, 2)
-        ports[0].q.append(a)
-        ports[1].q.append(b)
-        ports[2].q.append(c)
+        ports[0].push(a)
+        ports[1].push(b)
+        ports[2].push(c)
         bus.kick(0)
         engine.run()
         # port 0 first (rr starts at 0), then 1, then 2
@@ -82,8 +90,9 @@ class TestArbitration:
         engine, service, bus, ports = make(n_ports=2, hold=1)
         a1, a2 = op(1, 0), op(2, 0)
         b1 = op(3, 1)
-        ports[0].q.extend([a1, a2])
-        ports[1].q.append(b1)
+        ports[0].push(a1)
+        ports[0].push(a2)
+        ports[1].push(b1)
         bus.kick(0)
         engine.run()
         # fairness: a1, then port 1's b1, then a2
@@ -95,8 +104,8 @@ class TestArbitration:
         )
         blocked = op(1, 0)
         runnable = op(2, 1)
-        ports[0].q.append(blocked)
-        ports[1].q.append(runnable)
+        ports[0].push(blocked)
+        ports[1].push(runnable)
         bus.kick(0)
         engine.run()
         assert [o for o, _ in service.executed] == [runnable]
@@ -105,7 +114,7 @@ class TestArbitration:
     def test_idle_until_kick(self):
         engine, service, bus, ports = make()
         engine.run()
-        ports[0].q.append(op())
+        ports[0].push(op())
         # no kick: nothing happens
         assert service.executed == []
         bus.kick(engine.now)
@@ -113,9 +122,9 @@ class TestArbitration:
 
     def test_kick_while_busy_is_noop(self):
         engine, service, bus, ports = make(hold=5)
-        ports[0].q.append(op(1))
+        ports[0].push(op(1))
         bus.kick(0)
-        ports[0].q.append(op(2))
+        ports[0].push(op(2))
         bus.kick(0)  # busy: must not double-grant
         assert len(service.executed) == 1
         engine.run()
@@ -125,7 +134,8 @@ class TestArbitration:
 class TestStats:
     def test_busy_cycles_accumulate(self):
         engine, service, bus, ports = make(hold=4)
-        ports[0].q.extend([op(1), op(2)])
+        ports[0].push(op(1))
+        ports[0].push(op(2))
         bus.kick(0)
         engine.run()
         assert bus.busy_cycles == 8
@@ -134,13 +144,13 @@ class TestStats:
 
     def test_op_counts_by_kind(self):
         engine, service, bus, ports = make()
-        ports[0].q.append(op())
+        ports[0].push(op())
         bus.kick(0)
         engine.run()
         assert bus.op_counts[READ_MISS] == 1
 
     def test_zero_hold_rejected(self):
         engine, _, bus, ports = make(hold=0)
-        ports[0].q.append(op())
+        ports[0].push(op())
         with pytest.raises(ValueError, match="hold"):
             bus.kick(0)

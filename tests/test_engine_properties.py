@@ -1,0 +1,183 @@
+"""Property-based tests of the event-engine scheduling contract.
+
+Every law is checked against BOTH implementations -- the production
+bucketed :class:`Engine` and the reference :class:`HeapEngine` -- since
+the bucketed engine's whole claim is that it is observationally
+identical to the heap encoding.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.engine import Engine, HeapEngine
+
+ENGINES = [Engine, HeapEngine]
+
+# (delay, tag) pairs: schedule events at now + delay, then check dispatch order
+schedules = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 10**6)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("factory", ENGINES)
+class TestSchedulingLaws:
+    @given(sched=schedules)
+    @settings(max_examples=150, deadline=None)
+    def test_dispatch_is_stable_time_order(self, factory, sched):
+        """Events fire sorted by time; ties fire in scheduling order."""
+        e = factory()
+        log = []
+        for delay, tag in sched:
+            e.at(delay, lambda t, d=delay, g=tag: log.append((d, g)))
+        n = e.run()
+        assert n == len(sched)
+        # stable sort of the schedule by time == observed dispatch order
+        assert log == sorted(sched, key=lambda p: p[0])
+
+    @given(sched=schedules, until=st.integers(0, 40))
+    @settings(max_examples=150, deadline=None)
+    def test_run_until_never_passes_until(self, factory, sched, until):
+        """run(until) dispatches exactly the events at times <= until and
+        leaves the clock there; the rest stay pending."""
+        e = factory()
+        log = []
+        for delay, tag in sched:
+            e.at(delay, lambda t, d=delay: log.append(d))
+        e.run(until=until)
+        assert all(t <= until for t in log)
+        assert e.now <= until
+        assert len(log) == sum(1 for d, _ in sched if d <= until)
+        assert e.pending() == len(sched) - len(log)
+        # the remainder is still dispatchable, in order
+        e.run()
+        assert log == sorted(d for d, _ in sched)
+
+    @given(sched=schedules)
+    @settings(max_examples=100, deadline=None)
+    def test_events_scheduled_during_dispatch_fire(self, factory, sched):
+        """A callback may schedule further events -- including for the
+        cycle being dispatched -- and they fire in (time, scheduling)
+        order like any other event."""
+        e = factory()
+        log = []
+
+        def spawn(t, delay):
+            log.append(("parent", t, t))
+            e.at(t + delay, lambda t2, t0=t: log.append(("child", t2, t0)))
+
+        for delay, tag in sched:
+            e.at(delay, lambda t, d=delay: spawn(t, d % 3))
+        e.run()
+        assert len(log) == 2 * len(sched)
+        times = [t for _, t, _ in log]
+        assert times == sorted(times)
+        # every child fired at parent time + its (0-2 cycle) delay
+        for kind, t, t0 in log:
+            if kind == "child":
+                assert 0 <= t - t0 <= 2
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_at_rejects_past_times(self, factory, now):
+        e = factory()
+        e.at(now, lambda t: None)
+        e.run()
+        assert e.now == now
+        with pytest.raises(ValueError):
+            e.at(now - 1, lambda t: None)
+
+    @given(
+        time=st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=3),
+            st.just(7.0),
+            st.just(None),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_at_rejects_non_integral_times(self, factory, time):
+        """Satellite regression: ``at`` used to accept floats, making
+        cycle arithmetic silently inexact; now any non-integral time is
+        a TypeError, including whole-valued floats like 7.0."""
+        e = factory()
+        with pytest.raises(TypeError):
+            e.at(time, lambda t: None)
+
+    def test_at_normalizes_indexable_integrals(self, factory):
+        import numpy as np
+
+        e = factory()
+        log = []
+        e.at(np.int64(4), lambda t: log.append(t))
+        e.run()
+        assert log == [4]
+        assert type(e.now) is int
+
+    def test_run_is_not_reentrant(self, factory):
+        e = factory()
+        boom = []
+
+        def reenter(t):
+            try:
+                e.run()
+            except RuntimeError as exc:
+                boom.append(str(exc))
+
+        e.at(1, reenter)
+        e.run()
+        assert boom and "reentrant" in boom[0]
+
+    @given(sched=schedules, cap=st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_max_events_caps_dispatch_count(self, factory, sched, cap):
+        e = factory()
+        fired = []
+        for delay, tag in sched:
+            e.at(delay, lambda t: fired.append(t))
+        if cap > len(sched):
+            assert e.run(max_events=cap) == len(sched)
+        else:
+            # the guard trips as soon as the cap-th event dispatches
+            with pytest.raises(RuntimeError):
+                e.run(max_events=cap)
+            assert len(fired) == cap
+            # the engine remains usable: the tail still drains in order
+            e.run()
+            assert len(fired) == len(sched)
+            assert fired == sorted(d for d, _ in sched)
+
+
+@pytest.mark.parametrize("factory", ENGINES)
+def test_float_time_rejected_even_when_whole(factory):
+    """The exact regression: 7.0 == 7 but must not enter the queue."""
+    e = factory()
+    with pytest.raises(TypeError):
+        e.at(7.0, lambda t: None)
+    with pytest.raises(TypeError):
+        e.after(3.5, lambda t: None)
+    assert e.pending() == 0
+
+
+@given(sched=schedules, until=st.integers(0, 40), cap=st.integers(1, 100))
+@settings(max_examples=150, deadline=None)
+def test_engines_agree_event_for_event(sched, until, cap):
+    """Differential law: for any schedule and any run() bounds, the two
+    implementations dispatch identical event sequences and agree on
+    now/pending/dispatch-count."""
+    logs = {}
+    engines = {}
+    for factory in ENGINES:
+        e = factory()
+        log = []
+        for delay, tag in sched:
+            e.at(delay, lambda t, d=delay, g=tag: log.append((d, g)))
+        try:
+            n = e.run(until=until, max_events=cap)
+        except RuntimeError:
+            n = "overflow"
+        logs[factory] = (log, n, e.now, e.pending())
+        engines[factory] = e
+    assert logs[Engine] == logs[HeapEngine]

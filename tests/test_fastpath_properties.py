@@ -1,0 +1,208 @@
+"""Property-based tests of the private-window fast path.
+
+Two families:
+
+* **Static conservativeness** -- :func:`repro.machine.fastpath.
+  build_tables` against straight-line reference computations: only
+  bus-free record kinds are ever eligible, line spans and prefix sums
+  match first-principles arithmetic, and ``win_end`` is exactly the
+  first statically ineligible record.
+
+* **Dynamic equivalence** -- random valid multi-processor programs
+  (shared data, locks, both schemes, both models, deliberately tiny
+  caches and batch budgets to maximize validation failures and window
+  truncation) run with ``fast_path`` on and off must produce
+  byte-identical serialized results, and every span the fast path
+  actually retired must lie inside a statically eligible run.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.cache import Cache
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.fastpath import build_tables
+from repro.machine.system import System
+from repro.runner.serialize import result_to_dict
+from repro.sync import QueuingLockManager, TestAndTestAndSetLockManager
+from repro.trace.records import (
+    BARRIER,
+    IBLOCK,
+    LOCK,
+    READ,
+    REP_STRIDE,
+    UNLOCK,
+    WRITE,
+)
+from tests.test_trace_properties import build_traceset, trace_programs
+
+schemes = st.sampled_from([QueuingLockManager, TestAndTestAndSetLockManager])
+models = st.sampled_from([SEQUENTIAL, WEAK])
+programs_strategy = st.lists(trace_programs(max_ops=40), min_size=1, max_size=3)
+# tiny caches force capacity evictions; tiny budgets force window
+# truncation; both paths must still agree bit for bit
+batches = st.sampled_from([1, 3, 32])
+cache_cfgs = st.sampled_from(
+    [
+        CacheConfig(size_bytes=256, line_bytes=16, assoc=2),
+        CacheConfig(size_bytes=1024, line_bytes=16, assoc=2),
+        CacheConfig(),
+    ]
+)
+
+
+def _machine(ts, cache_cfg, batch, fast):
+    return MachineConfig(
+        n_procs=ts.n_procs,
+        cache=cache_cfg,
+        batch_records=batch,
+        fast_path=fast,
+    )
+
+
+def _canonical(result):
+    return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
+
+
+class TestStaticTables:
+    @given(programs_strategy, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_only_bus_free_kinds_eligible(self, programs, writethrough):
+        ts = build_traceset(programs)
+        for trace in ts:
+            fp = build_tables(trace.records, 4, writethrough)
+            kinds = trace.records["kind"]
+            for i, k in enumerate(kinds.tolist()):
+                if k in (LOCK, UNLOCK, BARRIER):
+                    assert not fp.elig[i]
+                    assert fp.code[i] is None
+                elif k == WRITE and writethrough:
+                    assert not fp.elig[i]
+                elif k in (READ, IBLOCK) or k == WRITE:
+                    assert fp.elig[i]
+                    assert fp.code[i] is not None
+
+    @given(programs_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_win_end_is_first_ineligible(self, programs):
+        ts = build_traceset(programs)
+        for trace in ts:
+            fp = build_tables(trace.records, 4, False)
+            n = fp.n_records
+            for i in range(n):
+                # reference: scan forward for the first ineligible record
+                end = i
+                while end < n and fp.elig[end]:
+                    end += 1
+                if fp.elig[i]:
+                    assert fp.win_end[i] == end
+                else:
+                    assert fp.win_end[i] == i
+
+    @given(programs_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_spans_and_prefix_sums_match_arithmetic(self, programs):
+        ts = build_traceset(programs)
+        offset_bits = 4
+        for trace in ts:
+            rec = trace.records
+            fp = build_tables(rec, offset_bits, False)
+            reads = writes = ifetches = cycles = refs = 0
+            for i in range(len(rec)):
+                kind = int(rec["kind"][i])
+                addr = int(rec["addr"][i])
+                arg = int(rec["arg"][i])
+                assert fp.c_read[i] == reads
+                assert fp.c_write[i] == writes
+                assert fp.c_ifetch[i] == ifetches
+                assert fp.c_cycles[i] == cycles
+                assert fp.c_refs[i] == refs
+                if fp.elig[i]:
+                    lo = addr >> offset_bits
+                    hi = (addr + (arg - 1) * REP_STRIDE) >> offset_bits
+                    assert (fp.line_lo[i], fp.line_hi[i]) == (lo, hi)
+                    code = fp.code[i]
+                    if lo == hi:
+                        assert code == (~lo if kind == WRITE else lo)
+                    else:
+                        assert code == (lo, hi, kind == WRITE)
+                    refs += arg
+                    if kind == READ:
+                        reads += arg
+                    elif kind == WRITE:
+                        writes += arg
+                    else:
+                        ifetches += arg
+                        cycles += int(rec["cycles"][i])
+            assert fp.c_refs[len(rec)] == refs
+
+
+class TestDynamicEquivalence:
+    @given(programs_strategy, schemes, models, batches, cache_cfgs)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_is_byte_identical(
+        self, programs, scheme_cls, model, batch, cache_cfg
+    ):
+        ts = build_traceset(programs)
+        results = {}
+        logs = None
+        for fast in (True, False):
+            system = System(
+                ts,
+                _machine(ts, cache_cfg, batch, fast),
+                scheme_cls(),
+                model,
+                max_events=2_000_000,
+            )
+            if fast:
+                for p in system.procs:
+                    p._fp_log = []
+            results[fast] = _canonical(system.run())
+            if fast:
+                logs = [(p, list(p._fp_log)) for p in system.procs]
+        assert results[True] == results[False]
+
+        # every retired span sits inside a statically eligible run, the
+        # spans are disjoint and in order, and the budget cap holds
+        for proc, spans in logs:
+            fp = proc._fp
+            last_end = 0
+            for start, end in spans:
+                assert start >= last_end
+                assert end - start >= 1
+                assert end - start <= batch
+                assert fp.elig[start]
+                assert fp.win_end[start] >= end
+                last_end = end
+            assert proc.fp_records == sum(e - s for s, e in spans)
+            assert proc.fp_windows == len(spans)
+
+    def test_fast_path_actually_retires_private_runs(self):
+        """Anti-vacuity: on an uncontended private working set the fast
+        path must retire nearly everything after the cold pass."""
+        from tests.conftest import make_traceset
+
+        def prog(b, layout):
+            code = layout.alloc_code(1024)
+            data = layout.alloc_private(0, 1024)
+            for rep in range(40):
+                b.block(8, 8, code)
+                for j in range(8):
+                    b.read(data + 64 * j, reps=4)
+                    b.write(data + 64 * j, reps=2)
+
+        ts = make_traceset([prog])
+        system = System(
+            ts,
+            MachineConfig(n_procs=1),
+            QueuingLockManager(),
+            SEQUENTIAL,
+        )
+        result = system.run()
+        proc = system.procs[0]
+        total = sum(m.refs_processed for m in result.proc_metrics)
+        assert proc.fp_refs > 0.8 * total
+        assert proc.fp_windows > 0

@@ -1,0 +1,92 @@
+"""Golden-result regression fixtures.
+
+Each ``tests/golden/<program>.json`` pins the complete serialized
+:class:`~repro.machine.metrics.RunResult` of one suite cell at scale
+0.25.  The six fixtures between them cover every program, both lock
+schemes and both consistency models, so any change that alters
+simulated numbers anywhere in the machine fails here with a readable
+per-field diff -- event-order-preserving refactors (the only kind the
+optimization work is allowed to make) pass untouched.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_results.py --regen-golden
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.consistency import get_model
+from repro.machine.system import simulate
+from repro.runner.serialize import result_to_dict
+from repro.sync import get_lock_manager
+from repro.testing import dict_diff
+from repro.workloads import generate_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: the pinned grid: every program once, both schemes and models covered
+GOLDEN_CELLS = [
+    ("grav", "queuing", "sc"),
+    ("pdsa", "ttas", "sc"),
+    ("fullconn", "queuing", "wo"),
+    ("pverify", "ttas", "wo"),
+    ("qsort", "queuing", "sc"),
+    ("topopt", "ttas", "wo"),
+]
+GOLDEN_SCALE = 0.25
+GOLDEN_SEED = 1991
+
+
+def run_cell(program: str, locks: str, model: str) -> dict:
+    ts = generate_trace(program, scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    result = simulate(
+        ts, lock_manager=get_lock_manager(locks), model=get_model(model)
+    )
+    # a JSON round-trip so comparisons see exactly what the file stores
+    return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
+
+
+@pytest.mark.parametrize("program,locks,model", GOLDEN_CELLS)
+def test_golden_result(request, program, locks, model):
+    path = GOLDEN_DIR / f"{program}.json"
+    got = run_cell(program, locks, model)
+    spec = {
+        "program": program,
+        "scale": GOLDEN_SCALE,
+        "seed": GOLDEN_SEED,
+        "locks": locks,
+        "model": model,
+    }
+
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump({"spec": spec, "result": got}, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"regenerated {path.name}")
+
+    assert path.exists(), (
+        f"missing fixture {path}; generate it with --regen-golden"
+    )
+    with open(path) as fh:
+        fixture = json.load(fh)
+    assert fixture["spec"] == spec, (
+        f"{path.name} was generated for {fixture['spec']}, the test now "
+        f"runs {spec}; regenerate with --regen-golden"
+    )
+    expected = fixture["result"]
+    if got != expected:
+        diff = "\n  ".join(dict_diff(expected, got))
+        pytest.fail(
+            f"{program}/{locks}/{model} diverged from {path.name}:\n  {diff}\n"
+            "If this change is intentional, regenerate the fixtures with "
+            "--regen-golden and commit the diff.",
+            pytrace=False,
+        )

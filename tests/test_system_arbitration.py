@@ -102,7 +102,8 @@ class TestMSHRTable:
         from repro.machine.cache import EXCLUSIVE
 
         a.fill_state = EXCLUSIVE
-        system._exec_read_miss(a, 0)
+        hold, done = system._exec_read_miss(a, 0)
+        system.engine.at(hold, done)  # what the bus does with the result
         system.engine.run()  # lets the c2c completion fire
         assert 0x444 not in system._fills_in_flight
         b = BusOp(READ_MISS, 0x444, 1)
