@@ -140,6 +140,34 @@ def _measure_pair(make_ts):
     return report
 
 
+def _measure_audit_cell(program: str):
+    """One suite cell timed with and without the runtime invariant
+    auditor (repro.audit).  The auditor's contract is <2x overhead: it
+    must stay cheap enough to leave on in every CI simulation."""
+    ts = generate_trace(program, scale=1.0, seed=1991)
+
+    def run(audited: bool) -> float:
+        cfg = MachineConfig(n_procs=ts.n_procs, audit=audited)
+        system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+        gc.collect()
+        t0 = time.process_time()
+        system.run()
+        return time.process_time() - t0
+
+    run(True)  # warm
+    run(False)
+    best = {True: 9e9, False: 9e9}
+    for _ in range(3):
+        for audited in (True, False):
+            best[audited] = min(best[audited], run(audited))
+    return {
+        "program": program,
+        "seconds_plain": round(best[False], 4),
+        "seconds_audited": round(best[True], 4),
+        "overhead": round(best[True] / best[False], 3),
+    }
+
+
 def _measure_suite_cell(program: str):
     ts = generate_trace(program, scale=1.0, seed=1991)
     _timed_run(ts, True)  # warm
@@ -163,11 +191,14 @@ def test_hotpath_throughput():
             f"process_time, adjacent fast/reference runs, best of {REPS}; "
             "hot loops are 400k-record private working sets (single-line "
             "word accesses / mixed with 8-16 word iblocks); suite cells "
-            "are (queuing, SC) at scale 1.0 with the fast path on"
+            "are (queuing, SC) at scale 1.0 with the fast path on; the "
+            "audit cell times the same run with the invariant auditor "
+            "attached (raise mode), best of 3"
         ),
         "hotloop_single": _measure_pair(_single_line),
         "hotloop_mixed": _measure_pair(_mixed),
         "suite": {p: _measure_suite_cell(p) for p in BENCHMARK_ORDER},
+        "audit": _measure_audit_cell("pverify"),
     }
 
     OUTPUT_DIR.mkdir(exist_ok=True)
@@ -190,6 +221,11 @@ def test_hotpath_throughput():
             problems.append(
                 f"{key}: fast path {report[key]['speedup']}x vs reference"
             )
+    # ...the auditor must stay within its advertised overhead budget...
+    if report["audit"]["overhead"] > 2.0:
+        problems.append(
+            f"audit: {report['audit']['overhead']}x overhead exceeds the 2x budget"
+        )
     # ...and absolute throughput must not regress vs the committed baseline
     if BASELINE_PATH.exists():
         with open(BASELINE_PATH) as fh:

@@ -1,0 +1,165 @@
+"""Conservation invariants over the final accounting (§3's metrics).
+
+Everything here runs once, after the simulation drained and the
+:class:`~repro.machine.metrics.RunResult` was collected:
+
+* **per-processor cycle conservation** -- ``work + stall_miss +
+  stall_lock + stall_drain + stall_buffer == completion_time``: every
+  cycle of a processor's lifetime is attributed to exactly one cause
+  (the paper's utilization and stall-cause percentages all divide
+  through this identity);
+* **run time** -- the reported run time is the completion time of the
+  last processor;
+* **reference conservation** -- the processors together retired exactly
+  the elementary references their traces contain;
+* **aggregate consistency** -- the RunResult's cache aggregates equal
+  the per-cache counter sums, and its bus/memory fields match the
+  grants the bus auditor observed independently (busy cycles == sum of
+  holds, op counts equal, memory reads == data returns, memory writes
+  == granted write-kind operations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.buffers import DATA_RETURN, OP_NAMES, UPDATE, WRITEBACK, WRITETHROUGH
+from ..trace.records import IBLOCK, READ, WRITE
+from .report import ACCOUNTING, Violation
+
+__all__ = ["AccountingAuditor"]
+
+#: cache-counter fields aggregated into the RunResult
+_AGG_FIELDS = (
+    "read_hits",
+    "read_misses",
+    "write_hits",
+    "write_misses",
+    "ifetch_hits",
+    "ifetch_misses",
+    "writebacks",
+    "c2c_supplied",
+    "invalidations_received",
+)
+
+
+class AccountingAuditor:
+    def __init__(self, top) -> None:
+        self.top = top
+        self.n_checks = 0
+
+    def _mismatch(self, check: str, what: str, expected, observed, proc: int = -1):
+        self.top.violation(
+            Violation(
+                ACCOUNTING,
+                check,
+                f"accounting does not balance: {what}",
+                proc=proc,
+                expected=expected,
+                observed=observed,
+            )
+        )
+
+    def finalize(self, result) -> None:
+        system = self.top.system
+
+        # per-processor cycle conservation
+        for m in result.proc_metrics:
+            self.n_checks += 1
+            attributed = m.work_cycles + m.total_stall
+            if attributed != m.completion_time:
+                self._mismatch(
+                    "cycle-conservation",
+                    "work + stalls must equal the processor's lifetime",
+                    m.completion_time,
+                    attributed,
+                    proc=m.proc,
+                )
+        self.n_checks += 1
+        last = max(m.completion_time for m in result.proc_metrics)
+        if result.run_time != last:
+            self._mismatch(
+                "run-time",
+                "run time must be the last processor's completion time",
+                last,
+                result.run_time,
+            )
+
+        # reference conservation against the traces themselves
+        self.n_checks += 1
+        expected_refs = 0
+        for p in range(system.traceset.n_procs):
+            rec = system.traceset[p].records
+            kinds = rec["kind"]
+            data = (kinds == READ) | (kinds == WRITE) | (kinds == IBLOCK)
+            expected_refs += int(np.sum(rec["arg"][data]))
+        got_refs = sum(m.refs_processed for m in result.proc_metrics)
+        if got_refs != expected_refs:
+            self._mismatch(
+                "reference-conservation",
+                "references retired must equal references traced",
+                expected_refs,
+                got_refs,
+            )
+
+        # cache aggregates
+        for name in _AGG_FIELDS:
+            self.n_checks += 1
+            total = sum(getattr(c.counters, name) for c in system.caches)
+            if getattr(result, name) != total:
+                self._mismatch(
+                    "cache-aggregates",
+                    f"RunResult.{name} vs per-cache counters",
+                    total,
+                    getattr(result, name),
+                )
+
+        # bus and memory totals vs the independently observed grants
+        bus_obs = self.top.busproto
+        self.n_checks += 3
+        if result.bus_busy_cycles != bus_obs.hold_total:
+            self._mismatch(
+                "bus-busy-cycles",
+                "bus busy cycles vs the sum of observed grant holds",
+                bus_obs.hold_total,
+                result.bus_busy_cycles,
+            )
+        if result.meta.get("bus_grants") != bus_obs.grants:
+            self._mismatch(
+                "bus-grants",
+                "bus grant count vs observed grants",
+                bus_obs.grants,
+                result.meta.get("bus_grants"),
+            )
+        if result.bus_op_counts != bus_obs.op_counts:
+            diff = {
+                OP_NAMES[k]: (bus_obs.op_counts.get(k, 0), result.bus_op_counts.get(k, 0))
+                for k in bus_obs.op_counts.keys() | result.bus_op_counts.keys()
+                if bus_obs.op_counts.get(k, 0) != result.bus_op_counts.get(k, 0)
+            }
+            self._mismatch(
+                "bus-op-counts",
+                "per-kind bus op counts vs observed grants",
+                {k: v[0] for k, v in diff.items()},
+                {k: v[1] for k, v in diff.items()},
+            )
+        self.n_checks += 2
+        returns = bus_obs.op_counts.get(DATA_RETURN, 0)
+        if result.meta.get("memory_reads") != returns:
+            self._mismatch(
+                "memory-reads",
+                "memory reads serviced vs granted DATA_RETURNs",
+                returns,
+                result.meta.get("memory_reads"),
+            )
+        writes = sum(
+            bus_obs.op_counts.get(k, 0) for k in (WRITEBACK, WRITETHROUGH, UPDATE)
+        )
+        if result.meta.get("memory_writes") != writes:
+            self._mismatch(
+                "memory-writes",
+                "memory writes serviced vs granted write-kind operations",
+                writes,
+                result.meta.get("memory_writes"),
+            )
+        self.top.report.count(ACCOUNTING, self.n_checks)

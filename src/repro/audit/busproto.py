@@ -1,0 +1,200 @@
+"""Bus-protocol invariants (§2.2: split transactions, round-robin).
+
+Checked at arbitration/grant time via the hooks :class:`~repro.machine.
+bus.Bus` calls when an auditor is attached:
+
+* **no overlapping grants** -- a new grant may not start before the
+  previous holder's ``time + hold`` release point (one transaction on
+  the bus at a time);
+* **positive hold** -- every granted operation holds the bus for at
+  least one cycle;
+* **round-robin scan order** -- within one arbitration, the skipped
+  ports and the eventual grantee appear in ascending wrap-around order
+  starting after the previous grantee;
+* **fairness bound** -- a port with live (non-cancelled) entries is
+  scanned (granted or skipped) within ``n_ports + 1`` grants; a longer
+  gap means the arbiter is starving it;
+* **split-transaction pairing** -- every granted request that reserves a
+  memory read (``return_cycles > 0``) is answered by exactly one
+  DATA_RETURN, every DATA_RETURN answers exactly one outstanding
+  request, and no request is left unanswered at end of run.
+"""
+
+from __future__ import annotations
+
+from ..machine.buffers import DATA_RETURN, OP_NAMES
+from .report import BUS, Violation
+
+__all__ = ["BusAuditor"]
+
+
+def _live_entries(port) -> int:
+    """Non-cancelled entries of a bus port (CacheBusBuffer counts them
+    itself; the memory port's deque has no dead entries)."""
+    try:
+        return len(port)
+    except TypeError:
+        return len(port.entries)
+
+
+class BusAuditor:
+    """Observes every arbitration and grant; see the module docstring."""
+
+    def __init__(self, top) -> None:
+        self.top = top  # SystemAuditor
+        self.n_checks = 0
+        #: end of the current bus tenancy (grant time + hold)
+        self._busy_until = 0
+        #: ports skipped in the arbitration currently scanning
+        self._arb_skips: list[int] = []
+        #: _rr captured when that arbitration started
+        self._arb_rr = 0
+        #: ports granted-or-skipped since the last grant was evaluated
+        self._touched: set[int] = set()
+        #: port -> grant counter when it was last touched while pending
+        self._pending_since: dict[int, int] = {}
+        # observed totals (cross-checked against Bus/Memory statistics by
+        # the accounting auditor at end of run)
+        self.grants = 0
+        self.hold_total = 0
+        self.op_counts: dict[int, int] = {}
+        #: id(op) -> op for requests awaiting their DATA_RETURN
+        self._awaiting_return: dict[int, object] = {}
+
+    # -- hooks (called by Bus._grant) -----------------------------------
+    def on_arbitrate(self, time: int) -> None:
+        self._arb_skips.clear()
+        self._arb_rr = self.top.system.bus._rr
+
+    def on_skip(self, idx: int, op, time: int) -> None:
+        self._arb_skips.append(idx)
+        self._touched.add(idx)
+
+    def on_grant_pre(self, op, time: int, idx: int) -> None:
+        top = self.top
+        self.n_checks += 2
+        if time < self._busy_until:
+            top.violation(
+                Violation(
+                    BUS,
+                    "overlapping-grant",
+                    f"{OP_NAMES[op.kind]} granted while the bus is held",
+                    cycle=time,
+                    proc=op.proc,
+                    line=op.line,
+                    expected=f"grant at or after cycle {self._busy_until}",
+                    observed=f"grant at cycle {time}",
+                )
+            )
+        if op.kind == DATA_RETURN:
+            orig = op.orig
+            if orig is None or id(orig) not in self._awaiting_return:
+                top.violation(
+                    Violation(
+                        BUS,
+                        "unmatched-data-return",
+                        "DATA_RETURN granted with no outstanding request "
+                        "for it (duplicated or fabricated return)",
+                        cycle=time,
+                        proc=op.proc,
+                        line=op.line,
+                        expected="a request awaiting its data return",
+                        observed="none outstanding" if orig is None else
+                        f"request {orig!r} not outstanding",
+                    )
+                )
+            else:
+                del self._awaiting_return[id(orig)]
+
+    def on_grant_post(self, op, time: int, hold: int, idx: int) -> None:
+        top = self.top
+        system = top.system
+        n_ports = len(system.bus.ports)
+        self.n_checks += 2
+
+        if hold < 1:
+            top.violation(
+                Violation(
+                    BUS,
+                    "nonpositive-hold",
+                    f"{OP_NAMES[op.kind]} holds the bus for {hold} cycles",
+                    cycle=time,
+                    proc=op.proc,
+                    line=op.line,
+                    expected=">= 1",
+                    observed=hold,
+                )
+            )
+        self._busy_until = time + hold
+        self.grants += 1
+        self.hold_total += hold
+        self.op_counts[op.kind] = self.op_counts.get(op.kind, 0) + 1
+        if op.kind != DATA_RETURN and op.return_cycles > 0:
+            self._awaiting_return[id(op)] = op
+
+        # round-robin scan order: skipped ports then the grantee, in
+        # ascending wrap-around order from the previous grantee + 1
+        rr = self._arb_rr
+        prev_key = -1
+        for scanned in (*self._arb_skips, idx):
+            key = (scanned - rr) % n_ports
+            if key < prev_key:
+                top.violation(
+                    Violation(
+                        BUS,
+                        "round-robin-order",
+                        "arbitration scanned ports out of round-robin order",
+                        cycle=time,
+                        expected=f"ascending from port {rr}",
+                        observed=f"skips {self._arb_skips} then grant to {idx}",
+                    )
+                )
+                break
+            prev_key = key
+
+        # fairness: every port with live entries must have been scanned
+        # within the last n_ports + 1 grants
+        counter = self.grants
+        touched = self._touched
+        touched.add(idx)
+        pending = self._pending_since
+        for p_idx, port in enumerate(system.bus.ports):
+            if not _live_entries(port):
+                pending.pop(p_idx, None)
+            elif p_idx in touched:
+                pending[p_idx] = counter
+            else:
+                since = pending.setdefault(p_idx, counter)
+                if counter - since > n_ports + 1:
+                    top.violation(
+                        Violation(
+                            BUS,
+                            "fairness-bound",
+                            f"port {p_idx} has waited unscanned through "
+                            f"{counter - since} grants",
+                            cycle=time,
+                            expected=f"scanned within {n_ports + 1} grants",
+                            observed=f"{counter - since} grants",
+                        )
+                    )
+                    pending[p_idx] = counter  # do not re-fire every grant
+        touched.clear()
+
+    # -- end of run -----------------------------------------------------
+    def finalize(self) -> None:
+        self.n_checks += 1
+        if self._awaiting_return:
+            sample = next(iter(self._awaiting_return.values()))
+            self.top.violation(
+                Violation(
+                    BUS,
+                    "missing-data-return",
+                    f"{len(self._awaiting_return)} split transaction(s) "
+                    "never received a DATA_RETURN",
+                    proc=sample.proc,
+                    line=sample.line,
+                    expected="all split transactions answered",
+                    observed=f"{len(self._awaiting_return)} unanswered",
+                )
+            )
+        self.top.report.count(BUS, self.n_checks)

@@ -1,0 +1,230 @@
+"""Coherence invariants of the Illinois (MESI) protocol (§2.2).
+
+Write-invalidate MESI admits exactly these global line states: one
+MODIFIED or EXCLUSIVE owner and nobody else, or any number of SHARED
+copies.  The auditor checks that in flight:
+
+* **at grant** of any data operation, the touched line's holders (from
+  the residency directory) are in a legal combination, and each listed
+  holder really has the line in its state dict;
+* **supplier consistency** -- when the arbiter decided a line would be
+  sourced cache-to-cache, the chosen cache must actually hold the line
+  (a snoop response of "present" must match recorded state), and a
+  chosen write-back buffer entry must be a live WRITEBACK of that line;
+* **after the address phase** of an RFO / write-through / upgrade, no
+  other cache may still hold a copy (the invalidation must have reached
+  every holder);
+* **at install**, an EXCLUSIVE/MODIFIED fill must make the requester the
+  sole holder, and a SHARED fill must not coexist with another cache's
+  E/M copy;
+* **at end of run**, the state dicts and the residency directory must
+  agree in both directions, every cache's internal way-array invariants
+  must hold (:meth:`~repro.machine.cache.Cache.check_invariants`), and
+  the M/E-exclusivity sweep must pass over the final state.
+
+The per-grant checks are O(holders of one line); the full sweeps run
+once at finalize.
+"""
+
+from __future__ import annotations
+
+from ..machine.buffers import (
+    OP_NAMES,
+    READ_MISS,
+    RFO,
+    UPGRADE,
+    WRITEBACK,
+    WRITETHROUGH,
+)
+from ..machine.cache import EXCLUSIVE, MODIFIED, STATE_NAMES
+from .report import COHERENCE, Violation
+
+__all__ = ["CoherenceAuditor"]
+
+#: operations whose grant touches a data line (lock words live outside
+#: the data caches and are audited by the lock auditor)
+_DATA_KINDS = frozenset({READ_MISS, RFO, UPGRADE, WRITEBACK, WRITETHROUGH})
+#: operations whose address phase must leave the requester the only holder
+_INVALIDATING = frozenset({RFO, WRITETHROUGH})
+
+
+class CoherenceAuditor:
+    def __init__(self, top) -> None:
+        self.top = top
+        self.n_checks = 0
+
+    # -- shared core ----------------------------------------------------
+    def check_line(self, line: int, cycle: int = -1) -> None:
+        """A legal MESI combination: one E/M owner alone, or only S."""
+        system = self.top.system
+        holders = system.directory.get(line)
+        self.n_checks += 1
+        if not holders:
+            return
+        owner = -1
+        for p in holders:
+            st = system.caches[p].state.get(line)
+            if st is None:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "holder-stateless",
+                        f"directory lists proc {p} as holding the line but "
+                        "its cache has no state for it",
+                        cycle=cycle,
+                        proc=p,
+                        line=line,
+                        expected="a resident MESI state",
+                        observed="INVALID",
+                    )
+                )
+            elif st >= EXCLUSIVE:
+                if owner >= 0 or len(holders) > 1:
+                    self.top.violation(
+                        Violation(
+                            COHERENCE,
+                            "exclusive-owner",
+                            f"proc {p} holds the line {STATE_NAMES[st]} "
+                            "while other copies exist",
+                            cycle=cycle,
+                            proc=p,
+                            line=line,
+                            expected="sole holder for E/M",
+                            observed=f"holders {sorted(holders)}",
+                        )
+                    )
+                owner = p
+
+    # -- grant-time hooks ----------------------------------------------
+    def on_grant_pre(self, op, time: int) -> None:
+        if op.kind not in _DATA_KINDS:
+            return
+        self.check_line(op.line, cycle=time)
+        supplier = op.supplier
+        if supplier is None:
+            return
+        self.n_checks += 1
+        where, p, wb = supplier
+        system = self.top.system
+        if where == "cache":
+            if op.line not in system.caches[p].state:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "supplier-stateless",
+                        f"proc {p} was chosen to supply the line "
+                        "cache-to-cache but does not hold it",
+                        cycle=time,
+                        proc=p,
+                        line=op.line,
+                        expected="a resident copy in the supplier",
+                        observed="INVALID",
+                    )
+                )
+        elif where == "buffer":
+            if wb is None or wb.cancelled or wb.kind != WRITEBACK or wb.line != op.line:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "supplier-buffer",
+                        f"proc {p}'s write-back buffer was chosen to supply "
+                        "the line but holds no live write-back of it",
+                        cycle=time,
+                        proc=p,
+                        line=op.line,
+                        expected="a live buffered WRITEBACK of the line",
+                        observed=repr(wb),
+                    )
+                )
+
+    def on_grant_post(self, op, time: int) -> None:
+        kind = op.kind
+        if kind in _INVALIDATING or (kind == UPGRADE and not op.converted):
+            self.n_checks += 1
+            system = self.top.system
+            holders = system.directory.get(op.line)
+            if holders and any(p != op.proc for p in holders):
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "stale-copy-after-invalidate",
+                        f"{OP_NAMES[kind]}'s address phase left other "
+                        "cached copies alive",
+                        cycle=time,
+                        proc=op.proc,
+                        line=op.line,
+                        expected=f"holders ⊆ {{{op.proc}}}",
+                        observed=f"holders {sorted(holders)}",
+                    )
+                )
+
+    # -- install hook (called by Cache.install) -------------------------
+    def on_install(self, proc: int, line: int, state: int) -> None:
+        self.n_checks += 1
+        holders = self.top.system.directory.get(line) or []
+        if state >= EXCLUSIVE:
+            if holders != [proc]:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "install-owner",
+                        f"line installed {STATE_NAMES[state]} while other "
+                        "caches still hold copies",
+                        proc=proc,
+                        line=line,
+                        expected=f"holders == [{proc}]",
+                        observed=f"holders {sorted(holders)}",
+                    )
+                )
+            return
+        system = self.top.system
+        for p in holders:
+            if p != proc and system.caches[p].state.get(line, 0) >= EXCLUSIVE:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "shared-beside-owner",
+                        "line installed SHARED while another cache holds "
+                        f"it {STATE_NAMES[system.caches[p].state[line]]}",
+                        proc=proc,
+                        line=line,
+                        expected=f"no E/M copy outside proc {proc}",
+                        observed=f"proc {p} owns the line",
+                    )
+                )
+
+    # -- end of run -----------------------------------------------------
+    def finalize(self) -> None:
+        system = self.top.system
+        directory = system.directory
+        for p, cache in enumerate(system.caches):
+            self.n_checks += 1
+            try:
+                cache.check_invariants()
+            except AssertionError as exc:
+                self.top.violation(
+                    Violation(
+                        COHERENCE,
+                        "cache-internal",
+                        f"cache {p} internal invariants broken: {exc}",
+                        proc=p,
+                    )
+                )
+            for line in cache.state:
+                holders = directory.get(line)
+                if holders is None or p not in holders:
+                    self.top.violation(
+                        Violation(
+                            COHERENCE,
+                            "directory-missing-holder",
+                            "cache holds a line the residency directory "
+                            "does not credit to it",
+                            proc=p,
+                            line=line,
+                            expected=f"proc {p} listed in the directory",
+                            observed=f"holders {sorted(holders or ())}",
+                        )
+                    )
+        for line in directory:
+            self.check_line(line)
+        self.top.report.count(COHERENCE, self.n_checks)

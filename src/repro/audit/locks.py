@@ -1,0 +1,243 @@
+"""Lock-protocol invariants (§2.4, Tables 4/6/8).
+
+The system routes every lock acquire/release through one funnel
+(:meth:`System.lock_acquire` / :meth:`System.lock_release`); the auditor
+wraps the grant callbacks there, so it sees the acquire request, the
+grant, and the release of every critical section regardless of scheme:
+
+* **mutual exclusion** -- a lock is granted only while no processor is
+  between its own grant and release of that lock;
+* **grants answer requests** -- a processor is only granted a lock it
+  is actually waiting for, and no waiter is left at end of run;
+* **FIFO order** (queuing schemes only, ``manager.fifo``) -- a shadow
+  queue mirrors every enqueue the manager performs
+  (:meth:`on_enqueue`); a contended grant must go to its head, and an
+  uncontended grant is illegal while waiters are queued;
+* **statistics accounting** -- the manager's
+  :class:`~repro.sync.stats.LockStatsCollector` must agree with the
+  independently observed totals: acquisitions with grants (globally and
+  per lock), transfers with contended grants, and waiters-at-transfer
+  with the waiter population the auditor saw (shadow-queue length at a
+  contended release for FIFO schemes, waiting-set size at a contended
+  grant for spin schemes).
+"""
+
+from __future__ import annotations
+
+from .report import LOCK, Violation
+
+__all__ = ["LockAuditor"]
+
+
+class LockAuditor:
+    def __init__(self, top) -> None:
+        self.top = top
+        self.n_checks = 0
+        #: lock id -> procs that requested but were not yet granted
+        self.waiting: dict[int, set[int]] = {}
+        #: lock id -> proc currently inside the critical section
+        self.in_cs: dict[int, int | None] = {}
+        #: lock id -> shadow of the manager's FIFO queue (fifo schemes)
+        self.shadow: dict[int, list[int]] = {}
+        # independently observed totals, compared to LockStats at the end
+        self.grants = 0
+        self.contended_grants = 0
+        self.per_lock_grants: dict[int, int] = {}
+        self.expected_transfers = 0
+        self.expected_waiters_total = 0
+
+    @property
+    def _fifo(self) -> bool:
+        return bool(getattr(self.top.system.locks, "fifo", False))
+
+    # -- events (from the System funnel and the managers) ----------------
+    def on_acquire(self, proc: int, lock_id: int, time: int) -> None:
+        self.waiting.setdefault(lock_id, set()).add(proc)
+
+    def on_enqueue(self, lock_id: int, proc: int, time: int) -> None:
+        """A FIFO manager appended ``proc`` to its wait queue."""
+        self.n_checks += 1
+        if proc not in self.waiting.get(lock_id, ()):
+            self.top.violation(
+                Violation(
+                    LOCK,
+                    "enqueue-without-request",
+                    "manager queued a processor that never requested the lock",
+                    cycle=time,
+                    proc=proc,
+                    lock_id=lock_id,
+                )
+            )
+        self.shadow.setdefault(lock_id, []).append(proc)
+
+    def on_grant(self, proc: int, lock_id: int, time: int, contended: bool) -> None:
+        top = self.top
+        self.n_checks += 2
+        holder = self.in_cs.get(lock_id)
+        if holder is not None:
+            top.violation(
+                Violation(
+                    LOCK,
+                    "mutual-exclusion",
+                    f"lock granted while proc {holder} is still inside "
+                    "the critical section",
+                    cycle=time,
+                    proc=proc,
+                    lock_id=lock_id,
+                    expected="free lock",
+                    observed=f"held by proc {holder}",
+                )
+            )
+        waiting = self.waiting.get(lock_id)
+        if waiting is None or proc not in waiting:
+            top.violation(
+                Violation(
+                    LOCK,
+                    "grant-without-request",
+                    "lock granted to a processor that was not waiting for it",
+                    cycle=time,
+                    proc=proc,
+                    lock_id=lock_id,
+                    expected=f"proc {proc} in the waiting set",
+                    observed=f"waiting {sorted(waiting or ())}",
+                )
+            )
+        if self._fifo:
+            q = self.shadow.get(lock_id) or []
+            self.n_checks += 1
+            if contended:
+                if not q or q[0] != proc:
+                    top.violation(
+                        Violation(
+                            LOCK,
+                            "fifo-order",
+                            "contended grant did not go to the head of "
+                            "the wait queue",
+                            cycle=time,
+                            proc=proc,
+                            lock_id=lock_id,
+                            expected=f"head {q[0] if q else '<empty>'}",
+                            observed=f"granted to proc {proc}",
+                        )
+                    )
+                if proc in q:
+                    q.remove(proc)
+            elif q:
+                top.violation(
+                    Violation(
+                        LOCK,
+                        "fifo-order",
+                        "uncontended grant while processors are queued",
+                        cycle=time,
+                        proc=proc,
+                        lock_id=lock_id,
+                        expected="empty wait queue",
+                        observed=f"queue {q}",
+                    )
+                )
+        elif contended:
+            # spin schemes record waiters-left when the winner's
+            # test-and-set completes, i.e. everyone still waiting but it
+            self.expected_transfers += 1
+            self.expected_waiters_total += len(waiting or ()) - 1
+        if waiting is not None:
+            waiting.discard(proc)
+        self.in_cs[lock_id] = proc
+        self.grants += 1
+        if contended:
+            self.contended_grants += 1
+        self.per_lock_grants[lock_id] = self.per_lock_grants.get(lock_id, 0) + 1
+
+    def on_release(self, proc: int, lock_id: int, line: int, time: int) -> None:
+        self.n_checks += 1
+        holder = self.in_cs.get(lock_id)
+        if holder != proc:
+            self.top.violation(
+                Violation(
+                    LOCK,
+                    "release-by-non-owner",
+                    "lock released by a processor that does not hold it",
+                    cycle=time,
+                    proc=proc,
+                    lock_id=lock_id,
+                    expected=f"held by proc {proc}",
+                    observed="free" if holder is None else f"held by proc {holder}",
+                )
+            )
+        self.in_cs[lock_id] = None
+        if self._fifo:
+            # the manager pops one waiter and records the rest as
+            # "waiters at transfer" -- mirror that from the shadow queue
+            q = self.shadow.get(lock_id)
+            if q:
+                self.expected_transfers += 1
+                self.expected_waiters_total += len(q) - 1
+
+    # -- end of run -----------------------------------------------------
+    def finalize(self) -> None:
+        top = self.top
+        stats = top.system.locks.stats
+
+        def check(check: str, what: str, expected, observed, lock_id: int = -1):
+            self.n_checks += 1
+            if expected != observed:
+                top.violation(
+                    Violation(
+                        LOCK,
+                        check,
+                        f"LockStats disagree with observed lock events: {what}",
+                        lock_id=lock_id,
+                        expected=expected,
+                        observed=observed,
+                    )
+                )
+
+        check("stats-acquisitions", "total acquisitions", self.grants, stats.acquisitions)
+        check("stats-transfers", "transfers", self.contended_grants, stats.transfers)
+        check(
+            "stats-transfers",
+            "transfers (from releases seen)",
+            self.expected_transfers,
+            stats.transfers,
+        )
+        check(
+            "stats-waiter-count",
+            "waiters-at-transfer total",
+            self.expected_waiters_total,
+            stats.waiters_at_transfer_total,
+        )
+        for lock_id, n in sorted(self.per_lock_grants.items()):
+            check(
+                "stats-acquisitions",
+                f"acquisitions of lock {lock_id}",
+                n,
+                stats.per_lock_acquisitions.get(lock_id, 0),
+                lock_id=lock_id,
+            )
+        self.n_checks += 1
+        leftovers = {
+            lock_id: sorted(w) for lock_id, w in self.waiting.items() if w
+        }
+        queued = {lock_id: q for lock_id, q in self.shadow.items() if q}
+        held = {lock_id: p for lock_id, p in self.in_cs.items() if p is not None}
+        if leftovers or queued:
+            top.violation(
+                Violation(
+                    LOCK,
+                    "waiters-at-exit",
+                    "processors still waiting for locks at end of run",
+                    expected="no waiters",
+                    observed=f"waiting {leftovers}, queued {queued}",
+                )
+            )
+        if held:
+            top.violation(
+                Violation(
+                    LOCK,
+                    "held-at-exit",
+                    "locks still held at end of run",
+                    expected="all locks released",
+                    observed=f"held {held}",
+                )
+            )
+        top.report.count(LOCK, self.n_checks)

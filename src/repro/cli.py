@@ -47,6 +47,15 @@ def _add_config_options(sp: argparse.ArgumentParser) -> None:
             "'diff-verify')"
         ),
     )
+    sp.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "attach the runtime invariant auditor (simulator sanitizer): "
+            "abort at the first coherence/bus/lock/accounting violation "
+            "(identical results, ~2x slower; see docs/audit.md)"
+        ),
+    )
 
 
 def _add_runner_options(sp: argparse.ArgumentParser) -> None:
@@ -189,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--models",
         default="sc,wo",
         help="comma-separated consistency models (default: sc,wo)",
+    )
+    dv.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "also run the invariant auditor over the fast run of each "
+            "cell and require zero violations"
+        ),
     )
     return p
 
@@ -342,15 +359,19 @@ def _run_diff_verify(args) -> int:
         scale=args.scale,
         seed=args.seed,
         progress=lambda r: print(r.summary(), flush=True),
+        audit=args.audit,
     )
-    bad = [r for r in reports if not r.equal]
+    bad = [r for r in reports if not r.equal or r.violations]
     for r in bad:
-        print(f"\n{r.label}: fast path diverged from reference:")
-        for line in r.diffs:
-            print(f"  {line}")
+        if not r.equal:
+            print(f"\n{r.label}: fast path diverged from reference:")
+            for line in r.diffs:
+                print(f"  {line}")
+        if r.violations:
+            print(f"\n{r.label}: {r.violations} invariant violation(s)")
     print(
-        f"\n{len(reports) - len(bad)}/{len(reports)} cells byte-identical"
-        + ("" if not bad else f"; {len(bad)} MISMATCHED")
+        f"\n{len(reports) - len(bad)}/{len(reports)} cells clean"
+        + ("" if not bad else f"; {len(bad)} FAILED")
     )
     return 1 if bad else 0
 
@@ -359,10 +380,12 @@ def _run_diff_verify(args) -> int:
 def _machine_config(args, ts):
     """The machine configuration implied by shared CLI flags (None means
     the paper defaults, letting ``simulate`` choose)."""
-    if getattr(args, "no_fast_path", False):
+    no_fast = getattr(args, "no_fast_path", False)
+    audit = getattr(args, "audit", False)
+    if no_fast or audit:
         from .machine.config import MachineConfig
 
-        return MachineConfig(n_procs=ts.n_procs, fast_path=False)
+        return MachineConfig(n_procs=ts.n_procs, fast_path=not no_fast, audit=audit)
     return None
 
 

@@ -83,6 +83,8 @@ class Bus:
         #: optional observer called as observer(op, grant_time, hold)
         #: after every grant (see repro.machine.buslog)
         self.observer = None
+        #: optional runtime invariant auditor (see repro.audit)
+        self.audit = None
 
     def add_port(self, port: BusPort) -> int:
         """Register a port; returns its index.
@@ -113,6 +115,9 @@ class Bus:
         ports = self.ports
         n = len(ports)
         service = self.service
+        audit = self.audit
+        if audit is not None:
+            audit.on_arbitrate(time)
         # Scan only possibly-ready ports, in the same ascending-from-_rr
         # wrap-around order as a full scan (so grant decisions are
         # identical: skipped ports are provably empty).
@@ -136,6 +141,8 @@ class Bus:
                 waiting.discard(idx)
                 continue
             if not service.can_issue(op, time):
+                if audit is not None:
+                    audit.on_skip(idx, op, time)
                 continue
             port.pop()
             if not port.entries:
@@ -143,6 +150,8 @@ class Bus:
             self._rr = idx + 1 if idx + 1 < n else 0
             self.busy = True
             op.issued_at = time
+            if audit is not None:
+                audit.on_grant_pre(op, time, idx)
             hold, done = service.execute(op, time)
             if hold < 1:
                 raise ValueError(f"bus op {op} reported hold of {hold} cycles")
@@ -151,6 +160,8 @@ class Bus:
             self.op_counts[op.kind] = self.op_counts.get(op.kind, 0) + 1
             if self.observer is not None:
                 self.observer(op, time, hold)
+            if audit is not None:
+                audit.on_grant_post(op, time, hold, idx)
             if done is None:
                 self.engine.at(time + hold, self._release)
             else:

@@ -90,6 +90,8 @@ class Cache:
         # processor index this cache registers under
         self._dir: dict[int, list[int]] | None = None
         self._proc = -1
+        #: optional runtime invariant auditor (see repro.audit)
+        self.audit = None
 
     # -- directory ------------------------------------------------------------
     def attach_directory(self, directory: dict[int, list[int]], proc: int) -> None:
@@ -180,6 +182,8 @@ class Cache:
         if line in self.state:  # refill racing a snoop: just overwrite state
             self.state[line] = state
             self._touch(line)
+            if self.audit is not None:
+                self.audit.on_install(self._proc, line, state)
             return None
         set_idx = line & self._set_mask
         base = set_idx * self.assoc
@@ -202,6 +206,8 @@ class Cache:
         ways[base] = line
         self.state[line] = state
         self._dir_add(line)
+        if self.audit is not None:
+            self.audit.on_install(self._proc, line, state)
         return victim
 
     # -- snoop side -------------------------------------------------------------

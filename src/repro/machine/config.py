@@ -126,6 +126,10 @@ class MachineConfig:
     #: write-invalidate MESI) or "update" (Firefly-style write-update;
     #: extension -- see repro.machine.coherence)
     coherence: str = "illinois"
+    #: attach a raise-mode runtime invariant auditor to the run (the
+    #: "simulator sanitizer", see repro.audit; CLI --audit).  Auditing is
+    #: observation-only: results are byte-identical with it on or off.
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -173,6 +177,7 @@ class MachineConfig:
             "batch_records": self.batch_records,
             "fast_path": self.fast_path,
             "coherence": self.coherence,
+            "audit": self.audit,
         }
 
     @classmethod
@@ -187,4 +192,6 @@ class MachineConfig:
             # absent in descriptions serialized before the fast path existed
             fast_path=d.get("fast_path", True),
             coherence=d["coherence"],
+            # absent in descriptions serialized before the auditor existed
+            audit=d.get("audit", False),
         )

@@ -684,7 +684,10 @@ class Processor:
         t0 = self.time
 
         def resumed(t: int) -> None:
-            self.metrics.stall_buffer += t - t0
+            # The local clock may be ahead of the engine when the slot
+            # frees; the processor only stalled for the cycles past t0.
+            if t > t0:
+                self.metrics.stall_buffer += t - t0
             self.time = max(self.time, t)
             self.system.engine.at(self.time, self._run)
 
@@ -752,13 +755,18 @@ class Processor:
             self.pending_upgrades.discard(op.line)
 
         if self.state == _WAIT_MISS and self._wait_op is op:
-            self.metrics.stall_miss += t - self._stall_start
+            # The waited-on op may have been issued before the stall began
+            # (a pending write the processor later blocked on), so it can
+            # complete before the run-ahead local clock: no stall at all.
+            if t > self._stall_start:
+                self.metrics.stall_miss += t - self._stall_start
             self._wait_op = None
             self.time = max(self.time, t)
             self.state = _RUNNING
             self.system.engine.at(self.time, self._run)
         elif self.state == _WAIT_DRAIN and self.outstanding == 0:
-            self.metrics.stall_drain += t - self._stall_start
+            if t > self._stall_start:
+                self.metrics.stall_drain += t - self._stall_start
             self._draining = False
             self.time = max(self.time, t)
             kind, ident, lock_addr = self._post_drain

@@ -69,6 +69,8 @@ class System:
         self.config = config
         self.model = model
         self.engine = (engine_factory or Engine)()
+        #: optional runtime invariant auditor (see repro.audit)
+        self.audit = None
         self.locks = lock_manager
         self.locks.attach(self)
         self.barriers = barrier_manager
@@ -139,6 +141,10 @@ class System:
             DATA_RETURN: self._exec_data_return,
         }
 
+        from ..audit import maybe_attach
+
+        maybe_attach(self, force=config.audit)
+
     # ------------------------------------------------------------------
     # Processor-facing services
     # ------------------------------------------------------------------
@@ -187,9 +193,13 @@ class System:
         self.engine.at(max(time, self.engine.now), fn)
 
     def lock_acquire(self, proc, lock_id, line, time, resume_cb) -> None:
+        if self.audit is not None:
+            resume_cb = self.audit.wrap_acquire(proc, lock_id, line, time, resume_cb)
         self.locks.acquire(proc, lock_id, line, time, resume_cb)
 
     def lock_release(self, proc, lock_id, line, time, resume_cb) -> None:
+        if self.audit is not None:
+            self.audit.on_lock_release(proc, lock_id, line, time)
         self.locks.release(proc, lock_id, line, time, resume_cb)
 
     def barrier_arrive(self, proc, barrier_id, time, resume_cb) -> None:
@@ -470,7 +480,10 @@ class System:
                 f"simulation deadlocked: processors {stuck} never finished "
                 f"(states: {[self.procs[p].state for p in stuck]})"
             )
-        return self._collect()
+        result = self._collect()
+        if self.audit is not None:
+            self.audit.finalize(result)
+        return result
 
     def _collect(self) -> RunResult:
         run_time = max(p.metrics.completion_time for p in self.procs)

@@ -94,10 +94,16 @@ class LockManager:
     #: short identifier used by the registry/CLI ("queuing", "ttas", ...)
     name = "abstract"
 
+    #: True for schemes that serve contended waiters in strict request
+    #: order (the auditor checks FIFO hand-off against a shadow queue)
+    fifo = False
+
     def __init__(self) -> None:
         self.locks: dict[int, LockState] = {}
         self.stats = LockStatsCollector()
         self.machine: LockPortAPI | None = None
+        #: optional runtime invariant auditor (see repro.audit)
+        self.audit = None
 
     def attach(self, machine: LockPortAPI) -> None:
         self.machine = machine

@@ -34,6 +34,7 @@ __all__ = ["ExactQueuingLockManager"]
 
 class ExactQueuingLockManager(LockManager):
     name = "exact-queuing"
+    fifo = True
 
     def acquire(self, proc, lock_id, line, time, grant_cb: Callable[[int], None]) -> None:
         st = self.state_of(lock_id, line)
@@ -48,6 +49,8 @@ class ExactQueuingLockManager(LockManager):
                 grant_cb(t, False)
             else:
                 st.queue.append((proc, grant_cb, t_req))
+                if self.audit is not None:
+                    self.audit.on_lock_enqueue(lock_id, proc, t)
 
         def exchange_done(t: int) -> None:
             # Second access: first read of the private spin location.

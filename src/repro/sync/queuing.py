@@ -32,6 +32,7 @@ __all__ = ["QueuingLockManager"]
 
 class QueuingLockManager(LockManager):
     name = "queuing"
+    fifo = True
 
     #: bus-op kind used for the enqueue/acquire memory access
     _ACQ_KIND = LOCK_MEM
@@ -49,6 +50,8 @@ class QueuingLockManager(LockManager):
                 grant_cb(t, False)
             else:
                 st.queue.append((proc, grant_cb, t_req))
+                if self.audit is not None:
+                    self.audit.on_lock_enqueue(lock_id, proc, t)
 
         self.machine.issue_lock_op(proc, self._ACQ_KIND, line, access_done)
 

@@ -110,6 +110,10 @@ class CellReport:
     fp_records: int = 0
     fp_refs: int = 0
     total_refs: int = 0
+    #: invariant violations found by the runtime auditor (audited cells
+    #: only; see repro.audit) and the number of checks it evaluated
+    violations: int = 0
+    audit_checks: int = 0
 
     @property
     def label(self) -> str:
@@ -122,12 +126,15 @@ class CellReport:
 
     def summary(self) -> str:
         verdict = "ok" if self.equal else "MISMATCH"
-        return (
+        line = (
             f"{self.label:28s} {verdict:8s} "
             f"fp: {self.fp_windows:7d} windows, "
             f"{self.fp_records:8d} records, "
             f"{100.0 * self.coverage:5.1f}% of refs"
         )
+        if self.audit_checks:
+            line += f", audit: {self.violations}/{self.audit_checks} checks failed"
+        return line
 
 
 def _canonical(result) -> dict:
@@ -143,6 +150,7 @@ def run_cell(
     program: str = "",
     config: MachineConfig | None = None,
     engine_factory=None,
+    audit: bool = False,
 ) -> CellReport:
     """Run one traceset through both interpreter paths and compare.
 
@@ -150,13 +158,24 @@ def run_cell(
     this function overrides in both directions.  ``engine_factory`` is
     forwarded to :class:`System` (e.g. ``HeapEngine`` to also cross-check
     the event-queue implementation).
+
+    With ``audit=True`` a collect-mode runtime invariant auditor (see
+    :mod:`repro.audit`) rides along on the fast run only: the cell then
+    simultaneously proves the run invariant-clean and -- because the
+    unaudited reference run must still serialize identically -- that
+    auditing is observation-only.
     """
     from dataclasses import replace
 
     base = config or MachineConfig(n_procs=traceset.n_procs)
+    if base.audit:  # run_cell manages attachment itself
+        base = replace(base, audit=False)
+        audit = True
     canon = {}
     fp_stats = (0, 0, 0)
     total_refs = 0
+    violations = 0
+    audit_checks = 0
     for fast in (True, False):
         system = System(
             traceset,
@@ -165,9 +184,17 @@ def run_cell(
             get_model(consistency),
             engine_factory=engine_factory,
         )
+        if audit and fast and system.audit is None:
+            from ..audit import SystemAuditor
+
+            SystemAuditor.attach(system, mode="collect")
         result = system.run()
         canon[fast] = _canonical(result)
         if fast:
+            if system.audit is not None:
+                rep = system.audit.report
+                violations = len(rep.violations)
+                audit_checks = sum(rep.checks.values())
             fp_stats = (
                 sum(p.fp_windows for p in system.procs),
                 sum(p.fp_records for p in system.procs),
@@ -185,6 +212,8 @@ def run_cell(
         fp_records=fp_stats[1],
         fp_refs=fp_stats[2],
         total_refs=total_refs,
+        violations=violations,
+        audit_checks=audit_checks,
     )
 
 
@@ -195,6 +224,7 @@ def differential_check(
     scale: float = 1.0,
     seed: int = 1991,
     progress=None,
+    audit: bool = False,
 ) -> list[CellReport]:
     """Differentially verify every (program, lock, model) cell.
 
@@ -215,6 +245,7 @@ def differential_check(
                     lock_scheme=lock_scheme,
                     consistency=model,
                     program=program,
+                    audit=audit,
                 )
                 reports.append(report)
                 if progress is not None:

@@ -59,3 +59,17 @@ def tiny_machine(n_procs=2, **kwargs) -> MachineConfig:
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def audit_everything():
+    """Run every System built during the test under a raise-mode
+    invariant auditor (the simulator sanitizer, see repro.audit): any
+    coherence/bus/lock/accounting violation fails the test at the
+    offending cycle.  Suites that exercise whole simulations opt in with
+    a module-level autouse fixture."""
+    from repro import audit
+
+    audit.set_default("raise")
+    yield
+    audit.set_default(None)

@@ -31,6 +31,14 @@ from repro.workloads import generate_trace
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
+
+@pytest.fixture(autouse=True)
+def _audited(audit_everything):
+    """Golden runs double as audit runs: the auditor is observation-only
+    (pinned by test_audit_grid), so the fixtures still match while every
+    cell is also checked for invariant violations."""
+    yield
+
 #: the pinned grid: every program once, both schemes and models covered
 GOLDEN_CELLS = [
     ("grav", "queuing", "sc"),

@@ -11,6 +11,14 @@ from repro.sync import QueuingLockManager
 from tests.conftest import make_traceset, tiny_machine
 
 
+@pytest.fixture(autouse=True)
+def _audited(audit_everything):
+    """Every simulation in this module runs under the invariant auditor
+    (repro.audit): protocol bugs fail at the violating cycle instead of
+    as downstream metric drift."""
+    yield
+
+
 class OpLog:
     """Wraps a System's bus service execute() to log grant order."""
 
