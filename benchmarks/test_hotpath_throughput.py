@@ -1,26 +1,39 @@
 """Hot-path throughput benchmark and perf-smoke gate.
 
-Not a paper artifact: this watches the private-window fast path (see
-docs/performance.md).  Two synthetic single-processor "hot loop" traces
--- all-private, bus-free after the cold pass, so nearly every record is
-fast-path eligible -- are simulated with ``fast_path`` on and off, and
-each suite program's (queuing, SC) cell is timed with the fast path on.
-Throughput is reported as trace references per second and engine events
-per second, and the full report is written to
-``benchmarks/output/BENCH_hotpath.json``.
+Not a paper artifact: this watches the two differentially-verified fast
+paths (see docs/performance.md).  Two synthetic single-processor "hot
+loop" traces -- all-private, bus-free after the cold pass, so nearly
+every record is fast-path eligible -- are simulated with ``fast_path``
+on and off; each suite program's (queuing, SC) cell is timed with both
+fast paths on; and the two most bus-bound suite cells (qsort, pdsa) are
+additionally timed with ``bus_fast_path`` on and off (the *contended
+path* cells).  Throughput is reported as trace references per second and
+engine events per second.
 
 Measurement protocol: the fast/reference runs of each trace are timed
 *adjacently* (same process, alternating) with ``time.process_time`` and
 best-of-N is kept per mode, because wall-clock drift between separated
-runs on a shared machine easily exceeds the effect being measured.
+runs on a shared machine easily exceeds the effect being measured.  For
+the bus cells the reference mode restores the committed-baseline
+implementation of the whole contended-path bundle (arbiter, event
+chaining, engine dispatch, LRU touch, issue path), so the paired ratio
+*is* the end-to-end speedup of the bundle vs the committed baseline,
+measured under identical machine conditions.
+
+The committed ``BENCH_hotpath.json`` at the repository root is the ONE
+canonical baseline; the run's report is written to the scratch file
+``benchmarks/output/BENCH_hotpath.json`` (not tracked), and the enforce
+mode fails if the scratch report's structure has drifted from the
+committed baseline (a reminder to re-sync it).
 
 Perf smoke: when ``REPRO_PERF_ENFORCE`` is set (the CI perf-smoke job
 does this), the measured fast-path refs/sec for both hot-loop traces is
-compared against the committed baseline ``BENCH_hotpath.json`` at the
-repository root and the test fails on a regression of more than 25%,
-and also fails if the fast path is more than 25% *slower* than the
-reference path on its own home turf.  Regenerate the root baseline on a
-quiet machine with::
+compared against the committed baseline at the repository root and the
+test fails on a regression of more than 25%; it also fails if either
+fast path is more than 25% *slower* than its reference mode on its own
+home turf, or if the bus cells' paired speedup regresses more than 25%
+below the baseline's recorded speedup.  Regenerate the root baseline on
+a quiet machine with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_hotpath_throughput.py -q
     cp benchmarks/output/BENCH_hotpath.json BENCH_hotpath.json
@@ -54,6 +67,10 @@ REPS = int(os.environ.get("REPRO_PERF_REPS", "5"))
 ENFORCE = bool(os.environ.get("REPRO_PERF_ENFORCE"))
 #: allowed refs/sec regression vs the committed baseline
 TOLERANCE = 0.25
+
+#: the two most bus-bound suite cells: the contended-path (bus fast
+#: path) cells time exactly these
+BUS_CELLS = ("qsort", "pdsa")
 
 HOTLOOP_RECORDS = 400_000
 HOTLOOP_LINES = 512
@@ -168,6 +185,59 @@ def _measure_audit_cell(program: str):
     }
 
 
+def _measure_bus_cell(program: str, baseline: dict | None):
+    """One bus-bound suite cell timed with the contended-path fast path
+    (``MachineConfig.bus_fast_path``) on and off, paired-adjacent.
+
+    Off restores the committed-baseline implementation of the whole
+    contended-path bundle, so ``speedup_paired`` is the end-to-end
+    speedup of the bundle vs the committed baseline under identical
+    machine conditions.  ``speedup_vs_baseline`` additionally compares
+    against the frozen pre-bundle wall time recorded in the committed
+    baseline (carried forward unchanged across regenerations); it spans
+    machine windows, so it is reported but enforced only through the
+    paired number."""
+    ts = generate_trace(program, scale=1.0, seed=1991)
+
+    def run(fast_bus: bool) -> float:
+        cfg = MachineConfig(n_procs=ts.n_procs, bus_fast_path=fast_bus)
+        system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+        gc.collect()
+        t0 = time.process_time()
+        system.run()
+        return time.process_time() - t0
+
+    run(True)  # warm
+    run(False)
+    best = {True: 9e9, False: 9e9}
+    for _ in range(REPS):
+        for fast_bus in (True, False):
+            best[fast_bus] = min(best[fast_bus], run(fast_bus))
+
+    # the frozen pre-bundle time: carried forward from the committed
+    # baseline's bus cell if it has one, else seeded from the committed
+    # suite cell seconds (the pre-bundle measurement of this program)
+    frozen = None
+    if baseline is not None:
+        try:
+            frozen = baseline["bus"][program]["baseline_seconds"]
+        except KeyError:
+            try:
+                frozen = baseline["suite"][program]["seconds"]
+            except KeyError:
+                pass
+    cell = {
+        "program": program,
+        "seconds_fast": round(best[True], 4),
+        "seconds_reference": round(best[False], 4),
+        "speedup_paired": round(best[False] / best[True], 3),
+    }
+    if frozen is not None:
+        cell["baseline_seconds"] = frozen
+        cell["speedup_vs_baseline"] = round(frozen / best[True], 3)
+    return cell
+
+
 def _measure_suite_cell(program: str):
     ts = generate_trace(program, scale=1.0, seed=1991)
     _timed_run(ts, True)  # warm
@@ -186,18 +256,25 @@ def _measure_suite_cell(program: str):
 
 
 def test_hotpath_throughput():
+    baseline = None
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH) as fh:
+            baseline = json.load(fh)
+
     report = {
         "protocol": (
             f"process_time, adjacent fast/reference runs, best of {REPS}; "
             "hot loops are 400k-record private working sets (single-line "
             "word accesses / mixed with 8-16 word iblocks); suite cells "
-            "are (queuing, SC) at scale 1.0 with the fast path on; the "
-            "audit cell times the same run with the invariant auditor "
-            "attached (raise mode), best of 3"
+            "are (queuing, SC) at scale 1.0 with the fast path on; bus "
+            "cells time the same (queuing, SC) cell with bus_fast_path "
+            "on/off paired-adjacent; the audit cell times the same run "
+            "with the invariant auditor attached (raise mode), best of 3"
         ),
         "hotloop_single": _measure_pair(_single_line),
         "hotloop_mixed": _measure_pair(_mixed),
         "suite": {p: _measure_suite_cell(p) for p in BENCHMARK_ORDER},
+        "bus": {p: _measure_bus_cell(p, baseline) for p in BUS_CELLS},
         "audit": _measure_audit_cell("pverify"),
     }
 
@@ -214,22 +291,26 @@ def test_hotpath_throughput():
     if not ENFORCE:
         return
 
-    # perf smoke (CI): the fast path must still pay for itself at home...
+    # perf smoke (CI): the fast paths must still pay for themselves at home...
     problems = []
     for key in ("hotloop_single", "hotloop_mixed"):
         if report[key]["speedup"] < 1 - TOLERANCE:
             problems.append(
                 f"{key}: fast path {report[key]['speedup']}x vs reference"
             )
+    for prog, cell in report["bus"].items():
+        if cell["speedup_paired"] < 1 - TOLERANCE:
+            problems.append(
+                f"bus/{prog}: contended fast path {cell['speedup_paired']}x "
+                "vs its reference mode"
+            )
     # ...the auditor must stay within its advertised overhead budget...
     if report["audit"]["overhead"] > 2.0:
         problems.append(
             f"audit: {report['audit']['overhead']}x overhead exceeds the 2x budget"
         )
-    # ...and absolute throughput must not regress vs the committed baseline
-    if BASELINE_PATH.exists():
-        with open(BASELINE_PATH) as fh:
-            baseline = json.load(fh)
+    # ...and nothing may regress vs the committed baseline
+    if baseline is not None:
         for key in ("hotloop_single", "hotloop_mixed"):
             base = baseline[key]["fast"]["refs_per_sec"]
             got = report[key]["fast"]["refs_per_sec"]
@@ -238,6 +319,41 @@ def test_hotpath_throughput():
                     f"{key}: {got} refs/sec is >{TOLERANCE:.0%} below the "
                     f"committed baseline {base}"
                 )
+        for prog, cell in report["bus"].items():
+            base_cell = baseline.get("bus", {}).get(prog)
+            if base_cell is not None:
+                base = base_cell["speedup_paired"]
+                if cell["speedup_paired"] < base * (1 - TOLERANCE):
+                    problems.append(
+                        f"bus/{prog}: paired speedup {cell['speedup_paired']}x "
+                        f"is >{TOLERANCE:.0%} below the committed baseline "
+                        f"{base}x"
+                    )
+        # canonical-baseline sync check: the committed file must carry the
+        # same sections/cells this benchmark produces (one canonical file;
+        # benchmarks/output/ is scratch)
+        missing = sorted(set(report) - set(baseline))
+        stale = sorted(set(baseline) - set(report))
+        for section in ("suite", "bus"):
+            missing += [
+                f"{section}.{k}"
+                for k in sorted(
+                    set(report[section]) - set(baseline.get(section, {}))
+                )
+            ]
+            stale += [
+                f"{section}.{k}"
+                for k in sorted(
+                    set(baseline.get(section, {})) - set(report[section])
+                )
+            ]
+        if missing or stale:
+            problems.append(
+                "committed baseline BENCH_hotpath.json is out of sync with "
+                f"this benchmark (missing: {missing or 'none'}, stale: "
+                f"{stale or 'none'}); regenerate it on a quiet machine and "
+                "copy benchmarks/output/BENCH_hotpath.json over the root file"
+            )
     else:
         problems.append(f"committed baseline {BASELINE_PATH} is missing")
     if problems:

@@ -85,7 +85,9 @@ def _double_grant(system) -> None:
     real_kick = bus.kick
 
     def eager(time, _real=real_kick):
-        if bus.busy and bus._waiting:
+        # membership lives in _waiting (reference arbiter) or the
+        # _ready bitmask (fast arbiter); either means pending work
+        if bus.busy and (bus._waiting or bus._ready):
             bus._grant(time)  # corrupt: ignore the busy flag
         _real(time)
 

@@ -48,6 +48,16 @@ def _add_config_options(sp: argparse.ArgumentParser) -> None:
         ),
     )
     sp.add_argument(
+        "--no-bus-fast-path",
+        action="store_true",
+        help=(
+            "arbitrate and complete bus transactions through the reference "
+            "event cascade instead of the fused contended-path fast path "
+            "(identical results, slower; see 'diff-verify' and "
+            "docs/performance.md)"
+        ),
+    )
+    sp.add_argument(
         "--audit",
         action="store_true",
         help=(
@@ -97,6 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--procs", type=int, default=None)
     r.add_argument(
         "--per-proc", action="store_true", help="also print the per-processor detail"
+    )
+    r.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help=(
+            "run the simulation under cProfile and print the top N "
+            "functions by total self-time (default N: 15) after the "
+            "normal summary"
+        ),
     )
 
     su = sub.add_parser("suite", help="run the full grid and print Tables 3-8")
@@ -207,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
             "cell and require zero violations"
         ),
     )
+    dv.add_argument(
+        "--vary",
+        default="all",
+        choices=["all", "fast-path", "bus-fast-path"],
+        help=(
+            "which fast path(s) to toggle between the two runs of each "
+            "cell: 'all' (default) flips both the interpreter and the "
+            "bus fast path together; the others isolate one knob with "
+            "the other left at its default (on)"
+        ),
+    )
     return p
 
 
@@ -234,16 +268,26 @@ def main(argv: list[str] | None = None) -> int:
         ts = generate_trace(
             args.workload, scale=args.scale, seed=args.seed, n_procs=args.procs
         )
-        result = _simulate(
-            ts,
-            config=_machine_config(args, ts),
-            lock_manager=get_lock_manager(args.locks),
-            model=get_model(args.model),
-        )
+
+        def _do_run():
+            return _simulate(
+                ts,
+                config=_machine_config(args, ts),
+                lock_manager=get_lock_manager(args.locks),
+                model=get_model(args.model),
+            )
+
+        if args.profile is not None:
+            result, stats_text = _profiled(_do_run, top=args.profile)
+        else:
+            result, stats_text = _do_run(), None
         print(result.summary())
         if args.per_proc:
             print()
             print(core.render_per_proc(result))
+        if stats_text is not None:
+            print()
+            print(stats_text, end="")
     elif args.cmd == "suite":
         from .runner import ResultCache
 
@@ -343,6 +387,21 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _profiled(fn, top: int = 15):
+    """Run ``fn()`` under :mod:`cProfile`; return ``(fn's result, a
+    tottime-sorted top-``top`` stats table as text)``."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("tottime").print_stats(top)
+    return result, buf.getvalue()
+
+
 def _run_diff_verify(args) -> int:
     """``repro diff-verify``: fast path vs reference, field for field."""
     from .testing import differential_check
@@ -352,6 +411,11 @@ def _run_diff_verify(args) -> int:
         programs = tuple(BENCHMARK_ORDER)
     else:
         programs = tuple(p.strip() for p in args.programs.split(",") if p.strip())
+    vary = {
+        "all": ("fast_path", "bus_fast_path"),
+        "fast-path": ("fast_path",),
+        "bus-fast-path": ("bus_fast_path",),
+    }[args.vary]
     reports = differential_check(
         programs=programs,
         lock_schemes=tuple(s.strip() for s in args.locks.split(",") if s.strip()),
@@ -360,6 +424,7 @@ def _run_diff_verify(args) -> int:
         seed=args.seed,
         progress=lambda r: print(r.summary(), flush=True),
         audit=args.audit,
+        vary=vary,
     )
     bad = [r for r in reports if not r.equal or r.violations]
     for r in bad:
@@ -381,11 +446,17 @@ def _machine_config(args, ts):
     """The machine configuration implied by shared CLI flags (None means
     the paper defaults, letting ``simulate`` choose)."""
     no_fast = getattr(args, "no_fast_path", False)
+    no_bus_fast = getattr(args, "no_bus_fast_path", False)
     audit = getattr(args, "audit", False)
-    if no_fast or audit:
+    if no_fast or no_bus_fast or audit:
         from .machine.config import MachineConfig
 
-        return MachineConfig(n_procs=ts.n_procs, fast_path=not no_fast, audit=audit)
+        return MachineConfig(
+            n_procs=ts.n_procs,
+            fast_path=not no_fast,
+            bus_fast_path=not no_bus_fast,
+            audit=audit,
+        )
     return None
 
 

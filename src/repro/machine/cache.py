@@ -75,11 +75,16 @@ class CacheCounters:
 class Cache:
     """One processor's cache: state lookup, LRU, install/evict, snoops."""
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, fast_path: bool = True) -> None:
         self.config = config
         self.n_sets = config.n_sets
         self.assoc = config.assoc
         self._set_mask = self.n_sets - 1
+        # contended-path fast path (MachineConfig.bus_fast_path): with the
+        # paper's two-way geometry an LRU touch of a resident non-MRU line
+        # is a single swap.  Gated so the reference configuration executes
+        # the general rotate loop exactly as the committed baseline does.
+        self._assoc2 = self.assoc == 2 and fast_path
         # line number -> MESI state (INVALID lines are simply absent)
         self.state: dict[int, int] = {}
         # flat way array: set s at [s*assoc, (s+1)*assoc), MRU first
@@ -135,6 +140,11 @@ class Cache:
         ways = self._ways
         base = (line & self._set_mask) * self.assoc
         if ways[base] != line:
+            if self._assoc2:
+                # resident + not MRU: it is the other way
+                ways[base + 1] = ways[base]
+                ways[base] = line
+                return
             i = base + 1
             while ways[i] != line:
                 i += 1
@@ -152,6 +162,11 @@ class Cache:
             ways = self._ways
             base = (line & self._set_mask) * self.assoc
             if ways[base] != line:
+                if self._assoc2:
+                    # resident + not MRU: it is the other way
+                    ways[base + 1] = ways[base]
+                    ways[base] = line
+                    return st
                 i = base + 1
                 while ways[i] != line:
                     i += 1

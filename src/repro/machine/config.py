@@ -113,6 +113,17 @@ class MachineConfig:
         :mod:`repro.testing.differential` and the golden fixtures), so
         this is purely an escape hatch for debugging and for measuring
         the fast path itself.
+    bus_fast_path:
+        Enable the contended-path fast path through the bus/miss/lock
+        machinery: O(1) bitmask round-robin arbitration, fused
+        grant->fire->release dispatch, and preallocated (closure-free)
+        completion trampolines in the bus service and memory module.
+        Like ``fast_path`` this is **metric-neutral by construction** --
+        the reference arbiter and closure-based completion chain are
+        kept verbatim as the ``False`` path and the differential
+        harness proves both byte-identical on every suite cell -- so the
+        flag is purely an escape hatch for debugging and for measuring
+        the contended fast path itself (see docs/performance.md).
     """
 
     n_procs: int = 12
@@ -122,6 +133,7 @@ class MachineConfig:
     cachebus_buffer_depth: int = 4
     batch_records: int = 32
     fast_path: bool = True
+    bus_fast_path: bool = True
     #: snooping coherence protocol: "illinois" (the paper's
     #: write-invalidate MESI) or "update" (Firefly-style write-update;
     #: extension -- see repro.machine.coherence)
@@ -176,6 +188,7 @@ class MachineConfig:
             "cachebus_buffer_depth": self.cachebus_buffer_depth,
             "batch_records": self.batch_records,
             "fast_path": self.fast_path,
+            "bus_fast_path": self.bus_fast_path,
             "coherence": self.coherence,
             "audit": self.audit,
         }
@@ -189,8 +202,9 @@ class MachineConfig:
             memory=MemoryConfig(**d["memory"]),
             cachebus_buffer_depth=d["cachebus_buffer_depth"],
             batch_records=d["batch_records"],
-            # absent in descriptions serialized before the fast path existed
+            # absent in descriptions serialized before the fast paths existed
             fast_path=d.get("fast_path", True),
+            bus_fast_path=d.get("bus_fast_path", True),
             coherence=d["coherence"],
             # absent in descriptions serialized before the auditor existed
             audit=d.get("audit", False),

@@ -26,7 +26,9 @@ class Memory:
     """The memory module: reserved-slot input queue, serial service,
     bounded output queue."""
 
-    def __init__(self, engine: Engine, config: MemoryConfig) -> None:
+    def __init__(
+        self, engine: Engine, config: MemoryConfig, fast_path: bool = True
+    ) -> None:
         self.engine = engine
         self.config = config
         self._in: deque[BusOp] = deque()
@@ -35,6 +37,13 @@ class Memory:
         self._busy = False
         self.port = MemoryPort(self)
         self._bus_kick = None  # set by the system: callable(time)
+        # fast path (MachineConfig.bus_fast_path): the module services one
+        # request at a time, so the request in service rides a single slot
+        # and its completion is one preallocated bound method instead of a
+        # fresh closure per service
+        self._fast = fast_path
+        self._servicing: BusOp | None = None
+        self._done_cb = self._slot_done
         # statistics
         self.reads_serviced = 0
         self.writes_serviced = 0
@@ -73,11 +82,23 @@ class Memory:
         op = self._in.popleft()
         self._busy = True
         self.busy_cycles += self.config.access_cycles
-        self.engine.at(time + self.config.access_cycles, lambda t, op=op: self._done(op, t))
+        if self._fast:
+            self._servicing = op
+            self.engine.at(time + self.config.access_cycles, self._done_cb)
+        else:
+            self.engine.at(
+                time + self.config.access_cycles, lambda t, op=op: self._done(op, t)
+            )
         # Input-queue space just freed: a memory-bound bus op may now be
         # issuable, so re-arbitrate.
         if self._bus_kick is not None:
             self._bus_kick(time)
+
+    def _slot_done(self, time: int) -> None:
+        # read the slot before _maybe_start can refill it
+        op = self._servicing
+        self._servicing = None
+        self._done(op, time)
 
     def _done(self, op: BusOp, time: int) -> None:
         self._busy = False

@@ -29,6 +29,8 @@ drains at synchronization points, and to a full cache--bus buffer.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
+
 from ..consistency.base import ConsistencyModel
 from ..trace.records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE, Trace
 from .buffers import (
@@ -41,6 +43,7 @@ from .buffers import (
     BusOp,
 )
 from .cache import EXCLUSIVE, MODIFIED, SHARED, Cache
+from .engine import Engine
 from .metrics import ProcMetrics
 
 __all__ = ["Processor"]
@@ -115,6 +118,7 @@ class Processor:
         model: ConsistencyModel,
         batch_records: int,
         fast_path: bool = True,
+        bus_fast_path: bool = True,
     ) -> None:
         self.proc = proc
         self.cache = cache
@@ -168,6 +172,7 @@ class Processor:
             cache._ways,
             cache._set_mask,
             cache.assoc,
+            bus_fast_path,
         )
         #: fast-path introspection (NOT part of RunResult: the fast and
         #: reference paths must produce byte-identical results)
@@ -177,6 +182,16 @@ class Processor:
         #: adaptive gate: record index at which window attempts resume
         self.fp_resume_at = 0
         self._fp_log: list | None = None  # tests: (start, end) record spans
+
+        #: preallocated resume callback: the interpreter re-enters through
+        #: the engine tens of thousands of times per run, and scheduling a
+        #: cached bound method avoids allocating a fresh one each time
+        self._run_cb = self._run
+        # inline engine scheduling on the completion-resume path (bucket
+        # append without the ``at`` call) is only exact against the
+        # production Engine's internals
+        self._sched_inline = bus_fast_path and type(system.engine) is Engine
+        self._engine = system.engine
 
         self.time = 0
         self.idx = 0
@@ -200,7 +215,7 @@ class Processor:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        self.system.engine.at(0, self._run)
+        self.system.engine.at(0, self._run_cb)
 
     def _finish(self, t: int) -> None:
         self.state = _DONE
@@ -234,6 +249,7 @@ class Processor:
             ways,
             set_mask,
             assoc,
+            ilk,  # contended-path fast path: inline the cache lookup
         ) = self._hot
         budget = self.batch
         self.state = _RUNNING
@@ -243,7 +259,7 @@ class Processor:
 
         while True:
             if budget <= 0:
-                self.system.engine.at(self.time, self._run)
+                self.system.engine.at(self.time, self._run_cb)
                 return
             budget -= 1
             i = self.idx
@@ -398,7 +414,28 @@ class Processor:
                     room = wpl - word
                     if chunk > room:
                         chunk = room
-                    if cache.lookup(line):
+                    # inlined cache.lookup: probe + MRU refresh (the
+                    # method call itself is measurable at this rate).
+                    # ``st`` is None on a miss, which tests like INVALID.
+                    if ilk:
+                        st = sget(line)
+                        if st is not None:
+                            base_w = (line & set_mask) * assoc
+                            if ways[base_w] != line:
+                                if assoc == 2:
+                                    ways[base_w + 1] = ways[base_w]
+                                    ways[base_w] = line
+                                else:
+                                    w = base_w + 1
+                                    while ways[w] != line:
+                                        w += 1
+                                    while w > base_w:
+                                        ways[w] = ways[w - 1]
+                                        w -= 1
+                                    ways[base_w] = line
+                    else:
+                        st = cache.lookup(line)
+                    if st:
                         ctr.ifetch_hits += chunk
                         pos += chunk
                     else:
@@ -431,7 +468,26 @@ class Processor:
                     room = wpl - word
                     if chunk > room:
                         chunk = room
-                    if cache.lookup(line):
+                    # inlined cache.lookup (see the IBLOCK handler)
+                    if ilk:
+                        st = sget(line)
+                        if st is not None:
+                            base_w = (line & set_mask) * assoc
+                            if ways[base_w] != line:
+                                if assoc == 2:
+                                    ways[base_w + 1] = ways[base_w]
+                                    ways[base_w] = line
+                                else:
+                                    w = base_w + 1
+                                    while ways[w] != line:
+                                        w += 1
+                                    while w > base_w:
+                                        ways[w] = ways[w - 1]
+                                        w -= 1
+                                    ways[base_w] = line
+                    else:
+                        st = cache.lookup(line)
+                    if st:
                         ctr.read_hits += chunk
                         pos += chunk
                         met.refs_processed += chunk
@@ -483,7 +539,26 @@ class Processor:
                         # a word-burst to memory; the cached copy (if any)
                         # is updated in place and other copies invalidate
                         # on the bus write's address phase.
-                        st = cache.lookup(line)
+                        # inlined cache.lookup; st is None on a miss,
+                        # which tests and compares exactly like INVALID
+                        if ilk:
+                            st = sget(line)
+                            if st is not None:
+                                base_w = (line & set_mask) * assoc
+                                if ways[base_w] != line:
+                                    if assoc == 2:
+                                        ways[base_w + 1] = ways[base_w]
+                                        ways[base_w] = line
+                                    else:
+                                        w = base_w + 1
+                                        while ways[w] != line:
+                                            w += 1
+                                        while w > base_w:
+                                            ways[w] = ways[w - 1]
+                                            w -= 1
+                                        ways[base_w] = line
+                        else:
+                            st = cache.lookup(line)
                         if st:
                             ctr.write_hits += chunk
                         else:
@@ -513,7 +588,26 @@ class Processor:
                         self.system.issue_from_proc(wt, self.time, front=False)
                         pos += chunk
                         continue
-                    st = cache.lookup(line)
+                    # inlined cache.lookup; st is None on a miss, which
+                    # compares unequal to every MESI state like INVALID
+                    if ilk:
+                        st = sget(line)
+                        if st is not None:
+                            base_w = (line & set_mask) * assoc
+                            if ways[base_w] != line:
+                                if assoc == 2:
+                                    ways[base_w + 1] = ways[base_w]
+                                    ways[base_w] = line
+                                else:
+                                    w = base_w + 1
+                                    while ways[w] != line:
+                                        w += 1
+                                    while w > base_w:
+                                        ways[w] = ways[w - 1]
+                                        w -= 1
+                                    ways[base_w] = line
+                    else:
+                        st = cache.lookup(line)
                     if st == MODIFIED:
                         ctr.write_hits += chunk
                         pos += chunk
@@ -689,7 +783,7 @@ class Processor:
             if t > t0:
                 self.metrics.stall_buffer += t - t0
             self.time = max(self.time, t)
-            self.system.engine.at(self.time, self._run)
+            self.system.engine.at(self.time, self._run_cb)
 
         buf.wait_for_space(resumed)
 
@@ -734,7 +828,7 @@ class Processor:
                 self.metrics.stall_miss += t - self._stall_start
             self.time = max(self.time, t)
             self.state = _RUNNING
-            self.system.engine.at(self.time, self._run)
+            self.system.engine.at(self.time, self._run_cb)
 
         if kind == LOCK:
             self.system.lock_acquire(self.proc, ident, line, self.time, resumed)
@@ -763,7 +857,20 @@ class Processor:
             self._wait_op = None
             self.time = max(self.time, t)
             self.state = _RUNNING
-            self.system.engine.at(self.time, self._run)
+            t2 = self.time
+            eng = self._engine
+            if self._sched_inline and type(t2) is int:
+                # inlined Engine.at: t2 = max(local, t) >= t = now
+                buckets = eng._buckets
+                b = buckets.get(t2)
+                if b is None:
+                    buckets[t2] = [self._run_cb]
+                    _heappush(eng._times, t2)
+                else:
+                    b.append(self._run_cb)
+                eng._pending += 1
+            else:
+                eng.at(t2, self._run_cb)
         elif self.state == _WAIT_DRAIN and self.outstanding == 0:
             if t > self._stall_start:
                 self.metrics.stall_drain += t - self._stall_start

@@ -18,6 +18,8 @@ to the processors and lock managers.  Timing follows §2.2:
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable
 
 from ..consistency.base import ConsistencyModel
@@ -69,6 +71,11 @@ class System:
         self.config = config
         self.model = model
         self.engine = (engine_factory or Engine)()
+        # the engine's bucket-iteration shortcut rides the same escape
+        # hatch as the rest of the contended-path bundle (HeapEngine has
+        # no such knob: it dispatches one event per heap entry either way)
+        if hasattr(self.engine, "fast_dispatch"):
+            self.engine.fast_dispatch = config.bus_fast_path
         #: optional runtime invariant auditor (see repro.audit)
         self.audit = None
         self.locks = lock_manager
@@ -81,12 +88,16 @@ class System:
         from .coherence import get_protocol
 
         self.protocol = get_protocol(config.coherence)
-        self.memory = Memory(self.engine, config.memory)
-        self.bus = Bus(self.engine, self)
+        self.memory = Memory(
+            self.engine, config.memory, fast_path=config.bus_fast_path
+        )
+        self.bus = Bus(self.engine, self, fast_path=config.bus_fast_path)
         self.memory._bus_kick = self.bus.kick
 
         n = config.n_procs
-        self.caches = [Cache(config.cache) for _ in range(n)]
+        self.caches = [
+            Cache(config.cache, fast_path=config.bus_fast_path) for _ in range(n)
+        ]
         #: machine-wide residency directory: line -> [procs caching it].
         #: Maintained exactly by the caches; lets the bus service snoop
         #: only actual holders and find c2c suppliers without scanning
@@ -94,8 +105,16 @@ class System:
         self.directory: dict[int, list[int]] = {}
         for p, cache in enumerate(self.caches):
             cache.attach_directory(self.directory, p)
+        # contended-path fast path: machine-wide count of live buffered
+        # write-backs (shared int cell maintained by the buffers).  When
+        # zero -- the overwhelmingly common case -- the supplier search
+        # and the RFO write-back sweep skip the all-buffers scan.
+        self._wb_total = [0] if config.bus_fast_path else None
         self.buffers = [
-            CacheBusBuffer(p, config.cachebus_buffer_depth) for p in range(n)
+            CacheBusBuffer(
+                p, config.cachebus_buffer_depth, wb_shared=self._wb_total
+            )
+            for p in range(n)
         ]
         for buf in self.buffers:
             self.bus.add_port(buf)
@@ -110,6 +129,7 @@ class System:
                 model,
                 config.batch_records,
                 fast_path=config.fast_path,
+                bus_fast_path=config.bus_fast_path,
             )
             for p in range(n)
         ]
@@ -141,6 +161,57 @@ class System:
             DATA_RETURN: self._exec_data_return,
         }
 
+        # Contended-path fast path (MachineConfig.bus_fast_path): fused
+        # uncontended timelines.  Holds are precomputed once; executors
+        # carry the granted op in a single slot (_done_op) and return one
+        # of four preallocated completion trampolines instead of a fresh
+        # closure per grant -- legal because the bus holds at most one
+        # transaction, so between execute() and its fire no other
+        # execute() can overwrite the slot.  The dispatch table is a flat
+        # list indexed by the (small-int) op kind.
+        self._hold_xfer = self._addr_cycles + self._line_data_cycles
+        self._hold_word = self._addr_cycles + 1
+        self._done_op: BusOp | None = None
+        self._cb_arrive = self._complete_arrive
+        self._cb_fill = self._complete_fill
+        self._cb_op = self._complete_op
+        self._cb_write = self._complete_write
+        self._cb_split = self._complete_split
+        if config.bus_fast_path:
+            table = [None] * len(self._exec_table)
+            for kind, handler in {
+                READ_MISS: self._fexec_read_miss,
+                RFO: self._fexec_rfo,
+                UPGRADE: self._fexec_upgrade,
+                WRITEBACK: self._fexec_writeback,
+                WRITETHROUGH: self._fexec_writethrough,
+                UPDATE: self._fexec_update,
+                LOCK_MEM: self._fexec_lock_mem,
+                LOCK_READ: self._fexec_lock_read,
+                LOCK_RFO: self._fexec_lock_rfo,
+                LOCK_INVAL: self._exec_lock_inval,
+                LOCK_XFER: self._exec_lock_xfer,
+                DATA_RETURN: self._fexec_data_return,
+            }.items():
+                table[kind] = handler
+            self._exec_list = table
+            # shadow the protocol method with the fast dispatcher
+            self.execute = self._execute_fast
+            # Per-processor issue queues + preallocated push trampolines
+            # replace the per-issue closure of the reference
+            # issue_from_proc.  Legal because one processor's scheduled
+            # issue times are non-decreasing (its local clock and the
+            # global clock both only advance, so max(local, now) is
+            # monotone): the trampoline events for a processor fire in
+            # exactly the order its entries were queued, so each pop
+            # yields the op the dropped closure would have captured.
+            self._issue_q = [deque() for _ in range(n)]
+            self._issue_cbs = [self._make_issue_cb(p) for p in range(n)]
+            self.issue_from_proc = self._issue_from_proc_fast
+        # inline engine scheduling (bucket append without the ``at`` call)
+        # is only exact against the production Engine's internals
+        self._sched_inline = config.bus_fast_path and type(self.engine) is Engine
+
         from ..audit import maybe_attach
 
         maybe_attach(self, force=config.audit)
@@ -162,6 +233,42 @@ class System:
             self.bus.kick(now)
 
         self.engine.at(t, push)
+
+    def _make_issue_cb(self, p: int):
+        """Preallocated push trampoline for processor ``p`` (fast path)."""
+        q = self._issue_q[p]
+        buf = self.buffers[p]
+
+        def push(now: int, _pop=q.popleft, _buf=buf) -> None:
+            op, front = _pop()
+            if front:
+                _buf.push_front(op)
+            else:
+                _buf.push(op)
+            self.bus.kick(now)
+
+        return push
+
+    def _issue_from_proc_fast(self, op: BusOp, at_time: int, front: bool) -> None:
+        """issue_from_proc without the per-issue closure: queue the entry
+        and schedule the processor's trampoline (see __init__)."""
+        eng = self.engine
+        now = eng.now
+        t = at_time if at_time > now else now
+        self._issue_q[op.proc].append((op, front))
+        cb = self._issue_cbs[op.proc]
+        if self._sched_inline and type(t) is int:
+            # inlined Engine.at: t >= now by construction
+            buckets = eng._buckets
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [cb]
+                _heappush(eng._times, t)
+            else:
+                b.append(cb)
+            eng._pending += 1
+        else:
+            eng.at(t, cb)
 
     def on_proc_done(self, proc: int, t: int) -> None:
         self._done_count += 1
@@ -225,12 +332,16 @@ class System:
                     best = p
             if best >= 0:
                 return ("cache", best, None)
-        for p, buf in enumerate(self.buffers):
-            if p == requester or not buf.wb_count:
-                continue
-            wb = buf.find(WRITEBACK, line)
-            if wb is not None:
-                return ("buffer", p, wb)
+        ws = self._wb_total
+        if ws is None or ws[0]:
+            # only scan the write-back buffers while any write-back is
+            # actually buffered machine-wide (fast path keeps the count)
+            for p, buf in enumerate(self.buffers):
+                if p == requester or not buf.wb_count:
+                    continue
+                wb = buf.find(WRITEBACK, line)
+                if wb is not None:
+                    return ("buffer", p, wb)
         return None
 
     def can_issue(self, op: BusOp, time: int) -> bool:
@@ -463,6 +574,199 @@ class System:
             op.on_done(t)
         else:
             self.procs[op.proc]._op_complete(op, t)
+
+    # ------------------------------------------------------------------
+    # Bus service: fused fast-path execution (MachineConfig.bus_fast_path)
+    #
+    # Same decisions and state effects as the reference executors above,
+    # with the per-grant closures replaced by the _done_op slot + the
+    # preallocated trampolines below, and the completion chain
+    # (_fill_complete -> _op_done -> _op_complete) flattened into one
+    # call.  The trailing bus.kick of the reference _fill_complete is
+    # elided: on this path every fill completion fires inside Bus._fire
+    # while the bus is still held, so the kick is provably a no-op (the
+    # release that follows in the same event re-arbitrates anyway).
+    # Differentially verified byte-identical (python -m repro diff-verify).
+    # ------------------------------------------------------------------
+    def _execute_fast(self, op: BusOp, time: int):
+        k = op.kind
+        if k != DATA_RETURN:
+            # The granted op just left its processor's buffer: a slot
+            # freed.  Only pay the notify call when someone is waiting.
+            buf = self.buffers[op.proc]
+            if buf._space_waiters:
+                buf.notify_space(time)
+        try:
+            handler = self._exec_list[k]
+        except IndexError:
+            handler = None
+        if handler is None:
+            raise ValueError(f"unexpected bus op kind {k}")
+        return handler(op, time)
+
+    # -- completion trampolines (read the slot, never allocate) ---------------
+    def _complete_arrive(self, t: int) -> None:
+        self.memory.arrive(self._done_op, t)
+
+    def _complete_fill(self, t: int) -> None:
+        op = self._done_op
+        fills = self._fills_in_flight
+        if fills.get(op.line) == op.proc:
+            del fills[op.line]
+        proc = self.procs[op.proc]
+        proc.install_fill(op, t)
+        if op.on_done is not None:
+            op.on_done(t)
+        else:
+            proc._op_complete(op, t)
+
+    def _complete_op(self, t: int) -> None:
+        op = self._done_op
+        if op.on_done is not None:
+            op.on_done(t)
+        else:
+            self.procs[op.proc]._op_complete(op, t)
+
+    def _complete_write(self, t: int) -> None:
+        op = self._done_op  # memory arrival, then completion: the order
+        self.memory.arrive(op, t)  # the reference path fired the two in
+        if op.on_done is not None:
+            op.on_done(t)
+        else:
+            self.procs[op.proc]._op_complete(op, t)
+
+    def _complete_split(self, t: int) -> None:
+        orig = self._done_op
+        k = orig.kind
+        if k == READ_MISS or k == RFO or (k == UPGRADE and orig.converted):
+            self._complete_fill(t)
+        else:
+            orig.on_done(t)
+
+    # -- fused executors ------------------------------------------------------
+    def _fexec_read_miss(self, op: BusOp, time: int):
+        self._fills_in_flight[op.line] = op.proc
+        if op.supplier is not None:
+            where, p, wb = op.supplier
+            if where == "cache":
+                present, _dirty = self.caches[p].snoop_read(op.line)
+                assert present
+                # memory is updated during the transfer if dirty (Illinois)
+            else:  # dirty line intercepted in a write-back buffer
+                self.buffers[p].cancel(wb)
+                self.procs[p].outstanding_wb -= 1
+                self.buffers[p].notify_space(time)
+            op.fill_state = SHARED
+            self._done_op = op
+            return (self._hold_xfer, self._cb_fill)
+        # from memory: Illinois loads EXCLUSIVE when no one else has it
+        op.fill_state = EXCLUSIVE
+        op.return_cycles = self._line_data_cycles
+        self.memory.reserve()
+        self._done_op = op
+        return (self._addr_cycles, self._cb_arrive)
+
+    def _fexec_rfo(self, op: BusOp, time: int):
+        self._fills_in_flight[op.line] = op.proc
+        supplier = op.supplier
+        holders = self.directory.get(op.line)
+        if holders:
+            for p in tuple(holders):  # copy: invalidation edits the directory
+                if p != op.proc:
+                    self.caches[p].snoop_invalidate(op.line)
+        if self._wb_total[0]:  # any write-back buffered machine-wide?
+            for p, buf in enumerate(self.buffers):
+                if p == op.proc or not buf.wb_count:
+                    continue
+                wb = buf.find(WRITEBACK, op.line)
+                if wb is not None and not (supplier and supplier[2] is wb):
+                    buf.cancel(wb)
+                    self.procs[p].outstanding_wb -= 1
+                    buf.notify_space(time)
+        op.fill_state = MODIFIED
+        if supplier is not None:
+            where, p, wb = supplier
+            if where == "buffer":
+                self.buffers[p].cancel(wb)
+                self.procs[p].outstanding_wb -= 1
+                self.buffers[p].notify_space(time)
+            self._done_op = op
+            return (self._hold_xfer, self._cb_fill)
+        op.return_cycles = self._line_data_cycles
+        self.memory.reserve()
+        self._done_op = op
+        return (self._addr_cycles, self._cb_arrive)
+
+    def _fexec_upgrade(self, op: BusOp, time: int):
+        cache = self.caches[op.proc]
+        if op.line in cache.state:
+            holders = self.directory.get(op.line)
+            if holders:
+                for p in tuple(holders):
+                    if p != op.proc:
+                        self.caches[p].snoop_invalidate(op.line)
+            cache.set_state(op.line, MODIFIED)
+            self._done_op = op
+            return (self._addr_cycles, self._cb_op)
+        # line vanished: perform a full write miss instead
+        op.converted = True
+        self.upgrade_conversions += 1
+        return self._fexec_rfo(op, time)
+
+    def _fexec_writeback(self, op: BusOp, time: int):
+        self.memory.reserve()
+        self._done_op = op
+        return (self._hold_xfer, self._cb_write)
+
+    def _fexec_update(self, op: BusOp, time: int):
+        self.memory.reserve()
+        self._done_op = op
+        return (self._hold_word, self._cb_write)
+
+    def _fexec_writethrough(self, op: BusOp, time: int):
+        holders = self.directory.get(op.line)
+        if holders:
+            for p in tuple(holders):
+                if p != op.proc:
+                    self.caches[p].snoop_invalidate(op.line)
+        self.memory.reserve()
+        self._done_op = op
+        return (self._hold_word, self._cb_write)
+
+    def _fexec_lock_mem(self, op: BusOp, time: int):
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        self._done_op = op
+        return (self._addr_cycles, self._cb_arrive)
+
+    def _fexec_lock_read(self, op: BusOp, time: int):
+        if op.supplier is not None:
+            return (self._hold_xfer, op.on_done)
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        self._done_op = op
+        return (self._addr_cycles, self._cb_arrive)
+
+    def _fexec_lock_rfo(self, op: BusOp, time: int):
+        # address phase invalidates every other cached copy
+        hook = getattr(self.locks, "on_lock_rfo", None)
+        if hook is not None:
+            hook(op.line, op.proc, time)
+        if op.supplier is not None and op.supplier[0] == "self":
+            return (self._addr_cycles, op.on_done)
+        if op.supplier is not None:
+            return (self._hold_xfer, op.on_done)
+        self.memory.reserve()
+        op.return_cycles = self._line_data_cycles
+        self._done_op = op
+        return (self._addr_cycles, self._cb_arrive)
+
+    def _fexec_data_return(self, op: BusOp, time: int):
+        orig = op.orig
+        hold = max(1, orig.return_cycles)
+        self.memory.release_output(time)
+        self._done_op = orig
+        return (hold, self._cb_split)
 
     # ------------------------------------------------------------------
     # Run + results

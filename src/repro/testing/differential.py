@@ -143,6 +143,14 @@ def _canonical(result) -> dict:
     return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
 
 
+#: the configuration knobs a differential cell toggles between its fast
+#: and reference runs: the private-window interpreter fast path and the
+#: contended-path bus fast path.  The default varies both together, so
+#: the fully-optimized simulator is checked against the fully-reference
+#: one (which subsumes each knob alone when the other is byte-neutral).
+VARY_ALL = ("fast_path", "bus_fast_path")
+
+
 def run_cell(
     traceset: TraceSet,
     lock_scheme: str = "queuing",
@@ -151,13 +159,15 @@ def run_cell(
     config: MachineConfig | None = None,
     engine_factory=None,
     audit: bool = False,
+    vary: tuple[str, ...] = VARY_ALL,
 ) -> CellReport:
-    """Run one traceset through both interpreter paths and compare.
+    """Run one traceset through both simulator paths and compare.
 
-    ``config`` (if given) supplies everything but ``fast_path``, which
-    this function overrides in both directions.  ``engine_factory`` is
-    forwarded to :class:`System` (e.g. ``HeapEngine`` to also cross-check
-    the event-queue implementation).
+    ``config`` (if given) supplies everything but the ``vary`` knobs
+    (default: ``fast_path`` and ``bus_fast_path``), which this function
+    overrides in both directions.  ``engine_factory`` is forwarded to
+    :class:`System` (e.g. ``HeapEngine`` to also cross-check the
+    event-queue implementation).
 
     With ``audit=True`` a collect-mode runtime invariant auditor (see
     :mod:`repro.audit`) rides along on the fast run only: the cell then
@@ -171,6 +181,8 @@ def run_cell(
     if base.audit:  # run_cell manages attachment itself
         base = replace(base, audit=False)
         audit = True
+    if not vary:
+        raise ValueError("vary must name at least one configuration knob")
     canon = {}
     fp_stats = (0, 0, 0)
     total_refs = 0
@@ -179,7 +191,7 @@ def run_cell(
     for fast in (True, False):
         system = System(
             traceset,
-            replace(base, fast_path=fast),
+            replace(base, **{knob: fast for knob in vary}),
             get_lock_manager(lock_scheme),
             get_model(consistency),
             engine_factory=engine_factory,
@@ -225,6 +237,7 @@ def differential_check(
     seed: int = 1991,
     progress=None,
     audit: bool = False,
+    vary: tuple[str, ...] = VARY_ALL,
 ) -> list[CellReport]:
     """Differentially verify every (program, lock, model) cell.
 
@@ -246,6 +259,7 @@ def differential_check(
                     consistency=model,
                     program=program,
                     audit=audit,
+                    vary=vary,
                 )
                 reports.append(report)
                 if progress is not None:

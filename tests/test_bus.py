@@ -1,4 +1,10 @@
-"""Unit tests for bus arbitration, against a scripted service."""
+"""Unit tests for bus arbitration, against a scripted service.
+
+Every arbitration law is checked against BOTH arbiters: the O(1)
+bitmask fast arbiter (``fast_path=True``, the default) and the
+reference sort-and-scan arbiter it must be observationally identical
+to (``fast_path=False``, the committed-baseline implementation).
+"""
 
 from collections import deque
 
@@ -7,6 +13,11 @@ import pytest
 from repro.machine.buffers import BusOp, READ_MISS
 from repro.machine.bus import Bus
 from repro.machine.engine import Engine
+
+
+@pytest.fixture(params=[True, False], ids=["fast", "reference"])
+def fast_path(request):
+    return request.param
 
 
 class ListPort:
@@ -43,10 +54,10 @@ class ScriptService:
         return (self.hold, None)
 
 
-def make(n_ports=3, **kw):
+def make(n_ports=3, fast_path=True, **kw):
     engine = Engine()
     service = ScriptService(**kw)
-    bus = Bus(engine, service)
+    bus = Bus(engine, service, fast_path=fast_path)
     ports = [ListPort() for _ in range(n_ports)]
     for p in ports:
         bus.add_port(p)
@@ -58,16 +69,16 @@ def op(line=0, proc=0):
 
 
 class TestArbitration:
-    def test_single_op_granted_immediately(self):
-        engine, service, bus, ports = make()
+    def test_single_op_granted_immediately(self, fast_path):
+        engine, service, bus, ports = make(fast_path=fast_path)
         o = op()
         ports[0].push(o)
         bus.kick(0)
         assert service.executed == [(o, 0)]
         assert bus.busy
 
-    def test_serialization_respects_hold(self):
-        engine, service, bus, ports = make(hold=3)
+    def test_serialization_respects_hold(self, fast_path):
+        engine, service, bus, ports = make(hold=3, fast_path=fast_path)
         a, b = op(1), op(2)
         ports[0].push(a)
         ports[0].push(b)
@@ -75,8 +86,8 @@ class TestArbitration:
         engine.run()
         assert service.executed == [(a, 0), (b, 3)]
 
-    def test_round_robin_across_ports(self):
-        engine, service, bus, ports = make(n_ports=3, hold=2)
+    def test_round_robin_across_ports(self, fast_path):
+        engine, service, bus, ports = make(n_ports=3, hold=2, fast_path=fast_path)
         a, b, c = op(1, 0), op(2, 1), op(3, 2)
         ports[0].push(a)
         ports[1].push(b)
@@ -86,8 +97,8 @@ class TestArbitration:
         # port 0 first (rr starts at 0), then 1, then 2
         assert [o for o, _ in service.executed] == [a, b, c]
 
-    def test_round_robin_pointer_advances_past_grantee(self):
-        engine, service, bus, ports = make(n_ports=2, hold=1)
+    def test_round_robin_pointer_advances_past_grantee(self, fast_path):
+        engine, service, bus, ports = make(n_ports=2, hold=1, fast_path=fast_path)
         a1, a2 = op(1, 0), op(2, 0)
         b1 = op(3, 1)
         ports[0].push(a1)
@@ -98,9 +109,9 @@ class TestArbitration:
         # fairness: a1, then port 1's b1, then a2
         assert [o for o, _ in service.executed] == [a1, b1, a2]
 
-    def test_non_issuable_port_skipped(self):
+    def test_non_issuable_port_skipped(self, fast_path):
         engine, service, bus, ports = make(
-            n_ports=2, hold=1, deny=lambda o, t: o.line == 1
+            n_ports=2, hold=1, deny=lambda o, t: o.line == 1, fast_path=fast_path
         )
         blocked = op(1, 0)
         runnable = op(2, 1)
@@ -111,8 +122,8 @@ class TestArbitration:
         assert [o for o, _ in service.executed] == [runnable]
         assert ports[0].peek() is blocked  # still queued
 
-    def test_idle_until_kick(self):
-        engine, service, bus, ports = make()
+    def test_idle_until_kick(self, fast_path):
+        engine, service, bus, ports = make(fast_path=fast_path)
         engine.run()
         ports[0].push(op())
         # no kick: nothing happens
@@ -120,8 +131,8 @@ class TestArbitration:
         bus.kick(engine.now)
         assert len(service.executed) == 1
 
-    def test_kick_while_busy_is_noop(self):
-        engine, service, bus, ports = make(hold=5)
+    def test_kick_while_busy_is_noop(self, fast_path):
+        engine, service, bus, ports = make(hold=5, fast_path=fast_path)
         ports[0].push(op(1))
         bus.kick(0)
         ports[0].push(op(2))
@@ -132,8 +143,8 @@ class TestArbitration:
 
 
 class TestStats:
-    def test_busy_cycles_accumulate(self):
-        engine, service, bus, ports = make(hold=4)
+    def test_busy_cycles_accumulate(self, fast_path):
+        engine, service, bus, ports = make(hold=4, fast_path=fast_path)
         ports[0].push(op(1))
         ports[0].push(op(2))
         bus.kick(0)
@@ -142,15 +153,15 @@ class TestStats:
         assert bus.grants == 2
         assert bus.utilization(16) == pytest.approx(0.5)
 
-    def test_op_counts_by_kind(self):
-        engine, service, bus, ports = make()
+    def test_op_counts_by_kind(self, fast_path):
+        engine, service, bus, ports = make(fast_path=fast_path)
         ports[0].push(op())
         bus.kick(0)
         engine.run()
         assert bus.op_counts[READ_MISS] == 1
 
-    def test_zero_hold_rejected(self):
-        engine, _, bus, ports = make(hold=0)
+    def test_zero_hold_rejected(self, fast_path):
+        engine, _, bus, ports = make(hold=0, fast_path=fast_path)
         ports[0].push(op())
         with pytest.raises(ValueError, match="hold"):
             bus.kick(0)

@@ -12,7 +12,17 @@ from hypothesis import strategies as st
 
 from repro.machine.engine import Engine, HeapEngine
 
-ENGINES = [Engine, HeapEngine]
+
+def EngineRefDispatch():
+    """Engine with the contended-path fast dispatch loop disabled, so
+    the unguarded ``run()`` takes the committed-baseline index-walk
+    path (what ``bus_fast_path=False`` restores)."""
+    e = Engine()
+    e.fast_dispatch = False
+    return e
+
+
+ENGINES = [Engine, EngineRefDispatch, HeapEngine]
 
 # (delay, tag) pairs: schedule events at now + delay, then check dispatch order
 schedules = st.lists(
@@ -164,7 +174,7 @@ def test_float_time_rejected_even_when_whole(factory):
 @given(sched=schedules, until=st.integers(0, 40), cap=st.integers(1, 100))
 @settings(max_examples=150, deadline=None)
 def test_engines_agree_event_for_event(sched, until, cap):
-    """Differential law: for any schedule and any run() bounds, the two
+    """Differential law: for any schedule and any run() bounds, all the
     implementations dispatch identical event sequences and agree on
     now/pending/dispatch-count."""
     logs = {}
@@ -181,3 +191,59 @@ def test_engines_agree_event_for_event(sched, until, cap):
         logs[factory] = (log, n, e.now, e.pending())
         engines[factory] = e
     assert logs[Engine] == logs[HeapEngine]
+    assert logs[Engine] == logs[EngineRefDispatch]
+
+
+# one randomized bus-shaped transaction: at `start`, a grant chain runs
+# grant -> (hold cycles) -> fire, and fire schedules its completion and
+# release *in the same cycle* -- release immediately re-granting the
+# next transaction of the chain, exactly the cascade the bus fast path
+# collapses.  `extra` children are same-cycle completions fanning out
+# of the fire (fused completions dispatch several callbacks at one
+# timestamp).
+transactions = st.lists(
+    st.tuples(
+        st.integers(0, 20),  # start
+        st.integers(1, 4),  # hold
+        st.integers(1, 4),  # chain length
+        st.integers(0, 3),  # same-cycle completion fan-out
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(txns=transactions)
+@settings(max_examples=150, deadline=None)
+def test_chained_same_cycle_patterns_agree(txns):
+    """The bus fast path's event shape -- grant/fire chains whose
+    completion, release and re-grant all land in the *current* cycle,
+    plus same-cycle completion fan-out -- dispatches identically on the
+    fast dispatch loop, the reference index walk, and the heap
+    encoding.  This is the schedule-during-dispatch pattern the fused
+    transaction path leans on hardest."""
+    logs = {}
+    for factory in ENGINES:
+        e = factory()
+        log = []
+
+        def fire(t, hold, left, extra, tid):
+            log.append(("fire", t, tid, left))
+            for k in range(extra):  # same-cycle completion fan-out
+                e.at(t, lambda t2, g=(tid, left, k): log.append(("done", t2, g)))
+            # same-cycle release -> next grant of the chain
+            if left:
+                e.at(
+                    t,
+                    lambda t2, h=hold, l=left - 1, x=extra, g=tid: e.at(
+                        t2 + h, lambda t3: fire(t3, h, l, x, g)
+                    ),
+                )
+
+        for tid, (start, hold, chain, extra) in enumerate(txns):
+            e.at(start, lambda t, h=hold, c=chain, x=extra, g=tid: fire(t, h, c - 1, x, g))
+        e.run()
+        assert e.pending() == 0
+        logs[factory] = log
+    assert logs[Engine] == logs[HeapEngine]
+    assert logs[Engine] == logs[EngineRefDispatch]
