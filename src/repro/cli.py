@@ -80,6 +80,27 @@ def _add_runner_options(sp: argparse.ArgumentParser) -> None:
     sp.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    _add_trace_cache_options(sp)
+
+
+def _add_trace_cache_options(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--trace-cache-dir",
+        default=None,
+        help=(
+            "trace-cache directory (default: $REPRO_TRACE_CACHE_DIR or "
+            "<result cache>/traces)"
+        ),
+    )
+    sp.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help=(
+            "regenerate workload traces instead of memory-mapping them "
+            "from the content-addressed trace cache (identical traces "
+            "either way; see 'repro trace')"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,9 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_options(b)
 
-    c = sub.add_parser("cache", help="inspect or clear the result cache")
+    c = sub.add_parser(
+        "cache", help="inspect or clear the result and trace caches"
+    )
     c.add_argument("action", choices=["stats", "clear"])
     c.add_argument("--cache-dir", default=None)
+    c.add_argument("--trace-cache-dir", default=None)
+
+    tr = sub.add_parser(
+        "trace", help="pre-generate ('gen') or inspect ('stats') the trace cache"
+    )
+    tr.add_argument("action", choices=["gen", "stats"])
+    tr.add_argument(
+        "--programs",
+        default="all",
+        help="comma-separated workload names, or 'all' (default; 'gen' only)",
+    )
+    tr.add_argument("--procs", type=int, default=None, help="processor-count override")
+    tr.add_argument("--trace-cache-dir", default=None)
 
     g = sub.add_parser("generate", help="generate a trace file")
     g.add_argument("workload")
@@ -241,7 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
             "the other left at its default (on)"
         ),
     )
+    _add_trace_cache_options(dv)
     return p
+
+
+def _trace_cache_arg(args):
+    """The ``trace_cache`` argument implied by shared CLI flags: a
+    handle (cache on), or ``False`` (off, ignoring the environment)."""
+    if getattr(args, "no_trace_cache", False):
+        return False
+    from .trace.cache import TraceCache
+
+    return TraceCache(getattr(args, "trace_cache_dir", None))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -292,8 +339,13 @@ def main(argv: list[str] | None = None) -> int:
         from .runner import ResultCache
 
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        tcache = _trace_cache_arg(args)
         suite = core.run_suite(
-            scale=args.scale, seed=args.seed, jobs=args.jobs, cache=cache
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+            trace_cache=tcache,
         )
         for fn in (core.table3, core.table4, core.table5, core.table6, core.table7, core.table8):
             text, _ = fn(suite=suite)
@@ -307,17 +359,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[runner] {suite.batch.stats.summary()}", file=sys.stderr)
         if cache is not None:
             print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+        if tcache:
+            print(f"[trace-cache] {tcache.stats.summary()}", file=sys.stderr)
     elif args.cmd == "batch":
         return _run_batch(args)
     elif args.cmd == "cache":
-        from .runner import ResultCache
-
-        cache = ResultCache(args.cache_dir)
-        if args.action == "stats":
-            print(cache.describe())
-        else:
-            removed = cache.clear()
-            print(f"removed {removed} cached result(s) from {cache.root}")
+        return _run_cache(args)
+    elif args.cmd == "trace":
+        return _run_trace(args)
     elif args.cmd == "generate":
         ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
         save_traceset(ts, args.out)
@@ -387,6 +436,72 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _run_cache(args) -> int:
+    """``repro cache``: one command over both content-addressed stores."""
+    from .runner import ResultCache
+    from .trace.cache import TraceCache
+
+    cache = ResultCache(args.cache_dir)
+    # an explicit --cache-dir relocates the trace cache alongside it
+    # unless --trace-cache-dir pins it elsewhere
+    trace_root = args.trace_cache_dir
+    if trace_root is None and args.cache_dir is not None:
+        trace_root = cache.root / "traces"
+    tcache = TraceCache(trace_root)
+    if args.action == "stats":
+        print(cache.describe())
+        print()
+        print(tcache.describe())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        removed = tcache.clear()
+        print(f"removed {removed} cached traceset(s) from {tcache.root}")
+    return 0
+
+
+def _run_trace(args) -> int:
+    """``repro trace``: pre-warm or inspect the trace cache."""
+    import time
+
+    from .trace.cache import TraceCache, trace_key
+    from .workloads.registry import BENCHMARK_ORDER, WORKLOADS, generate_trace
+
+    tcache = TraceCache(args.trace_cache_dir)
+    if args.action == "stats":
+        print(tcache.describe())
+        return 0
+    if args.programs.strip().lower() == "all":
+        programs = list(BENCHMARK_ORDER)
+    else:
+        programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+    for prog in programs:
+        if prog not in WORKLOADS:
+            print(
+                f"error: unknown workload {prog!r}; "
+                f"expected one of {sorted(WORKLOADS)}",
+                file=sys.stderr,
+            )
+            return 2
+    for prog in programs:
+        t0 = time.perf_counter()
+        ts = generate_trace(
+            prog,
+            scale=args.scale,
+            seed=args.seed,
+            n_procs=args.procs,
+            trace_cache=tcache,
+        )
+        elapsed = time.perf_counter() - t0
+        key = trace_key(prog, args.scale, args.seed, args.procs)
+        print(
+            f"{prog:10s} {ts.total_records():>10,} records  "
+            f"key {key[:12]}  {1000 * elapsed:6.0f} ms"
+        )
+    print(f"[trace-cache] {tcache.stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def _profiled(fn, top: int = 15):
     """Run ``fn()`` under :mod:`cProfile`; return ``(fn's result, a
     tottime-sorted top-``top`` stats table as text)``."""
@@ -425,6 +540,7 @@ def _run_diff_verify(args) -> int:
         progress=lambda r: print(r.summary(), flush=True),
         audit=args.audit,
         vary=vary,
+        trace_cache=_trace_cache_arg(args),
     )
     bad = [r for r in reports if not r.equal or r.violations]
     for r in bad:
@@ -519,6 +635,7 @@ def _run_batch(args) -> int:
         ]
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    tcache = _trace_cache_arg(args)
     batch = run_jobs(
         specs,
         jobs=args.jobs,
@@ -527,6 +644,7 @@ def _run_batch(args) -> int:
         retries=args.retries,
         manifest_path=args.manifest,
         resume=args.resume,
+        trace_cache=tcache,
     )
     width = max((len(s.label()) for s in batch.specs), default=0)
     for spec, outcome in zip(batch.specs, batch.outcomes):
@@ -541,6 +659,8 @@ def _run_batch(args) -> int:
     print(f"[runner] {batch.stats.summary()}", file=sys.stderr)
     if cache is not None:
         print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+    if tcache:
+        print(f"[trace-cache] {tcache.stats.summary()}", file=sys.stderr)
     return 0 if batch.ok() else 1
 
 

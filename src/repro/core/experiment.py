@@ -39,12 +39,20 @@ class Experiment:
     traceset: TraceSet | None = None
     lock_kwargs: dict = field(default_factory=dict)
     max_events: int | None = None
+    #: trace-cache routing for the generated trace: a TraceCache handle,
+    #: a directory, True/False, or None ($REPRO_TRACE_CACHE)
+    trace_cache: object = None
 
     def trace(self) -> TraceSet:
         if self.traceset is None:
             if not self.program:
                 raise ValueError("need either a traceset or a program name")
-            self.traceset = generate_trace(self.program, scale=self.scale, seed=self.seed)
+            self.traceset = generate_trace(
+                self.program,
+                scale=self.scale,
+                seed=self.seed,
+                trace_cache=self.trace_cache,
+            )
         return self.traceset
 
     def run(self) -> RunResult:
@@ -112,6 +120,7 @@ def run_suite(
     retries: int = 0,
     manifest_path=None,
     resume: bool = False,
+    trace_cache=None,
 ) -> SuiteResults:
     """Run the paper's full experimental grid.
 
@@ -121,14 +130,22 @@ def run_suite(
     serial in-process path, ``jobs>1`` fans the grid across worker
     processes, and ``cache`` (a :class:`repro.runner.ResultCache` or a
     directory path) skips every simulation whose result is already
-    known.  Either way the table outputs are identical -- every run is
-    deterministic in its spec.
+    known.  ``trace_cache`` additionally routes trace generation through
+    a :class:`repro.trace.cache.TraceCache`, so the parent warms the
+    cache once and worker processes memory-map the stored traces instead
+    of regenerating them.  Either way the table outputs are identical --
+    every run is deterministic in its spec.
     """
+    from ..trace.cache import resolve_trace_cache
+
     programs = programs or list(BENCHMARK_ORDER)
+    tcache = resolve_trace_cache(trace_cache)
     traces = {}
     for p in programs:
         try:
-            traces[p] = generate_trace(p, scale=scale, seed=seed)
+            traces[p] = generate_trace(
+                p, scale=scale, seed=seed, trace_cache=tcache if tcache else False
+            )
         except Exception:
             # leave the traceset off: the job fails in the executor with
             # a structured JobFailure instead of aborting the whole grid
@@ -154,6 +171,7 @@ def run_suite(
         retries=retries,
         manifest_path=manifest_path,
         resume=resume,
+        trace_cache=tcache if tcache else False,
     ).raise_on_failure()
     buckets: dict[tuple, dict] = {c: {} for c in configs}
     it = iter(batch.outcomes)

@@ -34,8 +34,10 @@ class SweepPoint:
     result: RunResult
 
 
-def _run_points(labels, values, specs, jobs, cache) -> list[SweepPoint]:
-    batch = run_jobs(specs, jobs=jobs, cache=cache).raise_on_failure()
+def _run_points(labels, values, specs, jobs, cache, trace_cache=None) -> list[SweepPoint]:
+    batch = run_jobs(
+        specs, jobs=jobs, cache=cache, trace_cache=trace_cache
+    ).raise_on_failure()
     return [
         SweepPoint(label=lab, value=val, result=res)
         for lab, val, res in zip(labels, values, batch.outcomes)
@@ -52,13 +54,16 @@ def sweep_procs(
     machine: MachineConfig | None = None,
     jobs: int = 1,
     cache=None,
+    trace_cache=None,
 ) -> list[SweepPoint]:
     """Run ``program`` on machines of different sizes.
 
     Each size gets its own generated trace (the work is re-partitioned
     across the new processor count, as re-running the original program
     would).  ``jobs``/``cache`` route the sweep through the job runner
-    (see :mod:`repro.runner`); workers generate their own traces.
+    (see :mod:`repro.runner`); workers load their traces from
+    ``trace_cache`` when one is given (each size is its own cache
+    entry), else generate their own.
     """
     sizes = list(procs)
     specs = [
@@ -74,7 +79,7 @@ def sweep_procs(
         for n in sizes
     ]
     return _run_points(
-        [f"{n} procs" for n in sizes], sizes, specs, jobs, cache
+        [f"{n} procs" for n in sizes], sizes, specs, jobs, cache, trace_cache
     )
 
 

@@ -110,7 +110,11 @@ class ResultCache:
             if payload["format"] != CACHE_FORMAT or payload["key"] != key:
                 raise ValueError("stale or mismatched cache object")
             result = result_from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+        except Exception:
+            # *any* parse failure means the object is corrupt or stale --
+            # a cache must self-heal (discard + miss), never raise: the
+            # narrower (KeyError, TypeError, ValueError) let e.g. an
+            # AttributeError from a malformed payload escape to callers
             self.stats.invalidated += 1
             self.stats.misses += 1
             self._discard(path)

@@ -138,24 +138,44 @@ _TRACE_MEMO: dict[tuple, object] = {}
 _TRACE_MEMO_MAX = 8
 
 
-def _memoized_traceset(spec: JobSpec):
+def _memoized_traceset(spec: JobSpec, trace_cache=None):
     if spec.traceset is not None or not spec.program:
         return spec.traceset
     key = (spec.program, spec.scale, spec.seed, spec.n_procs)
     ts = _TRACE_MEMO.get(key)
     if ts is None:
+        tcache = None
+        if trace_cache is not None:
+            from ..trace.cache import TraceCache
+
+            tcache = (
+                trace_cache
+                if isinstance(trace_cache, TraceCache)
+                else TraceCache(trace_cache)
+            )
+            ts = tcache.get(spec.program, spec.scale, spec.seed, spec.n_procs)
+        if ts is None:
+            ts = spec.resolve_traceset()
+            if tcache is not None:
+                tcache.put(ts, scale=spec.scale, seed=spec.seed, n_procs=spec.n_procs)
         if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
             _TRACE_MEMO.clear()
-        ts = _TRACE_MEMO[key] = spec.resolve_traceset()
+        _TRACE_MEMO[key] = ts
     return ts
 
 
-def _execute(spec: JobSpec, timeout: float | None) -> dict:
-    """Run one job; always returns a JSON-ready payload, never raises."""
+def _execute(spec: JobSpec, timeout: float | None, trace_cache=None) -> dict:
+    """Run one job; always returns a JSON-ready payload, never raises.
+
+    ``trace_cache`` (a :class:`repro.trace.cache.TraceCache` in-process,
+    or its root directory as a string when crossing into a worker) lets
+    the job memory-map a previously generated trace instead of
+    regenerating it.
+    """
     start = time.perf_counter()
     disarm = _arm_timer(timeout)
     try:
-        result = spec.run(traceset=_memoized_traceset(spec))
+        result = spec.run(traceset=_memoized_traceset(spec, trace_cache))
         disarm()  # idempotent; a late re-fire must not escape _execute
         payload = {"ok": True, "result": result_to_dict(result)}
     except _JobTimeout:
@@ -270,6 +290,7 @@ def run_jobs(
     retries: int = 0,
     manifest_path: str | Path | None = None,
     resume: bool = False,
+    trace_cache=None,
 ) -> BatchResult:
     """Run a list of :class:`JobSpec`s and return their outcomes in order.
 
@@ -291,10 +312,19 @@ def run_jobs(
     resume:
         Restore jobs already completed in ``manifest_path`` from a
         previous invocation instead of re-running them.
+    trace_cache:
+        A :class:`repro.trace.cache.TraceCache`, a directory, ``True``
+        (default directory), ``False`` (off), or ``None`` (defer to
+        ``$REPRO_TRACE_CACHE``).  Provenance-named jobs then load their
+        trace from the cache (memory-mapped, so parallel workers share
+        pages) instead of regenerating it per worker.
     """
+    from ..trace.cache import resolve_trace_cache
+
     if resume and manifest_path is None:
         raise ValueError("resume=True requires a manifest_path")
     jobs = max(1, int(jobs))
+    tcache = resolve_trace_cache(trace_cache)
     batch = _Batch(specs, _normalize_cache(cache), manifest_path)
 
     pending = list(range(len(batch.specs)))
@@ -321,9 +351,9 @@ def run_jobs(
 
     if pending:
         if jobs == 1:
-            _run_serial(batch, pending, timeout, retries)
+            _run_serial(batch, pending, timeout, retries, tcache)
         else:
-            _run_parallel(batch, pending, jobs, timeout, retries)
+            _run_parallel(batch, pending, jobs, timeout, retries, tcache)
 
     return BatchResult(
         specs=batch.specs,
@@ -333,11 +363,11 @@ def run_jobs(
     )
 
 
-def _run_serial(batch: _Batch, pending, timeout, retries) -> None:
+def _run_serial(batch: _Batch, pending, timeout, retries, tcache=None) -> None:
     for idx in pending:
         attempt = 1
         while True:
-            payload = _execute(batch.specs[idx], timeout)
+            payload = _execute(batch.specs[idx], timeout, tcache)
             if payload["ok"]:
                 batch.finish_ok(idx, payload, attempt)
                 break
@@ -348,7 +378,10 @@ def _run_serial(batch: _Batch, pending, timeout, retries) -> None:
             batch.stats.retries += 1
 
 
-def _run_parallel(batch: _Batch, pending, jobs, timeout, retries) -> None:
+def _run_parallel(batch: _Batch, pending, jobs, timeout, retries, tcache=None) -> None:
+    # workers get the cache root (a plain string), not the handle: each
+    # worker opens its own handle and memory-maps the shared objects
+    tcache_root = str(tcache.root) if tcache is not None else None
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         in_flight = {}
 
@@ -356,10 +389,11 @@ def _run_parallel(batch: _Batch, pending, jobs, timeout, retries) -> None:
             spec = batch.specs[idx]
             if spec.program and spec.traceset is not None:
                 # don't pickle megabytes of trace into the job queue: a
-                # provenance-named trace is cheaper to regenerate in the
-                # worker (where the memo shares it across configs)
+                # provenance-named trace is cheaper to load from the trace
+                # cache or regenerate in the worker (where the memo shares
+                # it across configs)
                 spec = replace(spec, traceset=None)
-            fut = pool.submit(_execute, spec, timeout)
+            fut = pool.submit(_execute, spec, timeout, tcache_root)
             in_flight[fut] = (idx, attempt)
 
         for idx in pending:

@@ -238,19 +238,25 @@ def differential_check(
     progress=None,
     audit: bool = False,
     vary: tuple[str, ...] = VARY_ALL,
+    trace_cache=None,
 ) -> list[CellReport]:
     """Differentially verify every (program, lock, model) cell.
 
     Tracesets are generated once per program and shared across that
-    program's cells.  ``progress`` (if given) is called with each
-    :class:`CellReport` as it completes.  Returns all reports; the run
-    passed iff ``all(r.equal for r in reports)``.
+    program's cells; ``trace_cache`` routes that generation through a
+    :class:`repro.trace.cache.TraceCache` (cached and fresh traces are
+    byte-identical, so the verdicts are too -- running this both cold
+    and warm is itself a check of that claim).  ``progress`` (if given)
+    is called with each :class:`CellReport` as it completes.  Returns
+    all reports; the run passed iff ``all(r.equal for r in reports)``.
     """
     from ..workloads import generate_trace
 
     reports: list[CellReport] = []
     for program in programs:
-        traceset = generate_trace(program, scale=scale, seed=seed)
+        traceset = generate_trace(
+            program, scale=scale, seed=seed, trace_cache=trace_cache
+        )
         for lock_scheme in lock_schemes:
             for model in models:
                 report = run_cell(

@@ -2,7 +2,20 @@
 statistics, (de)serialisation and validation."""
 
 from .builder import TraceBuildError, TraceBuilder
-from .encode import dumps_traceset, load_traceset, loads_traceset, save_traceset
+from .cache import (
+    TraceCache,
+    TraceCacheStats,
+    default_trace_cache_dir,
+    resolve_trace_cache,
+    trace_key,
+)
+from .encode import (
+    FORMAT_VERSION,
+    dumps_traceset,
+    load_traceset,
+    loads_traceset,
+    save_traceset,
+)
 from .footprint import (
     ProcFootprint,
     SharingProfile,
@@ -30,6 +43,7 @@ from .validate import TraceValidationError, validate_trace, validate_traceset
 __all__ = [
     "AddressLayout",
     "BARRIER",
+    "FORMAT_VERSION",
     "IBLOCK",
     "KIND_NAMES",
     "LINE_SIZE",
@@ -45,20 +59,25 @@ __all__ = [
     "Trace",
     "TraceBuildError",
     "TraceBuilder",
+    "TraceCache",
+    "TraceCacheStats",
     "TraceSet",
     "TraceStats",
     "TraceValidationError",
     "UNLOCK",
     "WRITE",
     "compute_trace_stats",
+    "default_trace_cache_dir",
     "dump_records",
     "dumps_traceset",
     "lock_event_log",
+    "resolve_trace_cache",
     "summarize_traceset",
     "load_traceset",
     "loads_traceset",
     "lock_holds",
     "save_traceset",
+    "trace_key",
     "validate_trace",
     "validate_traceset",
 ]

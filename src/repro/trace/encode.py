@@ -18,9 +18,19 @@ import numpy as np
 from .layout import AddressLayout
 from .records import RECORD_DTYPE, Trace, TraceSet
 
-__all__ = ["save_traceset", "load_traceset", "dumps_traceset", "loads_traceset"]
+__all__ = [
+    "FORMAT_VERSION",
+    "save_traceset",
+    "load_traceset",
+    "dumps_traceset",
+    "loads_traceset",
+]
 
 _FORMAT_VERSION = 1
+#: public alias: the trace cache folds this into its keys so that a
+#: format bump orphans every previously cached trace (see
+#: :mod:`repro.trace.cache`)
+FORMAT_VERSION = _FORMAT_VERSION
 
 
 def _meta_blob(ts: TraceSet) -> np.ndarray:

@@ -137,5 +137,13 @@ class AddressLayout:
         layout._code_brk = d["code_brk"]
         layout._lock_brk = d["lock_brk"]
         layout._private_brk = list(d["private_brk"])
-        layout.lock_names = {int(k): v for k, v in d.get("lock_names", {}).items()}
+        # canonicalize to allocation (ascending-id) order regardless of the
+        # serializer's key order: some writers sort keys lexicographically,
+        # and re-encoding must stay byte-stable
+        layout.lock_names = {
+            int(k): v
+            for k, v in sorted(
+                d.get("lock_names", {}).items(), key=lambda kv: int(kv[0])
+            )
+        }
         return layout

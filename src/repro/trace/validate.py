@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .layout import AddressLayout
+from .layout import CODE_BASE, SHARED_BASE, AddressLayout
 from .records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE, Trace, TraceSet
 
 __all__ = ["TraceValidationError", "validate_trace", "validate_traceset"]
@@ -54,22 +54,29 @@ def validate_trace(trace: Trace) -> None:
         raise TraceValidationError("data record with zero repetitions")
 
     addrs = rec["addr"].astype(np.int64)
-    for i in np.flatnonzero(iblock):
-        if not AddressLayout.is_code(int(addrs[i])):
-            raise TraceValidationError(
-                f"record {i}: IBLOCK address {addrs[i]:#x} outside code region"
-            )
-    for i in np.flatnonzero(data):
-        a = int(addrs[i])
-        if AddressLayout.is_code(a):
-            raise TraceValidationError(f"record {i}: data reference into code region")
+    in_code = (addrs >= CODE_BASE) & (addrs < SHARED_BASE)
+    bad = iblock & ~in_code
+    if bad.any():
+        i = int(np.argmax(bad))
+        raise TraceValidationError(
+            f"record {i}: IBLOCK address {addrs[i]:#x} outside code region"
+        )
+    bad = data & in_code
+    if bad.any():
+        i = int(np.argmax(bad))
+        raise TraceValidationError(f"record {i}: data reference into code region")
 
-    sync = (kinds == LOCK) | (kinds == UNLOCK)
+    sync_idx = np.flatnonzero((kinds == LOCK) | (kinds == UNLOCK))
     held: dict[int, int] = {}
     lock_addr: dict[int, int] = {}
-    for i in np.flatnonzero(sync):
-        lid = int(rec["arg"][i])
-        a = int(addrs[i])
+    # pre-extract to plain Python values: per-element structured-array
+    # indexing dominates validation time on sync-heavy traces
+    for i, k, lid, a in zip(
+        sync_idx.tolist(),
+        kinds[sync_idx].tolist(),
+        rec["arg"][sync_idx].tolist(),
+        addrs[sync_idx].tolist(),
+    ):
         if not AddressLayout.is_lock_addr(a):
             raise TraceValidationError(
                 f"record {i}: lock {lid} at non-lock address {a:#x}"
@@ -77,7 +84,7 @@ def validate_trace(trace: Trace) -> None:
         prev = lock_addr.setdefault(lid, a)
         if prev != a:
             raise TraceValidationError(f"lock {lid} has two addresses")
-        if rec["kind"][i] == LOCK:
+        if k == LOCK:
             if lid in held:
                 raise TraceValidationError(
                     f"record {i}: lock {lid} re-acquired while held"
@@ -112,10 +119,10 @@ def validate_traceset(ts: TraceSet) -> None:
         validate_trace(t)
         rec = t.records
         kinds = rec["kind"]
-        sync = (kinds == LOCK) | (kinds == UNLOCK)
-        for i in np.flatnonzero(sync):
-            lid = int(rec["arg"][i])
-            a = int(rec["addr"][i])
+        sync_idx = np.flatnonzero((kinds == LOCK) | (kinds == UNLOCK))
+        for lid, a in zip(
+            rec["arg"][sync_idx].tolist(), rec["addr"][sync_idx].tolist()
+        ):
             prev = global_lock_addr.setdefault(lid, a)
             if prev != a:
                 raise TraceValidationError(
@@ -132,8 +139,7 @@ def validate_traceset(ts: TraceSet) -> None:
                     f"proc {t.proc} references proc {owner}'s private region"
                 )
         counts: dict[int, int] = {}
-        for i in np.flatnonzero(kinds == BARRIER):
-            bid = int(rec["arg"][i])
+        for bid in rec["arg"][kinds == BARRIER].tolist():
             counts[bid] = counts.get(bid, 0) + 1
         barrier_counts.append(counts)
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from ..trace.builder import TraceBuilder
 from ..trace.layout import AddressLayout
-from ..trace.records import TraceSet
+from ..trace.records import BARRIER, IBLOCK, LOCK, READ, UNLOCK, WRITE, TraceSet
 
 __all__ = ["SharedLock", "ProcContext", "Workload", "run_coordinated"]
 
@@ -76,7 +76,7 @@ class ProcContext:
     is tuned so cycles-per-reference lands near the paper's ~2.3--2.4.
     """
 
-    __slots__ = ("proc", "b", "layout", "rng", "cpi", "_sites", "_held")
+    __slots__ = ("proc", "b", "layout", "rng", "cpi", "bulk", "_sites", "_held")
 
     def __init__(
         self,
@@ -86,12 +86,17 @@ class ProcContext:
         rng: np.random.Generator,
         sites: dict,
         cpi: float = 3.4,
+        bulk: bool = True,
     ) -> None:
         self.proc = proc
         self.b = builder
         self.layout = layout
         self.rng = rng
         self.cpi = cpi
+        #: bulk=False replays every run record-by-record through the scalar
+        #: builder API -- the reference path the differential tests compare
+        #: bulk emission against
+        self.bulk = bulk
         self._sites = sites  # shared across contexts: site name -> code addr
         self._held: list[SharedLock] = []
 
@@ -102,6 +107,16 @@ class ProcContext:
             addr = self.layout.alloc_code(4 * n_instr + 16)
             self._sites[site] = addr
         return addr
+
+    def site(self, site: str, n_instr: int) -> int:
+        """Code address for ``site`` (allocated on first use), for
+        workloads that precompute bulk IBLOCK columns."""
+        return self._site_addr(site, n_instr)
+
+    def cycles_for(self, n_instr: int) -> int:
+        """Ideal cycles for an ``n_instr``-instruction block under this
+        context's cpi (the same formula :meth:`step` applies)."""
+        return max(1, int(n_instr * self.cpi))
 
     # -- emission -----------------------------------------------------------------
     def step(
@@ -128,6 +143,61 @@ class ProcContext:
     def compute(self, site: str, n_instr: int) -> None:
         """A pure-compute basic block."""
         self.step(site, n_instr)
+
+    # -- bulk emission ------------------------------------------------------------
+    def emit_rows(self, kinds, addrs, args, cycles) -> None:
+        """Emit a run of records given as equal-length Python sequences.
+
+        In bulk mode the rows go straight into the builder's chunk
+        buffer; otherwise they replay one-by-one through the scalar API.
+        """
+        if self.bulk:
+            self.b.extend(kinds, addrs, args, cycles)
+        else:
+            self._replay(kinds, addrs, args, cycles)
+
+    def emit_records(self, records: np.ndarray) -> None:
+        """Emit a pre-built (possibly cached and reused) record chunk.
+
+        The chunk is referenced, not copied -- callers must never mutate
+        it after the first emit.
+        """
+        if self.bulk:
+            self.b.append_records(records)
+        else:
+            self._replay(
+                records["kind"].tolist(),
+                records["addr"].tolist(),
+                records["arg"].tolist(),
+                records["cycles"].tolist(),
+            )
+
+    def emit_columns(self, kind, addr, arg, cycles) -> None:
+        """Emit a run of records given as broadcastable columns
+        (ndarrays or scalars)."""
+        if self.bulk:
+            self.b.append_columns(kind, addr, arg, cycles)
+        else:
+            cols = np.broadcast_arrays(kind, addr, arg, cycles)
+            self._replay(*(np.atleast_1d(c).tolist() for c in cols))
+
+    def _replay(self, kinds, addrs, args, cycles) -> None:
+        b = self.b
+        for k, a, g, c in zip(kinds, addrs, args, cycles):
+            if k == IBLOCK:
+                b.block(g, c, a)
+            elif k == READ:
+                b.read(a, g)
+            elif k == WRITE:
+                b.write(a, g)
+            elif k == LOCK:
+                b.lock(g, a)
+            elif k == UNLOCK:
+                b.unlock(g, a)
+            elif k == BARRIER:
+                b.barrier(g)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown record kind {k}")
 
     def lock(self, lk: SharedLock) -> None:
         self.b.lock(lk.lock_id, lk.addr)
@@ -183,17 +253,30 @@ class Workload(ABC):
         self.seed = seed
 
     # -- generation ---------------------------------------------------------------
-    def generate(self, n_procs: int | None = None) -> TraceSet:
-        """Run the model and produce the multi-processor trace."""
+    def generate(
+        self,
+        n_procs: int | None = None,
+        bulk: bool = True,
+        check: bool = False,
+    ) -> TraceSet:
+        """Run the model and produce the multi-processor trace.
+
+        ``bulk=False`` forces record-by-record emission through the
+        scalar builder API; the result is byte-identical to bulk mode
+        (enforced by tests/test_tracegen_differential.py), just slower.
+        ``check=True`` validates during emission (per record in scalar
+        mode, per chunk in bulk mode) instead of deferring to the
+        finish-time validator.
+        """
         n = n_procs or self.default_procs
         layout = AddressLayout(n)
         rng = np.random.default_rng(self.seed)
         builders = [
-            TraceBuilder(p, layout, program=self.name, check=False) for p in range(n)
+            TraceBuilder(p, layout, program=self.name, check=check) for p in range(n)
         ]
         sites: dict = {}
         ctxs = [
-            ProcContext(p, builders[p], layout, rng, sites, cpi=self.cpi)
+            ProcContext(p, builders[p], layout, rng, sites, cpi=self.cpi, bulk=bulk)
             for p in range(n)
         ]
         self.build(ctxs, layout, rng)

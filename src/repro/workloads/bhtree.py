@@ -99,23 +99,28 @@ class QuadTree:
     def traverse(self, x: float, y: float, theta: float = 0.7) -> list[int]:
         """Node ids visited evaluating the force on (x, y)."""
         visited: list[int] = []
+        append = visited.append
         stack = [self.root]
+        pop = stack.pop
+        push = stack.append
+        tt = theta * theta
         while stack:
-            node = stack.pop()
+            node = pop()
             if node.count == 0:
                 continue
-            visited.append(node.node_id)
-            if node.children is None:
+            append(node.node_id)
+            children = node.children
+            if children is None:
                 continue
             dx = node.cx - x
             dy = node.cy - y
             dist2 = dx * dx + dy * dy + 1e-9
             size = 2 * node.half
-            if size * size > theta * theta * dist2:
+            if size * size > tt * dist2:
                 # too close: open the cell
-                for child in node.children:
+                for child in children:
                     if child is not None:
-                        stack.append(child)
+                        push(child)
             # else: accept the cell's aggregate -- already counted
         return visited
 

@@ -33,6 +33,7 @@ import heapq
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import ProcContext, SharedLock, Workload, run_coordinated
 from .presto import PrestoRuntime
 
@@ -67,6 +68,7 @@ class FullConn(Workload):
 
         # the distributed simulation's state: per-node timestamped heaps,
         # seeded so every node has work from virtual time zero
+        tmpl_cache: dict[int, tuple] = {}
         heaps: list[list] = [[] for _ in range(n)]
         seq = {"n": 0}
         for node in range(n):
@@ -90,7 +92,9 @@ class FullConn(Workload):
                     vtime = max(vtime, ts)
                 else:
                     vtime += 1.0
-                self._process_event(ctx, states[p], queues[p], topology, rng, e)
+                self._process_event(
+                    ctx, states[p], queues[p], topology, rng, e, tmpl_cache
+                )
                 if rng.random() < send_prob:
                     if rng.random() < 0.5 and n > 2:
                         # report to the rotating coordinator (GVT-style
@@ -112,37 +116,65 @@ class FullConn(Workload):
 
         run_coordinated([node_worker(p, ctx) for p, ctx in enumerate(ctxs)])
 
-    def _process_event(self, ctx: ProcContext, state, queue, topology, rng, e: int) -> None:
-        slot = queue + (e % self.QUEUE_SLOTS) * 64
-        # pull the event from our own queue (usually cache-hot) and copy
-        # its payload out ...
-        ctx.step(
-            "fullconn.pop",
-            22,
-            reads=[(slot, 8)],
-            writes=[queue, (state + 1024 + (e % 8) * 64, 4)],
-        )
-        # ... consult the (large, read-shared) topology table ...
+    def _process_event(
+        self, ctx: ProcContext, state, queue, topology, rng, e: int, cache: dict
+    ) -> None:
+        """One event: pop from our own queue (usually cache-hot) and copy
+        the payload out, consult the (large, read-shared) topology table,
+        simulate against node state, advance the virtual clock.
+
+        The 13-record pattern is fixed per node; the per-node template is
+        copied and the six event-dependent addresses patched in, instead
+        of re-deriving every record through four step() calls.
+        """
+        tmpl = cache.get(ctx.proc)
+        if tmpl is None:
+            kinds = [
+                IBLOCK, READ, WRITE, WRITE,
+                IBLOCK, READ,
+                IBLOCK, READ, READ, WRITE,
+                IBLOCK, READ, WRITE,
+            ]
+            addrs = [
+                ctx.site("fullconn.pop", 22), 0, queue, 0,
+                ctx.site("fullconn.route", 16), 0,
+                ctx.site("fullconn.simulate", 64), 0, 0, 0,
+                ctx.site("fullconn.advance", 18), state + 1536, state + 1536,
+            ]
+            args = [22, 8, 1, 4, 16, 8, 64, 12, 8, 6, 18, 4, 1]
+            cycs = [
+                ctx.cycles_for(22), 0, 0, 0,
+                ctx.cycles_for(16), 0,
+                ctx.cycles_for(64), 0, 0, 0,
+                ctx.cycles_for(18), 0, 0,
+            ]
+            cache[ctx.proc] = tmpl = (kinds, addrs, args, cycs)
+        kinds, addrs, args, cycs = tmpl
         cell = int(rng.integers(0, self.TOPO_CELLS - 2))
-        ctx.step("fullconn.route", 16, reads=[(topology + cell * 32, 8)])
-        # ... then simulate: compute against node state
         st = state + (e % 16) * 64
-        ctx.step(
-            "fullconn.simulate",
-            64,
-            reads=[(st, 12), (state + (e % 4) * 256, 8)],
-            writes=[(st, 6)],
-        )
-        ctx.step("fullconn.advance", 18, reads=[(state + 1536, 4)], writes=[state + 1536])
+        addr = addrs.copy()
+        addr[1] = queue + (e % self.QUEUE_SLOTS) * 64
+        addr[3] = state + 1024 + (e % 8) * 64
+        addr[5] = topology + cell * 32
+        addr[7] = st
+        addr[8] = state + (e % 4) * 256
+        addr[9] = st
+        ctx.emit_rows(kinds, addr, args, cycs)
 
     def _send_event(self, ctx: ProcContext, lock, queue, rng) -> None:
         """Append a message to a peer's event queue under its lock."""
         slot = queue + int(rng.integers(0, self.QUEUE_SLOTS)) * 64
-        ctx.lock(lock)
-        ctx.step(
-            "fullconn.enqueue",
-            74,
-            reads=[queue, (slot, 2)],
-            writes=[(slot, 8), queue],
+        ctx.emit_rows(
+            [LOCK, IBLOCK, READ, READ, WRITE, WRITE, UNLOCK],
+            [
+                lock.addr,
+                ctx.site("fullconn.enqueue", 74),
+                queue,
+                slot,
+                slot,
+                queue,
+                lock.addr,
+            ],
+            [lock.lock_id, 74, 1, 2, 8, 1, lock.lock_id],
+            [0, ctx.cycles_for(74), 0, 0, 0, 0, 0],
         )
-        ctx.unlock(lock)

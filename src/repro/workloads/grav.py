@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import ProcContext, SharedLock, Workload
 from .bhtree import QuadTree, clustered_positions
 from .presto import PrestoRuntime
@@ -73,8 +74,11 @@ class Grav(Workload):
         bodies = [
             layout.alloc_shared(max(1, bodies_per_proc) * 64) for _ in range(n)
         ]  # Presto: "private" bodies are shared anyway
+        # plain-float pairs: the per-body unpack in the phase loops stays
+        # off the numpy-scalar path
         positions = [
-            clustered_positions(rng, max(1, bodies_per_proc)) for _ in range(n)
+            clustered_positions(rng, max(1, bodies_per_proc)).tolist()
+            for _ in range(n)
         ]
 
         inserts = self.scaled(self.INSERTS_PER_STEP)
@@ -99,31 +103,51 @@ class Grav(Workload):
         self, ctx: ProcContext, presto, tree_lock, tree, qt, positions, rng, inserts: int
     ) -> None:
         presto.dispatch(ctx, work_instr=self.DISPATCH_WORK)
+        d_site = ctx.site("grav.descend", 24)
+        d_cyc = ctx.cycles_for(24)
+        i_site = ctx.site("grav.insert", 40)
+        i_cyc = ctx.cycles_for(40)
+        la, lid = tree_lock.addr, tree_lock.lock_id
+        kinds: list[int] = []
+        addrs: list[int] = []
+        args: list[int] = []
+        cycs: list[int] = []
         for i in range(inserts):
             x, y = positions[i % len(positions)]
             path = qt.insert(float(x), float(y))
             # descend from the root reading real path nodes ...
-            ctx.step(
-                "grav.descend",
-                24,
-                reads=[(tree + nid * 64, 4) for nid in path[:3]],
-            )
+            kinds.append(IBLOCK)
+            addrs.append(d_site)
+            args.append(24)
+            cycs.append(d_cyc)
+            for nid in path[:3]:
+                kinds.append(READ)
+                addrs.append(tree + nid * 64)
+                args.append(4)
+                cycs.append(0)
             # ... then splice the body in under the tree lock, updating
             # the leaf and the subtree counts along the path
-            ctx.lock(tree_lock)
-            leaf = path[-1]
-            ctx.step(
-                "grav.insert",
-                40,
-                reads=[tree + leaf * 64, tree],
-                writes=[(tree + leaf * 64, 4), tree + 8],
-            )
-            ctx.unlock(tree_lock)
+            leaf = tree + path[-1] * 64
+            kinds += [LOCK, IBLOCK, READ, READ, WRITE, WRITE, UNLOCK]
+            addrs += [la, i_site, leaf, tree, leaf, tree + 8, la]
+            args += [lid, 40, 1, 1, 4, 1, lid]
+            cycs += [0, i_cyc, 0, 0, 0, 0, 0]
+        ctx.emit_rows(kinds, addrs, args, cycs)
 
     def _force_phase(self, ctx, presto, tree, qt, body_base, positions, chunks: int) -> None:
+        t_site = None
         bi = 0
         for _ in range(chunks):
             presto.dispatch(ctx, work_instr=self.DISPATCH_WORK)
+            if t_site is None:
+                t_site = ctx.site("grav.traverse", 36)
+                t_cyc = ctx.cycles_for(36)
+                k_site = ctx.site("grav.kernel", 52)
+                k_cyc = ctx.cycles_for(52)
+            kinds: list[int] = []
+            addrs: list[int] = []
+            args: list[int] = []
+            cycs: list[int] = []
             for b in range(self.BODIES_PER_CHUNK):
                 body = body_base + (bi % 64) * 64
                 x, y = positions[bi % len(positions)]
@@ -136,25 +160,34 @@ class Grav(Workload):
                     nodes = head + visited[-2:]
                 else:
                     nodes = visited
-                ctx.step(
-                    "grav.traverse",
-                    36,
-                    reads=[(tree + nid * 64, 5) for nid in nodes],
-                )
+                kinds.append(IBLOCK)
+                addrs.append(t_site)
+                args.append(36)
+                cycs.append(t_cyc)
+                for nid in nodes:
+                    kinds.append(READ)
+                    addrs.append(tree + nid * 64)
+                    args.append(5)
+                    cycs.append(0)
                 # gravity kernel: heavy arithmetic, then acceleration update
-                ctx.step(
-                    "grav.kernel",
-                    52,
-                    reads=[(body, 6)],
-                    writes=[(body + 32, 3)],
-                )
+                kinds += [IBLOCK, READ, WRITE]
+                addrs += [k_site, body, body + 32]
+                args += [52, 6, 3]
+                cycs += [k_cyc, 0, 0]
+            ctx.emit_rows(kinds, addrs, args, cycs)
 
     def _update_phase(self, ctx, body_base, n_bodies: int) -> None:
-        for b in range(n_bodies):
-            body = body_base + (b % 64) * 64
-            ctx.step(
-                "grav.update",
-                18,
-                reads=[(body, 4)],
-                writes=[(body, 4)],
-            )
+        site = ctx.site("grav.update", 18)
+        body = body_base + (np.arange(n_bodies, dtype=np.uint64) % 64) * 64
+        addr = np.empty(3 * n_bodies, dtype=np.uint64)
+        addr[0::3] = site
+        addr[1::3] = body
+        addr[2::3] = body
+        ctx.emit_columns(
+            np.tile(np.asarray([IBLOCK, READ, WRITE], dtype=np.uint8), n_bodies),
+            addr,
+            np.tile(np.asarray([18, 4, 4], dtype=np.uint32), n_bodies),
+            np.tile(
+                np.asarray([ctx.cycles_for(18), 0, 0], dtype=np.uint32), n_bodies
+            ),
+        )

@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import ProcContext, SharedLock, Workload
 from .presto import PrestoRuntime
 
@@ -39,36 +40,53 @@ class _Annealing:
         self.n_cells = n_cells
         side = int(math.ceil(math.sqrt(n_cells)))
         self.side = side
-        # cell -> (x, y) slot; one cell per slot
+        # cell -> (x, y) slot; one cell per slot.  The live placement is
+        # kept as plain Python lists: each move touches three-element
+        # nets, where list indexing beats numpy dispatch by an order of
+        # magnitude (this is the trace generator's hottest model code).
         slots = rng.permutation(side * side)[:n_cells]
-        self.x = (slots % side).astype(np.int32)
-        self.y = (slots // side).astype(np.int32)
+        self._xl: list[int] = (slots % side).tolist()
+        self._yl: list[int] = (slots // side).tolist()
         # netlist: each cell connects to `fanout` random partners
         self.nets = rng.integers(0, n_cells, size=(n_cells, fanout)).astype(np.int32)
+        self._netl: list[list[int]] = self.nets.tolist()
         self.temperature = float(side)  # hot start: accept nearly anything
         self.accepted = 0
         self.proposed = 0
 
+    @property
+    def x(self) -> np.ndarray:
+        """Current cell x coordinates (array view for tests/analysis)."""
+        return np.asarray(self._xl, dtype=np.int32)
+
+    @property
+    def y(self) -> np.ndarray:
+        """Current cell y coordinates (array view for tests/analysis)."""
+        return np.asarray(self._yl, dtype=np.int32)
+
     def _cell_cost(self, c: int) -> int:
-        return int(
-            np.abs(self.x[self.nets[c]] - self.x[c]).sum()
-            + np.abs(self.y[self.nets[c]] - self.y[c]).sum()
-        )
+        xl, yl = self._xl, self._yl
+        xc, yc = xl[c], yl[c]
+        total = 0
+        for n in self._netl[c]:
+            total += abs(xl[n] - xc) + abs(yl[n] - yc)
+        return total
 
     def propose_swap(self, a: int, b: int, rng: np.random.Generator) -> bool:
         """Real Metropolis step: swap positions of cells a and b if the
         wirelength delta passes; returns acceptance."""
         self.proposed += 1
+        xl, yl = self._xl, self._yl
         before = self._cell_cost(a) + self._cell_cost(b)
-        self.x[a], self.x[b] = self.x[b], self.x[a]
-        self.y[a], self.y[b] = self.y[b], self.y[a]
+        xl[a], xl[b] = xl[b], xl[a]
+        yl[a], yl[b] = yl[b], yl[a]
         delta = (self._cell_cost(a) + self._cell_cost(b)) - before
         if delta <= 0 or rng.random() < math.exp(-delta / max(1e-9, self.temperature)):
             self.accepted += 1
             return True
         # reject: swap back
-        self.x[a], self.x[b] = self.x[b], self.x[a]
-        self.y[a], self.y[b] = self.y[b], self.y[a]
+        xl[a], xl[b] = xl[b], xl[a]
+        yl[a], yl[b] = yl[b], yl[a]
         return False
 
     def cool(self, factor: float = 0.97) -> None:
@@ -112,39 +130,46 @@ class Pdsa(Workload):
                     self._commit(ctx, anneal_lock, cost_rec, placement, rng)
 
     def _move_batch(self, ctx: ProcContext, placement, netlist, anneal, rng) -> None:
-        cells = rng.integers(0, self.CELLS, size=(self.MOVES_PER_CHUNK, 2))
+        cells = rng.integers(0, self.CELLS, size=(self.MOVES_PER_CHUNK, 2)).tolist()
+        e_site = ctx.site("pdsa.eval", 34)
+        e_cyc = ctx.cycles_for(34)
+        m_site = ctx.site("pdsa.metropolis", 18)
+        m_cyc = ctx.cycles_for(18)
+        s_site = ctx.site("pdsa.swap", 12)
+        s_cyc = ctx.cycles_for(12)
+        kinds: list[int] = []
+        addrs: list[int] = []
+        args: list[int] = []
+        cycs: list[int] = []
         for a, b in cells:
-            a, b = int(a), int(b)
             if a == b:
                 b = (a + 1) % self.CELLS
-            # read the two cells' positions and their nets
-            ctx.step(
-                "pdsa.eval",
-                34,
-                reads=[
-                    (placement + a * 32, 4),
-                    (placement + b * 32, 4),
-                    (netlist + a * 48, 6),
-                    (netlist + b * 48, 6),
-                ],
-            )
-            # cost delta arithmetic + Metropolis test (for real)
-            ctx.compute("pdsa.metropolis", 18)
+            pa, pb = placement + a * 32, placement + b * 32
+            # read the two cells' positions and their nets, then the cost
+            # delta arithmetic + Metropolis test (for real)
+            kinds += [IBLOCK, READ, READ, READ, READ, IBLOCK]
+            addrs += [e_site, pa, pb, netlist + a * 48, netlist + b * 48, m_site]
+            args += [34, 4, 4, 6, 6, 18]
+            cycs += [e_cyc, 0, 0, 0, 0, m_cyc]
             if anneal.propose_swap(a, b, rng):
-                ctx.step(
-                    "pdsa.swap",
-                    12,
-                    writes=[(placement + a * 32, 3), (placement + b * 32, 3)],
-                )
+                kinds += [IBLOCK, WRITE, WRITE]
+                addrs += [s_site, pa, pb]
+                args += [12, 3, 3]
+                cycs += [s_cyc, 0, 0]
+        ctx.emit_rows(kinds, addrs, args, cycs)
 
     def _commit(self, ctx: ProcContext, anneal_lock, cost_rec, placement, rng) -> None:
         """Fold the batch's accepted delta into the global annealing
         record (cost, acceptance counts, temperature schedule)."""
-        ctx.lock(anneal_lock)
-        ctx.step(
-            "pdsa.commit",
-            40,
-            reads=[(cost_rec, 4)],
-            writes=[(cost_rec, 4)],
+        ctx.emit_rows(
+            [LOCK, IBLOCK, READ, WRITE, UNLOCK],
+            [
+                anneal_lock.addr,
+                ctx.site("pdsa.commit", 40),
+                cost_rec,
+                cost_rec,
+                anneal_lock.addr,
+            ],
+            [anneal_lock.lock_id, 40, 4, 4, anneal_lock.lock_id],
+            [0, ctx.cycles_for(40), 0, 0, 0],
         )
-        ctx.unlock(anneal_lock)

@@ -26,6 +26,7 @@ shared heap via :meth:`PrestoRuntime.alloc_thread_data`.
 from __future__ import annotations
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import ProcContext, SharedLock
 
 __all__ = ["PrestoRuntime"]
@@ -44,6 +45,10 @@ class PrestoRuntime:
         self._sched_data = layout.alloc_shared(256)
         self._queue_data = layout.alloc_shared(256)
         self._thread_brk = layout.alloc_shared(0)
+        # dispatch/enqueue emit fixed record patterns (all addresses are
+        # runtime state); cache the column rows per (work_instr, cpi)
+        self._dispatch_cache: dict[tuple[int, float], tuple] = {}
+        self._enqueue_cache: dict[tuple[int, float], tuple] = {}
 
     # -- allocation under Presto's shared-everything allocator ----------------------
     def alloc_thread_data(self, nbytes: int) -> int:
@@ -59,52 +64,74 @@ class PrestoRuntime:
         touched under both.  ``work_instr`` sizes the bookkeeping blocks
         (it controls the ideal hold time of the scheduler lock).
         """
+        key = (work_instr, ctx.cpi)
+        rows = self._dispatch_cache.get(key)
+        if rows is None:
+            rows = self._dispatch_cache[key] = self._dispatch_rows(
+                ctx, work_instr
+            )
+        ctx.emit_rows(*rows)
+
+    def _dispatch_rows(self, ctx: ProcContext, work_instr: int) -> tuple:
         sd, qd = self._sched_data, self._queue_data
-        ctx.lock(self.sched_lock)
-        # scheduler bookkeeping: policy check, current-thread save
-        ctx.step(
-            "presto.sched.enter",
-            work_instr,
-            reads=[sd, sd + 32],
-            writes=[sd + 64],
-        )
-        ctx.lock(self.queue_lock)
-        # dequeue: head pointer, thread control block, length update
-        ctx.step(
-            "presto.queue.pop",
-            work_instr,
-            reads=[qd, qd + 16],
-            writes=[qd, qd + 32],
-        )
-        ctx.unlock(self.queue_lock)
-        # context switch bookkeeping before the scheduler lock drops
-        ctx.step(
-            "presto.sched.switch",
-            work_instr,
-            reads=[sd + 96],
-            writes=[sd + 64, sd + 96],
-        )
-        # policy epilogue: a stretch of pure compute between the last
-        # store and the unlock, long enough for the buffered write to
-        # perform (the reason the paper finds the cache-bus buffers
-        # "almost never" non-empty at synchronization points)
-        ctx.compute("presto.sched.exit", 8)
-        ctx.unlock(self.sched_lock)
-        # register restore / stack switch outside any lock
-        ctx.compute("presto.switch.tail", 10)
+        sl, ql = self.sched_lock, self.queue_lock
+        w = work_instr
+        wc = ctx.cycles_for(w)
+        rows = [
+            (LOCK, sl.addr, sl.lock_id, 0),
+            # scheduler bookkeeping: policy check, current-thread save
+            (IBLOCK, ctx.site("presto.sched.enter", w), w, wc),
+            (READ, sd, 1, 0),
+            (READ, sd + 32, 1, 0),
+            (WRITE, sd + 64, 1, 0),
+            (LOCK, ql.addr, ql.lock_id, 0),
+            # dequeue: head pointer, thread control block, length update
+            (IBLOCK, ctx.site("presto.queue.pop", w), w, wc),
+            (READ, qd, 1, 0),
+            (READ, qd + 16, 1, 0),
+            (WRITE, qd, 1, 0),
+            (WRITE, qd + 32, 1, 0),
+            (UNLOCK, ql.addr, ql.lock_id, 0),
+            # context switch bookkeeping before the scheduler lock drops
+            (IBLOCK, ctx.site("presto.sched.switch", w), w, wc),
+            (READ, sd + 96, 1, 0),
+            (WRITE, sd + 64, 1, 0),
+            (WRITE, sd + 96, 1, 0),
+            # policy epilogue: a stretch of pure compute between the last
+            # store and the unlock, long enough for the buffered write to
+            # perform (the reason the paper finds the cache-bus buffers
+            # "almost never" non-empty at synchronization points)
+            (IBLOCK, ctx.site("presto.sched.exit", 8), 8, ctx.cycles_for(8)),
+            (UNLOCK, sl.addr, sl.lock_id, 0),
+            # register restore / stack switch outside any lock
+            (IBLOCK, ctx.site("presto.switch.tail", 10), 10, ctx.cycles_for(10)),
+        ]
+        kinds, addrs, args, cycs = (list(col) for col in zip(*rows))
+        return kinds, addrs, args, cycs
 
     def enqueue(self, ctx: ProcContext, work_instr: int = 8) -> None:
         """Make a thread runnable: the queue lock alone (the inner lock
         held while the outer is not)."""
-        qd = self._queue_data
-        ctx.lock(self.queue_lock)
-        ctx.step(
-            "presto.queue.push",
-            work_instr,
-            reads=[qd + 16],
-            writes=[qd + 16, qd + 48],
-        )
-        ctx.unlock(self.queue_lock)
+        key = (work_instr, ctx.cpi)
+        rows = self._enqueue_cache.get(key)
+        if rows is None:
+            qd = self._queue_data
+            ql = self.queue_lock
+            w = work_instr
+            rows = self._enqueue_cache[key] = (
+                [LOCK, IBLOCK, READ, WRITE, WRITE, UNLOCK],
+                [
+                    ql.addr,
+                    ctx.site("presto.queue.push", w),
+                    qd + 16,
+                    qd + 16,
+                    qd + 48,
+                    ql.addr,
+                ],
+                [ql.lock_id, w, 1, 1, 1, ql.lock_id],
+                [0, ctx.cycles_for(w), 0, 0, 0, 0],
+            )
+        ctx.emit_rows(*rows)
 
     def spawn(self, ctx: ProcContext, work_instr: int = 20) -> None:
         """Thread creation: allocate + initialize the control block from

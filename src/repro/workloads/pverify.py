@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import ProcContext, SharedLock, Workload
 from .circuit import Circuit
 
@@ -61,6 +62,11 @@ class Pverify(Workload):
 
         cones = self.scaled(self.CONES)
         stripe = self.PARTITIONS // max(1, len(ctxs))
+        # both phase patterns are periodic; precompute the column
+        # templates once (sites allocate here, in first-use order) and
+        # patch the per-cone addresses at emission time
+        eval_tmpl = self._eval_template(ctxs[0])
+        install_tmpl = self._install_template(ctxs[0], table)
         for ctx in ctxs:
             # The circuit outputs are distributed to processors up front,
             # so each processor's results land mostly in its own stripe of
@@ -80,12 +86,30 @@ class Pverify(Workload):
             for c in range(cones):
                 part = int(parts[c])
                 self._evaluate_cone(
-                    ctx, netlist, scratch[ctx.proc], rng, circuit, int(outputs[c])
+                    ctx, eval_tmpl, netlist, scratch[ctx.proc], rng, circuit,
+                    int(outputs[c]),
                 )
-                self._install_result(ctx, part_locks[part], table, part, rng)
+                self._install_result(
+                    ctx, install_tmpl, part_locks[part], table, part
+                )
+
+    def _eval_template(self, ctx: ProcContext):
+        """Per-block pattern of the unlocked phase: IBLOCK, netlist read,
+        scratch read, scratch write.  Addresses at [1::4]/[2::4]/[3::4]
+        are patched per cone."""
+        n = self.EVAL_BLOCKS
+        kind = np.tile(np.asarray([IBLOCK, READ, READ, WRITE], dtype=np.uint8), n)
+        addr = np.empty(4 * n, dtype=np.uint64)
+        addr[0::4] = ctx.site("pverify.eval", 42)
+        arg = np.tile(np.asarray([42, 4, 4, 3], dtype=np.uint32), n)
+        cyc = np.tile(
+            np.asarray([ctx.cycles_for(42), 0, 0, 0], dtype=np.uint32), n
+        )
+        return kind, addr, arg, cyc
 
     def _evaluate_cone(
-        self, ctx: ProcContext, netlist, scratch, rng, circuit: Circuit, output: int
+        self, ctx: ProcContext, tmpl, netlist, scratch, rng, circuit: Circuit,
+        output: int,
     ) -> None:
         """Unlocked phase: simulate the cone against private scratch.
 
@@ -93,27 +117,49 @@ class Pverify(Workload):
         gates are exclusive to this cone, while the input-side gates are
         shared with other processors' cones (read-hot lines)."""
         gates = circuit.cone_sample(output, self.EVAL_BLOCKS, rng)
-        for i in range(self.EVAL_BLOCKS):
-            gate = gates[i % len(gates)]
-            off = ((output * 7 + i) % 128) * 64
-            ctx.step(
-                "pverify.eval",
-                42,
-                reads=[(netlist + gate * 32, 4), (scratch + off, 4)],
-                writes=[(scratch + off, 3)],
-            )
+        kind, addr, arg, cyc = tmpl
+        idx = np.arange(self.EVAL_BLOCKS)
+        gate = np.asarray(gates)[idx % len(gates)]
+        off = ((output * 7 + idx) % 128) * 64
+        addr = addr.copy()
+        addr[1::4] = netlist + gate * 32
+        addr[2::4] = scratch + off
+        addr[3::4] = scratch + off
+        ctx.emit_columns(kind, addr, arg, cyc)
 
-    def _install_result(self, ctx: ProcContext, lock, table, part: int, rng) -> None:
+    def _install_template(self, ctx: ProcContext, table):
+        """Pattern of the locked phase against partition 0; the slot rows
+        (marked in the mask) shift by ``part * 512`` per emission, the
+        LOCK/UNLOCK bookends get the partition lock patched in."""
+        rows = [(LOCK, 0, 0, 0)]
+        mask = [0]
+        site = ctx.site("pverify.install", 48)
+        cycles = ctx.cycles_for(48)
+        for i in range(self.INSTALL_BLOCKS):
+            slot = table + (i % 8) * 64
+            rows.append((IBLOCK, site, 48, cycles))
+            rows.append((READ, slot, 4, 0))
+            mask += [0, 1]
+            if i % 3 == 0:
+                rows.append((WRITE, slot, 1, 0))
+                mask.append(1)
+        rows.append((UNLOCK, 0, 0, 0))
+        mask.append(0)
+        cols = list(zip(*rows))
+        return (
+            np.asarray(cols[0], dtype=np.uint8),
+            np.asarray(cols[1], dtype=np.uint64),
+            np.asarray(cols[2], dtype=np.uint32),
+            np.asarray(cols[3], dtype=np.uint32),
+            np.asarray(mask, dtype=np.uint64),
+        )
+
+    def _install_result(self, ctx: ProcContext, tmpl, lock, table, part: int) -> None:
         """Locked phase: walk the partition's bucket chain comparing and
         installing the canonical cone -- the 3600-cycle critical section."""
-        base = table + part * 512
-        ctx.lock(lock)
-        for i in range(self.INSTALL_BLOCKS):
-            slot = base + (i % 8) * 64
-            ctx.step(
-                "pverify.install",
-                48,
-                reads=[(slot, 4)],
-                writes=[slot] if i % 3 == 0 else [],
-            )
-        ctx.unlock(lock)
+        kind, addr, arg, cyc, mask = tmpl
+        addr = addr + mask * np.uint64(part * 512)
+        addr[0] = addr[-1] = lock.addr
+        arg = arg.copy()
+        arg[0] = arg[-1] = lock.lock_id
+        ctx.emit_columns(kind, addr, arg, cyc)

@@ -33,6 +33,7 @@ from collections import deque
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, READ, WRITE
 from .base import ProcContext, SharedLock, Workload, run_coordinated
 
 __all__ = ["Qsort"]
@@ -105,16 +106,40 @@ class Qsort(Workload):
 
     def _partition(self, ctx: ProcContext, array, lo: int, hi: int, rng) -> int:
         """Sequential partition scan: read every element (4 per record via
-        the repetition encoding), exchange roughly a third in place."""
+        the repetition encoding), exchange roughly a third in place.
+
+        The scan is one IBLOCK + read (+ exchange write on every third
+        chunk) per 4-element chunk; the whole range's columns are built
+        with a prefix-sum over the per-chunk record counts and emitted in
+        one run (~15 instructions per 4 elements: compare/branch/index
+        updates).
+        """
         ctx.step("qsort.pivot", 12, reads=[array + lo * 4, array + (hi - 1) * 4])
-        i = lo
-        while i < hi:
-            chunk = min(4, hi - i)
-            a = array + i * 4
-            # ~15 instructions per 4 elements: compare/branch/index updates
-            writes = [(a, chunk)] if (i // 4) % 3 == 0 else []
-            ctx.step("qsort.scan", 8, reads=[(a, chunk)], writes=writes)
-            i += chunk
+        scan_site = ctx.site("qsort.scan", 8)
+        scan_cyc = ctx.cycles_for(8)
+        m = (hi - lo + 3) // 4
+        i = lo + 4 * np.arange(m)
+        chunk = np.minimum(4, hi - i)
+        a = (array + i * 4).astype(np.uint64)
+        hasw = (i // 4) % 3 == 0
+        reps = 2 + hasw  # records per chunk: IBLOCK, READ, optional WRITE
+        starts = np.cumsum(reps) - reps
+        total = int(starts[-1] + reps[-1])
+        widx = starts[hasw] + 2
+        kind = np.full(total, READ, dtype=np.uint8)
+        kind[starts] = IBLOCK
+        kind[widx] = WRITE
+        addr = np.empty(total, dtype=np.uint64)
+        addr[starts] = scan_site
+        addr[starts + 1] = a
+        addr[widx] = a[hasw]
+        arg = np.empty(total, dtype=np.uint32)
+        arg[starts] = 8
+        arg[starts + 1] = chunk
+        arg[widx] = chunk[hasw]
+        cyc = np.zeros(total, dtype=np.uint32)
+        cyc[starts] = scan_cyc
+        ctx.emit_columns(kind, addr, arg, cyc)
         split = int(rng.integers(35, 65)) / 100.0
         mid = lo + max(1, min(hi - lo - 1, int((hi - lo) * split)))
         return mid
@@ -122,12 +147,22 @@ class Qsort(Workload):
     def _local_sort(self, ctx: ProcContext, array, lo: int, hi: int) -> None:
         """Finish a small range in place: two scan passes standing in for
         the recursion tail + insertion sort."""
-        for _pass in range(2):
-            i = lo
-            while i < hi:
-                chunk = min(4, hi - i)
-                a = array + i * 4
-                ctx.step(
-                    "qsort.local", 9, reads=[(a, chunk)], writes=[(a, chunk)]
-                )
-                i += chunk
+        site = ctx.site("qsort.local", 9)
+        m = (hi - lo + 3) // 4
+        i = lo + 4 * np.arange(m)
+        chunk = np.minimum(4, hi - i).astype(np.uint32)
+        a = (array + i * 4).astype(np.uint64)
+        kind = np.tile(np.asarray([IBLOCK, READ, WRITE], dtype=np.uint8), m)
+        addr = np.empty(3 * m, dtype=np.uint64)
+        addr[0::3] = site
+        addr[1::3] = a
+        addr[2::3] = a
+        arg = np.empty(3 * m, dtype=np.uint32)
+        arg[0::3] = 9
+        arg[1::3] = chunk
+        arg[2::3] = chunk
+        cyc = np.zeros(3 * m, dtype=np.uint32)
+        cyc[0::3] = ctx.cycles_for(9)
+        # both passes emit the identical record run
+        ctx.emit_columns(kind, addr, arg, cyc)
+        ctx.emit_columns(kind, addr, arg, cyc)

@@ -6,6 +6,7 @@ model instance; ``generate_suite`` produces every trace for a sweep.
 
 from __future__ import annotations
 
+from ..trace.cache import resolve_trace_cache
 from ..trace.records import TraceSet
 from .base import Workload
 from .fullconn import FullConn
@@ -60,11 +61,36 @@ def generate_trace(
     scale: float = 1.0,
     seed: int = 1991,
     n_procs: int | None = None,
+    bulk: bool = True,
+    trace_cache=None,
 ) -> TraceSet:
-    """Generate one benchmark's trace set."""
-    return get_workload(name, scale=scale, seed=seed).generate(n_procs=n_procs)
+    """Generate one benchmark's trace set.
+
+    ``trace_cache`` routes the lookup through a content-addressed
+    :class:`repro.trace.cache.TraceCache`: a hit loads the stored trace
+    (memory-mapped, shared between processes) instead of regenerating.
+    Accepts a cache handle, a directory, ``True`` (default directory) or
+    ``False`` (off); ``None`` defers to ``$REPRO_TRACE_CACHE``.  Cached
+    and fresh tracesets are byte-identical (enforced by
+    tests/test_trace_cache.py and ``repro diff-verify``).
+    """
+    name = name.lower()
+    cache = resolve_trace_cache(trace_cache)
+    if cache is not None:
+        ts = cache.get(name, scale, seed, n_procs)
+        if ts is not None:
+            return ts
+    ts = get_workload(name, scale=scale, seed=seed).generate(n_procs=n_procs, bulk=bulk)
+    if cache is not None:
+        cache.put(ts, scale=scale, seed=seed, n_procs=n_procs)
+    return ts
 
 
-def generate_suite(scale: float = 1.0, seed: int = 1991) -> dict[str, TraceSet]:
+def generate_suite(
+    scale: float = 1.0, seed: int = 1991, trace_cache=None
+) -> dict[str, TraceSet]:
     """Generate the whole benchmark suite at one scale."""
-    return {name: generate_trace(name, scale=scale, seed=seed) for name in BENCHMARK_ORDER}
+    return {
+        name: generate_trace(name, scale=scale, seed=seed, trace_cache=trace_cache)
+        for name in BENCHMARK_ORDER
+    }

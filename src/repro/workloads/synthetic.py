@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, LOCK, READ, UNLOCK, WRITE
 from .base import SharedLock, Workload
 
 __all__ = ["SyntheticContention"]
@@ -72,21 +73,33 @@ class SyntheticContention(Workload):
         scratch = [layout.alloc_private(ctx.proc, 1024) for ctx in ctxs]
 
         iters = self.scaled(self.ITERATIONS)
+        think = self.think_instr
         for ctx in ctxs:
             # stagger the first acquisition so the queue forms gradually
             ctx.compute("synth.init", 5 + 11 * ctx.proc)
-            for i in range(iters):
-                ctx.lock(lock)
-                ctx.step(
-                    "synth.critical",
-                    self.critical_instr,
-                    reads=[(counter, 4)],
-                    writes=[(counter, 2)],
+            # the whole acquire/touch/release/think loop is one periodic
+            # record pattern; tile it and patch the per-iteration scratch
+            # address instead of emitting ~7 records x iters one by one
+            crit = ctx.site("synth.critical", self.critical_instr)
+            pat_kind = [LOCK, IBLOCK, READ, WRITE, UNLOCK]
+            pat_addr = [lock.addr, crit, counter, counter, lock.addr]
+            pat_arg = [lock.lock_id, self.critical_instr, 4, 2, lock.lock_id]
+            pat_cyc = [0, ctx.cycles_for(self.critical_instr), 0, 0, 0]
+            if think:
+                pat_kind += [IBLOCK, READ]
+                pat_addr += [ctx.site("synth.think", think), 0]
+                pat_arg += [think, 2]
+                pat_cyc += [ctx.cycles_for(think), 0]
+            period = len(pat_kind)
+            addr = np.tile(np.asarray(pat_addr, dtype=np.uint64), iters)
+            if think:
+                addr[period - 1 :: period] = (
+                    scratch[ctx.proc]
+                    + (np.arange(iters, dtype=np.uint64) % 8) * 64
                 )
-                ctx.unlock(lock)
-                if self.think_instr:
-                    ctx.step(
-                        "synth.think",
-                        self.think_instr,
-                        reads=[(scratch[ctx.proc] + (i % 8) * 64, 2)],
-                    )
+            ctx.emit_columns(
+                np.tile(np.asarray(pat_kind, dtype=np.uint8), iters),
+                addr,
+                np.tile(np.asarray(pat_arg, dtype=np.uint32), iters),
+                np.tile(np.asarray(pat_cyc, dtype=np.uint32), iters),
+            )

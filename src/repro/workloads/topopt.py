@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..trace.layout import AddressLayout
+from ..trace.records import IBLOCK, READ, RECORD_DTYPE, WRITE
 from .base import ProcContext, Workload
 
 __all__ = ["Topopt"]
@@ -51,12 +52,34 @@ class Topopt(Workload):
         for ctx in ctxs:
             if ctx.proc == 0:
                 ctx.cpi = self.cpi * self.SKEW_CPI
+            # the per-window record patterns are fixed per processor
+            # (annealing move indices are deterministic; only the load
+            # slice moves with the rng) -- precompute them once and
+            # reuse across all windows
+            load = self._load_columns(ctx, circuit, window_buf[ctx.proc])
+            anneal = self._anneal_records(ctx, window_buf[ctx.proc])
+            store = self._store_rows(ctx, results[ctx.proc])
             for w in range(windows):
-                self._load_window(ctx, circuit, window_buf[ctx.proc], rng)
-                self._anneal_window(ctx, window_buf[ctx.proc], rng)
-                self._store_window(ctx, results[ctx.proc], w)
+                self._load_window(ctx, load, rng)
+                ctx.emit_records(anneal)
+                self._store_window(ctx, store, w)
 
-    def _load_window(self, ctx: ProcContext, circuit, buf, rng) -> None:
+    def _load_columns(self, ctx: ProcContext, circuit, buf):
+        """Precompute the 12-step load pattern; the read addresses get
+        the window's base cell added per emission."""
+        idx = np.arange(12, dtype=np.uint64)
+        kind = np.tile(np.asarray([IBLOCK, READ, WRITE], dtype=np.uint8), 12)
+        addr = np.empty(36, dtype=np.uint64)
+        addr[0::3] = ctx.site("topopt.load", 20)
+        addr[1::3] = circuit + idx * 4 * 32  # + cell*32 per window
+        addr[2::3] = buf + (idx % 32) * 64
+        arg = np.tile(np.asarray([20, 8, 4], dtype=np.uint32), 12)
+        cyc = np.tile(
+            np.asarray([ctx.cycles_for(20), 0, 0], dtype=np.uint32), 12
+        )
+        return kind, addr, arg, cyc
+
+    def _load_window(self, ctx: ProcContext, load, rng) -> None:
         """Read a slice of the shared circuit into the private window.
 
         Dynamic windowing keeps each processor inside its own partition
@@ -66,37 +89,53 @@ class Topopt(Workload):
         span = self.CIRCUIT_CELLS // 16
         region = (ctx.proc % 16) * span
         cell = region + int(rng.integers(0, max(1, span - 64)))
-        for i in range(12):
-            ctx.step(
-                "topopt.load",
-                20,
-                reads=[(circuit + (cell + i * 4) * 32, 8)],
-                writes=[(buf + (i % 32) * 64, 4)],
-            )
+        kind, addr, arg, cyc = load
+        addr = addr.copy()
+        addr[1::3] += cell * 32
+        ctx.emit_columns(kind, addr, arg, cyc)
 
-    def _anneal_window(self, ctx: ProcContext, buf, rng) -> None:
-        """Annealing moves entirely within the private window buffer."""
+    def _anneal_records(self, ctx: ProcContext, buf) -> np.ndarray:
+        """Annealing moves entirely within the private window buffer --
+        one fixed record chunk per processor."""
+        rows: list[tuple[int, int, int, int]] = []
+        move_s = ctx.site("topopt.move", 44)
+        cost_s = ctx.site("topopt.cost", 22)
+        move_c, cost_c = ctx.cycles_for(44), ctx.cycles_for(22)
+        commit_s = commit_c = None
         for m in range(self.MOVES_PER_WINDOW):
             a = (m * 7) % 120
             b = (m * 13 + 5) % 120
-            ctx.step(
-                "topopt.move",
-                44,
-                reads=[(buf + a * 64, 4), (buf + b * 64, 4)],
-            )
-            ctx.compute("topopt.cost", 22)
+            rows += [
+                (IBLOCK, move_s, 44, move_c),
+                (READ, buf + a * 64, 4, 0),
+                (READ, buf + b * 64, 4, 0),
+                (IBLOCK, cost_s, 22, cost_c),
+            ]
             if m % 3 != 0:
-                ctx.step(
-                    "topopt.commit",
-                    10,
-                    writes=[(buf + a * 64, 2), (buf + b * 64, 2)],
-                )
+                if commit_s is None:
+                    commit_s = ctx.site("topopt.commit", 10)
+                    commit_c = ctx.cycles_for(10)
+                rows += [
+                    (IBLOCK, commit_s, 10, commit_c),
+                    (WRITE, buf + a * 64, 2, 0),
+                    (WRITE, buf + b * 64, 2, 0),
+                ]
+        return np.array(rows, dtype=RECORD_DTYPE)
 
-    def _store_window(self, ctx: ProcContext, results, w: int) -> None:
-        base = results + (w % 64) * 256
-        for i in range(4):
-            ctx.step(
-                "topopt.store",
-                16,
-                writes=[(base + i * 64, 8)],
-            )
+    def _store_rows(self, ctx: ProcContext, results):
+        """Precompute the 4-step store pattern against the w=0 base;
+        per-window emission shifts the write addresses."""
+        store_s = ctx.site("topopt.store", 16)
+        store_c = ctx.cycles_for(16)
+        kinds = [IBLOCK, WRITE] * 4
+        addrs = [a for i in range(4) for a in (store_s, results + i * 64)]
+        args = [a for _ in range(4) for a in (16, 8)]
+        cycs = [c for _ in range(4) for c in (store_c, 0)]
+        return kinds, addrs, args, cycs
+
+    def _store_window(self, ctx: ProcContext, store, w: int) -> None:
+        off = (w % 64) * 256
+        kinds, addrs, args, cycs = store
+        ctx.emit_rows(
+            kinds, [a + off if i % 2 else a for i, a in enumerate(addrs)], args, cycs
+        )

@@ -138,3 +138,37 @@ class TestCacheInvalidation:
         path.write_text(json.dumps(payload))
         assert cache.get(SPEC) is None
         assert cache.stats.invalidated == 1
+
+    def test_truncated_object_is_invalidated(self, cache):
+        """A crash mid-write elsewhere (or disk trouble) can leave a
+        prefix of a valid object: parseable failures, not just garbage."""
+        cache.put(SPEC, SPEC.run())
+        path = cache.path_for(SPEC.cache_key())
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get(SPEC) is None
+        assert cache.stats.invalidated == 1
+        assert not path.exists()
+
+    def test_malformed_result_payload_is_invalidated(self, cache):
+        """Valid JSON whose result decodes with an exception *outside*
+        the old (KeyError, TypeError, ValueError) tuple -- e.g. the
+        AttributeError from a list where a mapping belongs -- must heal
+        like any other corrupt object instead of escaping to the caller."""
+        cache.put(SPEC, SPEC.run())
+        path = cache.path_for(SPEC.cache_key())
+        payload = json.loads(path.read_text())
+        payload["result"]["bus_op_counts"] = ["not", "a", "mapping"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(SPEC) is None
+        assert cache.stats.invalidated == 1
+        assert not path.exists()
+
+    def test_heals_then_repopulates(self, cache):
+        cache.put(SPEC, SPEC.run())
+        path = cache.path_for(SPEC.cache_key())
+        path.write_text("{ not json")
+        assert cache.get(SPEC) is None
+        fresh = SPEC.run()
+        cache.put(SPEC, fresh)
+        assert cache.get(SPEC) == fresh

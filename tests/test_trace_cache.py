@@ -1,0 +1,291 @@
+"""Tests for the content-addressed trace cache (repro.trace.cache)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.trace.cache import (
+    TRACE_CACHE_FORMAT,
+    TraceCache,
+    default_trace_cache_dir,
+    resolve_trace_cache,
+    trace_key,
+)
+from repro.trace.encode import FORMAT_VERSION, dumps_traceset
+from repro.workloads.registry import generate_trace
+
+PROGRAM = "fullconn"
+SCALE = 0.1
+SEED = 7
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "traces")
+
+
+@pytest.fixture
+def stored(cache):
+    """A traceset generated fresh and stored in the cache."""
+    ts = generate_trace(PROGRAM, scale=SCALE, seed=SEED)
+    key = cache.put(ts, scale=SCALE, seed=SEED)
+    return ts, key
+
+
+class TestRoundTrip:
+    def test_get_returns_byte_identical_traceset(self, cache, stored):
+        ts, _key = stored
+        hit = cache.get(PROGRAM, scale=SCALE, seed=SEED)
+        assert hit is not None
+        assert dumps_traceset(hit) == dumps_traceset(ts)
+
+    def test_hit_is_memory_mapped(self, cache, stored):
+        hit = cache.get(PROGRAM, scale=SCALE, seed=SEED)
+        assert isinstance(hit[0].records.base, np.memmap)
+
+    def test_mmap_mode_none_reads_private_copy(self, tmp_path, stored):
+        _, _ = stored
+        other = TraceCache(tmp_path / "traces", mmap_mode=None)
+        hit = other.get(PROGRAM, scale=SCALE, seed=SEED)
+        assert hit is not None
+        assert not isinstance(hit[0].records.base, np.memmap)
+
+    def test_layout_and_meta_survive(self, cache, stored):
+        ts, _ = stored
+        hit = cache.get(PROGRAM, scale=SCALE, seed=SEED)
+        assert hit.layout.to_dict() == ts.layout.to_dict()
+        assert hit.meta == ts.meta
+        assert hit.program == ts.program
+        assert hit.n_procs == ts.n_procs
+
+    def test_stats_accounting(self, cache, stored):
+        assert cache.stats.puts == 1
+        cache.get(PROGRAM, scale=SCALE, seed=SEED)
+        cache.get(PROGRAM, scale=SCALE, seed=SEED + 1)  # miss
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+        assert "1 hits, 1 misses" in cache.stats.summary()
+
+
+class TestKeying:
+    def test_key_is_param_sensitive(self):
+        base = trace_key(PROGRAM, SCALE, SEED)
+        assert trace_key(PROGRAM, SCALE, SEED) == base  # stable
+        assert trace_key("qsort", SCALE, SEED) != base
+        assert trace_key(PROGRAM, SCALE + 0.1, SEED) != base
+        assert trace_key(PROGRAM, SCALE, SEED + 1) != base
+        assert trace_key(PROGRAM, SCALE, SEED, n_procs=4) != base
+
+    def test_key_covers_format_versions(self, monkeypatch):
+        import repro.trace.cache as mod
+
+        base = trace_key(PROGRAM, SCALE, SEED)
+        monkeypatch.setattr(mod, "TRACE_CACHE_FORMAT", TRACE_CACHE_FORMAT + 1)
+        assert trace_key(PROGRAM, SCALE, SEED) != base
+        monkeypatch.setattr(mod, "TRACE_CACHE_FORMAT", TRACE_CACHE_FORMAT)
+        monkeypatch.setattr(mod, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        assert trace_key(PROGRAM, SCALE, SEED) != base
+
+    def test_miss_for_other_params(self, cache, stored):
+        assert cache.get(PROGRAM, scale=SCALE, seed=SEED + 1) is None
+        assert cache.get("qsort", scale=SCALE, seed=SEED) is None
+        assert cache.get(PROGRAM, scale=SCALE, seed=SEED, n_procs=4) is None
+
+
+class TestInvalidation:
+    """Bad objects are deleted and counted, never raised."""
+
+    def _assert_healed(self, cache, key):
+        assert cache.get(PROGRAM, scale=SCALE, seed=SEED) is None
+        assert cache.stats.invalidated == 1
+        assert not cache.meta_path(key).exists()
+        assert not cache.data_path(key).exists()
+
+    def test_corrupt_sidecar(self, cache, stored):
+        _, key = stored
+        cache.meta_path(key).write_text("{ not json")
+        self._assert_healed(cache, key)
+
+    def test_stale_cache_format(self, cache, stored):
+        _, key = stored
+        meta = json.loads(cache.meta_path(key).read_text())
+        meta["cache_format"] = TRACE_CACHE_FORMAT + 1
+        cache.meta_path(key).write_text(json.dumps(meta))
+        self._assert_healed(cache, key)
+
+    def test_stale_encode_format(self, cache, stored):
+        """Satellite: an object written under a different trace encoding
+        version must be rejected with a miss, not reinterpreted."""
+        _, key = stored
+        meta = json.loads(cache.meta_path(key).read_text())
+        meta["encode_format"] = FORMAT_VERSION + 1
+        cache.meta_path(key).write_text(json.dumps(meta))
+        self._assert_healed(cache, key)
+
+    def test_key_mismatch(self, cache, stored):
+        _, key = stored
+        meta = json.loads(cache.meta_path(key).read_text())
+        meta["key"] = "0" * 64
+        cache.meta_path(key).write_text(json.dumps(meta))
+        self._assert_healed(cache, key)
+
+    def test_truncated_data(self, cache, stored):
+        _, key = stored
+        data = cache.data_path(key).read_bytes()
+        cache.data_path(key).write_bytes(data[: len(data) // 2])
+        self._assert_healed(cache, key)
+
+    def test_missing_data_with_sidecar(self, cache, stored):
+        _, key = stored
+        cache.data_path(key).unlink()
+        self._assert_healed(cache, key)
+
+    def test_malformed_counts(self, cache, stored):
+        _, key = stored
+        meta = json.loads(cache.meta_path(key).read_text())
+        meta["counts"] = meta["counts"][:-1]
+        cache.meta_path(key).write_text(json.dumps(meta))
+        self._assert_healed(cache, key)
+
+
+class TestHousekeeping:
+    def test_count_size_clear(self, cache, stored):
+        assert cache.count() == 1
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 1
+        assert cache.count() == 0
+        assert cache.get(PROGRAM, scale=SCALE, seed=SEED) is None
+
+    def test_describe(self, cache, stored):
+        text = cache.describe()
+        assert "cached tracesets" in text
+        assert str(cache.root) in text
+
+    def test_empty_cache(self, tmp_path):
+        cache = TraceCache(tmp_path / "nowhere")
+        assert cache.count() == 0
+        assert cache.size_bytes() == 0
+        assert cache.clear() == 0
+
+
+class TestResolve:
+    def test_explicit_values(self, tmp_path):
+        handle = TraceCache(tmp_path)
+        assert resolve_trace_cache(handle) is handle
+        assert resolve_trace_cache(False) is None
+        assert resolve_trace_cache(True) is not None
+        assert resolve_trace_cache(tmp_path / "x").root == tmp_path / "x"
+
+    def test_env_unset_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert resolve_trace_cache(None) is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "no", "FALSE"])
+    def test_env_falsy_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        assert resolve_trace_cache(None) is None
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", "TRUE"])
+    def test_env_truthy_enables_default_dir(self, monkeypatch, tmp_path, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "t"))
+        cache = resolve_trace_cache(None)
+        assert cache is not None
+        assert cache.root == tmp_path / "t"
+
+    def test_env_path_is_cache_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "env-root"))
+        cache = resolve_trace_cache(None)
+        assert cache.root == tmp_path / "env-root"
+
+    def test_explicit_false_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "1")
+        assert resolve_trace_cache(False) is None
+
+    def test_default_dir_fallbacks(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rc"))
+        assert default_trace_cache_dir() == tmp_path / "rc" / "traces"
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_trace_cache_dir() == tmp_path / "xdg" / "repro" / "traces"
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "direct"))
+        assert default_trace_cache_dir() == tmp_path / "direct"
+
+
+class TestGenerateTraceIntegration:
+    def test_generate_populates_and_hits(self, cache):
+        ts1 = generate_trace(PROGRAM, scale=SCALE, seed=SEED, trace_cache=cache)
+        assert cache.stats.puts == 1 and cache.stats.misses == 1
+        ts2 = generate_trace(PROGRAM, scale=SCALE, seed=SEED, trace_cache=cache)
+        assert cache.stats.hits == 1
+        assert dumps_traceset(ts1) == dumps_traceset(ts2)
+
+    def test_disabled_by_default(self, monkeypatch, cache):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        generate_trace(PROGRAM, scale=SCALE, seed=SEED)
+        assert cache.count() == 0
+
+
+class TestRunnerIntegration:
+    def _fresh_memo(self):
+        import repro.runner.executor as ex
+
+        ex._TRACE_MEMO.clear()
+
+    def test_run_jobs_populates_then_hits(self, tmp_path):
+        from repro.runner import JobSpec, run_jobs
+
+        cache = TraceCache(tmp_path / "traces")
+        specs = [
+            JobSpec(program=PROGRAM, scale=SCALE, seed=SEED, lock_scheme=s)
+            for s in ("queuing", "ttas")
+        ]
+        self._fresh_memo()
+        cold = run_jobs(specs, trace_cache=cache).raise_on_failure()
+        assert cache.stats.puts == 1  # generated once, shared in-process
+
+        self._fresh_memo()
+        warm_cache = TraceCache(tmp_path / "traces")
+        warm = run_jobs(specs, trace_cache=warm_cache).raise_on_failure()
+        assert warm_cache.stats.hits == 1
+        assert warm_cache.stats.puts == 0
+
+        from repro.runner.serialize import result_to_dict
+
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert result_to_dict(a) == result_to_dict(b)
+
+    def test_run_jobs_parallel_reads_cache(self, tmp_path):
+        from repro.runner import JobSpec, run_jobs
+        from repro.runner.serialize import result_to_dict
+
+        cache = TraceCache(tmp_path / "traces")
+        specs = [
+            JobSpec(program=PROGRAM, scale=SCALE, seed=SEED, consistency=m)
+            for m in ("sc", "wo")
+        ]
+        self._fresh_memo()
+        serial = run_jobs(specs, trace_cache=cache).raise_on_failure()
+        self._fresh_memo()
+        parallel = run_jobs(specs, jobs=2, trace_cache=cache).raise_on_failure()
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert result_to_dict(a) == result_to_dict(b)
+
+    def test_experiment_uses_trace_cache(self, tmp_path):
+        from repro.core.experiment import Experiment
+
+        cache = TraceCache(tmp_path / "traces")
+        exp = Experiment(
+            program=PROGRAM, scale=SCALE, seed=SEED, trace_cache=cache
+        )
+        exp.trace()
+        assert cache.stats.puts == 1
+        exp2 = Experiment(
+            program=PROGRAM, scale=SCALE, seed=SEED, trace_cache=cache
+        )
+        exp2.trace()
+        assert cache.stats.hits == 1
