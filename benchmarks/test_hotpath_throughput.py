@@ -332,9 +332,10 @@ def test_hotpath_throughput():
         # canonical-baseline sync check: the committed file must carry the
         # same sections/cells this benchmark produces (one canonical file;
         # benchmarks/output/ is scratch).  "tracegen" belongs to
-        # test_tracegen_throughput.py, which syncs it separately.
+        # test_tracegen_throughput.py and "service" to
+        # test_service_latency.py; each syncs its own section.
         missing = sorted(set(report) - set(baseline))
-        stale = sorted(set(baseline) - set(report) - {"tracegen"})
+        stale = sorted(set(baseline) - set(report) - {"tracegen", "service"})
         for section in ("suite", "bus"):
             missing += [
                 f"{section}.{k}"

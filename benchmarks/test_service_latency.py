@@ -1,0 +1,163 @@
+"""Warm-cell HTTP latency benchmark and perf-smoke gate for the sweep
+service.
+
+Not a paper artifact: this watches the service's serving overhead.  A
+live HTTP front end (the same stdlib server ``repro serve`` boots) is
+measured end-to-end over localhost: one cold ``POST /submit`` populates
+the content-addressed store, then the *same* cell is submitted
+repeatedly and each round trip is answered from the store without
+touching the simulator.  The reported figure of merit is the warm
+round-trip latency (client wall clock, request written to response
+parsed) -- the price of putting the service between a user and an
+already-computed result.
+
+The "service" section of the committed ``BENCH_hotpath.json`` at the
+repository root is the canonical baseline; this run's report is written
+to the scratch file ``benchmarks/output/BENCH_service.json`` (not
+tracked).  When ``REPRO_PERF_ENFORCE`` is set, warm throughput must not
+regress more than 50% below the committed baseline (HTTP latency on a
+shared CI runner jitters far more than the in-process hot loops, hence
+the wider tolerance), a warm hit must stay decisively cheaper than
+re-simulating the cell, and the scrape of ``GET /metrics`` must stay
+well-formed.  Regenerate the baseline on a quiet machine with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_service_latency.py -q
+
+and copy the scratch report over the root file's "service" section.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import JobSpec, ResultCache
+from repro.service import Scheduler, ServiceClient, ServiceServer
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_DIR = Path(__file__).parent / "output"
+BASELINE_PATH = ROOT / "BENCH_hotpath.json"
+
+ENFORCE = bool(os.environ.get("REPRO_PERF_ENFORCE"))
+#: HTTP round trips on shared runners jitter more than process_time
+#: hot loops; the gate is correspondingly wider than their 25%
+TOLERANCE = 0.50
+#: a warm hit must beat re-simulating the cell by at least this factor
+WARM_FLOOR = 2.0
+
+#: the measured cell: small enough to simulate in well under a second,
+#: real enough that serving it from the store is a visible win
+CELL = JobSpec(program="fullconn", scale=0.05)
+WARM_REQUESTS = 200
+
+
+@pytest.fixture
+def service(tmp_path):
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    scheduler = Scheduler(cache=ResultCache(tmp_path / "cache"))
+    server = ServiceServer(scheduler)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=30)
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+def test_warm_cell_http_latency(service):
+    client = ServiceClient(service.url, timeout=120)
+    baseline = (
+        json.load(open(BASELINE_PATH)).get("service")
+        if BASELINE_PATH.exists()
+        else None
+    )
+
+    # cold: one real simulation through the full HTTP + scheduler path
+    t0 = time.perf_counter()
+    cold = client.submit(specs=[CELL])
+    cold_seconds = time.perf_counter() - t0
+    assert [r["status"] for r in cold["results"]] == ["ok"]
+
+    # warm: the same cell, answered from the content-addressed store
+    latencies = []
+    for _ in range(WARM_REQUESTS):
+        t0 = time.perf_counter()
+        response = client.submit(specs=[CELL], include_results=False)
+        latencies.append(time.perf_counter() - t0)
+        assert response["results"][0]["status"] == "hit"
+
+    latencies.sort()
+    p50 = statistics.median(latencies)
+    p99 = latencies[int(0.99 * (len(latencies) - 1))]
+    warm_rps = 1.0 / p50 if p50 else 0.0
+
+    # the scrape must be clean after sustained serving
+    metrics_text = client.metrics()
+    assert f"repro_requests_total {1 + WARM_REQUESTS}" in metrics_text
+    assert f"repro_cache_hits_total {WARM_REQUESTS}" in metrics_text
+    for line in metrics_text.strip().splitlines():
+        assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2, line
+
+    report = {
+        "protocol": (
+            f"wall clock over localhost HTTP, one cold POST /submit of "
+            f"{CELL.label()} at scale {CELL.scale} then {WARM_REQUESTS} "
+            "warm submits of the identical cell answered from the "
+            "result store; latency is client-side round trip, "
+            "warm_requests_per_sec is 1/p50"
+        ),
+        "cell": CELL.label(),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_p50_ms": round(1000 * p50, 3),
+        "warm_p99_ms": round(1000 * p99, 3),
+        "warm_mean_ms": round(1000 * statistics.fmean(latencies), 3),
+        "warm_requests_per_sec": round(warm_rps, 1),
+        "warm_speedup_vs_cold": round(cold_seconds / p50, 1) if p50 else 0.0,
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / "BENCH_service.json", "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    # sanity floors that hold on any machine
+    assert p50 < 0.25, f"warm round trip took {1000 * p50:.1f} ms"
+    assert report["warm_speedup_vs_cold"] > 1, report
+
+    if not ENFORCE:
+        return
+
+    problems = []
+    if report["warm_speedup_vs_cold"] < WARM_FLOOR:
+        problems.append(
+            f"warm hit only {report['warm_speedup_vs_cold']}x faster than "
+            f"re-simulating the cell (floor {WARM_FLOOR}x)"
+        )
+    if baseline is not None:
+        base = baseline["warm_requests_per_sec"]
+        if warm_rps < base * (1 - TOLERANCE):
+            problems.append(
+                f"warm throughput {report['warm_requests_per_sec']} req/s is "
+                f">{TOLERANCE:.0%} below the committed baseline {base}"
+            )
+    else:
+        problems.append(
+            f"committed baseline {BASELINE_PATH} has no 'service' section; "
+            "copy benchmarks/output/BENCH_service.json into it"
+        )
+    if problems:
+        pytest.fail(
+            "sweep-service latency regression:\n  " + "\n  ".join(problems),
+            pytrace=False,
+        )

@@ -187,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("action", choices=["stats", "clear"])
     c.add_argument("--cache-dir", default=None)
     c.add_argument("--trace-cache-dir", default=None)
+    c.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable stats (one JSON object over both stores)",
+    )
 
     tr = sub.add_parser(
         "trace", help="pre-generate ('gen') or inspect ('stats') the trace cache"
@@ -199,6 +204,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tr.add_argument("--procs", type=int, default=None, help="processor-count override")
     tr.add_argument("--trace-cache-dir", default=None)
+    tr.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable stats ('stats' only)",
+    )
+
+    sv = sub.add_parser(
+        "serve",
+        help=(
+            "run the sweep service: an HTTP front end over the "
+            "deduplicating scheduler, or (--worker) a socket worker agent"
+        ),
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="listen address")
+    sv.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 = ephemeral)"
+    )
+    sv.add_argument(
+        "--worker",
+        action="store_true",
+        help=(
+            "serve the newline-JSON worker-agent protocol instead of the "
+            "HTTP front end (the far end of --workers)"
+        ),
+    )
+    sv.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "comma-separated HOST:PORT worker agents; cold cells are then "
+            "sharded across them instead of the local process pool"
+        ),
+    )
+    sv.add_argument("--timeout", type=float, default=None, help="per-attempt seconds")
+    sv.add_argument("--retries", type=int, default=0, help="extra attempts per job")
+    sv.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base seconds of exponential backoff between retry attempts",
+    )
+    sv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget across all attempts",
+    )
+    sv.add_argument(
+        "--manifest", default=None, help="JSONL manifest the aggregator appends to"
+    )
+    sv.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --manifest into the aggregator at boot",
+    )
+    _add_runner_options(sv)
+
+    sb = sub.add_parser(
+        "submit", help="submit an experiment grid to a running sweep service"
+    )
+    sb.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    sb.add_argument(
+        "--programs",
+        default="all",
+        help="comma-separated workload names, or 'all' (default)",
+    )
+    sb.add_argument(
+        "--locks",
+        default="queuing",
+        help="comma-separated lock schemes (default: queuing)",
+    )
+    sb.add_argument(
+        "--models",
+        default="sc",
+        help="comma-separated consistency models (default: sc)",
+    )
+    sb.add_argument("--procs", type=int, default=None, help="processor-count override")
+    sb.add_argument(
+        "--spec-file",
+        default=None,
+        help="JSON file with a list of job-spec dicts (overrides the grid options)",
+    )
+    sb.add_argument(
+        "--n-shards", type=int, default=None, help="shard-count override"
+    )
+    sb.add_argument(
+        "--http-timeout", type=float, default=600.0, help="client-side seconds"
+    )
+    sb.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+
+    st = sub.add_parser(
+        "status", help="snapshot a running sweep service (scheduler, stores, metrics)"
+    )
+    st.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    st.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the raw Prometheus /metrics exposition instead",
+    )
+    st.add_argument(
+        "--json", action="store_true", help="print the raw JSON snapshot"
+    )
 
     g = sub.add_parser("generate", help="generate a trace file")
     g.add_argument("workload")
@@ -367,6 +480,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cache(args)
     elif args.cmd == "trace":
         return _run_trace(args)
+    elif args.cmd == "serve":
+        return _run_serve(args)
+    elif args.cmd == "submit":
+        return _run_submit(args)
+    elif args.cmd == "status":
+        return _run_status(args)
     elif args.cmd == "generate":
         ts = generate_trace(args.workload, scale=args.scale, seed=args.seed)
         save_traceset(ts, args.out)
@@ -449,6 +568,19 @@ def _run_cache(args) -> int:
         trace_root = cache.root / "traces"
     tcache = TraceCache(trace_root)
     if args.action == "stats":
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "result_cache": cache.stats_dict(),
+                        "trace_cache": tcache.stats_dict(),
+                    },
+                    indent=2,
+                )
+            )
+            return 0
         print(cache.describe())
         print()
         print(tcache.describe())
@@ -469,7 +601,12 @@ def _run_trace(args) -> int:
 
     tcache = TraceCache(args.trace_cache_dir)
     if args.action == "stats":
-        print(tcache.describe())
+        if args.json:
+            import json
+
+            print(json.dumps(tcache.stats_dict(), indent=2))
+        else:
+            print(tcache.describe())
         return 0
     if args.programs.strip().lower() == "all":
         programs = list(BENCHMARK_ORDER)
@@ -662,6 +799,197 @@ def _run_batch(args) -> int:
     if tcache:
         print(f"[trace-cache] {tcache.stats.summary()}", file=sys.stderr)
     return 0 if batch.ok() else 1
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: boot the sweep service (or a worker agent)."""
+    import asyncio
+
+    from .runner import ResultCache
+    from .service import (
+        Scheduler,
+        ServiceServer,
+        SocketTransport,
+        StreamAggregator,
+        serve_worker,
+    )
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    tcache = _trace_cache_arg(args)
+
+    async def _worker() -> None:
+        server, port, agent = await serve_worker(
+            jobs=args.jobs,
+            cache=cache,
+            trace_cache=tcache,
+            host=args.host,
+            port=args.port,
+        )
+        print(f"[serve] worker agent {agent.name} on {args.host}:{port}", flush=True)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            agent.close()
+
+    async def _frontend() -> None:
+        transports = [
+            SocketTransport.from_address(a.strip())
+            for a in (args.workers or "").split(",")
+            if a.strip()
+        ]
+        scheduler = Scheduler(
+            jobs=args.jobs,
+            cache=cache,
+            trace_cache=tcache,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            deadline=args.deadline,
+            transports=transports,
+        )
+        aggregator = StreamAggregator(args.manifest, resume=args.resume)
+        server = ServiceServer(
+            scheduler, host=args.host, port=args.port, aggregator=aggregator
+        )
+        await server.start()
+        mode = f"{len(transports)} remote worker(s)" if transports else (
+            "inline" if scheduler.inline else f"{scheduler.jobs} local worker(s)"
+        )
+        print(f"[serve] sweep service on {server.url} ({mode})", flush=True)
+        if aggregator.recovered:
+            print(
+                f"[serve] resumed {aggregator.recovered} manifest record(s)",
+                flush=True,
+            )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+            for t in transports:
+                await t.close()
+
+    try:
+        asyncio.run(_worker() if args.worker else _frontend())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_submit(args) -> int:
+    """``repro submit``: one grid request against a running service."""
+    import json
+
+    from .service import ServiceClient
+    from .workloads.registry import BENCHMARK_ORDER
+
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    if not client.healthy():
+        print(f"error: no sweep service answering at {args.url}", file=sys.stderr)
+        return 2
+    if args.spec_file:
+        with open(args.spec_file) as fh:
+            specs = json.load(fh)
+        response = client.submit(specs=specs, n_shards=args.n_shards)
+    else:
+        if args.programs.strip().lower() == "all":
+            programs = list(BENCHMARK_ORDER)
+        else:
+            programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+        grid = {
+            "programs": programs,
+            "locks": [s.strip() for s in args.locks.split(",") if s.strip()],
+            "models": [m.strip() for m in args.models.split(",") if m.strip()],
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+        if args.procs is not None:
+            grid["n_procs"] = args.procs
+        response = client.submit(grid=grid, n_shards=args.n_shards)
+    if args.json:
+        print(json.dumps(response, indent=2))
+        return 0 if all(r["ok"] for r in response["results"]) else 1
+    width = max((len(r["label"]) for r in response["results"]), default=0)
+    for r in response["results"]:
+        if r["ok"]:
+            rt = r.get("result", {}).get("run_time")
+            detail = f"run-time {rt:>12,}" if rt is not None else ""
+            print(
+                f"{r['label']:<{width}}  {r['status']:<8} {detail}  "
+                f"[{r['key'][:12]}]"
+            )
+        else:
+            err = r.get("error", {})
+            print(
+                f"{r['label']:<{width}}  FAILED   "
+                f"{err.get('kind')}: {err.get('message')}  [{r['key'][:12]}]"
+            )
+    print(f"[service] {response['summary']}", file=sys.stderr)
+    m = response.get("metrics", {})
+    print(
+        f"[service] {m.get('cache_hits', 0)} hit(s), "
+        f"{m.get('executed', 0)} executed, "
+        f"{m.get('dedup_attached', 0)} dedup-attached",
+        file=sys.stderr,
+    )
+    return 0 if all(r["ok"] for r in response["results"]) else 1
+
+
+def _run_status(args) -> int:
+    """``repro status``: snapshot a running service."""
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=30.0)
+    if not client.healthy():
+        print(f"error: no sweep service answering at {args.url}", file=sys.stderr)
+        return 2
+    if args.metrics:
+        print(client.metrics(), end="")
+        return 0
+    snap = client.status()
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    m = snap.get("metrics", {})
+    backend = (
+        f"{snap.get('transports')} remote worker(s)"
+        if snap.get("transports")
+        else ("inline" if snap.get("inline") else f"{snap.get('jobs')} local worker(s)")
+    )
+    print(f"service    : {args.url} (up {snap.get('uptime_s', 0):.0f}s, {backend})")
+    print(
+        f"requests   : {m.get('requests', 0)} "
+        f"({m.get('cache_hits', 0)} hits / {m.get('cache_misses', 0)} misses, "
+        f"{100 * m.get('hit_rate', 0.0):.0f}% hit rate)"
+    )
+    print(
+        f"execution  : {m.get('executed', 0)} executed, "
+        f"{m.get('failed', 0)} failed, {m.get('retries', 0)} retries, "
+        f"{m.get('dedup_attached', 0)} dedup-attached"
+    )
+    print(
+        f"in flight  : {m.get('in_flight', 0)} job(s), "
+        f"queue depth {m.get('queue_depth', 0)}, "
+        f"{m.get('shards_dispatched', 0)} shard(s) dispatched"
+    )
+    for label in ("cache", "trace_cache"):
+        store = snap.get(label)
+        if store:
+            s = store.get("session", {})
+            print(
+                f"{label:<11}: {store.get('count', 0)} object(s), "
+                f"{store.get('size_bytes', 0) / 1024:.0f} KiB at {store.get('root')} "
+                f"({s.get('hits', 0)} hits / {s.get('misses', 0)} misses this session)"
+            )
+    agg = snap.get("aggregator") or {}
+    if agg:
+        statuses = ", ".join(
+            f"{v} {k}" for k, v in sorted(agg.get("statuses", {}).items())
+        ) or "none yet"
+        print(f"aggregator : {agg.get('cells', 0)} cell(s): {statuses}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,7 @@ from ..consistency import get_model
 from ..machine.config import MachineConfig
 from ..machine.metrics import RunResult
 from ..machine.system import System
-from ..runner import JobSpec, run_jobs
+from ..runner import JobSpec
 from ..sync import get_lock_manager
 from ..trace.records import TraceSet
 from ..workloads.registry import BENCHMARK_ORDER, generate_trace
@@ -121,21 +121,28 @@ def run_suite(
     manifest_path=None,
     resume: bool = False,
     trace_cache=None,
+    backoff: float = 0.0,
+    deadline: float | None = None,
+    scheduler=None,
 ) -> SuiteResults:
     """Run the paper's full experimental grid.
 
     Each program's trace is generated once and reused across the three
-    machine configurations.  The grid executes through
-    :func:`repro.runner.run_jobs`: ``jobs=1`` (the default) is the
-    serial in-process path, ``jobs>1`` fans the grid across worker
-    processes, and ``cache`` (a :class:`repro.runner.ResultCache` or a
-    directory path) skips every simulation whose result is already
-    known.  ``trace_cache`` additionally routes trace generation through
-    a :class:`repro.trace.cache.TraceCache`, so the parent warms the
-    cache once and worker processes memory-map the stored traces instead
-    of regenerating them.  Either way the table outputs are identical --
-    every run is deterministic in its spec.
+    machine configurations.  The grid is served by the sweep-service
+    scheduler (:func:`repro.service.scheduler.run_batch`): ``jobs=1``
+    (the default) is the serial in-process path, ``jobs>1`` fans the
+    grid across worker processes, and ``cache`` (a
+    :class:`repro.runner.ResultCache` or a directory path) skips every
+    simulation whose result is already known.  ``trace_cache``
+    additionally routes trace generation through a
+    :class:`repro.trace.cache.TraceCache`, so the parent warms the cache
+    once and worker processes memory-map the stored traces instead of
+    regenerating them.  ``scheduler`` injects a live (possibly shared,
+    possibly remote-backed) :class:`repro.service.Scheduler`; the other
+    execution knobs then come from it.  Either way the table outputs are
+    identical -- every run is deterministic in its spec.
     """
+    from ..service.scheduler import run_batch
     from ..trace.cache import resolve_trace_cache
 
     programs = programs or list(BENCHMARK_ORDER)
@@ -163,7 +170,7 @@ def run_suite(
         for p in programs
         for scheme, model in configs
     ]
-    batch = run_jobs(
+    batch = run_batch(
         specs,
         jobs=jobs,
         cache=cache,
@@ -172,6 +179,9 @@ def run_suite(
         manifest_path=manifest_path,
         resume=resume,
         trace_cache=tcache if tcache else False,
+        backoff=backoff,
+        deadline=deadline,
+        scheduler=scheduler,
     ).raise_on_failure()
     buckets: dict[tuple, dict] = {c: {} for c in configs}
     it = iter(batch.outcomes)

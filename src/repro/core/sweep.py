@@ -19,7 +19,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..machine.config import MachineConfig
 from ..machine.metrics import RunResult
-from ..runner import JobSpec, run_jobs
+from ..runner import JobSpec
 from .report import render_table
 
 __all__ = ["SweepPoint", "sweep_procs", "sweep_machine", "render_sweep"]
@@ -34,9 +34,15 @@ class SweepPoint:
     result: RunResult
 
 
-def _run_points(labels, values, specs, jobs, cache, trace_cache=None) -> list[SweepPoint]:
-    batch = run_jobs(
-        specs, jobs=jobs, cache=cache, trace_cache=trace_cache
+def _run_points(
+    labels, values, specs, jobs, cache, trace_cache=None, scheduler=None
+) -> list[SweepPoint]:
+    # sweeps are thin clients of the sweep-service scheduler; an injected
+    # ``scheduler`` shares its dedup table/pool across successive sweeps
+    from ..service.scheduler import run_batch
+
+    batch = run_batch(
+        specs, jobs=jobs, cache=cache, trace_cache=trace_cache, scheduler=scheduler
     ).raise_on_failure()
     return [
         SweepPoint(label=lab, value=val, result=res)
@@ -55,6 +61,7 @@ def sweep_procs(
     jobs: int = 1,
     cache=None,
     trace_cache=None,
+    scheduler=None,
 ) -> list[SweepPoint]:
     """Run ``program`` on machines of different sizes.
 
@@ -79,7 +86,13 @@ def sweep_procs(
         for n in sizes
     ]
     return _run_points(
-        [f"{n} procs" for n in sizes], sizes, specs, jobs, cache, trace_cache
+        [f"{n} procs" for n in sizes],
+        sizes,
+        specs,
+        jobs,
+        cache,
+        trace_cache,
+        scheduler=scheduler,
     )
 
 
@@ -90,6 +103,7 @@ def sweep_machine(
     consistency: str = "sc",
     jobs: int = 1,
     cache=None,
+    scheduler=None,
 ) -> list[SweepPoint]:
     """Run one trace on a family of machine configurations.
 
@@ -107,7 +121,9 @@ def sweep_machine(
         )
         for cfg in cfgs
     ]
-    return _run_points([label for label, _ in configs], cfgs, specs, jobs, cache)
+    return _run_points(
+        [label for label, _ in configs], cfgs, specs, jobs, cache, scheduler=scheduler
+    )
 
 
 _DEFAULT_COLUMNS: list[tuple[str, Callable[[RunResult], object]]] = [

@@ -182,3 +182,19 @@ class ResultCache:
             f"total size      : {size / 1024:.1f} KiB\n"
             f"this session    : {self.stats.summary()}"
         )
+
+    def stats_dict(self) -> dict:
+        """JSON-ready cache report (``repro cache stats --json``, the
+        service ``/status`` endpoint, worker ``stats`` ops)."""
+        return {
+            "root": str(self.root),
+            "count": self.count(),
+            "size_bytes": self.size_bytes(),
+            "session": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "puts": self.stats.puts,
+                "invalidated": self.stats.invalidated,
+                "hit_rate": round(self.stats.hit_rate, 4),
+            },
+        }

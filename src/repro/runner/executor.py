@@ -2,6 +2,13 @@
 processes with caching, per-job timeout, bounded retry, and structured
 failure capture.
 
+This module owns the *worker side* (:func:`_execute`, the in-worker
+timeout timer, the trace memo) and the batch datatypes; the coordinator
+is the sweep-service scheduler -- :func:`run_jobs` is a thin synchronous
+client of :func:`repro.service.scheduler.run_batch`, which adds
+in-flight deduplication, exponential backoff, and per-job deadline
+budgets on top of the semantics documented here.
+
 Design points:
 
 * ``jobs=1`` is the degenerate serial path: specs run in order, in
@@ -26,14 +33,12 @@ import signal
 import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..machine.metrics import RunResult
 from .cache import ResultCache
-from .manifest import append_record, load_completed
-from .serialize import result_from_dict, result_to_dict
+from .serialize import result_to_dict
 from .spec import JobSpec
 
 __all__ = ["JobFailure", "BatchStats", "BatchResult", "run_jobs"]
@@ -52,7 +57,13 @@ class JobFailure:
     traceback: str = ""
 
     def __str__(self) -> str:
-        return f"{self.label}: {self.kind} after {self.attempts} attempt(s): {self.message}"
+        # the key prefix makes a failure line grep-able against manifest
+        # records and cache paths (same content address everywhere)
+        tag = f" [{self.key[:12]}]" if self.key else ""
+        return (
+            f"{self.label}{tag}: {self.kind} after "
+            f"{self.attempts} attempt(s): {self.message}"
+        )
 
 
 @dataclass
@@ -201,87 +212,8 @@ def _execute(spec: JobSpec, timeout: float | None, trace_cache=None) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Coordinator side
+# Coordinator side: a thin client of the service scheduler
 # ----------------------------------------------------------------------
-def _normalize_cache(cache) -> ResultCache | None:
-    if cache is None or isinstance(cache, ResultCache):
-        return cache
-    return ResultCache(cache)
-
-
-class _Batch:
-    """Mutable coordinator state for one run_jobs invocation."""
-
-    def __init__(self, specs, cache, manifest_path):
-        self.specs = list(specs)
-        self.keys = [s.cache_key() for s in self.specs]
-        self.cache = cache
-        self.manifest_path = str(manifest_path) if manifest_path else None
-        self.outcomes: list = [None] * len(self.specs)
-        self.stats = BatchStats(total=len(self.specs))
-
-    def _record(self, idx: int, status: str, **extra) -> None:
-        if self.manifest_path is None:
-            return
-        rec = {
-            "key": self.keys[idx],
-            "label": self.specs[idx].label(),
-            "status": status,
-            "spec": self.specs[idx].to_dict(),
-        }
-        rec.update(extra)
-        append_record(self.manifest_path, rec)
-
-    def restore(self, idx: int, result_dict: dict, how: str) -> None:
-        self.outcomes[idx] = result_from_dict(result_dict)
-        if how == "resumed":
-            self.stats.resumed += 1
-        self._record(idx, how, attempts=0, elapsed_s=0.0)
-
-    def restore_cached(self, idx: int, result: RunResult) -> None:
-        self.outcomes[idx] = result
-        self.stats.cached += 1
-        self._record(idx, "cached", attempts=0, elapsed_s=0.0)
-
-    def finish_ok(self, idx: int, payload: dict, attempts: int) -> None:
-        result = result_from_dict(payload["result"])
-        self.outcomes[idx] = result
-        self.stats.executed += 1
-        if self.cache is not None:
-            self.cache.put(self.specs[idx], result)
-        self._record(
-            idx,
-            "ok",
-            attempts=attempts,
-            elapsed_s=payload.get("elapsed_s", 0.0),
-            result=payload["result"],
-        )
-
-    def finish_failed(self, idx: int, payload: dict, attempts: int) -> None:
-        failure = JobFailure(
-            key=self.keys[idx],
-            label=self.specs[idx].label(),
-            kind=payload.get("kind", "error"),
-            message=payload.get("message", ""),
-            attempts=attempts,
-            spec=self.specs[idx].to_dict(),
-            traceback=payload.get("traceback", ""),
-        )
-        self.outcomes[idx] = failure
-        self.stats.failed += 1
-        self._record(
-            idx,
-            "failed",
-            attempts=attempts,
-            elapsed_s=payload.get("elapsed_s", 0.0),
-            error={
-                "kind": failure.kind,
-                "message": failure.message,
-                "traceback": failure.traceback,
-            },
-        )
-
-
 def run_jobs(
     specs,
     jobs: int = 1,
@@ -291,8 +223,16 @@ def run_jobs(
     manifest_path: str | Path | None = None,
     resume: bool = False,
     trace_cache=None,
+    backoff: float = 0.0,
+    deadline: float | None = None,
 ) -> BatchResult:
     """Run a list of :class:`JobSpec`s and return their outcomes in order.
+
+    The batch is served by the sweep-service scheduler
+    (:func:`repro.service.scheduler.run_batch`): cache hits are answered
+    from the content-addressed store, duplicate specs within the batch
+    collapse onto one in-flight job, and misses run inline (``jobs=1``,
+    the byte-identical serial path) or on a local process pool.
 
     Parameters
     ----------
@@ -318,105 +258,26 @@ def run_jobs(
         ``$REPRO_TRACE_CACHE``).  Provenance-named jobs then load their
         trace from the cache (memory-mapped, so parallel workers share
         pages) instead of regenerating it per worker.
+    backoff:
+        Base of the exponential backoff between retry attempts; ``0``
+        (default) retries immediately.
+    deadline:
+        Per-job wall-clock budget across all attempts; once exhausted
+        the job fails with kind ``"deadline"`` instead of retrying.
     """
-    from ..trace.cache import resolve_trace_cache
+    # imported lazily: repro.service imports this module for _execute
+    # and the batch dataclasses, so the top level must stay acyclic
+    from ..service.scheduler import run_batch
 
-    if resume and manifest_path is None:
-        raise ValueError("resume=True requires a manifest_path")
-    jobs = max(1, int(jobs))
-    tcache = resolve_trace_cache(trace_cache)
-    batch = _Batch(specs, _normalize_cache(cache), manifest_path)
-
-    pending = list(range(len(batch.specs)))
-
-    if resume:
-        completed = load_completed(manifest_path)
-        still = []
-        for idx in pending:
-            if batch.keys[idx] in completed:
-                batch.restore(idx, completed[batch.keys[idx]], "resumed")
-            else:
-                still.append(idx)
-        pending = still
-
-    if batch.cache is not None:
-        still = []
-        for idx in pending:
-            hit = batch.cache.get(batch.specs[idx])
-            if hit is not None:
-                batch.restore_cached(idx, hit)
-            else:
-                still.append(idx)
-        pending = still
-
-    if pending:
-        if jobs == 1:
-            _run_serial(batch, pending, timeout, retries, tcache)
-        else:
-            _run_parallel(batch, pending, jobs, timeout, retries, tcache)
-
-    return BatchResult(
-        specs=batch.specs,
-        outcomes=batch.outcomes,
-        stats=batch.stats,
-        manifest_path=batch.manifest_path,
+    return run_batch(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        manifest_path=manifest_path,
+        resume=resume,
+        trace_cache=trace_cache,
+        backoff=backoff,
+        deadline=deadline,
     )
-
-
-def _run_serial(batch: _Batch, pending, timeout, retries, tcache=None) -> None:
-    for idx in pending:
-        attempt = 1
-        while True:
-            payload = _execute(batch.specs[idx], timeout, tcache)
-            if payload["ok"]:
-                batch.finish_ok(idx, payload, attempt)
-                break
-            if attempt > retries:
-                batch.finish_failed(idx, payload, attempt)
-                break
-            attempt += 1
-            batch.stats.retries += 1
-
-
-def _run_parallel(batch: _Batch, pending, jobs, timeout, retries, tcache=None) -> None:
-    # workers get the cache root (a plain string), not the handle: each
-    # worker opens its own handle and memory-maps the shared objects
-    tcache_root = str(tcache.root) if tcache is not None else None
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        in_flight = {}
-
-        def submit(idx: int, attempt: int) -> None:
-            spec = batch.specs[idx]
-            if spec.program and spec.traceset is not None:
-                # don't pickle megabytes of trace into the job queue: a
-                # provenance-named trace is cheaper to load from the trace
-                # cache or regenerate in the worker (where the memo shares
-                # it across configs)
-                spec = replace(spec, traceset=None)
-            fut = pool.submit(_execute, spec, timeout, tcache_root)
-            in_flight[fut] = (idx, attempt)
-
-        for idx in pending:
-            submit(idx, 1)
-
-        while in_flight:
-            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
-            for fut in done:
-                idx, attempt = in_flight.pop(fut)
-                try:
-                    payload = fut.result()
-                except BaseException as exc:  # worker process died
-                    payload = {
-                        "ok": False,
-                        "kind": "error",
-                        "message": f"{type(exc).__name__}: {exc}",
-                        "traceback": "",
-                        "elapsed_s": 0.0,
-                    }
-                if payload["ok"]:
-                    batch.finish_ok(idx, payload, attempt)
-                elif attempt <= retries:
-                    batch.stats.retries += 1
-                    submit(idx, attempt + 1)
-                else:
-                    batch.finish_failed(idx, payload, attempt)

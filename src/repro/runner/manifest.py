@@ -40,9 +40,15 @@ def load_records(path: str | os.PathLike) -> list[dict]:
     if not p.exists():
         return []
     records = []
-    with p.open() as fh:
-        for line in fh:
-            line = line.strip()
+    # binary + per-line decode: a crash can tear a line mid-character
+    # (or splice raw garbage), which must skip that line, not abort the
+    # whole load with UnicodeDecodeError
+    with p.open("rb") as fh:
+        for raw in fh:
+            try:
+                line = raw.decode().strip()
+            except UnicodeDecodeError:
+                continue
             if not line:
                 continue
             try:

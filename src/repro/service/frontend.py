@@ -1,0 +1,347 @@
+"""HTTP front end and client for the sweep service (stdlib only).
+
+A deliberately small HTTP/1.1 server written directly on asyncio
+streams, so the request path shares the scheduler's event loop -- no
+threads between a warm ``POST /submit`` and the content-addressed
+store.  Endpoints:
+
+* ``GET /healthz`` -- liveness probe (``ok``).
+* ``GET /status`` -- JSON snapshot: scheduler config, metrics, store
+  counters, aggregator progress, uptime.
+* ``GET /metrics`` -- Prometheus text exposition: hit/miss counters,
+  queue depth, in-flight dedup gauge, per-stage latency histograms,
+  plus the two stores' session counters.
+* ``GET /result/<key>`` -- one cell by its SHA-256 content address;
+  404 on a cold key (the front end never *computes* on a GET).
+* ``POST /submit`` -- body ``{"specs": [specdict, ...]}`` or
+  ``{"grid": {"programs": [...], "locks": [...], "models": [...],
+  "scale": ..., "seed": ...}}``; cells are served through the
+  scheduler (cache hit, dedup attach, or compute) and the response
+  carries one entry per cell in request order.
+
+:class:`ServiceClient` is the synchronous :mod:`urllib` counterpart the
+CLI (``repro submit`` / ``repro status``) uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from ..runner.executor import JobFailure
+from ..runner.spec import JobSpec
+from .aggregator import StreamAggregator
+from .planner import grid_specs
+from .scheduler import Scheduler
+
+__all__ = ["ServiceServer", "ServiceClient"]
+
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    pass
+
+
+class ServiceServer:
+    """The sweep service: one scheduler behind an HTTP listener."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        aggregator: StreamAggregator | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = int(port)
+        self.aggregator = aggregator if aggregator is not None else StreamAggregator()
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._connection, self.host, self.port, limit=_MAX_BODY
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.scheduler.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                try:
+                    status, payload, content_type = await self._route(
+                        method, path, body
+                    )
+                except _BadRequest as exc:
+                    status, payload, content_type = (
+                        400,
+                        _json({"error": str(exc)}),
+                        "application/json",
+                    )
+                except Exception as exc:  # route bug: report, keep serving
+                    status, payload, content_type = (
+                        500,
+                        _json({"error": f"{type(exc).__name__}: {exc}"}),
+                        "application/json",
+                    )
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                self._write_response(writer, status, payload, content_type, keep)
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _BadRequest(f"malformed request line {line!r:.100}")
+        headers = {}
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = h.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            raise _BadRequest(f"body of {length} bytes exceeds the limit")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    def _write_response(writer, status, payload: bytes, content_type, keep) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return 200, b"ok\n", "text/plain; charset=utf-8"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, _json({"error": "GET only"}), "application/json"
+            return 200, self._metrics_text().encode(), "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/status":
+            return 200, _json(self._status()), "application/json"
+        if path.startswith("/result/"):
+            return await self._get_result(path[len("/result/") :])
+        if path == "/submit":
+            if method != "POST":
+                return 405, _json({"error": "POST only"}), "application/json"
+            return await self._submit(body)
+        return 404, _json({"error": f"no route {path!r}"}), "application/json"
+
+    def _status(self) -> dict:
+        out = self.scheduler.status()
+        out["uptime_s"] = round(time.monotonic() - self._started, 3)
+        out["aggregator"] = self.aggregator.to_dict()
+        return out
+
+    def _metrics_text(self) -> str:
+        text = self.scheduler.metrics.render_prometheus()
+        lines = []
+        for label, stats in (
+            ("result_cache", getattr(self.scheduler.cache, "stats", None)),
+            ("trace_cache", getattr(self.scheduler.trace_cache, "stats", None)),
+        ):
+            if stats is None:
+                continue
+            lines.append(f"# HELP repro_{label}_ops_total Store session counters")
+            lines.append(f"# TYPE repro_{label}_ops_total counter")
+            for op in ("hits", "misses", "puts", "invalidated"):
+                lines.append(
+                    f'repro_{label}_ops_total{{op="{op}"}} {getattr(stats, op)}'
+                )
+        return text + ("\n".join(lines) + "\n" if lines else "")
+
+    async def _get_result(self, key: str):
+        cache = self.scheduler.cache
+        if cache is None:
+            return 404, _json({"error": "service runs without a result cache"}), "application/json"
+        result = cache.get_by_key(key)
+        if result is None:
+            return 404, _json({"error": f"no cached result for key {key}"}), "application/json"
+        from ..runner.serialize import result_to_dict
+
+        return 200, _json({"key": key, "result": result_to_dict(result)}), "application/json"
+
+    async def _submit(self, body: bytes):
+        try:
+            request = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"body is not JSON: {exc}")
+        if not isinstance(request, dict):
+            raise _BadRequest("body must be a JSON object")
+        specs = self._parse_specs(request)
+        outs = await self.scheduler.submit_grid(
+            specs, n_shards=request.get("n_shards")
+        )
+        results = []
+        for out in outs:
+            self.aggregator.record(out.manifest_record())
+            entry = {
+                "key": out.key,
+                "label": out.spec.label(),
+                "status": out.status,
+                "ok": out.ok,
+                "attempts": out.attempts,
+                "elapsed_s": round(out.elapsed_s, 6),
+            }
+            if isinstance(out.outcome, JobFailure):
+                entry["error"] = {
+                    "kind": out.outcome.kind,
+                    "message": out.outcome.message,
+                    "attempts": out.outcome.attempts,
+                }
+            elif request.get("include_results", True):
+                from ..runner.serialize import result_to_dict
+
+                entry["result"] = result_to_dict(out.outcome)
+            results.append(entry)
+        payload = {
+            "results": results,
+            "summary": self.aggregator.summary(),
+            "metrics": self.scheduler.metrics.to_dict(),
+        }
+        return 200, _json(payload), "application/json"
+
+    @staticmethod
+    def _parse_specs(request: dict) -> list[JobSpec]:
+        if "specs" in request:
+            raw = request["specs"]
+            if not isinstance(raw, list) or not raw:
+                raise _BadRequest('"specs" must be a non-empty list of spec dicts')
+            try:
+                return [JobSpec.from_dict(d) for d in raw]
+            except Exception as exc:
+                raise _BadRequest(f"bad spec: {type(exc).__name__}: {exc}")
+        if "grid" in request:
+            grid = request["grid"]
+            if not isinstance(grid, dict) or not grid.get("programs"):
+                raise _BadRequest('"grid" needs at least "programs"')
+            try:
+                return grid_specs(
+                    grid["programs"],
+                    lock_schemes=grid.get("locks", ("queuing",)),
+                    models=grid.get("models", ("sc",)),
+                    scale=grid.get("scale", 1.0),
+                    seed=grid.get("seed", 1991),
+                    n_procs=grid.get("n_procs"),
+                )
+            except Exception as exc:
+                raise _BadRequest(f"bad grid: {type(exc).__name__}: {exc}")
+        raise _BadRequest('body needs "specs" or "grid"')
+
+
+def _json(obj) -> bytes:
+    return json.dumps(obj).encode()
+
+
+# ----------------------------------------------------------------------
+# Synchronous client (CLI, scripts, benchmarks)
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Blocking HTTP client for a :class:`ServiceServer`."""
+
+    def __init__(self, url: str, timeout: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, data: bytes | None = None) -> bytes:
+        req = Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urlopen(req, timeout=self.timeout) as resp:
+            return resp.read()
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("/healthz").strip() == b"ok"
+        except OSError:
+            return False
+
+    def status(self) -> dict:
+        return json.loads(self._request("/status"))
+
+    def metrics(self) -> str:
+        return self._request("/metrics").decode()
+
+    def result(self, key: str) -> dict | None:
+        try:
+            return json.loads(self._request(f"/result/{key}"))["result"]
+        except HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+
+    def submit(
+        self,
+        specs=None,
+        grid: dict | None = None,
+        include_results: bool = True,
+        n_shards: int | None = None,
+    ) -> dict:
+        body: dict = {"include_results": include_results}
+        if specs is not None:
+            body["specs"] = [
+                s.to_dict() if isinstance(s, JobSpec) else s for s in specs
+            ]
+        if grid is not None:
+            body["grid"] = grid
+        if n_shards is not None:
+            body["n_shards"] = n_shards
+        return json.loads(self._request("/submit", _json(body)))

@@ -1,0 +1,126 @@
+"""Shard planner: split sweep grids into balanced shards.
+
+A sweep grid (programs x locks x models, or any explicit spec list) is
+embarrassingly parallel but wildly uneven: at scale 1.0 a Qsort cell
+costs ~6x a Topopt cell (see the committed ``BENCH_hotpath.json``
+suite section).  Naive round-robin sharding therefore leaves most
+workers idle behind the one that drew the heavy cells.  The planner
+does greedy LPT (longest-processing-time-first) assignment against a
+per-program cost model, which is within 4/3 of optimal makespan --
+plenty for grid serving.
+
+Shards matter most for *remote* workers (one transport round trip per
+shard, not per cell) and for multi-host balance; a local process pool
+is already a self-balancing work queue, so the scheduler only plans
+shards when transports are configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.config import MachineConfig
+from ..runner.spec import JobSpec
+
+__all__ = ["Shard", "estimate_cost", "plan_shards", "grid_specs"]
+
+#: relative per-program cell weights, derived from the committed
+#: BENCH_hotpath.json suite seconds at scale 1.0 (qsort ~1.46s ...
+#: topopt ~0.23s); unknown programs get the median weight
+_PROGRAM_WEIGHT = {
+    "qsort": 1.46,
+    "pdsa": 0.62,
+    "fullconn": 0.40,
+    "grav": 0.36,
+    "pverify": 0.35,
+    "topopt": 0.23,
+    "synthetic": 0.10,
+}
+_DEFAULT_WEIGHT = 0.40
+
+#: consistency-model multiplier: weak ordering simulates write buffers
+#: and is measurably slower per cell
+_MODEL_WEIGHT = {"wo": 1.15}
+
+
+def estimate_cost(spec: JobSpec) -> float:
+    """Relative cost estimate of one cell (unitless; bigger = slower)."""
+    weight = _PROGRAM_WEIGHT.get(spec.program, _DEFAULT_WEIGHT)
+    weight *= _MODEL_WEIGHT.get(spec.consistency, 1.0)
+    return weight * max(float(spec.scale), 1e-6)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One dispatch unit: a slice of the grid plus its planned cost."""
+
+    index: int
+    indices: tuple[int, ...]  # positions in the original spec list
+    specs: tuple[JobSpec, ...]
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def plan_shards(specs, n_shards: int, cost=estimate_cost) -> list[Shard]:
+    """Split ``specs`` into at most ``n_shards`` cost-balanced shards.
+
+    Greedy LPT: visit cells in descending estimated cost, always
+    assigning to the currently lightest shard.  Within a shard the
+    original submission order is preserved (stable re-sort by index) so
+    worker-side manifests stay readable.  Empty shards are dropped.
+    """
+    specs = list(specs)
+    n_shards = max(1, min(int(n_shards), len(specs) or 1))
+    costs = [float(cost(s)) for s in specs]
+    order = sorted(range(len(specs)), key=lambda i: (-costs[i], i))
+    bins: list[list[int]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for i in order:
+        b = min(range(n_shards), key=lambda j: (loads[j], j))
+        bins[b].append(i)
+        loads[b] += costs[i]
+    shards = []
+    for b, members in enumerate(bins):
+        if not members:
+            continue
+        members.sort()
+        shards.append(
+            Shard(
+                index=len(shards),
+                indices=tuple(members),
+                specs=tuple(specs[i] for i in members),
+                cost=loads[b],
+            )
+        )
+    return shards
+
+
+def grid_specs(
+    programs,
+    lock_schemes=("queuing",),
+    models=("sc",),
+    scale: float = 1.0,
+    seed: int = 1991,
+    machine: MachineConfig | None = None,
+    n_procs: int | None = None,
+    max_events: int | None = None,
+) -> list[JobSpec]:
+    """Expand a sweep grid into specs, row-major (program outermost) --
+    the same cell order ``run_suite`` and ``repro batch`` use."""
+    return [
+        JobSpec(
+            program=p,
+            scale=scale,
+            seed=seed,
+            lock_scheme=scheme,
+            consistency=model,
+            machine=machine,
+            n_procs=n_procs,
+            max_events=max_events,
+        )
+        for p in programs
+        for scheme in lock_schemes
+        for model in models
+    ]

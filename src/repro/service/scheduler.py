@@ -1,0 +1,667 @@
+"""Asyncio cell scheduler: content-addressed lookup, in-flight
+deduplication, and pooled execution.
+
+One :class:`Scheduler` fronts the two content-addressed stores
+(:class:`~repro.runner.cache.ResultCache` for results,
+:class:`~repro.trace.cache.TraceCache` for traces) with the serving
+discipline the ROADMAP's "sharded sweep service" item asks for:
+
+1. **Cache first.**  Every submitted cell is a
+   :class:`~repro.runner.spec.JobSpec`, so its SHA-256
+   :meth:`~repro.runner.spec.JobSpec.cache_key` is a true content
+   address; a warm cell is answered straight from the store without
+   touching the simulator.
+2. **One in-flight job per key.**  A cold cell is computed exactly once
+   no matter how many requesters ask for it concurrently: the first
+   request creates the job, later requesters *attach* to the same
+   future (``metrics.dedup_attached``) and all of them receive the
+   identical result object.
+3. **Pooled execution with budgets.**  Misses run on a worker backend --
+   inline (the byte-identical serial path), a local
+   :class:`~concurrent.futures.ProcessPoolExecutor`, or remote worker
+   agents behind a :mod:`~repro.service.transport` -- reusing the
+   executor's in-worker timeout machinery, plus scheduler-side bounded
+   retries with exponential backoff and a per-job wall-clock deadline
+   budget across attempts.
+
+The synchronous facade :func:`run_batch` is what
+:func:`repro.runner.run_jobs` (and through it ``run_suite`` and the
+sweeps) delegates to; it preserves the executor's manifest/resume
+bookkeeping and, for ``jobs=1``, executes specs strictly in submission
+order so the serial path stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..runner.cache import ResultCache
+from ..runner.executor import (
+    BatchResult,
+    BatchStats,
+    JobFailure,
+    _execute,
+)
+from ..runner.manifest import append_record, load_completed
+from ..runner.serialize import result_from_dict
+from ..runner.spec import JobSpec
+from ..trace.cache import resolve_trace_cache
+from .metrics import ServiceMetrics
+
+__all__ = ["CellOutcome", "Scheduler", "run_batch"]
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one submitted cell.
+
+    ``status`` is one of ``"hit"`` (answered from the result cache),
+    ``"ok"`` (simulated by this request), ``"attached"`` (joined an
+    identical in-flight job and shares its result), or ``"failed"``.
+    """
+
+    spec: JobSpec
+    key: str
+    status: str
+    outcome: object  # RunResult | JobFailure
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    #: serialized result payload (present when this request executed)
+    result_dict: dict | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not isinstance(self.outcome, JobFailure)
+
+    def manifest_record(self) -> dict:
+        """The executor-manifest-schema record for this outcome."""
+        status = {"hit": "cached", "attached": "cached"}.get(self.status, self.status)
+        rec = {
+            "key": self.key,
+            "label": self.spec.label(),
+            "status": status,
+            "spec": self.spec.to_dict(),
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+        if self.status == "ok" and self.result_dict is not None:
+            rec["result"] = self.result_dict
+        elif self.status == "failed":
+            f = self.outcome
+            rec["error"] = {
+                "kind": f.kind,
+                "message": f.message,
+                "traceback": f.traceback,
+            }
+        return rec
+
+
+def _normalize_cache(cache) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+class Scheduler:
+    """Deduplicating cell scheduler over the content-addressed stores.
+
+    Parameters
+    ----------
+    jobs:
+        Concurrent execution slots.  ``1`` with ``inline=True`` (the
+        default for ``jobs=1``) runs misses synchronously in submission
+        order -- the executor's byte-identical serial path.
+    cache / trace_cache:
+        The content-addressed stores (handles, directories, or ``None``).
+    timeout:
+        Per-attempt wall-clock limit, enforced *inside* the worker.
+    retries:
+        Extra attempts granted to a failing job.
+    backoff:
+        Base of the exponential backoff between attempts: attempt *n*
+        retries after ``min(backoff * 2**(n-1), backoff_cap)`` seconds.
+        ``0`` (default) retries immediately, like the classic executor.
+    deadline:
+        Per-job wall-clock budget across all attempts and backoff
+        sleeps; once exceeded the job fails with kind ``"deadline"``
+        instead of retrying further.
+    transports:
+        Remote worker agents (see :mod:`repro.service.transport` and
+        ``repro serve --worker``).  When given, misses are dispatched
+        over the wire instead of to the local process pool -- multi-host
+        execution as a config change.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | Path | None = None,
+        trace_cache=None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.0,
+        backoff_cap: float = 30.0,
+        deadline: float | None = None,
+        inline: bool | None = None,
+        transports: list | None = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = _normalize_cache(cache)
+        self.trace_cache = resolve_trace_cache(trace_cache)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.backoff_cap = float(backoff_cap)
+        self.deadline = deadline
+        self.inline = (self.jobs == 1) if inline is None else bool(inline)
+        self.transports = list(transports) if transports else []
+        self.metrics = ServiceMetrics()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._sema: asyncio.Semaphore | None = None
+        self._next_transport = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._sema is None:
+            self._sema = asyncio.Semaphore(self.jobs)
+        return self._sema
+
+    def _worker_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec) -> CellOutcome:
+        """Serve one cell: cache hit, dedup attach, or compute."""
+        t0 = time.perf_counter()
+        key = spec.cache_key()
+        self.metrics.count("requests")
+        hit = self.cache.get_by_key(key) if self.cache is not None else None
+        self.metrics.observe("lookup", time.perf_counter() - t0)
+        if hit is not None:
+            self.metrics.count("cache_hits")
+            out = CellOutcome(spec, key, "hit", hit)
+            out.elapsed_s = time.perf_counter() - t0
+            self.metrics.observe("total", out.elapsed_s)
+            return out
+        self.metrics.count("cache_misses")
+
+        fut = self._inflight.get(key)
+        if fut is not None:
+            # attach: share the in-flight computation for this key
+            self.metrics.count("dedup_attached")
+            t_wait = time.perf_counter()
+            shared: CellOutcome = await asyncio.shield(fut)
+            now = time.perf_counter()
+            self.metrics.observe("wait", now - t_wait)
+            out = CellOutcome(
+                spec, key, "attached", shared.outcome, attempts=0, elapsed_s=now - t0
+            )
+            self.metrics.observe("total", out.elapsed_s)
+            return out
+
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._inflight[key] = fut
+        self.metrics.count("in_flight")
+        self.metrics.count("queue_depth")
+        queued = True
+        try:
+            t_wait = time.perf_counter()
+            async with self._semaphore():
+                self.metrics.count("queue_depth", -1)
+                queued = False
+                self.metrics.observe("wait", time.perf_counter() - t_wait)
+                t_exec = time.perf_counter()
+                payload, attempts = await self._attempt_loop(spec)
+                self.metrics.observe("execute", time.perf_counter() - t_exec)
+            out = self._conclude(spec, key, payload, attempts)
+            out.elapsed_s = time.perf_counter() - t0
+            self.metrics.observe("total", out.elapsed_s)
+            fut.set_result(out)
+            return out
+        except BaseException:
+            if queued:
+                self.metrics.count("queue_depth", -1)
+            if not fut.done():
+                fut.cancel()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+            self.metrics.count("in_flight", -1)
+
+    async def submit_many(self, specs) -> list[CellOutcome]:
+        """Serve a batch of cells concurrently (dedup applies across
+        the batch: duplicate specs cost one simulation)."""
+        return list(await asyncio.gather(*(self.submit(s) for s in specs)))
+
+    async def submit_grid(
+        self, specs, n_shards: int | None = None
+    ) -> list[CellOutcome]:
+        """Serve a sweep grid, sharding cold cells across the remote
+        workers.
+
+        Without transports this is :meth:`submit_many` -- a local
+        process pool is already a self-balancing work queue.  With
+        transports, cold unique cells are split into cost-balanced
+        shards (:func:`repro.service.planner.plan_shards`, one
+        ``run_shard`` round trip per shard) while hits and duplicate
+        submissions are answered exactly as in :meth:`submit`.
+        """
+        specs = list(specs)
+        if not self.transports:
+            return await self.submit_many(specs)
+        from .planner import plan_shards
+
+        loop = asyncio.get_running_loop()
+        outs: list = [None] * len(specs)
+        to_compute: list[int] = []  # indices owning a new in-flight key
+        owned: dict[str, asyncio.Future] = {}
+        attached: list[tuple[int, str, asyncio.Future, float]] = []
+        for i, spec in enumerate(specs):
+            t0 = time.perf_counter()
+            key = spec.cache_key()
+            self.metrics.count("requests")
+            hit = self.cache.get_by_key(key) if self.cache is not None else None
+            self.metrics.observe("lookup", time.perf_counter() - t0)
+            if hit is not None:
+                self.metrics.count("cache_hits")
+                out = CellOutcome(
+                    spec, key, "hit", hit, elapsed_s=time.perf_counter() - t0
+                )
+                self.metrics.observe("total", out.elapsed_s)
+                outs[i] = out
+                continue
+            self.metrics.count("cache_misses")
+            fut = self._inflight.get(key)
+            if fut is not None:
+                self.metrics.count("dedup_attached")
+                attached.append((i, key, fut, t0))
+                continue
+            fut = loop.create_future()
+            self._inflight[key] = fut
+            self.metrics.count("in_flight")
+            owned[key] = fut
+            to_compute.append(i)
+
+        async def run_shard(shard, transport) -> None:
+            self.metrics.count("shards_dispatched")
+            t_exec = time.perf_counter()
+            request = {
+                "op": "run_shard",
+                "specs": [s.to_dict() for s in shard.specs],
+                "timeout": self.timeout,
+                "retries": self.retries,
+            }
+            try:
+                response = await transport.call(request)
+                payloads = response.get("payloads") if response.get("ok") else None
+                if payloads is None or len(payloads) != len(shard.specs):
+                    raise ValueError(
+                        str(response.get("message", "malformed shard response"))
+                    )
+            except Exception as exc:
+                failure = {
+                    "ok": False,
+                    "kind": "error",
+                    "message": f"transport: {type(exc).__name__}: {exc}",
+                    "traceback": "",
+                    "elapsed_s": 0.0,
+                }
+                payloads = [dict(failure) for _ in shard.specs]
+            elapsed = time.perf_counter() - t_exec
+            self.metrics.observe("execute", elapsed)
+            for local_idx, payload in zip(shard.indices, payloads):
+                i = to_compute[local_idx]
+                spec, key = specs[i], self._key_of(specs[i])
+                out = self._conclude(
+                    spec, key, payload, int(payload.get("attempts", 1))
+                )
+                out.elapsed_s = float(payload.get("elapsed_s", 0.0)) or elapsed
+                self.metrics.observe("total", out.elapsed_s)
+                outs[i] = out
+                fut = owned.pop(key, None)
+                self._inflight.pop(key, None)
+                self.metrics.count("in_flight", -1)
+                if fut is not None and not fut.done():
+                    fut.set_result(out)
+
+        try:
+            shards = plan_shards(
+                [specs[i] for i in to_compute],
+                n_shards or len(self.transports),
+            )
+            await asyncio.gather(
+                *(
+                    run_shard(shard, self.transports[n % len(self.transports)])
+                    for n, shard in enumerate(shards)
+                )
+            )
+        finally:
+            # a cancelled dispatch must not strand attachers forever
+            for key, fut in owned.items():
+                self._inflight.pop(key, None)
+                self.metrics.count("in_flight", -1)
+                if not fut.done():
+                    fut.cancel()
+            owned.clear()
+
+        for i, key, fut, t0 in attached:
+            shared: CellOutcome = await asyncio.shield(fut)
+            now = time.perf_counter()
+            self.metrics.observe("wait", now - t0)
+            out = CellOutcome(
+                specs[i], key, "attached", shared.outcome, elapsed_s=now - t0
+            )
+            self.metrics.observe("total", out.elapsed_s)
+            outs[i] = out
+        return outs
+
+    @staticmethod
+    def _key_of(spec: JobSpec) -> str:
+        return spec.cache_key()
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    async def _attempt_loop(self, spec: JobSpec) -> tuple[dict, int]:
+        """Run ``spec`` with bounded retries, exponential backoff, and
+        the per-job deadline budget; returns (payload, attempts)."""
+        start = time.monotonic()
+        attempt = 1
+        while True:
+            payload = await self._run_once(spec)
+            if payload["ok"] or attempt > self.retries:
+                return payload, attempt
+            delay = (
+                min(self.backoff * 2 ** (attempt - 1), self.backoff_cap)
+                if self.backoff
+                else 0.0
+            )
+            if (
+                self.deadline is not None
+                and time.monotonic() - start + delay >= self.deadline
+            ):
+                self.metrics.count("deadline_exceeded")
+                payload = dict(payload)
+                payload["kind"] = "deadline"
+                payload["message"] = (
+                    f"gave up after {attempt} attempt(s): deadline budget of "
+                    f"{self.deadline:g}s exhausted (last error: "
+                    f"{payload.get('message', '')})"
+                )
+                return payload, attempt
+            if delay:
+                self.metrics.backoff_seconds += delay
+                await asyncio.sleep(delay)
+            attempt += 1
+            self.metrics.count("retries")
+
+    async def _run_once(self, spec: JobSpec) -> dict:
+        if self.transports:
+            return await self._run_remote(spec)
+        if self.inline:
+            # the byte-identical serial path: same call the classic
+            # serial executor made, in submission order, in-process
+            return _execute(spec, self.timeout, self.trace_cache)
+        loop = asyncio.get_running_loop()
+        job_spec = spec
+        if spec.program and spec.traceset is not None:
+            # don't pickle megabytes of trace into the pool queue; the
+            # worker regenerates or memory-maps it from the trace cache
+            job_spec = replace(spec, traceset=None)
+        tcache_root = (
+            str(self.trace_cache.root) if self.trace_cache is not None else None
+        )
+        try:
+            return await loop.run_in_executor(
+                self._worker_pool(), _execute, job_spec, self.timeout, tcache_root
+            )
+        except Exception as exc:  # worker process died
+            return {
+                "ok": False,
+                "kind": "error",
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": "",
+                "elapsed_s": 0.0,
+            }
+
+    async def _run_remote(self, spec: JobSpec) -> dict:
+        transport = self.transports[self._next_transport % len(self.transports)]
+        self._next_transport += 1
+        job_spec = spec
+        if spec.program and spec.traceset is not None:
+            job_spec = replace(spec, traceset=None)
+        try:
+            payload = await transport.call(
+                {"op": "run", "spec": job_spec.to_dict(), "timeout": self.timeout}
+            )
+        except Exception as exc:
+            return {
+                "ok": False,
+                "kind": "error",
+                "message": f"transport: {type(exc).__name__}: {exc}",
+                "traceback": "",
+                "elapsed_s": 0.0,
+            }
+        if not isinstance(payload, dict) or "ok" not in payload:
+            return {
+                "ok": False,
+                "kind": "error",
+                "message": f"transport: malformed worker payload {payload!r:.200}",
+                "traceback": "",
+                "elapsed_s": 0.0,
+            }
+        return payload
+
+    def _conclude(
+        self, spec: JobSpec, key: str, payload: dict, attempts: int
+    ) -> CellOutcome:
+        if payload["ok"]:
+            result = result_from_dict(payload["result"])
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            self.metrics.count("executed")
+            return CellOutcome(
+                spec,
+                key,
+                "ok",
+                result,
+                attempts=attempts,
+                result_dict=payload["result"],
+            )
+        self.metrics.count("failed")
+        failure = JobFailure(
+            key=key,
+            label=spec.label(),
+            kind=payload.get("kind", "error"),
+            message=payload.get("message", ""),
+            attempts=attempts,
+            spec=spec.to_dict(),
+            traceback=payload.get("traceback", ""),
+        )
+        return CellOutcome(spec, key, "failed", failure, attempts=attempts)
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-ready snapshot for ``GET /status`` and ``repro status``."""
+        out = {
+            "jobs": self.jobs,
+            "inline": self.inline,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "deadline": self.deadline,
+            "transports": len(self.transports),
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats_dict()
+        if self.trace_cache is not None:
+            out["trace_cache"] = self.trace_cache.stats_dict()
+        return out
+
+
+# ----------------------------------------------------------------------
+# Synchronous batch facade (what run_jobs delegates to)
+# ----------------------------------------------------------------------
+def _run_coro(coro):
+    """Run ``coro`` to completion from synchronous code, even when the
+    caller already sits inside an event loop (e.g. a worker agent)."""
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    import concurrent.futures
+    import threading
+
+    box: dict = {}
+
+    def runner() -> None:
+        try:
+            box["value"] = asyncio.run(coro)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    t = threading.Thread(target=runner, name="repro-run-batch", daemon=True)
+    t.start()
+    t.join()
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def run_batch(
+    specs,
+    jobs: int = 1,
+    cache=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    manifest_path=None,
+    resume: bool = False,
+    trace_cache=None,
+    backoff: float = 0.0,
+    deadline: float | None = None,
+    scheduler: Scheduler | None = None,
+) -> BatchResult:
+    """Run specs through a :class:`Scheduler`, with the executor's
+    manifest/resume bookkeeping; returns outcomes in spec order.
+
+    This is the engine behind :func:`repro.runner.run_jobs` -- see its
+    docstring for parameter semantics.  ``scheduler`` injects a live
+    (possibly shared) scheduler; otherwise a private one is built from
+    the other arguments and torn down afterwards.
+    """
+    if resume and manifest_path is None:
+        raise ValueError("resume=True requires a manifest_path")
+    specs = list(specs)
+    keys = [s.cache_key() for s in specs]
+    manifest = str(manifest_path) if manifest_path else None
+    stats = BatchStats(total=len(specs))
+    outcomes: list = [None] * len(specs)
+
+    def record(idx: int, status: str, **extra) -> None:
+        if manifest is None:
+            return
+        rec = {
+            "key": keys[idx],
+            "label": specs[idx].label(),
+            "status": status,
+            "spec": specs[idx].to_dict(),
+        }
+        rec.update(extra)
+        append_record(manifest, rec)
+
+    pending = list(range(len(specs)))
+    if resume:
+        completed = load_completed(manifest)
+        still = []
+        for idx in pending:
+            if keys[idx] in completed:
+                outcomes[idx] = result_from_dict(completed[keys[idx]])
+                stats.resumed += 1
+                record(idx, "resumed", attempts=0, elapsed_s=0.0)
+            else:
+                still.append(idx)
+        pending = still
+
+    own = scheduler is None
+    if own:
+        scheduler = Scheduler(
+            jobs=jobs,
+            cache=cache,
+            trace_cache=trace_cache,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            deadline=deadline,
+        )
+
+    def settle(idx: int, out: CellOutcome) -> None:
+        outcomes[idx] = out.outcome
+        if out.status == "hit" or out.status == "attached":
+            stats.cached += 1
+            record(idx, "cached", attempts=0, elapsed_s=0.0)
+        elif out.status == "ok":
+            stats.executed += 1
+            stats.retries += out.attempts - 1
+            record(
+                idx,
+                "ok",
+                attempts=out.attempts,
+                elapsed_s=out.elapsed_s,
+                result=out.result_dict,
+            )
+        else:
+            stats.failed += 1
+            stats.retries += out.attempts - 1
+            failure = out.outcome
+            record(
+                idx,
+                "failed",
+                attempts=out.attempts,
+                elapsed_s=out.elapsed_s,
+                error={
+                    "kind": failure.kind,
+                    "message": failure.message,
+                    "traceback": failure.traceback,
+                },
+            )
+
+    async def drive() -> None:
+        if scheduler.inline and not scheduler.transports:
+            # strict submission order, one job at a time: the serial path
+            for idx in pending:
+                settle(idx, await scheduler.submit(specs[idx]))
+            return
+
+        async def one(idx: int) -> None:
+            settle(idx, await scheduler.submit(specs[idx]))
+
+        await asyncio.gather(*(one(idx) for idx in pending))
+
+    try:
+        if pending:
+            _run_coro(drive())
+    finally:
+        if own:
+            scheduler.close()
+
+    return BatchResult(
+        specs=specs, outcomes=outcomes, stats=stats, manifest_path=manifest
+    )

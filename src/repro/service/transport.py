@@ -1,0 +1,179 @@
+"""Thin request/response transport abstraction (stdlib only).
+
+A transport carries one JSON-ready dict to a worker agent and returns
+one JSON-ready dict.  Two implementations:
+
+* :class:`InProcessTransport` -- calls an async handler directly; zero
+  copies, used by tests and by single-process deployments.
+* :class:`SocketTransport` / :func:`serve_socket` -- newline-delimited
+  JSON over a TCP stream (asyncio streams, one request in flight per
+  connection, transparent reconnect).  Point it at ``127.0.0.1`` today;
+  pointing it at another host *is the whole multi-host story* -- the
+  scheduler neither knows nor cares where the worker runs.
+
+The wire format is deliberately boring: one JSON object per line, UTF-8,
+no framing beyond the newline (payloads are ``json.dumps`` output, so
+they never contain a raw newline).  Anything smarter (TLS, auth,
+compression) belongs in front of the socket, not in this layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "SocketTransport",
+    "serve_socket",
+]
+
+#: refuse absurd frames instead of buffering without bound
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class Transport:
+    """One request dict in, one response dict out."""
+
+    async def call(self, request: dict) -> dict:
+        raise NotImplementedError
+
+    async def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InProcessTransport(Transport):
+    """Direct dispatch to an async handler -- the degenerate transport."""
+
+    def __init__(self, handler) -> None:
+        self.handler = handler
+
+    async def call(self, request: dict) -> dict:
+        # round-trip through JSON so in-process behaves exactly like the
+        # socket: only JSON-expressible payloads survive either way
+        return json.loads(json.dumps(await self.handler(json.loads(json.dumps(request)))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InProcessTransport({self.handler!r})"
+
+
+def _encode(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """One newline-delimited JSON frame, or ``None`` on EOF."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ConnectionError("oversized transport frame")
+    if not line:
+        return None
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ConnectionError(f"expected a JSON object frame, got {type(obj).__name__}")
+    return obj
+
+
+class SocketTransport(Transport):
+    """Persistent newline-delimited-JSON client connection.
+
+    One request is in flight per transport at a time (an internal lock
+    serializes callers); the scheduler fans out across *several*
+    transports for parallelism.  A dead connection is re-opened once
+    per call before the error propagates.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    def from_address(cls, address: str) -> "SocketTransport":
+        """``host:port`` (or ``:port`` for localhost) -> transport."""
+        host, _, port = address.rpartition(":")
+        return cls(host or "127.0.0.1", int(port))
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_FRAME_BYTES
+            )
+
+    async def _roundtrip(self, request: dict) -> dict:
+        await self._connect()
+        self._writer.write(_encode(request))
+        await self._writer.drain()
+        response = await _read_frame(self._reader)
+        if response is None:
+            raise ConnectionError("worker closed the connection mid-request")
+        return response
+
+    async def call(self, request: dict) -> dict:
+        async with self._lock:
+            try:
+                return await self._roundtrip(request)
+            except (ConnectionError, OSError, json.JSONDecodeError):
+                # stale connection (worker restarted, idle timeout...):
+                # reconnect once, then let a second failure propagate
+                await self.close()
+                return await self._roundtrip(request)
+
+    async def close(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - racy peer reset
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SocketTransport({self.host}:{self.port})"
+
+
+async def serve_socket(handler, host: str = "127.0.0.1", port: int = 0):
+    """Serve ``handler`` (async dict -> dict) over newline-delimited
+    JSON; returns ``(server, bound_port)``.  ``port=0`` binds an
+    ephemeral port -- the test and CI lanes use that to avoid clashes.
+    """
+
+    async def on_connection(reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_frame(reader)
+                except (json.JSONDecodeError, ConnectionError) as exc:
+                    writer.write(_encode({"ok": False, "message": str(exc)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                try:
+                    response = await handler(request)
+                except Exception as exc:  # handler bug: report, keep serving
+                    response = {
+                        "ok": False,
+                        "kind": "error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                writer.write(_encode(response))
+                await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    server = await asyncio.start_server(
+        on_connection, host, port, limit=MAX_FRAME_BYTES
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, bound_port

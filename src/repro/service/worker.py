@@ -1,0 +1,179 @@
+"""Worker agent: executes cells and shards on behalf of a scheduler.
+
+A worker agent is the far end of a :mod:`~repro.service.transport`.  It
+understands four operations, each one JSON object in, one out:
+
+* ``{"op": "ping"}`` -- liveness probe; echoes worker identity.
+* ``{"op": "run", "spec": {...}, "timeout": ...}`` -- execute one cell
+  through the executor's worker function (process pool, so the
+  in-worker SIGALRM timeout machinery applies) and return its payload.
+* ``{"op": "run_shard", "specs": [...], ...}`` -- execute a planned
+  shard through :func:`repro.runner.run_jobs` itself, reusing its
+  timeout/retry machinery and local parallelism, and return one payload
+  per spec in order.
+* ``{"op": "stats"}`` -- the worker's cache/trace-cache counters.
+
+Workers open the content-addressed stores by *root path*: co-located
+workers share pages via the trace cache's mmap objects, and a shared
+filesystem (or rsync'd store) gives multi-host workers the same
+warm-cell behaviour -- the store is the coordination medium, the
+transport only moves cold work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from ..runner.cache import ResultCache
+from ..runner.executor import JobFailure, _execute, run_jobs
+from ..runner.serialize import result_to_dict
+from ..runner.spec import JobSpec
+from ..trace.cache import resolve_trace_cache
+from .transport import serve_socket
+
+__all__ = ["WorkerAgent", "serve_worker"]
+
+
+class WorkerAgent:
+    """Request handler for one worker process (see module docstring)."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | None = None,
+        trace_cache=None,
+        name: str | None = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = (
+            cache if cache is None or isinstance(cache, ResultCache) else ResultCache(cache)
+        )
+        self.trace_cache = resolve_trace_cache(trace_cache)
+        self.name = name or f"worker-{os.getpid()}"
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _worker_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    async def handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "pong", "worker": self.name, "jobs": self.jobs}
+        if op == "run":
+            return await self._run_one(request)
+        if op == "run_shard":
+            return await self._run_shard(request)
+        if op == "stats":
+            return {
+                "ok": True,
+                "worker": self.name,
+                "cache": self.cache.stats_dict() if self.cache is not None else None,
+                "trace_cache": (
+                    self.trace_cache.stats_dict()
+                    if self.trace_cache is not None
+                    else None
+                ),
+            }
+        return {"ok": False, "kind": "error", "message": f"unknown op {op!r}"}
+
+    async def _run_one(self, request: dict) -> dict:
+        spec = JobSpec.from_dict(request["spec"])
+        timeout = request.get("timeout")
+        if self.cache is not None:
+            hit = self.cache.get(spec)
+            if hit is not None:
+                return {
+                    "ok": True,
+                    "result": result_to_dict(hit),
+                    "cached": True,
+                    "elapsed_s": 0.0,
+                }
+        tcache_root = (
+            str(self.trace_cache.root) if self.trace_cache is not None else None
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._worker_pool(), _execute, spec, timeout, tcache_root
+            )
+        except Exception as exc:  # pool worker died
+            return {
+                "ok": False,
+                "kind": "error",
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": "",
+                "elapsed_s": 0.0,
+            }
+        if payload.get("ok") and self.cache is not None:
+            from ..runner.serialize import result_from_dict
+
+            self.cache.put(spec, result_from_dict(payload["result"]))
+        return payload
+
+    async def _run_shard(self, request: dict) -> dict:
+        specs = [JobSpec.from_dict(d) for d in request.get("specs", ())]
+        timeout = request.get("timeout")
+        retries = int(request.get("retries", 0))
+        # run_jobs spins its own scheduler in a worker thread; this
+        # reuses the executor's timeout/retry/cache machinery wholesale
+        batch = await asyncio.to_thread(
+            run_jobs,
+            specs,
+            jobs=self.jobs,
+            cache=self.cache,
+            timeout=timeout,
+            retries=retries,
+            trace_cache=self.trace_cache if self.trace_cache is not None else False,
+        )
+        payloads = []
+        for outcome in batch.outcomes:
+            if isinstance(outcome, JobFailure):
+                payloads.append(
+                    {
+                        "ok": False,
+                        "kind": outcome.kind,
+                        "message": outcome.message,
+                        "traceback": outcome.traceback,
+                        "attempts": outcome.attempts,
+                        "elapsed_s": 0.0,
+                    }
+                )
+            else:
+                payloads.append(
+                    {"ok": True, "result": result_to_dict(outcome), "elapsed_s": 0.0}
+                )
+        return {
+            "ok": True,
+            "worker": self.name,
+            "payloads": payloads,
+            "stats": {
+                "executed": batch.stats.executed,
+                "cached": batch.stats.cached,
+                "failed": batch.stats.failed,
+                "retries": batch.stats.retries,
+            },
+        }
+
+
+async def serve_worker(
+    jobs: int = 1,
+    cache=None,
+    trace_cache=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    name: str | None = None,
+):
+    """Boot a socket worker agent; returns ``(server, port, agent)``."""
+    agent = WorkerAgent(jobs=jobs, cache=cache, trace_cache=trace_cache, name=name)
+    server, bound_port = await serve_socket(agent.handle, host=host, port=port)
+    return server, bound_port, agent

@@ -344,18 +344,21 @@ class TraceBuilder:
                 )
             )
             # balanced = replaying from an empty stack ends empty without
-            # underflow; such a chunk cannot change the builder's stack
-            depth = 0
+            # underflow, tracking lock *identity* (depth alone would call
+            # "lock 0 / unlock 1" a no-op); such a chunk cannot change
+            # the builder's stack
+            sim: list[int] = []
             balanced = True
-            for kind, _, _ in rows:
+            for kind, _, lock_id in rows:
                 if kind == LOCK:
-                    depth += 1
+                    sim.append(lock_id)
                 elif kind == UNLOCK:
-                    depth -= 1
-                    if depth < 0:
+                    if lock_id in sim:
+                        sim.remove(lock_id)
+                    else:
                         balanced = False
                         break
-            balanced = balanced and depth == 0
+            balanced = balanced and not sim
             memo = self._sync_memo[id(records)] = (rows, balanced)
         rows, balanced = memo
         if balanced and not check:

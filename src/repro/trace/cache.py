@@ -317,6 +317,22 @@ class TraceCache:
             f"this session          : {self.stats.summary()}"
         )
 
+    def stats_dict(self) -> dict:
+        """JSON-ready report (``repro trace stats --json``, the service
+        ``/status`` endpoint, worker ``stats`` ops)."""
+        return {
+            "root": str(self.root),
+            "count": self.count(),
+            "size_bytes": self.size_bytes(),
+            "session": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "puts": self.stats.puts,
+                "invalidated": self.stats.invalidated,
+                "hit_rate": round(self.stats.hit_rate, 4),
+            },
+        }
+
 
 def resolve_trace_cache(value=None) -> TraceCache | None:
     """Normalize a trace-cache argument to a handle (or ``None``).

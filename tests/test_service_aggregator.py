@@ -1,0 +1,148 @@
+"""The streaming aggregator: durable-append-then-fold semantics,
+incremental tables, and crash-tolerant resume over manifests with
+truncated or corrupt trailing lines."""
+
+import json
+
+import pytest
+
+from repro.runner import JobSpec, ResultCache, run_jobs
+from repro.service import Scheduler, StreamAggregator
+
+pytestmark = pytest.mark.service
+
+GOOD = JobSpec(program="fullconn", scale=0.05)
+FAULTY = JobSpec(program="does-not-exist", scale=0.05)
+
+
+def _outcome_records(specs, cache=None):
+    import asyncio
+
+    sched = Scheduler(cache=cache)
+    try:
+        outs = asyncio.run(sched.submit_many(specs))
+    finally:
+        sched.close()
+    return [o.manifest_record() for o in outs]
+
+
+class TestFolding:
+    def test_ok_record_becomes_summary_row(self):
+        agg = StreamAggregator()
+        for rec in _outcome_records([GOOD]):
+            agg.record(rec)
+        assert agg.status_counts["ok"] == 1
+        row = agg.cells[("fullconn", "queuing", "sc")]
+        assert row["status"] == "ok"
+        assert row["run-time"] > 0
+        assert 0 <= row["util %"] <= 100
+        assert row["key"] == GOOD.cache_key()
+        assert agg.completed_keys() == {GOOD.cache_key()}
+
+    def test_failed_record_collected(self):
+        agg = StreamAggregator()
+        for rec in _outcome_records([FAULTY]):
+            agg.record(rec)
+        assert agg.status_counts["failed"] == 1
+        assert len(agg.failures) == 1
+        assert agg.failures[0]["kind"] == "error"
+        assert agg.failures[0]["key"] == FAULTY.cache_key()
+
+    def test_cached_record_keeps_existing_row(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        agg = StreamAggregator()
+        for rec in _outcome_records([GOOD], cache):  # cold: ok
+            agg.record(rec)
+        for rec in _outcome_records([GOOD], cache):  # warm: cached
+            agg.record(rec)
+        row = agg.cells[("fullconn", "queuing", "sc")]
+        assert row["status"] == "ok"  # the full row survives the hit
+        assert agg.status_counts["cached"] == 1
+
+    def test_table_and_summary_render(self):
+        agg = StreamAggregator()
+        for rec in _outcome_records([GOOD, FAULTY]):
+            agg.record(rec)
+        table = agg.table()
+        assert "fullconn/queuing/sc" in table
+        assert "run-time" in table
+        # failures are listed separately, not as summary cells
+        assert agg.summary() == "1 cell(s): 1 failed, 1 ok"
+
+
+class TestDurability:
+    def test_append_is_durable_before_fold(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        agg = StreamAggregator(manifest)
+        recs = _outcome_records([GOOD])
+        agg.record(recs[0])
+        lines = manifest.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["key"] == GOOD.cache_key()
+
+    def test_resume_replays_manifest(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        first = StreamAggregator(manifest)
+        for rec in _outcome_records([GOOD, FAULTY]):
+            first.record(rec)
+        second = StreamAggregator(manifest, resume=True)
+        assert second.recovered == 2
+        assert second.status_counts == first.status_counts
+        assert second.cells.keys() == first.cells.keys()
+        assert second.completed_keys() == first.completed_keys()
+
+    def test_resume_skips_torn_trailing_line(self, tmp_path):
+        """A writer killed mid-append leaves a truncated JSON line; a
+        resuming aggregator must recover every durable record and treat
+        the torn cell as never-completed."""
+        manifest = tmp_path / "m.jsonl"
+        agg = StreamAggregator(manifest)
+        for rec in _outcome_records([GOOD]):
+            agg.record(rec)
+        with open(manifest, "a") as fh:
+            fh.write('{"key": "deadbeef", "status": "ok", "spec": {"progr')
+        resumed = StreamAggregator(manifest, resume=True)
+        assert resumed.recovered == 1
+        assert resumed.completed_keys() == {GOOD.cache_key()}
+
+    def test_resume_skips_corrupt_interior_garbage(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        recs = _outcome_records([GOOD, JobSpec(program="qsort", scale=0.05)])
+        agg = StreamAggregator(manifest)
+        agg.record(recs[0])
+        with open(manifest, "a") as fh:
+            fh.write("not json at all\n")
+        agg.record(recs[1])
+        resumed = StreamAggregator(manifest, resume=True)
+        assert resumed.recovered == 2
+        assert len(resumed.cells) == 2
+
+
+class TestRunJobsResumeTornLines:
+    """The executor's --resume path shares the aggregator's tolerance:
+    truncated or corrupt trailing manifest lines must not poison a
+    restarted batch."""
+
+    def test_truncated_trailing_result_reruns_that_cell(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        specs = [GOOD, JobSpec(program="qsort", scale=0.05)]
+        run_jobs(specs, manifest_path=manifest)
+        lines = manifest.read_text().splitlines(keepends=True)
+        assert len(lines) == 2
+        # keep the first record durable, tear the second mid-write
+        with open(manifest, "w") as fh:
+            fh.write(lines[0])
+            fh.write(lines[1][: len(lines[1]) // 2])
+        batch = run_jobs(specs, manifest_path=manifest, resume=True)
+        assert batch.stats.resumed == 1
+        assert batch.stats.executed == 1  # the torn cell ran again
+        assert [o.run_time for o in batch.outcomes]
+
+    def test_corrupt_trailing_bytes_ignored(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        run_jobs([GOOD], manifest_path=manifest)
+        with open(manifest, "ab") as fh:
+            fh.write(b"\x00\xff garbage \xfe\n")
+        batch = run_jobs([GOOD], manifest_path=manifest, resume=True)
+        assert batch.stats.resumed == 1
+        assert batch.stats.executed == 0

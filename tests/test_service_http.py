@@ -1,0 +1,163 @@
+"""The HTTP front end end-to-end over localhost: submit grids through
+the scheduler, read metrics/status, and exercise the error paths —
+using the same blocking :class:`ServiceClient` the CLI uses."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner import JobSpec, ResultCache
+from repro.service import Scheduler, ServiceClient, ServiceServer
+
+pytestmark = pytest.mark.service
+
+GOOD = JobSpec(program="fullconn", scale=0.05)
+FAULTY = JobSpec(program="does-not-exist", scale=0.05)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live service on an ephemeral localhost port, its event loop on
+    a background thread so the blocking client can call it from the
+    test thread."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    # jobs=2 -> pool backend, so concurrent duplicates genuinely race
+    # the in-flight table (the dedup acceptance path)
+    scheduler = Scheduler(jobs=2, cache=ResultCache(tmp_path / "cache"))
+    server = ServiceServer(scheduler)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=30)
+    try:
+        yield server, ServiceClient(server.url, timeout=120)
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        _server, client = service
+        assert client.healthy()
+
+    def test_submit_cold_then_warm(self, service):
+        _server, client = service
+        cold = client.submit(specs=[GOOD])
+        assert [r["status"] for r in cold["results"]] == ["ok"]
+        assert cold["results"][0]["key"] == GOOD.cache_key()
+        assert cold["results"][0]["result"]["run_time"] > 0
+        warm = client.submit(specs=[GOOD])
+        assert [r["status"] for r in warm["results"]] == ["hit"]
+        assert warm["results"][0]["result"] == cold["results"][0]["result"]
+        assert warm["metrics"]["cache_hits"] == 1
+        assert warm["metrics"]["executed"] == 1
+
+    def test_submit_grid_body(self, service):
+        _server, client = service
+        response = client.submit(
+            grid={
+                "programs": ["fullconn", "qsort"],
+                "locks": ["queuing", "ttas"],
+                "scale": 0.05,
+            },
+            include_results=False,
+        )
+        assert len(response["results"]) == 4
+        assert all(r["ok"] for r in response["results"])
+        assert all("result" not in r for r in response["results"])
+        assert "4 cell(s)" in response["summary"]
+
+    def test_duplicate_submissions_simulate_once(self, service):
+        """Acceptance: one POST carrying N identical cold cells runs
+        exactly one simulation; every entry reports the same result."""
+        _server, client = service
+        response = client.submit(specs=[GOOD] * 3)
+        metrics = response["metrics"]
+        assert metrics["executed"] == 1
+        assert metrics["dedup_attached"] == 2
+        statuses = sorted(r["status"] for r in response["results"])
+        assert statuses == ["attached", "attached", "ok"]
+        results = [r["result"] for r in response["results"]]
+        assert results[0] == results[1] == results[2]
+
+    def test_result_roundtrip_and_404(self, service):
+        _server, client = service
+        assert client.result(GOOD.cache_key()) is None  # cold: 404
+        submitted = client.submit(specs=[GOOD])
+        fetched = client.result(GOOD.cache_key())
+        assert fetched == submitted["results"][0]["result"]
+        assert client.result("0" * 64) is None
+
+    def test_failed_cell_reported_per_entry(self, service):
+        _server, client = service
+        response = client.submit(specs=[FAULTY, GOOD])
+        by_label = {r["label"]: r for r in response["results"]}
+        bad = by_label[FAULTY.label()]
+        assert bad["ok"] is False and bad["status"] == "failed"
+        assert bad["error"]["kind"] == "error"
+        assert by_label[GOOD.label()]["ok"] is True
+
+    def test_status_snapshot(self, service):
+        _server, client = service
+        client.submit(specs=[GOOD])
+        status = client.status()
+        assert status["jobs"] == 2
+        assert status["metrics"]["executed"] == 1
+        assert status["cache"]["session"]["puts"] == 1
+        assert status["uptime_s"] >= 0
+        assert status["aggregator"]["cells"] == 1
+
+    def test_metrics_exposition(self, service):
+        _server, client = service
+        client.submit(specs=[GOOD])
+        client.submit(specs=[GOOD])
+        text = client.metrics()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 2" in text
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_in_flight 0" in text
+        assert 'repro_stage_latency_seconds_count{stage="total"} 2' in text
+        assert 'repro_result_cache_ops_total{op="puts"} 1' in text
+        # every scrape line is well-formed: name{labels} value or
+        # name value, no stray content
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
+class TestErrorPaths:
+    def _post(self, url, path, body: bytes):
+        req = urllib.request.Request(
+            url + path, data=body, headers={"Content-Type": "application/json"}
+        )
+        return urllib.request.urlopen(req, timeout=30)
+
+    def test_submit_rejects_non_json(self, service):
+        server, _client = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server.url, "/submit", b"not json")
+        assert info.value.code == 400
+        assert "not JSON" in json.loads(info.value.read())["error"]
+
+    def test_submit_rejects_empty_request(self, service):
+        server, _client = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server.url, "/submit", b"{}")
+        assert info.value.code == 400
+
+    def test_submit_requires_post(self, service):
+        server, _client = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(server.url + "/submit", timeout=30)
+        assert info.value.code == 405
+
+    def test_unknown_route_404(self, service):
+        server, _client = service
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(server.url + "/nope", timeout=30)
+        assert info.value.code == 404

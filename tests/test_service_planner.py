@@ -1,0 +1,90 @@
+"""Shard planning: cost-weighted LPT balancing and grid expansion."""
+
+import pytest
+
+from repro.runner import JobSpec
+from repro.service import estimate_cost, grid_specs, plan_shards
+
+pytestmark = pytest.mark.service
+
+
+class TestEstimateCost:
+    def test_known_programs_keep_measured_ordering(self):
+        # the weights come from the hot-path benchmark's suite seconds:
+        # qsort is the most expensive program, synthetic the cheapest
+        qsort = estimate_cost(JobSpec(program="qsort", scale=0.1))
+        synthetic = estimate_cost(JobSpec(program="synthetic", scale=0.1))
+        assert qsort > synthetic > 0
+
+    def test_weak_ordering_costs_more_than_sc(self):
+        sc = JobSpec(program="grav", scale=0.1, consistency="sc")
+        wo = JobSpec(program="grav", scale=0.1, consistency="wo")
+        assert estimate_cost(wo) > estimate_cost(sc)
+
+    def test_cost_scales_with_scale(self):
+        small = JobSpec(program="pdsa", scale=0.1)
+        large = JobSpec(program="pdsa", scale=0.4)
+        assert estimate_cost(large) == pytest.approx(4 * estimate_cost(small))
+
+    def test_unknown_program_gets_default_weight(self):
+        assert estimate_cost(JobSpec(program="mystery", scale=1.0)) > 0
+
+
+class TestPlanShards:
+    def test_every_index_assigned_exactly_once(self):
+        specs = grid_specs(
+            ["qsort", "grav", "synthetic"], ["queuing", "ttas"], ["sc", "wo"]
+        )
+        shards = plan_shards(specs, 3)
+        seen = sorted(i for s in shards for i in s.indices)
+        assert seen == list(range(len(specs)))
+        for shard in shards:
+            assert [specs[i] for i in shard.indices] == list(shard.specs)
+
+    def test_balances_heavy_and_light_cells(self):
+        # 2 expensive qsort cells + 6 cheap synthetic cells into 2
+        # shards: LPT must not put both qsort cells on one shard
+        specs = [JobSpec(program="qsort", scale=0.2)] * 2 + [
+            JobSpec(program="synthetic", scale=0.2, seed=i) for i in range(6)
+        ]
+        shards = plan_shards(specs, 2)
+        assert len(shards) == 2
+        qsort_per_shard = [
+            sum(1 for s in shard.specs if s.program == "qsort") for shard in shards
+        ]
+        assert sorted(qsort_per_shard) == [1, 1]
+        costs = [shard.cost for shard in shards]
+        assert max(costs) < 0.75 * sum(costs)
+
+    def test_within_shard_order_is_submission_order(self):
+        specs = [JobSpec(program="synthetic", scale=0.1, seed=i) for i in range(7)]
+        for shard in plan_shards(specs, 3):
+            assert list(shard.indices) == sorted(shard.indices)
+
+    def test_empty_shards_dropped(self):
+        specs = [JobSpec(program="grav", scale=0.1)]
+        shards = plan_shards(specs, 4)
+        assert len(shards) == 1
+        assert shards[0].indices == (0,)
+
+    def test_no_specs_no_shards(self):
+        assert plan_shards([], 2) == []
+
+
+class TestGridSpecs:
+    def test_row_major_expansion(self):
+        specs = grid_specs(["grav", "qsort"], ["queuing", "ttas"], ["sc"])
+        assert [(s.program, s.lock_scheme, s.consistency) for s in specs] == [
+            ("grav", "queuing", "sc"),
+            ("grav", "ttas", "sc"),
+            ("qsort", "queuing", "sc"),
+            ("qsort", "ttas", "sc"),
+        ]
+
+    def test_common_parameters_applied(self):
+        specs = grid_specs(
+            ["grav"], ["queuing"], ["sc"], scale=0.25, seed=7, n_procs=4
+        )
+        assert specs[0].scale == 0.25
+        assert specs[0].seed == 7
+        assert specs[0].n_procs == 4

@@ -1,0 +1,188 @@
+"""The sweep-service scheduler: cache-first serving, in-flight
+deduplication (N concurrent identical requests cost one simulation),
+retry/backoff/deadline budgets, and the run_batch facade the executor
+delegates to."""
+
+import asyncio
+
+import pytest
+
+from repro.runner import JobFailure, JobSpec, ResultCache
+from repro.service import Scheduler, run_batch
+
+pytestmark = pytest.mark.service
+
+GOOD = JobSpec(program="fullconn", scale=0.05)
+GOOD2 = JobSpec(program="qsort", scale=0.05)
+FAULTY = JobSpec(program="does-not-exist", scale=0.05)
+
+
+def _submit_many(scheduler, specs):
+    try:
+        return asyncio.run(scheduler.submit_many(specs))
+    finally:
+        scheduler.close()
+
+
+class TestCacheFirst:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cold = _submit_many(Scheduler(cache=cache), [GOOD])
+        assert cold[0].status == "ok"
+        warm = _submit_many(Scheduler(cache=cache), [GOOD])
+        assert warm[0].status == "hit"
+        assert warm[0].outcome == cold[0].outcome
+        assert warm[0].key == GOOD.cache_key()
+
+    def test_metrics_account_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        sched = Scheduler(cache=cache)
+        _submit_many(sched, [GOOD])
+        sched2 = Scheduler(cache=cache)
+        _submit_many(sched2, [GOOD, GOOD2])
+        m = sched2.metrics
+        assert m.requests == 2
+        assert m.cache_hits == 1
+        assert m.cache_misses == 1
+        assert m.hit_rate == 0.5
+        assert m.stage_latency["total"].total == 2
+
+    def test_no_cache_scheduler_still_serves(self):
+        outs = _submit_many(Scheduler(cache=None), [GOOD])
+        assert outs[0].status == "ok"
+        assert outs[0].outcome.program == "fullconn"
+
+
+class TestDedup:
+    """Acceptance: concurrent duplicate submissions of one cold cell
+    run exactly one simulation; every requester gets the identical
+    result object."""
+
+    def test_concurrent_duplicates_simulate_once(self, tmp_path):
+        # jobs=2 routes misses through the process pool, so the first
+        # submission yields at the await and the duplicates genuinely
+        # race it to the in-flight table
+        sched = Scheduler(jobs=2, cache=ResultCache(tmp_path / "c"))
+        outs = _submit_many(sched, [GOOD] * 4)
+        assert sched.metrics.executed == 1  # exactly one simulation
+        assert sched.metrics.dedup_attached == 3
+        assert sorted(o.status for o in outs) == ["attached"] * 3 + ["ok"]
+        owner = next(o for o in outs if o.status == "ok")
+        for o in outs:
+            assert o.outcome is owner.outcome  # the same object, shared
+            assert o.key == GOOD.cache_key()
+
+    def test_dedup_without_result_cache(self):
+        sched = Scheduler(jobs=2, cache=None)
+        outs = _submit_many(sched, [GOOD] * 3)
+        assert sched.metrics.executed == 1
+        assert sched.metrics.dedup_attached == 2
+        assert len({id(o.outcome) for o in outs}) == 1
+
+    def test_distinct_cells_do_not_dedup(self, tmp_path):
+        sched = Scheduler(jobs=2, cache=ResultCache(tmp_path / "c"))
+        outs = _submit_many(sched, [GOOD, GOOD2])
+        assert sched.metrics.executed == 2
+        assert sched.metrics.dedup_attached == 0
+        assert {o.outcome.program for o in outs} == {"fullconn", "qsort"}
+
+    def test_inflight_table_drains(self, tmp_path):
+        sched = Scheduler(jobs=2, cache=ResultCache(tmp_path / "c"))
+        _submit_many(sched, [GOOD] * 3)
+        assert sched._inflight == {}
+        assert sched.metrics.in_flight == 0
+        assert sched.metrics.queue_depth == 0
+
+
+class TestRetryBudgets:
+    def test_failure_concludes_with_key_and_attempts(self):
+        outs = _submit_many(Scheduler(retries=2), [FAULTY])
+        out = outs[0]
+        assert out.status == "failed"
+        failure = out.outcome
+        assert isinstance(failure, JobFailure)
+        assert failure.attempts == 3
+        assert failure.key == FAULTY.cache_key()
+        # the cache key is part of the human-readable failure line, so
+        # log lines correlate with manifest records and store paths
+        assert failure.key[:12] in str(failure)
+
+    def test_exponential_backoff_accumulates(self):
+        sched = Scheduler(retries=3, backoff=0.01)
+        _submit_many(sched, [FAULTY])
+        # 0.01 + 0.02 + 0.04 between the four attempts
+        assert sched.metrics.backoff_seconds == pytest.approx(0.07)
+        assert sched.metrics.retries == 3
+
+    def test_backoff_cap_bounds_the_delay(self):
+        sched = Scheduler(retries=2, backoff=0.02, backoff_cap=0.03)
+        _submit_many(sched, [FAULTY])
+        assert sched.metrics.backoff_seconds == pytest.approx(0.02 + 0.03)
+
+    def test_deadline_budget_stops_retrying(self):
+        # unbounded retries, but the deadline fires before backoff
+        # sleeps can: the job must fail with kind "deadline"
+        sched = Scheduler(retries=1000, backoff=30.0, deadline=0.5)
+        outs = _submit_many(sched, [FAULTY])
+        failure = outs[0].outcome
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "deadline"
+        assert "deadline budget" in failure.message
+        assert sched.metrics.deadline_exceeded == 1
+        assert sched.metrics.backoff_seconds == 0.0  # never actually slept
+
+    def test_success_needs_no_budget(self):
+        sched = Scheduler(retries=5, backoff=10.0, deadline=300.0)
+        outs = _submit_many(sched, [GOOD])
+        assert outs[0].status == "ok"
+        assert outs[0].attempts == 1
+
+
+class TestCellOutcome:
+    def test_manifest_record_statuses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        ok = _submit_many(Scheduler(cache=cache), [GOOD])[0]
+        rec = ok.manifest_record()
+        assert rec["status"] == "ok"
+        assert rec["key"] == GOOD.cache_key()
+        assert rec["result"] == ok.result_dict
+        hit = _submit_many(Scheduler(cache=cache), [GOOD])[0]
+        assert hit.manifest_record()["status"] == "cached"
+        assert "result" not in hit.manifest_record()
+        failed = _submit_many(Scheduler(), [FAULTY])[0]
+        rec = failed.manifest_record()
+        assert rec["status"] == "failed"
+        assert rec["error"]["kind"] == "error"
+
+    def test_status_snapshot(self, tmp_path):
+        sched = Scheduler(cache=ResultCache(tmp_path / "c"), retries=1)
+        _submit_many(sched, [GOOD])
+        snap = sched.status()
+        assert snap["jobs"] == 1 and snap["inline"] is True
+        assert snap["metrics"]["executed"] == 1
+        assert snap["cache"]["count"] == 1
+        assert snap["cache"]["session"]["puts"] == 1
+
+
+class TestRunBatchFacade:
+    def test_duplicates_in_one_batch_cost_one_simulation(self, tmp_path):
+        sched = Scheduler(jobs=2, cache=ResultCache(tmp_path / "c"))
+        batch = run_batch([GOOD, GOOD, GOOD], scheduler=sched)
+        sched.close()
+        assert batch.stats.executed == 1
+        assert batch.stats.cached == 2  # the attached requesters
+        assert len({id(o) for o in batch.outcomes}) == 1
+
+    def test_shared_scheduler_survives_batches(self, tmp_path):
+        sched = Scheduler(cache=ResultCache(tmp_path / "c"))
+        first = run_batch([GOOD], scheduler=sched)
+        second = run_batch([GOOD], scheduler=sched)
+        sched.close()
+        assert first.stats.executed == 1
+        assert second.stats.cached == 1
+        assert sched.metrics.requests == 2
+
+    def test_outcome_object_matches_run_jobs(self):
+        from repro.runner import run_jobs
+
+        assert run_batch([GOOD]).outcomes[0] == run_jobs([GOOD]).outcomes[0]
