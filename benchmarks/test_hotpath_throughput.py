@@ -1,14 +1,27 @@
 """Hot-path throughput benchmark and perf-smoke gate.
 
-Not a paper artifact: this watches the two differentially-verified fast
-paths (see docs/performance.md).  Two synthetic single-processor "hot
-loop" traces -- all-private, bus-free after the cold pass, so nearly
-every record is fast-path eligible -- are simulated with ``fast_path``
-on and off; each suite program's (queuing, SC) cell is timed with both
-fast paths on; and the two most bus-bound suite cells (qsort, pdsa) are
-additionally timed with ``bus_fast_path`` on and off (the *contended
-path* cells).  Throughput is reported as trace references per second and
+Not a paper artifact: this watches the three differentially-verified
+fast paths (see docs/performance.md).  Two synthetic single-processor
+"hot loop" traces -- all-private, bus-free after the cold pass, so
+nearly every record is fast-path eligible -- are simulated with
+``fast_path`` on and off; each suite program's (queuing, SC) cell is
+timed with the window fast path on; the two most bus-bound suite cells
+(qsort, pdsa) are additionally timed with ``bus_fast_path`` on and off
+(the *contended path* cells); and the same two hot loops are timed in
+three interleaved modes -- full production, production minus the
+kernel, and the reference interpreter -- (the *kernel* cells, where the
+quiet machine lets the columnar kernel collapse nearly the whole
+trace).  Throughput is reported as trace references per second and
 engine events per second.
+
+Axis isolation: every section except the kernel and audit cells pins
+``segment_kernel=False``, so the hot-loop pair still measures the window
+fast path alone (with the kernel at its default the quiet hot loop
+would be collapsed columnar on *both* sides) and the suite/bus numbers
+stay comparable to the pre-kernel committed baselines.  The kernel
+cells report two paired ratios: ``speedup_vs_reference`` (the
+end-to-end claim, held to a 5x floor) and ``speedup_vs_fastpath`` (the
+kernel's own contribution over the already-optimized interpreter).
 
 Measurement protocol: the fast/reference runs of each trace are timed
 *adjacently* (same process, alternating) with ``time.process_time`` and
@@ -31,9 +44,12 @@ does this), the measured fast-path refs/sec for both hot-loop traces is
 compared against the committed baseline at the repository root and the
 test fails on a regression of more than 25%; it also fails if either
 fast path is more than 25% *slower* than its reference mode on its own
-home turf, or if the bus cells' paired speedup regresses more than 25%
-below the baseline's recorded speedup.  Regenerate the root baseline on
-a quiet machine with::
+home turf, if the bus cells' paired speedup regresses more than 25%
+below the baseline's recorded speedup, or if a kernel cell's speedup
+over the reference interpreter drops below the 5x design floor (or
+more than 25% below its baseline, or under 90% quiet-trace coverage,
+or under break-even vs the window fast path).  Regenerate the root
+baseline on a quiet machine with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_hotpath_throughput.py -q
     cp benchmarks/output/BENCH_hotpath.json BENCH_hotpath.json
@@ -113,7 +129,10 @@ def _mixed():
 
 
 def _timed_run(ts, fast: bool):
-    cfg = MachineConfig(n_procs=ts.n_procs, fast_path=fast)
+    # segment_kernel pinned off: these pairs isolate the window fast
+    # path, and the suite/bus seconds stay comparable to pre-kernel
+    # committed baselines; the kernel has its own paired cells below
+    cfg = MachineConfig(n_procs=ts.n_procs, fast_path=fast, segment_kernel=False)
     system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
     gc.collect()
     t0 = time.process_time()
@@ -200,7 +219,9 @@ def _measure_bus_cell(program: str, baseline: dict | None):
     ts = generate_trace(program, scale=1.0, seed=1991)
 
     def run(fast_bus: bool) -> float:
-        cfg = MachineConfig(n_procs=ts.n_procs, bus_fast_path=fast_bus)
+        cfg = MachineConfig(
+            n_procs=ts.n_procs, bus_fast_path=fast_bus, segment_kernel=False
+        )
         system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
         gc.collect()
         t0 = time.process_time()
@@ -238,6 +259,67 @@ def _measure_bus_cell(program: str, baseline: dict | None):
     return cell
 
 
+#: the three kernel-cell modes: full production, production minus the
+#: kernel (the window fast path still batch-retires the quiet loop),
+#: and the record-by-record reference interpreter
+_KERNEL_MODES = {
+    "kernel": {},
+    "fastpath": {"segment_kernel": False},
+    "reference": {
+        "fast_path": False,
+        "bus_fast_path": False,
+        "segment_kernel": False,
+    },
+}
+
+
+def _measure_kernel_pair(make_ts):
+    """One hot-loop trace timed in the three ``_KERNEL_MODES``,
+    interleaved.  ``speedup_vs_reference`` (kernel vs the reference
+    interpreter) is the end-to-end claim the 5x design floor enforces;
+    ``speedup_vs_fastpath`` (kernel vs the already-optimized window
+    fast path) isolates the kernel's own contribution on its home turf
+    (a machine-quiet private loop it collapses nearly whole)."""
+    ts = make_ts()
+
+    def run(mode: str):
+        cfg = MachineConfig(n_procs=ts.n_procs, **_KERNEL_MODES[mode])
+        system = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+        gc.collect()
+        t0 = time.process_time()
+        result = system.run()
+        seconds = time.process_time() - t0
+        return seconds, result, system.kernel
+
+    for mode in _KERNEL_MODES:  # warm: imports, table builds
+        run(mode)
+    best = {mode: (9e9, None, None) for mode in _KERNEL_MODES}
+    for _ in range(REPS):
+        for mode in _KERNEL_MODES:
+            out = run(mode)
+            if out[0] < best[mode][0]:
+                best[mode] = out
+    refs = {
+        mode: sum(m.refs_processed for m in best[mode][1].proc_metrics)
+        for mode in _KERNEL_MODES
+    }
+    assert len(set(refs.values())) == 1, refs
+    kernel = best["kernel"][2]
+    total = sum(len(t.records) for t in ts)
+    cell = {
+        "records": total,
+        "segments": kernel.segments,
+        "records_collapsed": kernel.records,
+        "coverage": round(kernel.records / total, 4),
+    }
+    for mode in _KERNEL_MODES:
+        cell[f"seconds_{mode}"] = round(best[mode][0], 4)
+    t_kern = best["kernel"][0]
+    cell["speedup_vs_reference"] = round(best["reference"][0] / t_kern, 3)
+    cell["speedup_vs_fastpath"] = round(best["fastpath"][0] / t_kern, 3)
+    return cell
+
+
 def _measure_suite_cell(program: str):
     ts = generate_trace(program, scale=1.0, seed=1991)
     _timed_run(ts, True)  # warm
@@ -268,13 +350,19 @@ def test_hotpath_throughput():
             "word accesses / mixed with 8-16 word iblocks); suite cells "
             "are (queuing, SC) at scale 1.0 with the fast path on; bus "
             "cells time the same (queuing, SC) cell with bus_fast_path "
-            "on/off paired-adjacent; the audit cell times the same run "
+            "on/off paired-adjacent; kernel cells time the hot loops "
+            "in three interleaved modes (production / no kernel / "
+            "reference interpreter); the audit cell times the same run "
             "with the invariant auditor attached (raise mode), best of 3"
         ),
         "hotloop_single": _measure_pair(_single_line),
         "hotloop_mixed": _measure_pair(_mixed),
         "suite": {p: _measure_suite_cell(p) for p in BENCHMARK_ORDER},
         "bus": {p: _measure_bus_cell(p, baseline) for p in BUS_CELLS},
+        "kernel": {
+            "hotloop_single": _measure_kernel_pair(_single_line),
+            "hotloop_mixed": _measure_kernel_pair(_mixed),
+        },
         "audit": _measure_audit_cell("pverify"),
     }
 
@@ -304,6 +392,26 @@ def test_hotpath_throughput():
                 f"bus/{prog}: contended fast path {cell['speedup_paired']}x "
                 "vs its reference mode"
             )
+    # ...the segment kernel must hold its 5x design floor on quiet loops
+    # (paired ratios are machine-insensitive: same process, adjacent),
+    # must pay for itself over the window fast path alone, and must keep
+    # collapsing nearly the whole quiet trace...
+    for name, cell in report["kernel"].items():
+        if cell["speedup_vs_reference"] < 5.0:
+            problems.append(
+                f"kernel/{name}: {cell['speedup_vs_reference']}x vs the "
+                "reference interpreter is below the 5x design floor"
+            )
+        if cell["speedup_vs_fastpath"] < 1 - TOLERANCE:
+            problems.append(
+                f"kernel/{name}: {cell['speedup_vs_fastpath']}x vs the "
+                "window fast path -- the kernel no longer pays for itself"
+            )
+        if cell["coverage"] < 0.9:
+            problems.append(
+                f"kernel/{name}: collapsed only {cell['coverage']:.0%} of a "
+                "machine-quiet trace"
+            )
     # ...the auditor must stay within its advertised overhead budget...
     if report["audit"]["overhead"] > 2.0:
         problems.append(
@@ -329,6 +437,16 @@ def test_hotpath_throughput():
                         f"is >{TOLERANCE:.0%} below the committed baseline "
                         f"{base}x"
                     )
+        for name, cell in report["kernel"].items():
+            base_cell = baseline.get("kernel", {}).get(name)
+            if base_cell is not None:
+                base = base_cell["speedup_vs_reference"]
+                if cell["speedup_vs_reference"] < base * (1 - TOLERANCE):
+                    problems.append(
+                        f"kernel/{name}: speedup vs reference "
+                        f"{cell['speedup_vs_reference']}x is >{TOLERANCE:.0%} "
+                        f"below the committed baseline {base}x"
+                    )
         # canonical-baseline sync check: the committed file must carry the
         # same sections/cells this benchmark produces (one canonical file;
         # benchmarks/output/ is scratch).  "tracegen" belongs to
@@ -336,7 +454,7 @@ def test_hotpath_throughput():
         # test_service_latency.py; each syncs its own section.
         missing = sorted(set(report) - set(baseline))
         stale = sorted(set(baseline) - set(report) - {"tracegen", "service"})
-        for section in ("suite", "bus"):
+        for section in ("suite", "bus", "kernel"):
             missing += [
                 f"{section}.{k}"
                 for k in sorted(

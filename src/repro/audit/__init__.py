@@ -4,7 +4,7 @@ The differential harness and the golden fixtures check *outputs*; this
 package checks *in-flight protocol state*.  A :class:`SystemAuditor`
 attached to a :class:`~repro.machine.system.System` observes every bus
 arbitration and grant, every cache install, and every lock acquire /
-grant / release, and verifies four invariant families while the
+grant / release, and verifies five invariant families while the
 simulation runs:
 
 * :mod:`~repro.audit.coherence` -- MESI legality (one M/E owner, no M
@@ -15,7 +15,10 @@ simulation runs:
 * :mod:`~repro.audit.locks` -- mutual exclusion, queuing-lock FIFO
   order, LockStats accounting;
 * :mod:`~repro.audit.accounting` -- cycle/reference conservation and
-  RunResult aggregate consistency.
+  RunResult aggregate consistency;
+* :mod:`~repro.audit.kernel` -- segment-kernel collapse legality
+  (machine genuinely quiet, spans on bounce boundaries and replay-silent,
+  segments disjoint).
 
 Auditing is observation-only: results are byte-identical with it on or
 off.  Enable it per run with ``MachineConfig(audit=True)`` (CLI
@@ -39,6 +42,7 @@ from .report import (
     BUS,
     CATEGORIES,
     COHERENCE,
+    KERNEL,
     LOCK,
     AuditError,
     AuditReport,
@@ -55,6 +59,7 @@ __all__ = [
     "BUS",
     "LOCK",
     "ACCOUNTING",
+    "KERNEL",
     "set_default",
     "default_mode",
     "maybe_attach",

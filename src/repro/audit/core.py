@@ -21,6 +21,7 @@ from __future__ import annotations
 from .accounting import AccountingAuditor
 from .busproto import BusAuditor
 from .coherence import CoherenceAuditor
+from .kernel import KernelAuditor
 from .locks import LockAuditor
 from .report import AuditError, AuditReport, Violation
 
@@ -40,6 +41,7 @@ class SystemAuditor:
         self.busproto = BusAuditor(self)
         self.locks = LockAuditor(self)
         self.accounting = AccountingAuditor(self)
+        self.kernel_checks = KernelAuditor(self)
         self.finalized = False
 
     @classmethod
@@ -96,6 +98,10 @@ class SystemAuditor:
     # -- manager hook (queuing schemes) ----------------------------------
     def on_lock_enqueue(self, lock_id: int, proc: int, time: int) -> None:
         self.locks.on_enqueue(lock_id, proc, time)
+
+    # -- segment-kernel hook (SegmentKernel.attempt, pre-mutation) -------
+    def on_kernel_collapse(self, system, plan, now: int) -> None:
+        self.kernel_checks.on_collapse(system, plan, now)
 
     # -- end of run ------------------------------------------------------
     def finalize(self, result) -> AuditReport:

@@ -29,9 +29,9 @@ from typing import Callable
 
 from ..machine.buffers import DATA_RETURN, BusOp
 from ..machine.memory import _WRITE_KINDS
-from .report import ACCOUNTING, BUS, COHERENCE, LOCK
+from .report import ACCOUNTING, BUS, COHERENCE, KERNEL, LOCK
 
-__all__ = ["FaultSpec", "FAULTS", "inject"]
+__all__ = ["FaultSpec", "FAULTS", "KERNEL_FAULTS", "inject"]
 
 
 @dataclass(frozen=True)
@@ -274,10 +274,103 @@ FAULTS: dict[str, FaultSpec] = {
 }
 
 
+# -- segment-kernel faults -----------------------------------------------
+#
+# A separate registry: these corrupt the columnar segment kernel
+# (repro.machine.kernel), so they only arm on a System built with
+# ``segment_kernel=True`` on the production Engine, and they only
+# *trigger* on workloads with machine-quiet phases -- unlike FAULTS,
+# which trigger on any contended run.  tests/test_kernel_faults.py
+# drives them on purpose-built tracesets.
+
+
+def _kernel(system):
+    kern = system.kernel
+    if kern is None:
+        raise RuntimeError(
+            "kernel faults need a System with segment_kernel=True on the "
+            "production Engine"
+        )
+    return kern
+
+
+def _kernel_overrun(system) -> None:
+    """The analyzer claims one record too many is silently valid: the
+    collapsed span swallows the first *invalid* record (a cold line or
+    an ineligible sync record)."""
+    kern = _kernel(system)
+    kern.min_span = 1  # let short crafted runs attempt at all
+    real = kern._analyze
+
+    def over(q, tab, i0, j_s, _real=real):
+        j = _real(q, tab, i0, j_s)
+        # persistent (not one-shot): an overrun only matters once it
+        # lands inside a *collapsed* span, which the analyzer cannot
+        # know; raise-mode auditing aborts at the first one that does
+        return j + 1 if j < q._n else j
+
+    kern._analyze = over
+
+
+def _kernel_phantom_quiet(system) -> None:
+    """The quiet scan always says yes: segments can span live bus
+    transactions, memory operations and blocked processors.  Always-on
+    (every pre-mutation collapse is either genuinely legal or flagged by
+    the auditor before any state changes)."""
+    kern = _kernel(system)
+    kern.min_span = 1
+    kern.backoff = 0  # keep attempting: the scan no longer gates anything
+    kern._quiet = lambda: True
+
+
+def _kernel_stale_drain(system) -> None:
+    """Per-processor quiet ignores in-flight obligations (``outstanding``
+    accesses, write-backs, sync drains): a weakly-ordered processor with
+    an issued-but-not-yet-buffered write looks collapsible."""
+    kern = _kernel(system)
+    kern.min_span = 1
+    kern.backoff = 0
+    from ..machine.processor import _DONE, _RUNNING
+
+    kern._proc_quiet = lambda q: q.state in (_RUNNING, _DONE)
+
+
+KERNEL_FAULTS: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "kernel-overrun",
+            KERNEL,
+            frozenset({"segment-boundary"}),
+            "the span analyzer overruns the first invalid record by one",
+            _kernel_overrun,
+        ),
+        FaultSpec(
+            "kernel-phantom-quiet",
+            KERNEL,
+            frozenset({"segment-quiet"}),
+            "the machine-quiet scan always passes; segments span bus traffic",
+            _kernel_phantom_quiet,
+        ),
+        FaultSpec(
+            "kernel-stale-drain",
+            KERNEL,
+            frozenset({"segment-quiet"}),
+            "per-processor quiet ignores outstanding accesses and drains",
+            _kernel_stale_drain,
+        ),
+    )
+}
+
+
 def inject(system, name: str) -> FaultSpec:
-    """Apply a registered fault to a built (not yet run) system."""
-    spec = FAULTS.get(name)
+    """Apply a registered fault (protocol or kernel) to a built (not yet
+    run) system."""
+    spec = FAULTS.get(name) or KERNEL_FAULTS.get(name)
     if spec is None:
-        raise KeyError(f"unknown fault {name!r}; known: {sorted(FAULTS)}")
+        raise KeyError(
+            f"unknown fault {name!r}; known: "
+            f"{sorted(FAULTS) + sorted(KERNEL_FAULTS)}"
+        )
     spec.apply(system)
     return spec

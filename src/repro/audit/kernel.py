@@ -1,0 +1,215 @@
+"""Segment-kernel legality checks.
+
+The columnar segment kernel (:mod:`repro.machine.kernel`) may only
+collapse interpreter bounces that are provably silent while the whole
+machine is quiet.  This auditor re-derives both claims **independently**
+at every collapse -- it shares no code path with the kernel's own
+detector, so a corrupted detector (see the KERNEL faults in
+:mod:`repro.audit.faults`) cannot blind it:
+
+``segment-quiet``
+    Its own machine scan: no bus transaction, memory operation, live
+    buffer entry, queued issue, or processor with an access, write-back
+    or drain in flight; every processor RUNNING or DONE.
+
+``segment-boundary``
+    Each collapsed span starts at the processor's cursor, ends on a
+    whole-bounce (``batch_records``) boundary within the analyzed run,
+    and -- replayed record by record against the *current* cache state
+    with the static window code -- consists exclusively of silent hits
+    (resident lines, >= EXCLUSIVE for writes).  The replay probes only
+    (never touches LRU): auditing stays observation-only.
+
+``segment-disjoint``
+    Per processor, spans never overlap and never go backwards: each
+    collapse begins at or after the previous one ended.
+"""
+
+from __future__ import annotations
+
+from ..machine.cache import EXCLUSIVE
+from ..machine.processor import _DONE, _RUNNING, _interp_tables
+from .report import KERNEL, Violation
+
+__all__ = ["KernelAuditor"]
+
+
+class KernelAuditor:
+    """Checks every segment-kernel collapse (see module docstring)."""
+
+    def __init__(self, parent) -> None:
+        self.parent = parent
+        self._last_end: dict[int, int] = {}  # proc -> end of last span
+        self._tabs: dict[int, object] = {}  # proc -> WindowTables
+
+    def _tab(self, system, proc: int):
+        tab = self._tabs.get(proc)
+        if tab is None:
+            cfg = system.config.cache
+            *_cols, tab = _interp_tables(
+                system.traceset[proc],
+                cfg.offset_bits,
+                cfg.write_policy == "writethrough",
+                True,
+            )
+            self._tabs[proc] = tab
+        return tab
+
+    # -- the hook (called by SegmentKernel.attempt before any mutation) --
+    def on_collapse(self, system, plan, now: int) -> None:
+        rep = self.parent.report
+        self._check_quiet(system, plan, now)
+        rep.count(KERNEL)
+        batch = system.config.batch_records
+        for proc, i0, e, j_dyn in plan:
+            self._check_span(system, proc, i0, e, j_dyn, batch, now)
+            rep.count(KERNEL, 2)
+
+    # -- segment-quiet ---------------------------------------------------
+    def _check_quiet(self, system, plan, now: int) -> None:
+        def bad(message, **kw):
+            self.parent.violation(
+                Violation(KERNEL, "segment-quiet", message, cycle=now, **kw)
+            )
+
+        if system.bus.busy:
+            bad("segment collapsed while a bus transaction is in flight")
+        pending = system.memory.pending()
+        if pending:
+            bad(
+                "segment collapsed while the memory module is active",
+                observed=pending,
+            )
+        for buf in system.buffers:
+            for op in buf.entries:
+                if not op.cancelled:
+                    bad(
+                        "segment collapsed over a buffered operation",
+                        proc=buf.proc,
+                        line=op.line,
+                    )
+        iq = getattr(system, "_issue_q", None)
+        if iq is not None:
+            for p, q_pending in enumerate(iq):
+                if q_pending:
+                    bad("segment collapsed over a queued issue", proc=p)
+        for q in system.procs:
+            st = q.state
+            if st != _RUNNING and st != _DONE:
+                bad(
+                    "segment collapsed while a processor is blocked",
+                    proc=q.proc,
+                    observed=st,
+                )
+            elif st == _RUNNING:
+                if q.outstanding:
+                    bad(
+                        "segment collapsed over an outstanding access "
+                        "(a stale drain obligation)",
+                        proc=q.proc,
+                        observed=q.outstanding,
+                    )
+                if q.outstanding_wb:
+                    bad(
+                        "segment collapsed over an in-flight write-back",
+                        proc=q.proc,
+                        observed=q.outstanding_wb,
+                    )
+                if q._draining:
+                    bad(
+                        "segment collapsed over an active sync drain",
+                        proc=q.proc,
+                    )
+
+    # -- segment-boundary + segment-disjoint -----------------------------
+    def _check_span(
+        self, system, proc: int, i0: int, e: int, j_dyn: int, batch: int, now: int
+    ) -> None:
+        def bad(check, message, **kw):
+            self.parent.violation(
+                Violation(KERNEL, check, message, cycle=now, proc=proc, **kw)
+            )
+
+        q = system.procs[proc]
+        n = q._n
+        if q.idx != i0:
+            bad(
+                "segment-boundary",
+                "collapsed span does not start at the processor's cursor",
+                expected=q.idx,
+                observed=i0,
+            )
+        if not (i0 < e <= n):
+            bad(
+                "segment-boundary",
+                "collapsed span leaves the trace",
+                expected=n,
+                observed=e,
+            )
+        if (e - i0) % batch:
+            bad(
+                "segment-boundary",
+                "collapsed span is not a whole number of interpreter "
+                "bounces (the resume cadence would diverge)",
+                expected=batch,
+                observed=e - i0,
+            )
+        last = self._last_end.get(proc, 0)
+        if i0 < last:
+            bad(
+                "segment-disjoint",
+                "collapsed span overlaps a previously retired segment",
+                expected=last,
+                observed=i0,
+            )
+        self._last_end[proc] = max(last, e)
+
+        # replay: every collapsed record must be a silent hit *right now*
+        # (validity inside a quiet segment is position-independent, so
+        # pre-collapse state decides all of them).  Probe-only -- the
+        # cache's LRU is never touched.
+        code = self._tab(system, proc).code
+        sget = system.caches[proc].state.get
+        for r in range(i0, min(e, n)):
+            v = code[r]
+            if v is None:
+                bad(
+                    "segment-boundary",
+                    "collapsed span swallows a record that is not "
+                    "window-eligible (a sync record or write-through "
+                    "write)",
+                    line=-1,
+                    observed=r,
+                )
+                continue
+            if type(v) is int:
+                if v >= 0:
+                    if sget(v) is None:
+                        bad(
+                            "segment-boundary",
+                            "collapsed read of a non-resident line",
+                            line=v,
+                            observed=r,
+                        )
+                else:
+                    line = ~v
+                    st = sget(line)
+                    if st is None or st < EXCLUSIVE:
+                        bad(
+                            "segment-boundary",
+                            "collapsed write to a non-writable line",
+                            line=line,
+                            observed=r,
+                        )
+            else:
+                lo, hi, wr = v
+                for line in range(lo, hi + 1):
+                    st = sget(line)
+                    if st is None or (wr and st < EXCLUSIVE):
+                        bad(
+                            "segment-boundary",
+                            "collapsed multi-line record fails validation",
+                            line=line,
+                            observed=r,
+                        )
+                        break

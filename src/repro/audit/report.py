@@ -21,16 +21,19 @@ __all__ = [
     "BUS",
     "LOCK",
     "ACCOUNTING",
+    "KERNEL",
     "CATEGORIES",
 ]
 
 #: invariant families (§3 of the paper: MESI snooping, split-transaction
-#: bus arbitration, lock semantics, stall-cycle accounting)
+#: bus arbitration, lock semantics, stall-cycle accounting) plus the
+#: segment-kernel legality checks (repro.machine.kernel collapses)
 COHERENCE = "coherence"
 BUS = "bus"
 LOCK = "lock"
 ACCOUNTING = "accounting"
-CATEGORIES = (COHERENCE, BUS, LOCK, ACCOUNTING)
+KERNEL = "kernel"
+CATEGORIES = (COHERENCE, BUS, LOCK, ACCOUNTING, KERNEL)
 
 
 @dataclass(frozen=True)

@@ -58,12 +58,21 @@ def _add_config_options(sp: argparse.ArgumentParser) -> None:
         ),
     )
     sp.add_argument(
+        "--no-segment-kernel",
+        action="store_true",
+        help=(
+            "retire machine-quiet trace segments bounce by bounce instead "
+            "of through the columnar segment kernel (identical results, "
+            "slower; see 'diff-verify' and docs/performance.md)"
+        ),
+    )
+    sp.add_argument(
         "--audit",
         action="store_true",
         help=(
             "attach the runtime invariant auditor (simulator sanitizer): "
-            "abort at the first coherence/bus/lock/accounting violation "
-            "(identical results, ~2x slower; see docs/audit.md)"
+            "abort at the first coherence/bus/lock/accounting/kernel "
+            "violation (identical results, ~2x slower; see docs/audit.md)"
         ),
     )
 
@@ -382,12 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
     dv.add_argument(
         "--vary",
         default="all",
-        choices=["all", "fast-path", "bus-fast-path"],
+        choices=["all", "fast-path", "bus-fast-path", "segment-kernel"],
         help=(
             "which fast path(s) to toggle between the two runs of each "
-            "cell: 'all' (default) flips both the interpreter and the "
-            "bus fast path together; the others isolate one knob with "
-            "the other left at its default (on)"
+            "cell: 'all' (default) flips the interpreter fast path, the "
+            "bus fast path and the segment kernel together; the others "
+            "isolate one knob with the rest left at their defaults (on)"
         ),
     )
     _add_trace_cache_options(dv)
@@ -664,9 +673,10 @@ def _run_diff_verify(args) -> int:
     else:
         programs = tuple(p.strip() for p in args.programs.split(",") if p.strip())
     vary = {
-        "all": ("fast_path", "bus_fast_path"),
+        "all": ("fast_path", "bus_fast_path", "segment_kernel"),
         "fast-path": ("fast_path",),
         "bus-fast-path": ("bus_fast_path",),
+        "segment-kernel": ("segment_kernel",),
     }[args.vary]
     reports = differential_check(
         programs=programs,
@@ -700,14 +710,16 @@ def _machine_config(args, ts):
     the paper defaults, letting ``simulate`` choose)."""
     no_fast = getattr(args, "no_fast_path", False)
     no_bus_fast = getattr(args, "no_bus_fast_path", False)
+    no_kernel = getattr(args, "no_segment_kernel", False)
     audit = getattr(args, "audit", False)
-    if no_fast or no_bus_fast or audit:
+    if no_fast or no_bus_fast or no_kernel or audit:
         from .machine.config import MachineConfig
 
         return MachineConfig(
             n_procs=ts.n_procs,
             fast_path=not no_fast,
             bus_fast_path=not no_bus_fast,
+            segment_kernel=not no_kernel,
             audit=audit,
         )
     return None

@@ -124,6 +124,24 @@ class MachineConfig:
         harness proves both byte-identical on every suite cell -- so the
         flag is purely an escape hatch for debugging and for measuring
         the contended fast path itself (see docs/performance.md).
+    segment_kernel:
+        Enable the columnar segment-retirement kernel
+        (:mod:`repro.machine.kernel`): when the *whole machine* is
+        quiet -- every processor in a private bus-free run, no bus
+        transaction, memory operation, buffered write-back or pending
+        drain in flight -- entire multi-batch spans of trace records are
+        validated and retired with vectorized ndarray arithmetic in one
+        engine event instead of one interpreter bounce per batch.  Like
+        the other fast paths it is **metric-neutral by construction**:
+        the kernel only collapses interpreter bounces that provably
+        schedule nothing observable, reproduces their exact resume
+        cadence, and bails to the ordinary interpreter at the first
+        record it cannot prove silent.  Byte-identity is enforced by the
+        differential grid (``diff-verify --vary segment-kernel``), a
+        hypothesis property suite, and a mutation self-test; the flag is
+        an escape hatch for debugging and for measuring the kernel
+        itself (see docs/performance.md).  Auto-disabled on the
+        reference ``HeapEngine``.
     """
 
     n_procs: int = 12
@@ -134,6 +152,7 @@ class MachineConfig:
     batch_records: int = 32
     fast_path: bool = True
     bus_fast_path: bool = True
+    segment_kernel: bool = True
     #: snooping coherence protocol: "illinois" (the paper's
     #: write-invalidate MESI) or "update" (Firefly-style write-update;
     #: extension -- see repro.machine.coherence)
@@ -189,6 +208,7 @@ class MachineConfig:
             "batch_records": self.batch_records,
             "fast_path": self.fast_path,
             "bus_fast_path": self.bus_fast_path,
+            "segment_kernel": self.segment_kernel,
             "coherence": self.coherence,
             "audit": self.audit,
         }
@@ -205,6 +225,7 @@ class MachineConfig:
             # absent in descriptions serialized before the fast paths existed
             fast_path=d.get("fast_path", True),
             bus_fast_path=d.get("bus_fast_path", True),
+            segment_kernel=d.get("segment_kernel", True),
             coherence=d["coherence"],
             # absent in descriptions serialized before the auditor existed
             audit=d.get("audit", False),

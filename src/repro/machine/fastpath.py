@@ -66,6 +66,16 @@ class WindowTables:
         "c_ifetch",  # elementary instruction fetches
         "c_cycles",  # ideal (IBLOCK) cycles
         "c_refs",  # elementary references of any kind
+        # ndarray mirrors consumed by the columnar segment kernel
+        # (repro.machine.kernel), which validates and retires whole
+        # machine-quiet spans with array arithmetic rather than scalar
+        # subscripts: line spans, the write flag, and the int64 ideal-
+        # cycle prefix (a_cycles[k] - a_cycles[i] = ideal cycles of
+        # records [i, k), same contract as c_cycles).
+        "a_lo",
+        "a_hi",
+        "a_wr",
+        "a_cycles",
     )
 
     def __init__(self, **fields) -> None:
@@ -119,10 +129,13 @@ def build_tables(
     stop[blocked] = blocked
     win_end = np.minimum.accumulate(stop[::-1])[::-1]
 
-    def prefix(values) -> list:
+    def nprefix(values) -> np.ndarray:
         out = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(values, out=out[1:])
-        return out.tolist()
+        return out
+
+    def prefix(values) -> list:
+        return nprefix(values).tolist()
 
     # Packed per-record validation code, one list subscript per record in
     # the interpreter's window loop:
@@ -147,6 +160,8 @@ def build_tables(
         for e, w, lo, hi in zip(elig_l, wr_l, lo_l, hi_l)
     ]
 
+    cyc_prefix = nprefix(np.where(is_ib, cycles, 0))
+
     return WindowTables(
         elig=elig_l,
         need_mod=wr_l,
@@ -157,6 +172,10 @@ def build_tables(
         c_read=prefix(np.where(is_rd, arg, 0)),
         c_write=prefix(np.where(is_wr & elig, arg, 0)),
         c_ifetch=prefix(np.where(is_ib, arg, 0)),
-        c_cycles=prefix(np.where(is_ib, cycles, 0)),
+        c_cycles=cyc_prefix.tolist(),
         c_refs=prefix(np.where(elig, arg, 0)),
+        a_lo=line_lo,
+        a_hi=line_hi,
+        a_wr=is_wr,
+        a_cycles=cyc_prefix,
     )

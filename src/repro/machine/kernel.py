@@ -1,0 +1,528 @@
+"""Columnar segment-retirement kernel.
+
+The PR 2 private-window fast path retires runs of silent cache hits one
+*interpreter bounce* (``batch_records`` records) at a time: every bounce
+is still an engine event, a ``_run`` entry, a ``_hot`` unpack and a
+window validation.  On hot loops that is the remaining cost.  This
+module collapses whole *machine-wide quiet segments* -- spans where every
+processor is simultaneously inside a private, bus-free, lock-free run
+and nothing is in flight anywhere (no bus transaction, no memory
+operation, no buffered write-back, no pending drain, no queued issue) --
+into a single engine event per processor, validating and retiring
+thousands of records with vectorized ndarray arithmetic.
+
+Correctness argument (the commutation argument of Maarand & Uustalu's
+*Generating Representative Executions*, specialized to this machine;
+see docs/performance.md for the long form):
+
+* A record retires **silently** iff all lines it touches are resident
+  (>= EXCLUSIVE for writes).  A silent retirement touches only
+  processor-local state -- counters, the local clock, LRU order, a
+  silent E->M on its own line -- and schedules nothing.  Silent
+  retirements of *different* processors therefore commute, and silent
+  retirements of one processor preserve the validity of its own later
+  silent records (hits never evict; E->M keeps a line writable).
+* While the machine is quiet the **only pending events are interpreter
+  resumes** (one per running processor, at exactly its local time; the
+  detector's conditions exclude every other event source in the
+  machine, see ``_quiet``).  Firing a resume whose whole bounce is
+  silent changes nothing observable and schedules exactly one more
+  resume at a precomputed time (the ideal-cycle prefix sums).
+* Therefore, up to the earliest time ``t_safe`` at which *any*
+  processor can next do something observable (block, issue, sync,
+  or merely continue mid-record), the reference engine would fire
+  nothing but silent bounces.  Collapsing every bounce that fires
+  strictly before ``t_safe`` -- applying its counter/cache effects in
+  bulk and re-scheduling each processor's next live bounce at its
+  exact reference time, in its exact reference *bucket insertion
+  order* -- reproduces the reference machine state byte for byte.
+
+The final (partial or blocking) bounce of every span is deliberately
+left to the ordinary interpreter: all blocking, buffering and
+synchronization behaviour stays on the reference path, and the kernel
+never needs to model it.
+
+Cadence.  One interpreter bounce retires exactly ``batch_records``
+records of a silent run (each record costs one budget unit regardless
+of the fast path), and only IBLOCK records advance the local clock, so
+bounce ``m`` of a run starting at record ``i0`` at local time ``t``
+fires at ``t + c_cycles[i0 + m*batch] - c_cycles[i0]``.  The kernel
+collapses whole bounces only, which is what makes its resume times --
+and therefore the engine's same-cycle bucket order -- exactly the
+reference's.
+
+Everything here is gated behind ``MachineConfig.segment_kernel`` and
+requires the production bucketed :class:`~repro.machine.engine.Engine`
+(the reference ``HeapEngine`` falls back to the plain interpreter, like
+the inline-scheduling shortcuts).  Byte-identity is enforced by the
+differential grid (``python -m repro diff-verify --vary
+segment-kernel``), a hypothesis property suite
+(tests/test_kernel_properties.py) and a mutation self-test
+(repro.audit.faults KERNEL_FAULTS, tests/test_kernel_faults.py).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .cache import EXCLUSIVE, MODIFIED
+from .processor import _DONE, _RUNNING, _interp_tables
+
+__all__ = ["SegmentKernel"]
+
+_INF = float("inf")  # engine times are ints: inf outranks every horizon
+
+# Children pushed into the merge heap must order after every entry that
+# was already sitting in an engine bucket; bucket positions are tiny, so
+# any large constant works.
+_SEQ_BASE = 1 << 40
+
+
+class SegmentKernel:
+    """Machine-wide quiet-segment detector + columnar retirement.
+
+    One instance per :class:`~repro.machine.system.System`; construction
+    plants the ``_kernel`` entry hook on every processor.  All numeric
+    tables are the per-trace :class:`~repro.machine.fastpath.
+    WindowTables` (shared with the window fast path via the interpreter
+    memo, so a suite run pays for them once per trace).
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.engine = system.engine
+        self.procs = system.procs
+        self.buffers = system.buffers
+        self.batch = system.config.batch_records
+        #: entry gate: static run length below which an attempt cannot
+        #: amortize the machine scan (cost heuristic only -- gated
+        #: records take the reference path, which retires them
+        #: identically)
+        self.min_span = max(2 * self.batch, 8)
+        #: records to skip after a failed attempt before trying again
+        self.backoff = 512
+        #: analysis cap per attempt: bounds temp arrays and keeps a
+        #: pathological validate/re-validate alternation linear.  Runs
+        #: longer than this collapse in successive segments.  (Analysis
+        #: probes in doubling chunks, so a failed attempt only pays for
+        #: the chunks up to its first invalid record, never the cap.)
+        self.max_span = 1 << 20
+        #: introspection (never part of RunResult): segments collapsed,
+        #: processor-collapses, records/bounces retired columnar,
+        #: attempts and quiet/horizon rejections
+        self.segments = 0
+        self.collapsed_procs = 0
+        self.records = 0
+        self.bounces = 0
+        self.attempts = 0
+        self.rejected = 0
+        self._log: list | None = None  # tests: (proc, i0, e) spans
+
+        offset_bits = system.config.cache.offset_bits
+        wt = system.config.cache.write_policy == "writethrough"
+        self.tabs = []
+        for p in self.procs:
+            *_cols, tab = _interp_tables(
+                system.traceset[p.proc], offset_bits, wt, True
+            )
+            self.tabs.append(tab)
+            p._kernel = self
+            p._kern_end = tab.win_end
+
+    # -- detection -----------------------------------------------------
+
+    def _proc_quiet(self, q) -> bool:
+        """Nothing of ``q``'s can act before its own pending resume:
+        done, or running with no program access, write-back or drain in
+        flight.  (``_WAIT_*`` states have lock/miss/buffer machinery
+        pending; a buffered access can complete and snoop at any time.)
+        """
+        st = q.state
+        if st == _DONE:
+            return True
+        return (
+            st == _RUNNING
+            and not q.outstanding
+            and not q.outstanding_wb
+            and not q._draining
+        )
+
+    def _quiet(self) -> bool:
+        """Machine-wide quiet: with these conditions the only pending
+        engine events are interpreter resumes (plus finished-processor
+        no-ops).  Every other event source is excluded:
+
+        * bus transaction phases require ``bus.busy``;
+        * memory arrivals/returns are counted by ``memory.pending()``;
+        * buffered operations live in the cache--bus buffers (and their
+          space-waiter callbacks imply a ``_WAIT_BUFFER`` processor);
+        * issue trampolines (bus fast path) drain ``_issue_q``; the
+          reference per-issue closures are pending only while the
+          issuing processor counts the op in ``outstanding`` /
+          ``outstanding_wb``;
+        * lock-manager timers (T&S backoff, release write-done, barrier
+          last-arrival) all have their processor in ``_WAIT_LOCK``;
+        * a scheduled ``_begin_sync`` is flagged by ``_sync_pending``
+          and handled by the planner (that processor contributes its
+          resume time to the horizon and is never collapsed).
+        """
+        system = self.system
+        if system.bus.busy or system.memory.pending():
+            return False
+        iq = getattr(system, "_issue_q", None)
+        if iq is not None:
+            for pending in iq:
+                if pending:
+                    return False
+        for buf in self.buffers:
+            if buf.entries or buf._space_waiters:
+                return False
+        pq = self._proc_quiet
+        for q in self.procs:
+            if not pq(q):
+                return False
+        return True
+
+    # -- per-processor run analysis ------------------------------------
+
+    @staticmethod
+    def _expand(tab, a: int, b: int):
+        """Flattened line touches of records ``[a, b)``: the touch list
+        ``tl``, its write flags ``tw``, and the record index (relative to
+        ``a``) of each touch (``None`` when every record is single-line,
+        i.e. touch index == record index).  Each record touches the
+        contiguous lines ``[lo, hi]`` in ascending order -- literally the
+        reference interpreter's chunk order."""
+        lo = tab.a_lo[a:b]
+        hi = tab.a_hi[a:b]
+        wr = tab.a_wr[a:b]
+        if bool((hi > lo).any()):
+            counts = hi - lo + 1
+            rec = np.repeat(np.arange(b - a), counts)
+            starts = np.cumsum(counts) - counts
+            tl = lo[rec] + (np.arange(len(rec)) - starts[rec])
+            return tl, wr[rec], rec
+        return lo, wr, None
+
+    @staticmethod
+    def _states_of(cache, tl: np.ndarray) -> np.ndarray:
+        """MESI state of every touched line (0 == INVALID when absent),
+        as an int64 array aligned with ``tl``.  When the touched lines
+        sit in a narrow window -- the overwhelmingly common case, private
+        runs walk compact working sets -- a dense scatter of the resident
+        dict beats any sort; otherwise fall back to a unique+probe."""
+        lo_min = int(tl.min())
+        width = int(tl.max()) - lo_min + 1
+        if width <= 4 * len(tl) + 4096:
+            dense = np.zeros(width, dtype=np.int64)
+            for line, stv in cache.state.items():
+                off = line - lo_min
+                if 0 <= off < width:
+                    dense[off] = stv
+            return dense[tl - lo_min]
+        u, inv = np.unique(tl, return_inverse=True)
+        sget = cache.state.get
+        st = np.fromiter(
+            (sget(int(line), 0) for line in u), dtype=np.int64, count=len(u)
+        )
+        return st[inv]
+
+    def _probe(self, q, tab, a: int, b: int) -> int:
+        """First dynamically-invalid record in ``[a, b)`` under ``q``'s
+        current cache state, or -1 if every record is a silent hit."""
+        tl, tw, rec = self._expand(tab, a, b)
+        # reads/ifetches need any valid state (>= SHARED == 1; absent
+        # probes 0 == INVALID), writes need >= EXCLUSIVE: the silent hits
+        ok = self._states_of(q.cache, tl) >= np.where(tw, EXCLUSIVE, 1)
+        if bool(ok.all()):
+            return -1
+        bad = int(np.argmax(~ok))
+        return a + (bad if rec is None else int(rec[bad]))
+
+    def _analyze(self, q, tab, i0: int, j_s: int) -> int:
+        """First dynamically-invalid record in ``[i0, j_s)``, or ``j_s``
+        itself if the whole static run is silently valid.  Validation is
+        position-independent inside a quiet segment (see the module
+        docstring), so vectorized probes decide whole chunks at once;
+        doubling chunks keep a failing attempt (cold caches, backoff
+        phases) from ever paying for the full analysis cap."""
+        a = i0
+        chunk = 4096
+        while a < j_s:
+            b = min(a + chunk, j_s)
+            bad = self._probe(q, tab, a, b)
+            if bad >= 0:
+                return bad
+            a = b
+            chunk <<= 1
+        return j_s
+
+    def _span_end(self, i0: int, m_star: int) -> int:
+        """Retired span end for ``m_star`` collapsed bounces (seam for
+        the mutation self-test)."""
+        return i0 + m_star * self.batch
+
+    # -- the collapse --------------------------------------------------
+
+    def attempt(self, p) -> bool:
+        """Called from ``p``'s ``_run`` entry.  Detect a machine-quiet
+        segment and collapse every whole silent bounce that fires
+        strictly before the horizon, for every running processor at
+        once.  Returns True iff ``p`` itself was collapsed (its resume
+        is then already scheduled and ``_run`` must return)."""
+        self.attempts += 1
+        if not self._quiet():
+            self.rejected += 1
+            p._kernel_gate = p.idx + self.backoff
+            return False
+
+        engine = self.engine
+        now = engine.now
+        batch = self.batch
+        t_safe = _INF
+        plans = []
+        for q in self.procs:
+            if q.state != _RUNNING:
+                # after a true quiet scan this only skips DONE procs; a
+                # blocked proc here means the scan was bypassed/corrupted,
+                # and the collapse must still reach the audit hook so the
+                # kernel auditor can flag it (mutation self-test)
+                continue
+            nq = q._n
+            i0 = q.idx
+            if q.pos != 0 or q._sync_pending:
+                # its pending event resumes mid-record or into a
+                # synchronization point: nothing to collapse, and it may
+                # act as soon as that event fires
+                if q.time < t_safe:
+                    t_safe = q.time
+                continue
+            if i0 >= nq:
+                continue  # only the silent finishing bounce remains
+            tab = self.tabs[q.proc]
+            j_s = tab.win_end[i0]
+            capped = False
+            if j_s - i0 > self.max_span:
+                j_s = i0 + self.max_span
+                capped = True
+            if j_s <= i0:
+                # next record is not even statically eligible (a sync
+                # record, or a write under write-through): it blocks in
+                # the very bounce that is pending
+                if q.time < t_safe:
+                    t_safe = q.time
+                continue
+            j_dyn = self._analyze(q, tab, i0, j_s)
+            m_cap = (j_dyn - i0) // batch
+            if j_dyn >= nq and not capped:
+                d = _INF  # runs silently to trace end: never observable
+            else:
+                # the bounce containing the first non-silent record (or,
+                # if capped, the first unanalyzed bounce -- conservative)
+                cc = tab.c_cycles
+                d = q.time + cc[i0 + m_cap * batch] - cc[i0]
+            if d < t_safe:
+                t_safe = d
+            if m_cap > 0:
+                plans.append((q, i0, m_cap, j_dyn))
+
+        if t_safe <= now:
+            # p itself cannot complete a single whole bounce before some
+            # processor may act (this always includes the cold-cache and
+            # short-run cases: p's own j_dyn limits the horizon)
+            self.rejected += 1
+            p._kernel_gate = p.idx + self.backoff
+            return False
+
+        # horizon-clip each plan to the bounces firing strictly before
+        # t_safe, and fix the retired span + exact resume time
+        entries = []
+        for q, i0, m_cap, j_dyn in plans:
+            tab = self.tabs[q.proc]
+            if t_safe is _INF:
+                m_star = m_cap
+            else:
+                ac = tab.a_cycles
+                u = ac[i0 : i0 + m_cap * batch + 1 : batch]
+                m_star = int(
+                    np.searchsorted(u[:m_cap], t_safe - q.time + int(ac[i0]))
+                )
+            if m_star <= 0:
+                continue
+            e = self._span_end(i0, m_star)
+            cc = tab.c_cycles
+            t_res = q.time + cc[e] - cc[i0]
+            entries.append((q, i0, m_star, e, t_res, j_dyn))
+        if not entries:  # pragma: no cover - t_safe > now implies p collapses
+            self.rejected += 1
+            p._kernel_gate = p.idx + self.backoff
+            return False
+
+        aud = self.system.audit
+        if aud is not None:
+            aud.on_kernel_collapse(
+                self.system,
+                [(q.proc, i0, e, j_dyn) for q, i0, _m, e, _t, j_dyn in entries],
+                now,
+            )
+
+        # reference bucket insertion order of the emitted resumes (must
+        # be computed before retirement mutates the local clocks)
+        if len(entries) > 1 and len({ent[4] for ent in entries}) < len(entries):
+            order = self._merge_order(p, entries)
+        else:
+            # all resume times distinct (or a single processor): bucket
+            # order among the emits cannot matter
+            order = entries
+
+        for q, i0, m_star, e, _t_res, _j_dyn in entries:
+            self._retire(q, i0, e)
+            self.collapsed_procs += 1
+            self.records += e - i0
+            self.bounces += m_star
+            if self._log is not None:
+                self._log.append((q.proc, i0, e))
+        self.segments += 1
+
+        at = engine.at
+        for q, _i0, _m_star, _e, t_res, _j_dyn in order:
+            at(t_res, q._run_cb)
+            if q is not p:
+                # q's old pending resume is now stale: consume it as a
+                # no-op (a counter -- overlapping segments can strand
+                # more than one)
+                q._kernel_skip += 1
+        return True
+
+    def _merge_order(self, p, entries):
+        """Exact reference insertion order of the emitted resumes.
+
+        The reference engine would fire every collapsed bounce as a real
+        event; each bounce fires at its precomputed time and appends the
+        next one to its bucket.  When two emitted resumes land in the
+        same bucket, their append order is the firing order of their
+        *parent* bounces -- so replay the whole cascade in miniature: a
+        heap of (time, seq) virtual bounces, seeded with each
+        processor's currently-pending resume at its true position in its
+        engine bucket (``p``'s is the event firing right now, ordered
+        before everything still pending), children sequenced after all
+        seeds.  Popping a processor's last collapsed bounce emits it."""
+        heap = []
+        for idx, ent in enumerate(entries):
+            q = ent[0]
+            t0 = q.time
+            if q is p:
+                seq = -1  # firing now: precedes everything still queued
+            else:
+                # the pending resume's position in its bucket; a stale
+                # skip of an earlier segment can precede it, so take the
+                # last identity match (the real resume was inserted last)
+                seq = -2
+                cb = q._run_cb
+                for j, fn in enumerate(self.engine.events_at(t0)):
+                    if fn is cb:
+                        seq = j
+            heap.append((t0, seq, idx, 0))
+        heapq.heapify(heap)
+        batch = self.batch
+        seq_next = _SEQ_BASE
+        order = []
+        while heap:
+            t, _s, idx, m = heapq.heappop(heap)
+            ent = entries[idx]
+            if m + 1 == ent[2]:  # m_star: the child is the live bounce
+                order.append(ent)
+            else:
+                q, i0 = ent[0], ent[1]
+                cc = self.tabs[q.proc].c_cycles
+                t_next = q.time + cc[i0 + (m + 1) * batch] - cc[i0]
+                seq_next += 1
+                heapq.heappush(heap, (t_next, seq_next, idx, m + 1))
+        return order
+
+    # -- columnar retirement -------------------------------------------
+
+    def _retire(self, q, i0: int, e: int) -> None:
+        """Apply records ``[i0, e)`` to ``q`` exactly as ``e - i0``
+        silent per-record retirements would: counters by prefix sums,
+        the clock by ideal cycles, LRU in last-touch order, silent E->M
+        on written lines."""
+        tab = self.tabs[q.proc]
+        ctr = q.cache.counters
+        met = q.metrics
+        cr = tab.c_read
+        d = cr[e] - cr[i0]
+        if d:
+            ctr.read_hits += d
+        cw = tab.c_write
+        d = cw[e] - cw[i0]
+        if d:
+            ctr.write_hits += d
+        ci = tab.c_ifetch
+        d = ci[e] - ci[i0]
+        if d:
+            ctr.ifetch_hits += d
+        cc = tab.c_cycles
+        cyc = cc[e] - cc[i0]
+        if cyc:
+            q.time += cyc
+            met.work_cycles += cyc
+        cn = tab.c_refs
+        met.refs_processed += cn[e] - cn[i0]
+        q.idx = e
+
+        tl, tw, _rec = self._expand(tab, i0, e)
+        k = len(tl)
+        lo_min = int(tl.min())
+        width = int(tl.max()) - lo_min + 1
+        if width <= 4 * k + 4096:
+            # dense scatter over the touched line window: integer-array
+            # assignment applies in index order, so duplicate lines keep
+            # the value of their *last* touch (documented numpy advanced
+            # -indexing semantics -- and pinned by the property suite)
+            idx = tl - lo_min
+            last_dense = np.full(width, -1, dtype=np.int64)
+            last_dense[idx] = np.arange(k)
+            present = last_dense >= 0
+            u = lo_min + np.nonzero(present)[0]
+            last = last_dense[present]
+            if bool(tw.any()):
+                w_dense = np.zeros(width, dtype=bool)
+                w_dense[idx[tw]] = True
+                written = w_dense[present]
+            else:
+                written = None
+        else:
+            # wide line range: one stable sort groups the touches by
+            # line with positions ascending inside each group; the group
+            # ends give each distinct line, its last touch position, and
+            # (via a cumsum difference) whether any touch was a write
+            order = np.argsort(tl, kind="stable")
+            tls = tl[order]
+            end = np.empty(k, dtype=bool)
+            end[:-1] = tls[1:] != tls[:-1]
+            end[-1] = True
+            u = tls[end]
+            last = order[end]
+            if bool(tw.any()):
+                w_end = np.cumsum(tw[order])[end]
+                written = np.diff(w_end, prepend=0) > 0
+            else:
+                written = None
+        cstate = q.cache.state
+        touch = q.cache._touch
+        # Touching each distinct line once, in ascending last-touch
+        # order, yields the reference's final LRU state: the reference
+        # applies touches chronologically, and within a set the final
+        # stack is exactly the lines ordered by last touch (untouched
+        # residents below, prior order preserved) -- the same argument
+        # the window fast path's MRU refresh rests on.
+        for j in np.argsort(last):
+            line = int(u[j])
+            if written is not None and written[j]:
+                # validated >= EXCLUSIVE: the silent E->M write hit,
+                # exactly as the window fast path applies it
+                cstate[line] = MODIFIED
+            touch(line)

@@ -183,6 +183,21 @@ class Processor:
         self.fp_resume_at = 0
         self._fp_log: list | None = None  # tests: (start, end) record spans
 
+        #: columnar segment kernel (repro.machine.kernel): planted by the
+        #: System when MachineConfig.segment_kernel is on and the engine
+        #: is the production bucketed Engine
+        self._kernel = None
+        self._kern_end = None  # the kernel's win_end table for this trace
+        #: adaptive gate: record index at which kernel attempts resume
+        self._kernel_gate = 0
+        #: pending resumes the kernel has collapsed: consumed as no-ops
+        #: at _run entry (a counter: overlapping segments can strand
+        #: more than one stale event)
+        self._kernel_skip = 0
+        #: a LOCK/UNLOCK/BARRIER hand-off (_begin_sync) is scheduled but
+        #: has not fired: the processor is _RUNNING yet must not be
+        #: treated as being inside a private run
+        self._sync_pending = False
         #: preallocated resume callback: the interpreter re-enters through
         #: the engine tens of thousands of times per run, and scheduling a
         #: cached bound method avoids allocating a fresh one each time
@@ -226,6 +241,22 @@ class Processor:
     # -- the interpreter loop ------------------------------------------------------
     def _run(self, _t: int) -> None:
         # self.time is authoritative; the engine event merely resumes us.
+        kern = self._kernel
+        if kern is not None:
+            if self._kernel_skip:
+                # a resume the segment kernel already collapsed: its
+                # whole bounce was retired columnar, nothing to do
+                self._kernel_skip -= 1
+                return
+            i = self.idx
+            if (
+                self.pos == 0
+                and i >= self._kernel_gate
+                and i < self._n
+                and self._kern_end[i] - i >= kern.min_span
+                and kern.attempt(self)
+            ):
+                return  # collapsed: our next live bounce is scheduled
         (
             kinds,
             addrs,
@@ -716,6 +747,7 @@ class Processor:
                 # the global clock at this processor's local time.
                 self.idx = i + 1
                 kk, ident, la = k, args[i], addrs[i]
+                self._sync_pending = True
                 self.system.engine.at(
                     self.time, lambda t: self._begin_sync(kk, ident, la)
                 )
@@ -724,6 +756,7 @@ class Processor:
             elif k == BARRIER:
                 self.idx = i + 1
                 ident = args[i]
+                self._sync_pending = True
                 self.system.engine.at(
                     self.time, lambda t: self._begin_sync(BARRIER, ident, 0)
                 )
@@ -801,6 +834,7 @@ class Processor:
     def _begin_sync(self, kind: int, ident: int, lock_addr: int) -> None:
         """LOCK/UNLOCK/BARRIER record: drain if weakly ordered, then hand
         off to the lock/barrier manager."""
+        self._sync_pending = False
         if self.model.drain_at_sync:
             self.metrics.drains += 1
             if self.outstanding > 0:

@@ -212,6 +212,18 @@ class System:
         # is only exact against the production Engine's internals
         self._sched_inline = config.bus_fast_path and type(self.engine) is Engine
 
+        #: columnar segment-retirement kernel (MachineConfig.segment_kernel):
+        #: collapses machine-wide quiet segments into one engine event per
+        #: processor.  Replays the production Engine's bucket insertion
+        #: order exactly, so -- like the inline-scheduling shortcuts -- it
+        #: auto-disables on the reference HeapEngine.  Built before the
+        #: auditor attaches so audit mode sees every collapse.
+        self.kernel = None
+        if config.segment_kernel and type(self.engine) is Engine:
+            from .kernel import SegmentKernel
+
+            self.kernel = SegmentKernel(self)
+
         from ..audit import maybe_attach
 
         maybe_attach(self, force=config.audit)

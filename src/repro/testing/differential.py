@@ -110,6 +110,10 @@ class CellReport:
     fp_records: int = 0
     fp_refs: int = 0
     total_refs: int = 0
+    #: segment-kernel coverage of the fast run: machine-quiet segments
+    #: collapsed and records retired columnar (repro.machine.kernel)
+    kernel_segments: int = 0
+    kernel_records: int = 0
     #: invariant violations found by the runtime auditor (audited cells
     #: only; see repro.audit) and the number of checks it evaluated
     violations: int = 0
@@ -132,6 +136,11 @@ class CellReport:
             f"{self.fp_records:8d} records, "
             f"{100.0 * self.coverage:5.1f}% of refs"
         )
+        if self.kernel_segments:
+            line += (
+                f", kernel: {self.kernel_segments} segments, "
+                f"{self.kernel_records} records"
+            )
         if self.audit_checks:
             line += f", audit: {self.violations}/{self.audit_checks} checks failed"
         return line
@@ -144,11 +153,12 @@ def _canonical(result) -> dict:
 
 
 #: the configuration knobs a differential cell toggles between its fast
-#: and reference runs: the private-window interpreter fast path and the
-#: contended-path bus fast path.  The default varies both together, so
-#: the fully-optimized simulator is checked against the fully-reference
-#: one (which subsumes each knob alone when the other is byte-neutral).
-VARY_ALL = ("fast_path", "bus_fast_path")
+#: and reference runs: the private-window interpreter fast path, the
+#: contended-path bus fast path, and the columnar segment-retirement
+#: kernel.  The default varies all three together, so the fully-
+#: optimized simulator is checked against the fully-reference one (which
+#: subsumes each knob alone when the others are byte-neutral).
+VARY_ALL = ("fast_path", "bus_fast_path", "segment_kernel")
 
 
 def run_cell(
@@ -185,6 +195,7 @@ def run_cell(
         raise ValueError("vary must name at least one configuration knob")
     canon = {}
     fp_stats = (0, 0, 0)
+    kernel_stats = (0, 0)
     total_refs = 0
     violations = 0
     audit_checks = 0
@@ -213,6 +224,11 @@ def run_cell(
                 sum(p.fp_refs for p in system.procs),
             )
             total_refs = sum(m.refs_processed for m in result.proc_metrics)
+            if system.kernel is not None:
+                kernel_stats = (
+                    system.kernel.segments,
+                    system.kernel.records,
+                )
     equal = canon[True] == canon[False]
     return CellReport(
         program=program or traceset.program,
@@ -224,6 +240,8 @@ def run_cell(
         fp_records=fp_stats[1],
         fp_refs=fp_stats[2],
         total_refs=total_refs,
+        kernel_segments=kernel_stats[0],
+        kernel_records=kernel_stats[1],
         violations=violations,
         audit_checks=audit_checks,
     )

@@ -1,14 +1,19 @@
-"""The fast path's acceptance gate: differential equality on the suite.
+"""The fast paths' acceptance gate: differential equality on the suite.
 
 Every (program, lock scheme, consistency model) cell of the paper's
-grid is run at default scale with ``fast_path`` on and off; the two
-serialized results must agree on every field.  This is the tentpole
-guarantee -- the fast path may only ever be a *speed* change -- enforced
-on the real workloads, not just the property suite's random traces.
+grid is run at default scale with the optimization knobs (``fast_path``,
+``bus_fast_path``, ``segment_kernel``) on and off; the two serialized
+results must agree on every field.  This is the tentpole guarantee --
+an optimization may only ever be a *speed* change -- enforced on the
+real workloads, not just the property suites' random traces.  A reduced
+knob *cube* additionally checks every axis alone and in combination on
+the cell with the strongest segment-kernel engagement, and a dedicated
+quiet-workload cell covers the regime the contended suite barely
+reaches (the kernel retiring nearly everything).
 
-The cells are grouped per program (the traceset is generated once and
-shared by its four cells) and marked ``repro`` like the other full-scale
-shape tests.
+The full-grid cells are grouped per program (the traceset is generated
+once and shared by its four cells) and marked ``repro`` like the other
+full-scale shape tests.
 """
 
 import pytest
@@ -21,6 +26,16 @@ from repro.testing import (
     differential_check,
     run_cell,
 )
+
+_TS = {}
+
+
+def _suite_trace(program):
+    if program not in _TS:
+        from repro.workloads import generate_trace
+
+        _TS[program] = generate_trace(program, scale=1.0, seed=1991)
+    return _TS[program]
 
 
 @pytest.mark.repro
@@ -39,6 +54,76 @@ def test_fast_path_byte_identical_at_default_scale(program):
     # anti-vacuity: at default scale the fast path must actually engage
     for r in reports:
         assert r.fp_windows > 0, f"{r.label}: fast path never retired a window"
+
+
+#: every optimization axis alone and in combination; the full triple is
+#: the VARY_ALL default the grid test above already sweeps, kept here so
+#: the cube is complete
+KNOB_CUBE = [
+    ("fast_path",),
+    ("bus_fast_path",),
+    ("segment_kernel",),
+    ("fast_path", "bus_fast_path"),
+    ("fast_path", "segment_kernel"),
+    ("bus_fast_path", "segment_kernel"),
+    ("fast_path", "bus_fast_path", "segment_kernel"),
+]
+
+
+@pytest.mark.repro
+@pytest.mark.parametrize("vary", KNOB_CUBE, ids="+".join)
+def test_optimization_knob_cube_byte_identical(vary):
+    """Each optimization knob is byte-neutral *independently*, not just
+    as part of the fully-optimized configuration: toggling any subset of
+    axes (the untoggled ones stay at their defaults on both sides) must
+    not change a single serialized field.  Run on topopt, the suite cell
+    with the strongest segment-kernel engagement."""
+    report = run_cell(
+        _suite_trace("topopt"),
+        lock_scheme="queuing",
+        consistency="sc",
+        program="topopt",
+        vary=vary,
+    )
+    assert report.equal, f"{'+'.join(vary)}:\n  " + "\n  ".join(report.diffs)
+    if "segment_kernel" in vary:
+        # anti-vacuity: the axis under test must actually engage
+        assert report.kernel_segments > 0, "segment kernel never collapsed"
+
+
+def test_segment_kernel_axis_on_quiet_workload():
+    """The contended suite exercises the kernel only at its quiet edges;
+    this cell is the opposite regime -- an uncontended multi-processor
+    private phase where the kernel retires most of the trace -- checked
+    byte-identical against the reference interpreter under both models."""
+    from repro.machine.config import MachineConfig
+
+    from .conftest import make_traceset
+
+    def prog(b, layout):
+        code = layout.alloc_code(1024)
+        data = layout.alloc_private(b.proc, 1024)
+        for _ in range(200):
+            b.block(8, 8, code)
+            for j in range(8):
+                b.read(data + 64 * j, reps=4)
+                b.write(data + 64 * j, reps=2)
+
+    ts = make_traceset([prog] * 4, program="quiet")
+    total = sum(len(t.records) for t in ts)
+    for model in MODELS:
+        report = run_cell(
+            ts,
+            consistency=model,
+            program="quiet",
+            config=MachineConfig(n_procs=4),
+            vary=("segment_kernel",),
+        )
+        assert report.equal, f"{model}:\n  " + "\n  ".join(report.diffs)
+        assert report.kernel_records > 0.5 * total, (
+            f"{model}: kernel retired only "
+            f"{report.kernel_records}/{total} records"
+        )
 
 
 def test_bucketed_engine_matches_heap_engine():

@@ -55,11 +55,16 @@ cache_cfgs = st.sampled_from(
 
 
 def _machine(ts, cache_cfg, batch, fast):
+    # segment_kernel off: this suite isolates the *window* fast path
+    # (the kernel would retire the private runs first and leave these
+    # properties vacuous; it has its own suite in
+    # tests/test_kernel_properties.py)
     return MachineConfig(
         n_procs=ts.n_procs,
         cache=cache_cfg,
         batch_records=batch,
         fast_path=fast,
+        segment_kernel=False,
     )
 
 
@@ -197,7 +202,7 @@ class TestDynamicEquivalence:
         ts = make_traceset([prog])
         system = System(
             ts,
-            MachineConfig(n_procs=1),
+            MachineConfig(n_procs=1, segment_kernel=False),
             QueuingLockManager(),
             SEQUENTIAL,
         )

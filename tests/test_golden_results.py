@@ -6,7 +6,10 @@ Each ``tests/golden/<program>.json`` pins the complete serialized
 schemes and both consistency models, so any change that alters
 simulated numbers anywhere in the machine fails here with a readable
 per-field diff -- event-order-preserving refactors (the only kind the
-optimization work is allowed to make) pass untouched.
+optimization work is allowed to make) pass untouched.  A seventh,
+full-scale fixture (``topopt@1.json``) pins the cell with the strongest
+segment-kernel engagement, so the kernel's collapse/retire arithmetic
+is regression-pinned at real size, not just checked differentially.
 
 To regenerate after an *intentional* behaviour change::
 
@@ -39,21 +42,30 @@ def _audited(audit_everything):
     cell is also checked for invariant violations."""
     yield
 
-#: the pinned grid: every program once, both schemes and models covered
+#: the pinned grid: every program once, both schemes and models covered,
+#: plus one full-scale point (topopt/queuing/sc: the cell where the
+#: segment kernel collapses the most machine-quiet segments)
 GOLDEN_CELLS = [
-    ("grav", "queuing", "sc"),
-    ("pdsa", "ttas", "sc"),
-    ("fullconn", "queuing", "wo"),
-    ("pverify", "ttas", "wo"),
-    ("qsort", "queuing", "sc"),
-    ("topopt", "ttas", "wo"),
+    ("grav", "queuing", "sc", 0.25),
+    ("pdsa", "ttas", "sc", 0.25),
+    ("fullconn", "queuing", "wo", 0.25),
+    ("pverify", "ttas", "wo", 0.25),
+    ("qsort", "queuing", "sc", 0.25),
+    ("topopt", "ttas", "wo", 0.25),
+    ("topopt", "queuing", "sc", 1.0),
 ]
 GOLDEN_SCALE = 0.25
 GOLDEN_SEED = 1991
 
 
-def run_cell(program: str, locks: str, model: str) -> dict:
-    ts = generate_trace(program, scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+def _fixture_name(program: str, scale: float) -> str:
+    if scale == GOLDEN_SCALE:
+        return f"{program}.json"
+    return f"{program}@{scale:g}.json"
+
+
+def run_cell(program: str, locks: str, model: str, scale: float = GOLDEN_SCALE) -> dict:
+    ts = generate_trace(program, scale=scale, seed=GOLDEN_SEED)
     result = simulate(
         ts, lock_manager=get_lock_manager(locks), model=get_model(model)
     )
@@ -61,13 +73,13 @@ def run_cell(program: str, locks: str, model: str) -> dict:
     return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
 
 
-@pytest.mark.parametrize("program,locks,model", GOLDEN_CELLS)
-def test_golden_result(request, program, locks, model):
-    path = GOLDEN_DIR / f"{program}.json"
-    got = run_cell(program, locks, model)
+@pytest.mark.parametrize("program,locks,model,scale", GOLDEN_CELLS)
+def test_golden_result(request, program, locks, model, scale):
+    path = GOLDEN_DIR / _fixture_name(program, scale)
+    got = run_cell(program, locks, model, scale)
     spec = {
         "program": program,
-        "scale": GOLDEN_SCALE,
+        "scale": scale,
         "seed": GOLDEN_SEED,
         "locks": locks,
         "model": model,

@@ -1,0 +1,189 @@
+"""Mutation coverage for the segment-kernel auditor.
+
+Each KERNEL fault (:data:`repro.audit.faults.KERNEL_FAULTS`) corrupts
+one leg of the columnar segment kernel's legality argument -- the span
+analysis, the machine-quiet scan, or the per-processor quiet predicate
+-- and the kernel auditor's independent re-derivation must catch the
+first illegal collapse with the right check.  Unlike the protocol faults
+(tests/test_audit_faults.py), which trip on any contended workload,
+each kernel fault needs a purpose-built traceset: a machine-quiet
+private phase for the kernel to collapse, plus the specific hazard the
+corrupted detector ignores.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.audit import AuditError, SystemAuditor
+from repro.audit.faults import KERNEL_FAULTS, inject
+from repro.audit.report import KERNEL
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.config import MachineConfig
+from repro.machine.system import System
+from repro.runner.serialize import result_to_dict
+from repro.sync import QueuingLockManager
+
+from .conftest import make_traceset
+
+pytestmark = pytest.mark.audit
+
+
+# -- crafted per-processor programs ----------------------------------------
+
+
+def _hot_private(b, layout):
+    """A private hit loop punctuated by uncontended locks.  The sync
+    records bound every static window, so one (legal) collapse can never
+    consume the whole trace: the kernel keeps re-attempting, and every
+    attempt is a chance for a corrupted detector to collapse over live
+    machine state.  Runs are long enough (71 records) to fill whole
+    interpreter bounces at the default batch and to clear the unfaulted
+    kernel's entry gate (the clean controls)."""
+    code = layout.alloc_code(64)
+    base = layout.alloc_private(b.proc, 8 * 16)
+    lock = layout.alloc_lock()
+    for j in range(8):  # warm the working set: all later reads are hits
+        b.read(base + 16 * j)
+    for _ in range(12):
+        b.block(2, 2, code)
+        for j in range(70):
+            b.read(base + 16 * (j % 8))
+        b.lock(b.proc, lock)
+        b.unlock(b.proc, lock)
+
+
+def _cold_then_hot(b, layout):
+    """Plain private reads, every line cold on its first touch: a span
+    analyzer that overruns by one collapses a miss as a silent hit."""
+    code = layout.alloc_code(64)
+    base = layout.alloc_private(b.proc, 8 * 16)
+    for _ in range(30):
+        b.block(2, 2, code)
+        for j in range(8):
+            b.read(base + 16 * j)
+
+
+def _hot_with_one_cold_read(b, layout):
+    """Bounce-aligned hot iterations (8 records each, starting with an
+    instruction block) with a single cold read of a line touched exactly
+    once, placed as the *last* record of its bounce and past the
+    kernel's post-rejection backoff (record 575 > 512).  An analyzer
+    that overruns by one swallows exactly that read: the line is never
+    fetched and never touched again, so its miss simply vanishes from
+    the metrics."""
+    code = layout.alloc_code(64)
+    base = layout.alloc_private(b.proc, 7 * 16)
+    once = layout.alloc_private(b.proc, 16)
+    for j in range(7):  # warm-up, padded to one whole 8-record bounce
+        b.read(base + 16 * j)
+    b.read(base)
+    for it in range(80):
+        b.block(2, 2, code)
+        for j in range(6):
+            b.read(base + 16 * (j % 7))
+        b.read(once if it == 70 else base)
+
+
+def _bus_storm(b, layout):
+    """Back-to-back cold shared writes: the bus is mid-transaction (and
+    this processor blocked on it) nearly every cycle of the run."""
+    code = layout.alloc_code(64)
+    shared = layout.alloc_shared(256 * 16)
+    for j in range(256):
+        b.block(1, 1, code)
+        b.write(shared + 16 * j)
+
+
+def _wo_staller(b, layout):
+    """Weak ordering: long instruction blocks march this processor's
+    local clock far ahead of the engine, then buffered shared writes
+    issue at that future local time.  Until each deferred push fires the
+    write counts as ``outstanding`` but sits in no buffer and holds no
+    bus transaction -- only the per-processor quiet predicate sees it."""
+    code = layout.alloc_code(64)
+    shared = layout.alloc_shared(32 * 16)
+    b.block(8, 400, code)
+    for j in range(32):
+        b.write(shared + 16 * j)
+        b.block(4, 50, code)
+
+
+def _case(name):
+    """(traceset, config, model) that drives ``name``'s corrupted path."""
+    if name == "kernel-overrun":
+        ts = make_traceset([_cold_then_hot], program="kern-overrun")
+        cfg = MachineConfig(n_procs=1, batch_records=1)
+        model = SEQUENTIAL
+    elif name == "kernel-phantom-quiet":
+        ts = make_traceset([_hot_private, _bus_storm], program="kern-phantom")
+        cfg = MachineConfig(n_procs=2, batch_records=1)
+        model = SEQUENTIAL
+    elif name == "kernel-stale-drain":
+        # the issued-but-not-yet-buffered window only exists on the
+        # reference issue path (per-issue closures at the processor's
+        # local time); multi-record bounces let that local time run ahead
+        ts = make_traceset([_hot_private, _wo_staller], program="kern-stale")
+        cfg = MachineConfig(n_procs=2, batch_records=32, bus_fast_path=False)
+        model = WEAK
+    else:  # pragma: no cover - new fault without a crafted workload
+        raise KeyError(name)
+    return ts, cfg, model
+
+
+def _canonical(result):
+    return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
+
+
+# -- the mutation battery ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FAULTS))
+def test_kernel_fault_detected_with_right_category_and_check(name):
+    ts, cfg, model = _case(name)
+    system = System(ts, cfg, QueuingLockManager(), model)
+    SystemAuditor.attach(system, mode="raise")
+    spec = inject(system, name)
+    with pytest.raises(AuditError) as exc:
+        system.run()
+    violation = exc.value.violation
+    assert violation.category == KERNEL, (
+        f"{name}: expected a {KERNEL} violation, got {violation}"
+    )
+    assert violation.check in spec.checks, (
+        f"{name}: check {violation.check!r} not in {sorted(spec.checks)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_FAULTS))
+def test_same_machine_runs_clean_without_the_fault(name):
+    """Control: each crafted workload, unfaulted, runs to completion
+    under the same raise-mode auditor with the kernel engaged."""
+    ts, cfg, model = _case(name)
+    system = System(ts, cfg, QueuingLockManager(), model)
+    auditor = SystemAuditor.attach(system, mode="raise")
+    system.run()
+    assert auditor.report.ok
+    assert system.kernel is not None and system.kernel.attempts > 0
+
+
+def test_overrun_corrupts_results_without_the_auditor():
+    """Why the auditor must catch kernel-overrun *at the collapse*: with
+    no auditor attached, the same fault silently retires cold misses as
+    hits and the run completes with wrong metrics."""
+    ts = make_traceset([_hot_with_one_cold_read], program="kern-diverge")
+    cfg = MachineConfig(n_procs=1, batch_records=8)
+    clean = System(ts, cfg, QueuingLockManager(), SEQUENTIAL).run()
+    faulted = System(ts, cfg, QueuingLockManager(), SEQUENTIAL)
+    inject(faulted, "kernel-overrun")
+    assert _canonical(faulted.run()) != _canonical(clean)
+
+
+def test_kernel_faults_require_the_kernel():
+    ts, cfg, model = _case("kernel-overrun")
+    system = System(
+        ts, replace(cfg, segment_kernel=False), QueuingLockManager(), model
+    )
+    with pytest.raises(RuntimeError):
+        inject(system, "kernel-overrun")

@@ -1,0 +1,296 @@
+"""Property-based tests of the columnar segment-retirement kernel.
+
+Three families:
+
+* **Analysis against reference** -- the kernel's vectorized span
+  analysis (:meth:`SegmentKernel._expand` / ``_probe`` / ``_analyze``)
+  against straight-line per-record reference computations over the
+  packed window code: the flattened touch list is exactly the reference
+  interpreter's chunk order, and the first dynamically-invalid record is
+  exactly what a per-record probe of the live cache state finds.
+
+* **Dynamic equivalence** -- random valid multi-processor programs
+  (shared data, locks, both schemes, both models, deliberately tiny
+  caches and batch budgets) run with ``segment_kernel`` on and off must
+  produce byte-identical serialized results AND leave every cache in
+  the identical microarchitectural state (MESI dict and LRU ways) --
+  columnar retirement is per-record retirement, counter by counter and
+  way by way.  Every collapsed span must be whole bounces, disjoint,
+  in-order and inside a statically eligible window.
+
+* **Numpy semantics pin** -- the dense retirement path relies on
+  integer fancy-assignment applying in index order (duplicate indices
+  keep the *last* value).  That is documented numpy behaviour; this
+  suite pins it so an upstream change fails loudly here instead of as a
+  byte-identity mystery.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.cache import EXCLUSIVE
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.system import System
+from repro.runner.serialize import result_to_dict
+from repro.sync import QueuingLockManager, TestAndTestAndSetLockManager
+from tests.test_trace_properties import build_traceset, trace_programs
+
+schemes = st.sampled_from([QueuingLockManager, TestAndTestAndSetLockManager])
+models = st.sampled_from([SEQUENTIAL, WEAK])
+programs_strategy = st.lists(trace_programs(max_ops=40), min_size=1, max_size=3)
+# tiny caches force capacity evictions; tiny budgets fragment bounces;
+# both paths must still agree bit for bit
+batches = st.sampled_from([1, 3, 32])
+cache_cfgs = st.sampled_from(
+    [
+        CacheConfig(size_bytes=256, line_bytes=16, assoc=2),
+        CacheConfig(size_bytes=1024, line_bytes=16, assoc=2),
+        CacheConfig(),
+    ]
+)
+
+
+def _canonical(result):
+    return json.loads(json.dumps(result_to_dict(result), sort_keys=True))
+
+
+def _ref_first_invalid(tab, cache, a, b):
+    """Per-record reference probe: the first record in ``[a, b)`` that is
+    not a silent hit of ``cache``'s current state, or ``b``."""
+    sget = cache.state.get
+    for r in range(a, b):
+        v = tab.code[r]
+        if type(v) is int:
+            if v >= 0:
+                if sget(v, 0) < 1:
+                    return r
+            elif sget(~v, 0) < EXCLUSIVE:
+                return r
+        else:
+            lo, hi, wr = v
+            need = EXCLUSIVE if wr else 1
+            if any(sget(line, 0) < need for line in range(lo, hi + 1)):
+                return r
+    return b
+
+
+class TestAnalysisAgainstReference:
+    @given(programs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_expand_flattens_reference_touch_order(self, programs):
+        ts = build_traceset(programs)
+        system = System(
+            ts, MachineConfig(n_procs=ts.n_procs), QueuingLockManager(), SEQUENTIAL
+        )
+        kern = system.kernel
+        for q in system.procs:
+            tab = kern.tabs[q.proc]
+            n = len(tab.code)
+            starts = [i for i in range(n) if tab.win_end[i] > i]
+            for a in starts[:3]:
+                b = tab.win_end[a]
+                tl, tw, rec = kern._expand(tab, a, b)
+                ref = []
+                for r in range(a, b):
+                    wr = bool(tab.a_wr[r])
+                    for line in range(tab.line_lo[r], tab.line_hi[r] + 1):
+                        ref.append((line, wr, r - a))
+                recs = rec if rec is not None else range(b - a)
+                got = [
+                    (int(line), bool(wr), int(ri))
+                    for line, wr, ri in zip(tl, tw, recs)
+                ]
+                assert got == ref
+
+    @given(programs_strategy, schemes, models, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_probe_matches_per_record_reference(
+        self, programs, scheme_cls, model, data
+    ):
+        """Run to completion (cache state is then maximally interesting:
+        hits, evictions, invalidations all happened), then compare the
+        vectorized probe against the per-record reference on random
+        sub-spans of static windows."""
+        ts = build_traceset(programs)
+        system = System(
+            ts,
+            MachineConfig(n_procs=ts.n_procs),
+            scheme_cls(),
+            model,
+            max_events=2_000_000,
+        )
+        kern = system.kernel
+        system.run()
+        for q in system.procs:
+            tab = kern.tabs[q.proc]
+            n = len(tab.code)
+            starts = [i for i in range(n) if tab.win_end[i] > i]
+            if not starts:
+                continue
+            a = data.draw(st.sampled_from(starts), label=f"start p{q.proc}")
+            b = data.draw(
+                st.integers(a + 1, int(tab.win_end[a])), label=f"end p{q.proc}"
+            )
+            ref = _ref_first_invalid(tab, q.cache, a, b)
+            got = kern._probe(q, tab, a, b)
+            assert got == (ref if ref < b else -1)
+            assert kern._analyze(q, tab, a, b) == ref
+
+
+class TestDynamicEquivalence:
+    @given(programs_strategy, schemes, models, batches, cache_cfgs)
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_is_byte_identical_and_spans_legal(
+        self, programs, scheme_cls, model, batch, cache_cfg
+    ):
+        ts = build_traceset(programs)
+        results = {}
+        ways = {}
+        states = {}
+        ksys = None
+        for kern_on in (True, False):
+            system = System(
+                ts,
+                MachineConfig(
+                    n_procs=ts.n_procs,
+                    cache=cache_cfg,
+                    batch_records=batch,
+                    segment_kernel=kern_on,
+                ),
+                scheme_cls(),
+                model,
+                max_events=2_000_000,
+            )
+            if kern_on:
+                ksys = system
+                # engage even on tiny traces: min_span/backoff are cost
+                # heuristics, never legality conditions
+                system.kernel.min_span = 1
+                system.kernel.backoff = 0
+                system.kernel._log = []
+            results[kern_on] = _canonical(system.run())
+            states[kern_on] = [dict(c.state) for c in system.caches]
+            ways[kern_on] = [list(c._ways) for c in system.caches]
+        assert results[True] == results[False]
+        # identical down to the microarchitecture: same resident lines in
+        # the same MESI states in the same LRU order
+        assert states[True] == states[False]
+        assert ways[True] == ways[False]
+
+        # every collapsed span: whole bounces, in order, disjoint, inside
+        # a statically eligible window; totals match the kernel's books
+        per_proc: dict[int, list] = {}
+        for proc, i0, e in ksys.kernel._log:
+            per_proc.setdefault(proc, []).append((i0, e))
+        total = 0
+        for proc, spans in per_proc.items():
+            tab = ksys.kernel.tabs[proc]
+            last = 0
+            for i0, e in spans:
+                assert i0 >= last
+                assert e - i0 >= batch
+                assert (e - i0) % batch == 0
+                assert tab.win_end[i0] >= e
+                total += e - i0
+                last = e
+        assert total == ksys.kernel.records
+
+    def test_kernel_actually_collapses_quiet_machines(self):
+        """Anti-vacuity: on an uncontended private working set the
+        kernel must collapse nearly everything after the cold pass."""
+        from tests.conftest import make_traceset
+
+        def prog(b, layout):
+            code = layout.alloc_code(1024)
+            data = layout.alloc_private(b.proc, 1024)
+            # long enough that the kernel's post-rejection backoff (it
+            # bails while the working set is cold) is a small fraction
+            for _ in range(200):
+                b.block(8, 8, code)
+                for j in range(8):
+                    b.read(data + 64 * j, reps=4)
+                    b.write(data + 64 * j, reps=2)
+
+        ts = make_traceset([prog, prog])
+        system = System(
+            ts, MachineConfig(n_procs=2), QueuingLockManager(), SEQUENTIAL
+        )
+        system.run()
+        kern = system.kernel
+        total = sum(len(t.records) for t in ts)
+        assert kern.segments > 0
+        assert kern.records > 0.8 * total
+
+
+class TestInterruption:
+    def test_max_events_overflow_mid_segment_is_resumable(self):
+        """Regression: hitting the engine's ``max_events`` guard at
+        *every* possible dispatch point -- including inside a collapsed
+        segment's emitted-resume cascade -- leaves the engine's books
+        consistent (pending count, time heap and buckets all agree) and
+        the run resumable: draining the preserved queue afterwards
+        produces the exact uninterrupted result."""
+        from tests.conftest import make_traceset
+
+        def prog(b, layout):
+            code = layout.alloc_code(1024)
+            data = layout.alloc_private(b.proc, 1024)
+            for _ in range(80):
+                b.block(8, 8, code)
+                for j in range(8):
+                    b.read(data + 64 * j, reps=4)
+                    b.write(data + 64 * j, reps=2)
+
+        ts = make_traceset([prog, prog])
+
+        def build(k=None):
+            return System(
+                ts,
+                MachineConfig(n_procs=2),
+                QueuingLockManager(),
+                SEQUENTIAL,
+                max_events=k,
+            )
+
+        ref_sys = build()
+        ref = _canonical(ref_sys.run())
+        total = ref_sys.engine.dispatched_total
+        assert ref_sys.kernel.records > 0  # the segment path engaged
+
+        mid_segment = 0
+        for k in range(1, total):
+            system = build(k)
+            with pytest.raises(RuntimeError, match="exceeded"):
+                system.run()
+            engine = system.engine
+            assert engine.pending() == sum(
+                len(b) for b in engine._buckets.values()
+            )
+            assert sorted(engine._times) == sorted(engine._buckets)
+            if system.kernel.segments and not all(p.done for p in system.procs):
+                mid_segment += 1
+            engine.run()  # drain the preserved tail to completion
+            assert _canonical(system._collect()) == ref
+        assert mid_segment > 0  # some interruptions landed mid-segment
+
+
+class TestNumpySemantics:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_fancy_assignment_is_last_wins(self, idx_list):
+        """The dense last-touch scatter in SegmentKernel._retire assigns
+        ``dense[idx] = arange(k)`` and relies on duplicate indices
+        keeping the value of their last occurrence."""
+        idx = np.asarray(idx_list)
+        k = len(idx)
+        dense = np.full(31, -1, dtype=np.int64)
+        dense[idx] = np.arange(k)
+        ref = {}
+        for pos, line in enumerate(idx_list):
+            ref[line] = pos
+        assert dense.tolist() == [ref.get(line, -1) for line in range(31)]
