@@ -320,6 +320,44 @@ def _measure_kernel_pair(make_ts):
     return cell
 
 
+#: the lock-zoo sweep: the most lock-bound suite program timed under
+#: every scheme on the differential grid's lock axis (repro.testing.
+#: LOCK_SCHEMES), full production configuration.  Watches for a manager
+#: whose per-grant bookkeeping quietly turns contended cells quadratic.
+LOCK_SWEEP_PROGRAM = "qsort"
+
+
+def _measure_lock_cells():
+    from repro.sync import get_lock_manager
+    from repro.testing import LOCK_SCHEMES
+
+    ts = generate_trace(LOCK_SWEEP_PROGRAM, scale=1.0, seed=1991)
+
+    def run(scheme: str):
+        cfg = MachineConfig(n_procs=ts.n_procs)
+        system = System(ts, cfg, get_lock_manager(scheme), SEQUENTIAL)
+        gc.collect()
+        t0 = time.process_time()
+        result = system.run()
+        return time.process_time() - t0, result
+
+    cells = {}
+    for scheme in LOCK_SCHEMES:
+        run(scheme)  # warm
+        best, result = 9e9, None
+        for _ in range(3):
+            seconds, r = run(scheme)
+            if seconds < best:
+                best, result = seconds, r
+        refs = sum(m.refs_processed for m in result.proc_metrics)
+        cells[scheme] = {
+            "seconds": round(best, 4),
+            "refs_per_sec": round(refs / best),
+            "transfers": result.lock_stats.transfers,
+        }
+    return cells
+
+
 def _measure_suite_cell(program: str):
     ts = generate_trace(program, scale=1.0, seed=1991)
     _timed_run(ts, True)  # warm
@@ -353,12 +391,15 @@ def test_hotpath_throughput():
             "on/off paired-adjacent; kernel cells time the hot loops "
             "in three interleaved modes (production / no kernel / "
             "reference interpreter); the audit cell times the same run "
-            "with the invariant auditor attached (raise mode), best of 3"
+            "with the invariant auditor attached (raise mode), best of 3; "
+            "lock cells time the qsort (SC, scale 1.0) cell under every "
+            "scheme on the differential grid's lock axis, best of 3"
         ),
         "hotloop_single": _measure_pair(_single_line),
         "hotloop_mixed": _measure_pair(_mixed),
         "suite": {p: _measure_suite_cell(p) for p in BENCHMARK_ORDER},
         "bus": {p: _measure_bus_cell(p, baseline) for p in BUS_CELLS},
+        "locks": _measure_lock_cells(),
         "kernel": {
             "hotloop_single": _measure_kernel_pair(_single_line),
             "hotloop_mixed": _measure_kernel_pair(_mixed),
@@ -447,6 +488,16 @@ def test_hotpath_throughput():
                         f"{cell['speedup_vs_reference']}x is >{TOLERANCE:.0%} "
                         f"below the committed baseline {base}x"
                     )
+        # ...no lock scheme may regress on the contended sweep cell
+        for scheme, cell in report["locks"].items():
+            base_cell = baseline.get("locks", {}).get(scheme)
+            if base_cell is not None:
+                base = base_cell["refs_per_sec"]
+                if cell["refs_per_sec"] < base * (1 - TOLERANCE):
+                    problems.append(
+                        f"locks/{scheme}: {cell['refs_per_sec']} refs/sec is "
+                        f">{TOLERANCE:.0%} below the committed baseline {base}"
+                    )
         # canonical-baseline sync check: the committed file must carry the
         # same sections/cells this benchmark produces (one canonical file;
         # benchmarks/output/ is scratch).  "tracegen" belongs to
@@ -454,7 +505,7 @@ def test_hotpath_throughput():
         # test_service_latency.py; each syncs its own section.
         missing = sorted(set(report) - set(baseline))
         stale = sorted(set(baseline) - set(report) - {"tracegen", "service"})
-        for section in ("suite", "bus", "kernel"):
+        for section in ("suite", "bus", "kernel", "locks"):
             missing += [
                 f"{section}.{k}"
                 for k in sorted(

@@ -95,9 +95,16 @@ class SystemAuditor:
     def on_lock_release(self, proc: int, lock_id: int, line: int, time: int) -> None:
         self.locks.on_release(proc, lock_id, line, time)
 
-    # -- manager hook (queuing schemes) ----------------------------------
+    # -- manager hooks (queuing schemes) ---------------------------------
     def on_lock_enqueue(self, lock_id: int, proc: int, time: int) -> None:
         self.locks.on_enqueue(lock_id, proc, time)
+
+    def on_lock_claim(self, lock_id: int, proc: int, time: int) -> None:
+        self.locks.on_claim(lock_id, proc, time)
+
+    # -- deadlock (System.run, before its RuntimeError) ------------------
+    def on_deadlock(self, stuck) -> None:
+        self.locks.on_deadlock(stuck)
 
     # -- segment-kernel hook (SegmentKernel.attempt, pre-mutation) -------
     def on_kernel_collapse(self, system, plan, now: int) -> None:

@@ -31,7 +31,7 @@ from ..machine.buffers import DATA_RETURN, BusOp
 from ..machine.memory import _WRITE_KINDS
 from .report import ACCOUNTING, BUS, COHERENCE, KERNEL, LOCK
 
-__all__ = ["FaultSpec", "FAULTS", "KERNEL_FAULTS", "inject"]
+__all__ = ["FaultSpec", "FAULTS", "KERNEL_FAULTS", "LOCK_FAULTS", "inject"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,9 @@ class FaultSpec:
     checks: frozenset
     description: str
     apply: Callable  #: apply(system) -> None; installs the corruption
+    #: lock scheme the fault targets; only meaningful for LOCK_FAULTS,
+    #: whose corruptions reach into one manager's internals
+    scheme: str = "queuing"
 
 
 def _skip_invalidation(system) -> None:
@@ -274,6 +277,102 @@ FAULTS: dict[str, FaultSpec] = {
 }
 
 
+# -- lock-scheme faults ---------------------------------------------------
+#
+# A separate registry: these corrupt one *specific* lock manager's
+# internals (``spec.scheme`` names it), exercising the queue-node
+# hand-off and deadlock diagnostics the lock auditor grew with the
+# extension lock zoo.  tests/test_audit_faults.py drives each one on a
+# contended traceset under its target scheme.
+
+
+def _queue_node_skip(system) -> None:
+    """An MCS release unlinks the wrong queue node: the head waiter is
+    silently dropped and the lock passes to the second in line."""
+    mgr = system.locks
+    real = mgr.release
+    armed = [True]
+
+    def skipping(proc, lock_id, line, time, done_cb, _real=real):
+        st = mgr.locks.get(lock_id)
+        if armed and st is not None and len(st.queue) >= 2:
+            armed.clear()
+            st.queue.pop(0)
+        _real(proc, lock_id, line, time, done_cb)
+
+    mgr.release = skipping
+
+
+def _stale_ticket_grant(system) -> None:
+    """A ticket release advances now-serving past the next ticket: the
+    lock is granted to the holder of a later ticket while the rightful
+    next holder keeps spinning."""
+    mgr = system.locks
+    real = mgr.release
+    armed = [True]
+
+    def stale(proc, lock_id, line, time, done_cb, _real=real):
+        st = mgr.locks.get(lock_id)
+        if armed and st is not None and len(st.queue) >= 2:
+            armed.clear()
+            st.queue[0], st.queue[1] = st.queue[1], st.queue[0]
+        _real(proc, lock_id, line, time, done_cb)
+
+    mgr.release = stale
+
+
+def _lost_backoff_wakeup(system) -> None:
+    """A backed-off retry timer is dropped: the spinner sleeps forever,
+    the run deadlocks, and the auditor's deadlock sweep must name the
+    stranded waiter."""
+    mgr = system.locks
+    if not hasattr(mgr, "_schedule_retry"):
+        raise RuntimeError(
+            "lost-backoff-wakeup needs the exponential-backoff lock scheme"
+        )
+    real = mgr._schedule_retry
+    armed = [True]
+
+    def dropped(st, proc, when, _real=real):
+        if armed:
+            armed.clear()
+            return  # the wakeup is never armed
+        _real(st, proc, when)
+
+    mgr._schedule_retry = dropped
+
+
+LOCK_FAULTS: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "queue-node-skip",
+            LOCK,
+            frozenset({"fifo-order", "queue-node-handoff"}),
+            "an MCS release drops the head queue node and serves the second",
+            _queue_node_skip,
+            scheme="mcs",
+        ),
+        FaultSpec(
+            "stale-ticket-grant",
+            LOCK,
+            frozenset({"fifo-order", "queue-node-handoff"}),
+            "a ticket release grants a later ticket than now-serving",
+            _stale_ticket_grant,
+            scheme="ticket",
+        ),
+        FaultSpec(
+            "lost-backoff-wakeup",
+            LOCK,
+            frozenset({"waiters-at-exit"}),
+            "a backed-off retry is never armed; the waiter sleeps forever",
+            _lost_backoff_wakeup,
+            scheme="backoff",
+        ),
+    )
+}
+
+
 # -- segment-kernel faults -----------------------------------------------
 #
 # A separate registry: these corrupt the columnar segment kernel
@@ -366,11 +465,11 @@ KERNEL_FAULTS: dict[str, FaultSpec] = {
 def inject(system, name: str) -> FaultSpec:
     """Apply a registered fault (protocol or kernel) to a built (not yet
     run) system."""
-    spec = FAULTS.get(name) or KERNEL_FAULTS.get(name)
+    spec = FAULTS.get(name) or LOCK_FAULTS.get(name) or KERNEL_FAULTS.get(name)
     if spec is None:
         raise KeyError(
             f"unknown fault {name!r}; known: "
-            f"{sorted(FAULTS) + sorted(KERNEL_FAULTS)}"
+            f"{sorted(FAULTS) + sorted(LOCK_FAULTS) + sorted(KERNEL_FAULTS)}"
         )
     spec.apply(system)
     return spec

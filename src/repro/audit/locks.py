@@ -12,7 +12,17 @@ grant, and the release of every critical section regardless of scheme:
 * **FIFO order** (queuing schemes only, ``manager.fifo``) -- a shadow
   queue mirrors every enqueue the manager performs
   (:meth:`on_enqueue`); a contended grant must go to its head, and an
-  uncontended grant is illegal while waiters are queued;
+  uncontended grant is illegal while waiters are queued.  Schemes whose
+  ownership decision precedes the grant completion (CLH claims the
+  queue position at the tail swap, then still pays a read of the
+  predecessor's node) declare the claim (:meth:`on_claim`) so the
+  auditor can tell a legitimately-early decision from a queue-jump --
+  the claim itself is checked: it is only legal on a free lock with an
+  empty queue;
+* **queue-node hand-off** (queuing schemes) -- a contended release
+  hands its queue node to the waiter at the head of the shadow queue;
+  the auditor records that successor and the very next grant of the
+  lock must be the recorded hand-off (same processor, contended);
 * **statistics accounting** -- the manager's
   :class:`~repro.sync.stats.LockStatsCollector` must agree with the
   independently observed totals: acquisitions with grants (globally and
@@ -39,6 +49,11 @@ class LockAuditor:
         self.in_cs: dict[int, int | None] = {}
         #: lock id -> shadow of the manager's FIFO queue (fifo schemes)
         self.shadow: dict[int, list[int]] = {}
+        #: lock id -> proc that claimed ownership ahead of its grant
+        self.claimed: dict[int, int] = {}
+        #: lock id -> successor recorded at a contended release; the
+        #: next grant of the lock must hand the queue node to it
+        self.pending_handoff: dict[int, int] = {}
         # independently observed totals, compared to LockStats at the end
         self.grants = 0
         self.contended_grants = 0
@@ -69,6 +84,30 @@ class LockAuditor:
                 )
             )
         self.shadow.setdefault(lock_id, []).append(proc)
+
+    def on_claim(self, lock_id: int, proc: int, time: int) -> None:
+        """A manager fixed ownership ahead of the grant completing
+        (CLH: the tail swap decides, the predecessor-node read still has
+        to finish).  The claim is only legal on a free, queue-empty
+        lock -- otherwise it is a queue jump."""
+        self.n_checks += 1
+        holder = self.in_cs.get(lock_id)
+        q = self.shadow.get(lock_id) or []
+        if holder is not None or q:
+            self.top.violation(
+                Violation(
+                    LOCK,
+                    "queue-node-handoff",
+                    "ownership claimed on a lock that is held or has "
+                    "queued waiters",
+                    cycle=time,
+                    proc=proc,
+                    lock_id=lock_id,
+                    expected="free lock, empty wait queue",
+                    observed=f"holder {holder}, queue {q}",
+                )
+            )
+        self.claimed[lock_id] = proc
 
     def on_grant(self, proc: int, lock_id: int, time: int, contended: bool) -> None:
         top = self.top
@@ -122,7 +161,9 @@ class LockAuditor:
                     )
                 if proc in q:
                     q.remove(proc)
-            elif q:
+            elif q and self.claimed.get(lock_id) != proc:
+                # An early ownership claim (on_claim) makes waiters that
+                # queued between claim and grant legitimate bystanders.
                 top.violation(
                     Violation(
                         LOCK,
@@ -135,6 +176,25 @@ class LockAuditor:
                         observed=f"queue {q}",
                     )
                 )
+            pending = self.pending_handoff.pop(lock_id, None)
+            if pending is not None:
+                self.n_checks += 1
+                if not contended or proc != pending:
+                    top.violation(
+                        Violation(
+                            LOCK,
+                            "queue-node-handoff",
+                            "the release handed its queue node to the "
+                            "recorded successor, but a different grant "
+                            "followed",
+                            cycle=time,
+                            proc=proc,
+                            lock_id=lock_id,
+                            expected=f"contended grant to proc {pending}",
+                            observed=f"{'contended' if contended else 'uncontended'}"
+                            f" grant to proc {proc}",
+                        )
+                    )
         elif contended:
             # spin schemes record waiters-left when the winner's
             # test-and-set completes, i.e. everyone still waiting but it
@@ -142,6 +202,8 @@ class LockAuditor:
             self.expected_waiters_total += len(waiting or ()) - 1
         if waiting is not None:
             waiting.discard(proc)
+        if self.claimed.get(lock_id) == proc:
+            del self.claimed[lock_id]
         self.in_cs[lock_id] = proc
         self.grants += 1
         if contended:
@@ -172,8 +234,33 @@ class LockAuditor:
             if q:
                 self.expected_transfers += 1
                 self.expected_waiters_total += len(q) - 1
+                self.pending_handoff[lock_id] = q[0]
 
     # -- end of run -----------------------------------------------------
+    def on_deadlock(self, stuck) -> None:
+        """The engine drained with processors still blocked.  Diagnose
+        the lock picture before the machine raises its RuntimeError: a
+        manager that dropped a wakeup (lost retry, unsignalled waiter)
+        deadlocks the run, and this turns that into a LOCK violation
+        naming who is stuck where instead of a bare hang."""
+        self.n_checks += 1
+        leftovers = {
+            lock_id: sorted(w) for lock_id, w in self.waiting.items() if w
+        }
+        queued = {lock_id: q for lock_id, q in self.shadow.items() if q}
+        held = {lock_id: p for lock_id, p in self.in_cs.items() if p is not None}
+        if leftovers or queued:
+            self.top.violation(
+                Violation(
+                    LOCK,
+                    "waiters-at-exit",
+                    f"deadlock: processors {sorted(stuck)} never finished "
+                    "while lock waiters are pending",
+                    expected="no waiters",
+                    observed=f"waiting {leftovers}, queued {queued}, held {held}",
+                )
+            )
+
     def finalize(self) -> None:
         top = self.top
         stats = top.system.locks.stats

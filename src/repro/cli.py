@@ -9,6 +9,8 @@ Examples::
     python -m repro suite --jobs 8          # Tables 3-8, parallel + cached
     python -m repro batch --locks queuing,ttas --models sc,wo --jobs 4
     python -m repro cache stats
+    python -m repro predict qsort --validate  # contention predictor
+    python -m repro contention-report qsort --simulate queuing
     python -m repro generate qsort -o qsort.npz
     python -m repro ideal                   # Tables 1 and 2
 """
@@ -357,6 +359,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fp.add_argument("workload")
 
+    pd = sub.add_parser(
+        "predict",
+        help=(
+            "closed-form contention prediction: per-scheme predicted "
+            "lock-cycle and bus-traffic shares from ideal-trace lock "
+            "statistics (see docs/locks.md)"
+        ),
+    )
+    pd.add_argument("workload")
+    pd.add_argument(
+        "--schemes",
+        default="all",
+        help="comma-separated lock schemes, or 'all' (default: every registered scheme)",
+    )
+    pd.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "also simulate every scheme and print the predictor's "
+            "relative error per cell (slower: one full run per scheme)"
+        ),
+    )
+    _add_trace_cache_options(pd)
+
+    cr = sub.add_parser(
+        "contention-report",
+        help=(
+            "replay-based unnecessary-contention report: per-lock "
+            "verdicts pinpointing critical sections that hold their "
+            "lock longer than the conflicting accesses require"
+        ),
+    )
+    cr.add_argument("workload")
+    cr.add_argument(
+        "--simulate",
+        metavar="SCHEME",
+        default=None,
+        help=(
+            "also simulate under this lock scheme and fold the measured "
+            "transfers and waiter populations into the report"
+        ),
+    )
+    _add_trace_cache_options(cr)
+
     dv = sub.add_parser(
         "diff-verify",
         help=(
@@ -372,8 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dv.add_argument(
         "--locks",
-        default="queuing,ttas",
-        help="comma-separated lock schemes (default: queuing,ttas)",
+        default="grid",
+        help=(
+            "comma-separated lock schemes, 'grid' (default: the "
+            "differential grid's six-scheme axis) or 'all' (every "
+            "registered scheme)"
+        ),
     )
     dv.add_argument(
         "--models",
@@ -559,6 +609,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"{f.proc:>4} {f.data_lines:>11,} {f.shared_data_lines:>8,} "
                 f"{f.code_lines:>6,} {str(f.fits_in()):>10}"
             )
+    elif args.cmd == "predict":
+        return _run_predict(args)
+    elif args.cmd == "contention-report":
+        return _run_contention_report(args)
     elif args.cmd == "diff-verify":
         return _run_diff_verify(args)
     return 0
@@ -663,6 +717,119 @@ def _profiled(fn, top: int = 15):
     return result, buf.getvalue()
 
 
+def _run_predict(args) -> int:
+    """``repro predict``: the closed-form contention predictor."""
+    from .consistency import SEQUENTIAL
+    from .machine.system import simulate
+    from .sync import LOCK_SCHEMES, get_lock_manager
+    from .sync.predict import calibrate, predict, validate
+    from .workloads import generate_trace
+
+    if args.schemes.strip().lower() == "all":
+        schemes = sorted(LOCK_SCHEMES)
+    else:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    for scheme in schemes:
+        if scheme not in LOCK_SCHEMES:
+            print(
+                f"error: unknown lock scheme {scheme!r}; "
+                f"expected one of {sorted(LOCK_SCHEMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    ts = generate_trace(
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        trace_cache=_trace_cache_arg(args),
+    )
+    if args.validate:
+        rows = validate(ts, schemes)
+        print(
+            f"{'scheme':<14} {'pred lock%':>10} {'sim lock%':>10} {'err':>6}"
+            f" {'pred bus%':>10} {'sim bus%':>9} {'err':>6}"
+        )
+        for r in rows:
+            print(
+                f"{r['scheme']:<14} {r['predicted_lock_share']:>10.2f} "
+                f"{r['observed_lock_share']:>10.2f} {r['lock_rel_err']:>6.3f}"
+                f" {r['predicted_bus_share']:>10.2f} "
+                f"{r['observed_bus_share']:>9.2f} {r['bus_rel_err']:>6.3f}"
+            )
+        mean_lock = sum(r["lock_rel_err"] for r in rows) / len(rows)
+        mean_bus = sum(r["bus_rel_err"] for r in rows) / len(rows)
+        print(
+            f"\nmean relative error: lock share {mean_lock:.3f}, "
+            f"bus share {mean_bus:.3f}"
+        )
+        return 0
+    # one baseline run calibrates the machine factors; every scheme's
+    # prediction is then closed form
+    base = simulate(ts, None, get_lock_manager("queuing"), SEQUENTIAL)
+    cal = calibrate(ts, base)
+    print(
+        f"{ts.program}: calibrated on '{cal.baseline_scheme}' "
+        f"(dilation {cal.kappa:.3f})"
+    )
+    print(f"{'scheme':<14} {'lock stall%':>11} {'bus traffic%':>13} {'stall cycles':>14}")
+    for scheme in schemes:
+        pred = predict(ts, scheme, cal)
+        print(
+            f"{scheme:<14} {pred.lock_share:>11.2f} {pred.bus_share:>13.2f} "
+            f"{pred.stall_cycles:>14,.0f}"
+        )
+    return 0
+
+
+def _run_contention_report(args) -> int:
+    """``repro contention-report``: shrinkable critical sections."""
+    from .consistency import SEQUENTIAL
+    from .machine.system import simulate
+    from .sync import LOCK_SCHEMES, get_lock_manager
+    from .sync.predict import contention_report
+    from .workloads import generate_trace
+
+    result = None
+    if args.simulate is not None and args.simulate not in LOCK_SCHEMES:
+        print(
+            f"error: unknown lock scheme {args.simulate!r}; "
+            f"expected one of {sorted(LOCK_SCHEMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    ts = generate_trace(
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        trace_cache=_trace_cache_arg(args),
+    )
+    if args.simulate is not None:
+        result = simulate(ts, None, get_lock_manager(args.simulate), SEQUENTIAL)
+    verdicts = contention_report(ts, result=result)
+    header = (
+        f"{'lock':>5} {'acqs':>7} {'procs':>5} {'hold':>8} "
+        f"{'conflict lines':>14} {'shrinkable':>10} verdict"
+    )
+    if result is not None:
+        header += f"  {'transfers':>9} {'waiters':>8}"
+    print(header)
+    for v in verdicts:
+        line = (
+            f"{v.lock_id:>5} {v.acquisitions:>7,} {v.n_procs:>5} "
+            f"{v.mean_hold:>8.1f} {v.conflict_lines:>14,} "
+            f"{100 * v.shrinkable_frac:>9.1f}% {v.verdict}"
+        )
+        if result is not None:
+            line += f"  {v.transfers:>9,} {v.sim_waiters:>8.2f}"
+        print(line)
+    flagged = [v for v in verdicts if v.verdict != "tight"]
+    print(
+        f"\n{len(verdicts)} lock(s); {len(flagged)} with unnecessary "
+        "contention (shrinkable hold time or no shared conflict)"
+    )
+    return 0
+
+
 def _run_diff_verify(args) -> int:
     """``repro diff-verify``: fast path vs reference, field for field."""
     from .testing import differential_check
@@ -672,6 +839,15 @@ def _run_diff_verify(args) -> int:
         programs = tuple(BENCHMARK_ORDER)
     else:
         programs = tuple(p.strip() for p in args.programs.split(",") if p.strip())
+    locks_arg = args.locks.strip().lower()
+    if locks_arg == "grid":
+        from .testing import LOCK_SCHEMES as lock_schemes
+    elif locks_arg == "all":
+        from .sync import LOCK_SCHEMES as registry
+
+        lock_schemes = tuple(sorted(registry))
+    else:
+        lock_schemes = tuple(s.strip() for s in args.locks.split(",") if s.strip())
     vary = {
         "all": ("fast_path", "bus_fast_path", "segment_kernel"),
         "fast-path": ("fast_path",),
@@ -680,7 +856,7 @@ def _run_diff_verify(args) -> int:
     }[args.vary]
     reports = differential_check(
         programs=programs,
-        lock_schemes=tuple(s.strip() for s in args.locks.split(",") if s.strip()),
+        lock_schemes=lock_schemes,
         models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
         scale=args.scale,
         seed=args.seed,

@@ -191,6 +191,29 @@ class MachineConfig:
             + self.line_data_cycles
         )
 
+    # -- lock-operation costs (repro.sync bus-op model; consumed by the
+    # -- contention predictor, repro.sync.predict) ----------------------------
+    @property
+    def lock_c2c_cycles(self) -> int:
+        """Bus cycles of a cache-to-cache lock-line transfer: address
+        phase plus the line's data cycles (3 with paper defaults).  This
+        is the cost of ``LOCK_READ``/``LOCK_RFO`` answered by another
+        cache and of the ``LOCK_XFER`` hand-off transfer."""
+        return self.bus.addr_cycles + self.line_data_cycles
+
+    @property
+    def lock_inval_cycles(self) -> int:
+        """Bus cycles of a lock-line invalidation signal (``LOCK_INVAL``;
+        1 with paper defaults): an address-only transaction."""
+        return self.bus.addr_cycles
+
+    @property
+    def lock_mem_cycles(self) -> int:
+        """End-to-end cycles of a lock operation served by memory
+        (``LOCK_MEM`` and cold ``LOCK_READ``/``LOCK_RFO``; 6 with paper
+        defaults) -- the same path as an uncontended cache miss."""
+        return self.uncontended_miss_cycles
+
     def with_procs(self, n_procs: int) -> "MachineConfig":
         """A copy of this configuration with a different processor count."""
         return replace(self, n_procs=n_procs)

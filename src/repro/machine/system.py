@@ -792,6 +792,10 @@ class System:
         self.engine.run(max_events=self.max_events)
         if self._done_count != len(self.procs):
             stuck = [p.proc for p in self.procs if not p.done]
+            if self.audit is not None:
+                # Let the lock auditor name who is stuck on what (in
+                # raise mode this surfaces as an AuditError instead).
+                self.audit.on_deadlock(stuck)
             raise RuntimeError(
                 f"simulation deadlocked: processors {stuck} never finished "
                 f"(states: {[self.procs[p].state for p in stuck]})"

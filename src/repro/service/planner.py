@@ -108,7 +108,19 @@ def grid_specs(
     max_events: int | None = None,
 ) -> list[JobSpec]:
     """Expand a sweep grid into specs, row-major (program outermost) --
-    the same cell order ``run_suite`` and ``repro batch`` use."""
+    the same cell order ``run_suite`` and ``repro batch`` use.
+
+    Lock-scheme names are validated against the registry up front, so a
+    bad grid is rejected at submit time rather than failing one job per
+    cell at execution time."""
+    from ..sync import LOCK_SCHEMES
+
+    unknown = [s for s in lock_schemes if s not in LOCK_SCHEMES]
+    if unknown:
+        raise ValueError(
+            f"unknown lock scheme(s) {unknown}; "
+            f"expected a subset of {sorted(LOCK_SCHEMES)}"
+        )
     return [
         JobSpec(
             program=p,

@@ -22,6 +22,16 @@ def pytest_addoption(parser):
             "committing: goldens pin simulator behaviour)"
         ),
     )
+    parser.addoption(
+        "--regen-predictor",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/golden/predictor_validation.json from the "
+            "current predictor and simulator (review the accuracy "
+            "numbers before committing; docs/locks.md shows the table)"
+        ),
+    )
 
 
 @pytest.fixture

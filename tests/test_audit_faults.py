@@ -11,7 +11,8 @@ indistinguishable from no checker at all.
 import pytest
 
 from repro.audit import AuditError, SystemAuditor
-from repro.audit.faults import FAULTS, inject
+from repro.audit.faults import FAULTS, LOCK_FAULTS, inject
+from repro.audit.report import LOCK
 from repro.consistency import SEQUENTIAL
 from repro.machine.config import MachineConfig
 from repro.machine.system import System
@@ -68,6 +69,57 @@ def test_faults_also_detected_under_spin_locks(name):
     spec, violation = _run_faulted(name, "ttas")
     assert violation.category == spec.category
     assert violation.check in spec.checks
+
+
+@pytest.mark.parametrize("name", sorted(LOCK_FAULTS))
+def test_lock_zoo_fault_detected(name):
+    """Each lock-zoo fault corrupts its target scheme's internals
+    (queue-node hand-off, ticket order, backoff wakeups) and the lock
+    auditor must name it -- including the deadlock sweep for the lost
+    wakeup, which turns a bare hang into a waiters-at-exit violation."""
+    spec = LOCK_FAULTS[name]
+    spec_injected, violation = _run_faulted(name, spec.scheme)
+    assert spec_injected is spec
+    assert violation.category == spec.category, (
+        f"{name}: expected a {spec.category} violation, got {violation}"
+    )
+    assert violation.check in spec.checks, (
+        f"{name}: check {violation.check!r} not in {sorted(spec.checks)}"
+    )
+
+
+def test_lost_backoff_wakeup_names_the_stranded_waiter():
+    """The deadlock diagnostic beats the machine's bare RuntimeError:
+    the violation says who is still waiting on which lock."""
+    _, violation = _run_faulted("lost-backoff-wakeup", "backoff")
+    assert violation.check == "waiters-at-exit"
+    assert "deadlock" in violation.message
+    assert "waiting" in str(violation)
+
+
+def test_spurious_claim_is_a_queue_jump():
+    """An early ownership claim (the CLH swap-decides idiom) is only
+    legal on a free lock with an empty queue; claiming a held lock is
+    exactly the queue jump the hand-off checker exists to catch."""
+    system = _build("clh")
+    SystemAuditor.attach(system, mode="raise")
+    mgr = system.locks
+    real = mgr.acquire
+    armed = [True]
+
+    def jumping(proc, lock_id, line, time, grant_cb, _real=real):
+        st = mgr.locks.get(lock_id)
+        if armed and st is not None and st.owner is not None:
+            armed.clear()
+            mgr.audit.on_lock_claim(lock_id, proc, time)
+        _real(proc, lock_id, line, time, grant_cb)
+
+    mgr.acquire = jumping
+    with pytest.raises(AuditError) as exc:
+        system.run()
+    violation = exc.value.violation
+    assert violation.category == LOCK
+    assert violation.check == "queue-node-handoff"
 
 
 def test_violation_carries_structured_context():

@@ -1,4 +1,4 @@
-"""The auditor's acceptance gate: the 24-cell grid, audited, at scale.
+"""The auditor's acceptance gate: the full grid, audited, at scale.
 
 Every (program, lock scheme, consistency model) cell of the paper's grid
 runs at default scale with a collect-mode invariant auditor riding the

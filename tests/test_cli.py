@@ -97,3 +97,71 @@ class TestCommands:
     def test_claims_parser_registered(self):
         args = build_parser().parse_args(["claims"])
         assert args.cmd == "claims"
+
+    def test_locks_choices_track_the_registry(self):
+        from repro.sync import LOCK_SCHEMES
+
+        p = build_parser()
+        for scheme in LOCK_SCHEMES:
+            args = p.parse_args(["run", "grav", "--locks", scheme])
+            assert args.locks == scheme
+        with pytest.raises(SystemExit):
+            p.parse_args(["run", "grav", "--locks", "nosuch"])
+
+    def test_predict_closed_form(self, capsys):
+        assert main(["--scale", "0.05", "predict", "qsort", "--no-trace-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated on 'queuing'" in out
+        # one row per registered scheme
+        from repro.sync import LOCK_SCHEMES
+
+        for scheme in LOCK_SCHEMES:
+            assert scheme in out
+
+    def test_predict_validate_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "predict",
+                    "qsort",
+                    "--schemes",
+                    "queuing,mcs",
+                    "--validate",
+                    "--no-trace-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean relative error" in out
+        assert "mcs" in out
+
+    def test_predict_unknown_scheme_errors(self, capsys):
+        assert main(["predict", "qsort", "--schemes", "nosuch"]) == 2
+        assert "unknown lock scheme" in capsys.readouterr().err
+
+    def test_contention_report(self, capsys):
+        assert main(["--scale", "0.05", "contention-report", "qsort", "--no-trace-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "lock(s);" in out
+
+    def test_contention_report_with_simulation(self, capsys):
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "contention-report",
+                    "pverify",
+                    "--simulate",
+                    "ticket",
+                    "--no-trace-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "transfers" in out

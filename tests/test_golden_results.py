@@ -2,14 +2,16 @@
 
 Each ``tests/golden/<program>.json`` pins the complete serialized
 :class:`~repro.machine.metrics.RunResult` of one suite cell at scale
-0.25.  The six fixtures between them cover every program, both lock
-schemes and both consistency models, so any change that alters
-simulated numbers anywhere in the machine fails here with a readable
-per-field diff -- event-order-preserving refactors (the only kind the
-optimization work is allowed to make) pass untouched.  A seventh,
+0.25.  The six suite fixtures between them cover every program, the
+paper's two lock schemes and both consistency models, so any change
+that alters simulated numbers anywhere in the machine fails here with a
+readable per-field diff -- event-order-preserving refactors (the only
+kind the optimization work is allowed to make) pass untouched.  A
 full-scale fixture (``topopt@1.json``) pins the cell with the strongest
 segment-kernel engagement, so the kernel's collapse/retire arithmetic
-is regression-pinned at real size, not just checked differentially.
+is regression-pinned at real size, not just checked differentially; two
+lock-zoo fixtures (``qsort+mcs.json``, ``qsort+backoff.json``) pin the
+extension schemes' timing numerically.
 
 To regenerate after an *intentional* behaviour change::
 
@@ -42,9 +44,13 @@ def _audited(audit_everything):
     cell is also checked for invariant violations."""
     yield
 
-#: the pinned grid: every program once, both schemes and models covered,
-#: plus one full-scale point (topopt/queuing/sc: the cell where the
-#: segment kernel collapses the most machine-quiet segments)
+#: the pinned grid: every program once, the paper's two schemes and both
+#: models covered, plus one full-scale point (topopt/queuing/sc: the
+#: cell where the segment kernel collapses the most machine-quiet
+#: segments) and two lock-zoo cells on the most lock-bound program
+#: (qsort under a queue-based and a spin-based extension scheme), so the
+#: extension managers' grant/hand-off arithmetic is pinned numerically,
+#: not just checked differentially
 GOLDEN_CELLS = [
     ("grav", "queuing", "sc", 0.25),
     ("pdsa", "ttas", "sc", 0.25),
@@ -53,15 +59,22 @@ GOLDEN_CELLS = [
     ("qsort", "queuing", "sc", 0.25),
     ("topopt", "ttas", "wo", 0.25),
     ("topopt", "queuing", "sc", 1.0),
+    ("qsort", "mcs", "sc", 0.25),
+    ("qsort", "backoff", "sc", 0.25),
 ]
 GOLDEN_SCALE = 0.25
 GOLDEN_SEED = 1991
 
+#: the paper's schemes keep their original unqualified fixture names;
+#: lock-zoo cells are scheme-qualified
+_PAPER_SCHEMES = ("queuing", "ttas")
 
-def _fixture_name(program: str, scale: float) -> str:
+
+def _fixture_name(program: str, scale: float, locks: str) -> str:
+    stem = program if locks in _PAPER_SCHEMES else f"{program}+{locks}"
     if scale == GOLDEN_SCALE:
-        return f"{program}.json"
-    return f"{program}@{scale:g}.json"
+        return f"{stem}.json"
+    return f"{stem}@{scale:g}.json"
 
 
 def run_cell(program: str, locks: str, model: str, scale: float = GOLDEN_SCALE) -> dict:
@@ -75,7 +88,7 @@ def run_cell(program: str, locks: str, model: str, scale: float = GOLDEN_SCALE) 
 
 @pytest.mark.parametrize("program,locks,model,scale", GOLDEN_CELLS)
 def test_golden_result(request, program, locks, model, scale):
-    path = GOLDEN_DIR / _fixture_name(program, scale)
+    path = GOLDEN_DIR / _fixture_name(program, scale, locks)
     got = run_cell(program, locks, model, scale)
     spec = {
         "program": program,

@@ -1,0 +1,144 @@
+"""Conformance battery: every registered lock scheme, one contract.
+
+Parametrized over the full ``repro.sync.LOCK_SCHEMES`` registry, so a
+newly registered scheme is pulled into the battery automatically:
+
+* mutual exclusion -- no two processors ever inside a critical section
+  for the same lock at once;
+* no lost wakeups -- every acquisition is eventually granted and the
+  run terminates (a dropped grant deadlocks the machine);
+* FIFO order where the scheme guarantees it (``cls.fifo``): with
+  requests arriving in a known order, grants follow it;
+* bounded unfairness for the test-and-set variants: no processor is
+  starved out of any of its acquisitions within a heavily contended
+  run;
+* LockStats cross-accounting -- a raise-mode auditor rides every run,
+  so the manager's statistics must agree with independently observed
+  grants, transfers and waiter populations (and FIFO schemes must pass
+  the shadow-queue and queue-node hand-off checks).
+"""
+
+import pytest
+
+from repro.audit import SystemAuditor
+from repro.consistency import SEQUENTIAL, WEAK
+from repro.machine.system import System
+from repro.sync import LOCK_SCHEMES, get_lock_manager
+from tests.conftest import make_traceset, tiny_machine
+from tests.test_locks_in_system import IntervalRecorder, contended_traceset
+
+ALL_SCHEME_NAMES = sorted(LOCK_SCHEMES)
+FIFO_SCHEMES = sorted(n for n, c in LOCK_SCHEMES.items() if c.fifo)
+SPIN_SCHEMES = sorted(n for n, c in LOCK_SCHEMES.items() if not c.fifo)
+
+
+def _run(ts, scheme, model=SEQUENTIAL, audit=True, n_procs=None):
+    mgr = get_lock_manager(scheme)
+    system = System(ts, tiny_machine(n_procs=n_procs or ts.n_procs), mgr, model)
+    if audit:
+        SystemAuditor.attach(system, mode="raise")
+    return system, system.run()
+
+
+def staggered_traceset(n_procs=4, lead=500):
+    """Processor ``p`` computes ``p * lead`` cycles, then acquires: the
+    requests reach the lock manager in strict processor order."""
+    state = {}
+
+    def builder(p):
+        def fn(b, layout):
+            if "lock" not in state:
+                state["lock"] = layout.alloc_lock()
+                state["sh"] = layout.alloc_shared(64)
+                state["code"] = layout.alloc_code(64)
+            la, sh, code = state["lock"], state["sh"], state["code"]
+            b.block(4, 10 + p * lead, code)
+            b.lock(0, la)
+            b.block(4, 200, code)
+            b.write(sh)
+            b.unlock(0, la)
+
+        return fn
+
+    return make_traceset([builder(p) for p in range(n_procs)])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEME_NAMES)
+class TestConformance:
+    def test_mutual_exclusion_audited(self, scheme):
+        ts = contended_traceset(n_procs=4, css=6)
+        mgr = get_lock_manager(scheme)
+        rec = IntervalRecorder(mgr)
+        system = System(ts, tiny_machine(n_procs=4), mgr, SEQUENTIAL)
+        SystemAuditor.attach(system, mode="raise")
+        system.run()
+        assert sum(len(v) for v in rec.intervals.values()) == 4 * 6
+        rec.assert_mutual_exclusion()
+
+    def test_no_lost_wakeups(self, scheme):
+        # termination is the property: a dropped grant deadlocks the
+        # machine and System.run raises
+        ts = contended_traceset(n_procs=5, css=5)
+        _, result = _run(ts, scheme)
+        assert result.lock_stats.acquisitions == 5 * 5
+
+    def test_weak_ordering_also_conforms(self, scheme):
+        ts = contended_traceset(n_procs=3, css=4)
+        _, result = _run(ts, scheme, model=WEAK)
+        assert result.lock_stats.acquisitions == 12
+
+    def test_stats_cross_accounting(self, scheme):
+        """The raise-mode auditor's finalize() cross-checks LockStats
+        against independently observed grants/transfers/waiters; any
+        disagreement raises.  On top, the scheme's own ledger must
+        balance: transfers never exceed acquisitions, and hold time is
+        only recorded for completed critical sections."""
+        ts = contended_traceset(n_procs=4, css=6)
+        _, result = _run(ts, scheme)
+        stats = result.lock_stats
+        assert 0 <= stats.transfers <= stats.acquisitions
+        assert stats.per_lock_acquisitions[0] == stats.acquisitions
+        assert stats.hold_cycles_total > 0
+
+
+@pytest.mark.parametrize("scheme", FIFO_SCHEMES)
+def test_fifo_schemes_grant_in_request_order(scheme):
+    """With request arrival strictly staggered, a FIFO scheme must
+    grant in exactly that order."""
+    ts = staggered_traceset(n_procs=4)
+    mgr = get_lock_manager(scheme)
+    rec = IntervalRecorder(mgr)
+    system = System(ts, tiny_machine(n_procs=4), mgr, SEQUENTIAL)
+    SystemAuditor.attach(system, mode="raise")
+    system.run()
+    grants = sorted(rec.intervals[0])  # (grant_time, release_time, proc)
+    assert [p for _s, _e, p in grants] == [0, 1, 2, 3], (
+        f"{scheme}: FIFO scheme granted out of request order: {grants}"
+    )
+
+
+@pytest.mark.parametrize("scheme", SPIN_SCHEMES)
+def test_spin_schemes_bounded_unfairness(scheme):
+    """T&S variants guarantee no order, but within a finite contended
+    run no processor may be starved: everyone completes every one of
+    its critical sections."""
+    css = 8
+    ts = contended_traceset(n_procs=4, css=css)
+    mgr = get_lock_manager(scheme)
+    rec = IntervalRecorder(mgr)
+    system = System(ts, tiny_machine(n_procs=4), mgr, SEQUENTIAL)
+    system.run()
+    per_proc = {p: 0 for p in range(4)}
+    for ivals in rec.intervals.values():
+        for _s, _e, p in ivals:
+            per_proc[p] += 1
+    assert all(n == css for n in per_proc.values()), per_proc
+
+
+def test_registry_covers_the_lock_zoo():
+    """The registry is the single source of truth the CLI, the
+    differential harness and this battery all enumerate."""
+    assert {"queuing", "exact-queuing", "ttas", "tas", "mcs", "clh", "ticket", "backoff"} == set(LOCK_SCHEMES)
+    for name, cls in LOCK_SCHEMES.items():
+        assert cls.name == name
+        assert isinstance(cls.fifo, bool)

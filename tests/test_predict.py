@@ -1,0 +1,256 @@
+"""The contention predictor (repro.sync.predict) and its committed
+validation table.
+
+The predictor is closed-form and the simulator deterministic, so the
+predictor-vs-simulation table in tests/golden/predictor_validation.json
+is exactly reproducible: this suite regenerates every row and compares
+bit-for-bit, then asserts the accuracy acceptance -- mean relative
+error of the predicted lock-cycle share <= 25% across the validated
+grid (and the same for the lock bus-traffic share).  docs/locks.md
+renders the same table; regenerate both together after an intentional
+model change:
+
+    PYTHONPATH=src python -m pytest tests/test_predict.py --regen-predictor
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine.system import simulate
+from repro.sync import LOCK_SCHEMES, get_lock_manager
+from repro.sync.predict import (
+    REL_ERR_FLOOR,
+    calibrate,
+    contention_report,
+    observed_bus_share,
+    observed_lock_share,
+    predict,
+    profile_locks,
+    relative_error,
+    validate,
+)
+from repro.workloads import generate_trace
+from tests.conftest import make_traceset, tiny_machine
+
+TABLE = Path(__file__).parent / "golden" / "predictor_validation.json"
+
+#: the validated grid: every registered scheme on a storm workload
+#: (synthetic), a real program with moderate contention (qsort) and a
+#: nearly lock-free one (pverify) -- prediction must hold at all three
+#: contention regimes
+GRID_PROGRAMS = ("synthetic", "qsort", "pverify")
+GRID_SCALE = 0.25
+GRID_SEED = 1991
+ACCEPT_MEAN_REL_ERR = 0.25
+
+
+def _trace(program):
+    return generate_trace(program, scale=GRID_SCALE, seed=GRID_SEED)
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def _two_lock_traceset():
+    state = {}
+
+    def fn(b, layout):
+        if "l0" not in state:
+            state["l0"] = layout.alloc_lock()
+            state["l1"] = layout.alloc_lock()
+            state["sh"] = layout.alloc_shared(64)
+            state["code"] = layout.alloc_code(64)
+        l0, l1, sh, code = state["l0"], state["l1"], state["sh"], state["code"]
+        for _ in range(3):
+            b.block(4, 50, code)
+            b.lock(0, l0)
+            b.block(4, 20, code)
+            b.write(sh)
+            b.lock(1, l1)  # nested
+            b.block(4, 10, code)
+            b.write(sh + 16)
+            b.unlock(1, l1)
+            b.unlock(0, l0)
+
+    return make_traceset([fn, fn, fn])
+
+
+class TestProfiles:
+    def test_profile_counts_and_nesting(self):
+        profs = profile_locks(_two_lock_traceset())
+        assert set(profs) == {0, 1}
+        assert profs[0].acquisitions == 9
+        assert profs[0].n_procs == 3
+        assert profs[0].nested_frac == 0.0
+        assert profs[1].nested_frac == 1.0
+        # lock 1 is held strictly inside lock 0
+        assert profs[1].mean_hold < profs[0].mean_hold
+
+    def test_gaps_are_think_time(self):
+        profs = profile_locks(_two_lock_traceset())
+        # between two CSes of lock 0 lies the 50-cycle compute block
+        assert profs[0].mean_gap == pytest.approx(50.0)
+
+
+class TestPredictionShape:
+    def test_contended_lock_predicts_waiting(self):
+        ts = _two_lock_traceset()
+        base = simulate(ts, tiny_machine(n_procs=3), get_lock_manager("queuing"))
+        cal = calibrate(ts, base, tiny_machine(n_procs=3))
+        pred = predict(ts, "queuing", cal, tiny_machine(n_procs=3))
+        assert pred.lock_share > 0
+        assert pred.stall_cycles > 0
+        by_lock = {p.lock_id: p for p in pred.per_lock}
+        # three procs hammer lock 0 back to back: contention is certain
+        assert by_lock[0].contended_frac > 0.3
+        assert by_lock[0].wait > 0
+
+    def test_single_proc_lock_never_contends(self):
+        def fn(b, layout):
+            la = layout.alloc_lock()
+            code = layout.alloc_code(64)
+            b.block(4, 30, code)
+            b.lock(0, la)
+            b.block(4, 10, code)
+            b.unlock(0, la)
+
+        ts = make_traceset([fn])
+        base = simulate(ts, tiny_machine(n_procs=1), get_lock_manager("queuing"))
+        cal = calibrate(ts, base, tiny_machine(n_procs=1))
+        for scheme in sorted(LOCK_SCHEMES):
+            pred = predict(ts, scheme, cal, tiny_machine(n_procs=1))
+            (lp,) = pred.per_lock
+            assert lp.contended_frac == 0.0, scheme
+            assert lp.waiters == 0.0, scheme
+
+    def test_relative_error_floor(self):
+        assert relative_error(1.0, 0.0) == pytest.approx(1.0 / REL_ERR_FLOOR)
+        assert relative_error(50.0, 40.0) == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# The committed validation table
+# ---------------------------------------------------------------------------
+
+
+def _regen_rows():
+    rows = []
+    for program in GRID_PROGRAMS:
+        rows.extend(validate(_trace(program), sorted(LOCK_SCHEMES)))
+    return rows
+
+
+def test_validation_table_reproduces_and_meets_acceptance(request):
+    regen = request.config.getoption("--regen-predictor")
+    rows = _regen_rows()
+    if regen:
+        TABLE.write_text(json.dumps(rows, indent=1) + "\n")
+    committed = json.loads(TABLE.read_text())
+    assert rows == committed, (
+        "predictor validation table drifted from tests/golden/"
+        "predictor_validation.json; regenerate with --regen-predictor "
+        "and review the diff"
+    )
+    assert len(rows) == len(GRID_PROGRAMS) * len(LOCK_SCHEMES)
+    lock_errs = [r["lock_rel_err"] for r in rows]
+    bus_errs = [r["bus_rel_err"] for r in rows]
+    assert sum(lock_errs) / len(lock_errs) <= ACCEPT_MEAN_REL_ERR
+    assert sum(bus_errs) / len(bus_errs) <= ACCEPT_MEAN_REL_ERR
+
+
+def test_observed_shares_are_percentages():
+    ts = _trace("synthetic")
+    sim = simulate(ts, None, get_lock_manager("ttas"))
+    assert 0.0 <= observed_lock_share(sim) <= 100.0
+    assert 0.0 <= observed_bus_share(sim) <= 100.0
+
+
+# ---------------------------------------------------------------------------
+# Contention report
+# ---------------------------------------------------------------------------
+
+
+class TestContentionReport:
+    def test_padded_critical_section_is_shrinkable(self):
+        """Work before/after the only conflicting access inside the CS
+        is reported as shedable hold time."""
+        state = {}
+
+        def fn(b, layout):
+            if "lock" not in state:
+                state["lock"] = layout.alloc_lock()
+                state["sh"] = layout.alloc_shared(64)
+                state["code"] = layout.alloc_code(64)
+            la, sh, code = state["lock"], state["sh"], state["code"]
+            for _ in range(3):
+                b.lock(0, la)
+                b.block(4, 90, code)  # shrinkable prefix
+                b.write(sh)  # the contended access
+                b.block(4, 90, code)  # shrinkable suffix
+                b.unlock(0, la)
+                b.block(4, 30, code)
+
+        ts = make_traceset([fn, fn])
+        (v,) = contention_report(ts)
+        assert v.verdict == "shrinkable"
+        assert v.conflict_lines == 1
+        assert v.shrinkable_frac > 0.5
+
+    def test_private_only_lock_flagged(self):
+        """A lock whose critical sections touch no cross-processor
+        shared data arbitrates nothing."""
+        state = {}
+
+        def fn(proc):
+            def build(b, layout):
+                if "lock" not in state:
+                    state["lock"] = layout.alloc_lock()
+                    state["code"] = layout.alloc_code(64)
+                la, code = state["lock"], state["code"]
+                mine = layout.alloc_private(proc, 64)
+                for _ in range(2):
+                    b.lock(0, la)
+                    b.block(4, 40, code)
+                    b.write(mine)
+                    b.unlock(0, la)
+
+            return build
+
+        ts = make_traceset([fn(0), fn(1)])
+        (v,) = contention_report(ts)
+        assert v.verdict == "no-shared-conflict"
+        assert v.conflict_lines == 0
+        assert v.shrinkable_frac == 1.0
+
+    def test_tight_section_not_flagged(self):
+        """A CS that is nothing but conflicting accesses has no slack."""
+        state = {}
+
+        def fn(b, layout):
+            if "lock" not in state:
+                state["lock"] = layout.alloc_lock()
+                state["sh"] = layout.alloc_shared(16)
+                state["code"] = layout.alloc_code(64)
+            la, sh, code = state["lock"], state["sh"], state["code"]
+            for _ in range(3):
+                b.block(4, 60, code)
+                b.lock(0, la)
+                b.read(sh)
+                b.write(sh)
+                b.unlock(0, la)
+
+        ts = make_traceset([fn, fn])
+        (v,) = contention_report(ts)
+        assert v.verdict == "tight"
+        assert v.shrinkable_frac < 0.25
+
+    def test_simulation_result_folds_in(self):
+        ts = _trace("synthetic")
+        sim = simulate(ts, None, get_lock_manager("queuing"))
+        verdicts = contention_report(ts, result=sim)
+        assert verdicts
+        assert all(v.transfers >= 0 for v in verdicts)

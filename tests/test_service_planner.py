@@ -88,3 +88,13 @@ class TestGridSpecs:
         assert specs[0].scale == 0.25
         assert specs[0].seed == 7
         assert specs[0].n_procs == 4
+
+    def test_every_registered_scheme_accepted(self):
+        from repro.sync import LOCK_SCHEMES
+
+        specs = grid_specs(["grav"], sorted(LOCK_SCHEMES), ["sc"])
+        assert len(specs) == len(LOCK_SCHEMES)
+
+    def test_unknown_scheme_rejected_at_expansion(self):
+        with pytest.raises(ValueError, match="unknown lock scheme"):
+            grid_specs(["grav"], ["queuing", "mcs-typo"], ["sc"])
