@@ -1,6 +1,6 @@
 """Hot-path throughput benchmark and perf-smoke gate.
 
-Not a paper artifact: this watches the three differentially-verified
+Not a paper artifact: this watches the four differentially-verified
 fast paths (see docs/performance.md).  Two synthetic single-processor
 "hot loop" traces -- all-private, bus-free after the cold pass, so
 nearly every record is fast-path eligible -- are simulated with
@@ -11,8 +11,11 @@ timed with the window fast path on; the two most bus-bound suite cells
 three interleaved modes -- full production, production minus the
 kernel, and the reference interpreter -- (the *kernel* cells, where the
 quiet machine lets the columnar kernel collapse nearly the whole
-trace).  Throughput is reported as trace references per second and
-engine events per second.
+trace).  Four *spin cells* time contended 4-processor hot loops (two
+shapes, under ticket and backoff) with the spin-phase collapse kernel
+on and off, paired-adjacent; they live in the ``locks`` section next to
+the lock-zoo sweep.  Throughput is reported as trace references per
+second and engine events per second.
 
 Axis isolation: every section except the kernel and audit cells pins
 ``segment_kernel=False``, so the hot-loop pair still measures the window
@@ -48,8 +51,9 @@ home turf, if the bus cells' paired speedup regresses more than 25%
 below the baseline's recorded speedup, or if a kernel cell's speedup
 over the reference interpreter drops below the 5x design floor (or
 more than 25% below its baseline, or under 90% quiet-trace coverage,
-or under break-even vs the window fast path).  Regenerate the root
-baseline on a quiet machine with::
+or under break-even vs the window fast path), or if a spin cell's
+paired speedup drops below the 3x design floor (or never collapses a
+phase).  Regenerate the root baseline on a quiet machine with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_hotpath_throughput.py -q
     cp benchmarks/output/BENCH_hotpath.json BENCH_hotpath.json
@@ -326,8 +330,99 @@ def _measure_kernel_pair(make_ts):
 #: whose per-grant bookkeeping quietly turns contended cells quadratic.
 LOCK_SWEEP_PROGRAM = "qsort"
 
+#: contended-workload cells for the spin-phase collapse kernel: four
+#: processors hammering one shared lock, each critical section a
+#: private hit loop.  Two shapes -- grav-shaped (few long critical
+#: sections) and pdsa-shaped (many short ones) -- under the two
+#: spin-heavy signature kinds the kernel certifies: ticket (idle
+#: signature, queue-parked waiters) and backoff (timer signature,
+#: backed-off retries).  Each cell is a paired spin-on/off measurement;
+#: the ENFORCE floor for ``speedup_spin`` is 3x.
+SPIN_FLOOR = 3.0
+SPIN_CELLS = {
+    "spin_grav_ticket": ("spin-grav", "ticket", 20, 2000, 7),
+    "spin_grav_backoff": ("spin-grav", "backoff", 20, 2000, 7),
+    "spin_pdsa_ticket": ("spin-pdsa", "ticket", 40, 1000, 9),
+    "spin_pdsa_backoff": ("spin-pdsa", "backoff", 40, 1000, 9),
+}
+
+SPIN_PROCS = 4
+SPIN_SPAN = 64  # private working-set lines per processor
+
+
+def _make_contended(name: str, iters: int, hot: int, reads: int):
+    """Four processors contending on one shared lock; the critical
+    sections are dense private hit loops (compact addresses keep the
+    kernel's columnar retirement on its dense-scatter path)."""
+    from repro.trace.builder import TraceBuilder
+
+    layout = AddressLayout(n_procs=SPIN_PROCS)
+    lock = layout.alloc_lock()
+    traces = []
+    for p in range(SPIN_PROCS):
+        b = TraceBuilder(p, layout, program=name, check=False)
+        base = layout.alloc_private(p, (SPIN_SPAN + 16) * 16)
+        code = base + SPIN_SPAN * 16
+        for j in range(SPIN_SPAN):  # warm: later reads all hit
+            b.read(base + 16 * j)
+        for _ in range(iters):
+            b.lock(0, lock)
+            for j in range(hot):
+                b.block(1, 1, code + 16 * (j % 16))
+                for k in range(reads):
+                    b.read(base + 16 * ((j * reads + k) % SPIN_SPAN))
+            b.unlock(0, lock)
+        traces.append(b.finish())
+    return TraceSet(traces, layout, program=name)
+
+
+def _measure_spin_cell(program: str, scheme: str, iters: int, hot: int, reads: int):
+    """One contended cell timed with ``spin_kernel`` on and off,
+    paired-adjacent best of 3.  Off is the full pre-spin production
+    configuration (window fast path, bus fast path and segment kernel
+    all on), so ``speedup_spin`` isolates the spin-phase collapse
+    kernel's own contribution on a lock-wait-bound workload."""
+    from repro.sync import get_lock_manager
+
+    ts = _make_contended(program, iters, hot, reads)
+
+    def run(spin: bool):
+        cfg = MachineConfig(n_procs=SPIN_PROCS, spin_kernel=spin)
+        system = System(ts, cfg, get_lock_manager(scheme), SEQUENTIAL)
+        gc.collect()
+        t0 = time.process_time()
+        result = system.run()
+        seconds = time.process_time() - t0
+        return seconds, result, system.kernel
+
+    run(True)  # warm
+    run(False)
+    best = {True: (9e9, None, None), False: (9e9, None, None)}
+    for _ in range(3):
+        for spin in (True, False):
+            out = run(spin)
+            if out[0] < best[spin][0]:
+                best[spin] = out
+    refs = sum(m.refs_processed for m in best[True][1].proc_metrics)
+    assert refs == sum(m.refs_processed for m in best[False][1].proc_metrics)
+    kernel = best[True][2]
+    return {
+        "program": program,
+        "scheme": scheme,
+        "refs": refs,
+        "seconds": round(best[True][0], 4),
+        "seconds_nospin": round(best[False][0], 4),
+        "refs_per_sec": round(refs / best[True][0]),
+        "speedup_spin": round(best[False][0] / best[True][0], 3),
+        "spin_segments": kernel.spin_segments,
+        "spin_waiters": kernel.spin_waiters,
+    }
+
 
 def _measure_lock_cells():
+    """The lock-zoo sweep plus the paired spin-kernel contended cells;
+    every cell carries ``refs_per_sec`` so the generic no-regression
+    check covers the whole section."""
     from repro.sync import get_lock_manager
     from repro.testing import LOCK_SCHEMES
 
@@ -355,6 +450,8 @@ def _measure_lock_cells():
             "refs_per_sec": round(refs / best),
             "transfers": result.lock_stats.transfers,
         }
+    for name, (program, scheme, iters, hot, reads) in SPIN_CELLS.items():
+        cells[name] = _measure_spin_cell(program, scheme, iters, hot, reads)
     return cells
 
 
@@ -393,7 +490,11 @@ def test_hotpath_throughput():
             "reference interpreter); the audit cell times the same run "
             "with the invariant auditor attached (raise mode), best of 3; "
             "lock cells time the qsort (SC, scale 1.0) cell under every "
-            "scheme on the differential grid's lock axis, best of 3"
+            "scheme on the differential grid's lock axis, best of 3; "
+            "spin cells time 4-processor contended hot loops (grav-shaped "
+            "20x2000 and pdsa-shaped 40x1000 critical sections) under "
+            "ticket and backoff with spin_kernel on/off paired-adjacent, "
+            "best of 3"
         ),
         "hotloop_single": _measure_pair(_single_line),
         "hotloop_mixed": _measure_pair(_mixed),
@@ -452,6 +553,22 @@ def test_hotpath_throughput():
             problems.append(
                 f"kernel/{name}: collapsed only {cell['coverage']:.0%} of a "
                 "machine-quiet trace"
+            )
+    # ...the spin-phase collapse kernel must hold its 3x design floor on
+    # the contended cells (paired ratios: same process, adjacent runs)
+    # and must actually be collapsing waiter-bearing phases...
+    for name in SPIN_CELLS:
+        cell = report["locks"][name]
+        if cell["speedup_spin"] < SPIN_FLOOR:
+            problems.append(
+                f"locks/{name}: {cell['speedup_spin']}x vs the spin-off "
+                f"production configuration is below the {SPIN_FLOOR}x "
+                "design floor"
+            )
+        if cell["spin_segments"] == 0:
+            problems.append(
+                f"locks/{name}: the spin kernel never collapsed a phase "
+                "on a lock-wait-bound workload"
             )
     # ...the auditor must stay within its advertised overhead budget...
     if report["audit"]["overhead"] > 2.0:

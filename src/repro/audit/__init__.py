@@ -44,6 +44,7 @@ from .report import (
     COHERENCE,
     KERNEL,
     LOCK,
+    SPIN,
     AuditError,
     AuditReport,
     Violation,
@@ -60,6 +61,7 @@ __all__ = [
     "LOCK",
     "ACCOUNTING",
     "KERNEL",
+    "SPIN",
     "set_default",
     "default_mode",
     "maybe_attach",

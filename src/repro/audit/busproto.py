@@ -28,13 +28,18 @@ from .report import BUS, Violation
 __all__ = ["BusAuditor"]
 
 
-def _live_entries(port) -> int:
-    """Non-cancelled entries of a bus port (CacheBusBuffer counts them
-    itself; the memory port's deque has no dead entries)."""
-    try:
-        return len(port)
-    except TypeError:
-        return len(port.entries)
+def _has_live(port) -> bool:
+    """Whether a bus port holds any non-cancelled entry.  Runs on every
+    port at every grant, so it must not walk the whole buffer: the
+    common cases are an empty deque (falsy check) and a live head
+    (first iteration); only the rare cancelled-head buffer scans on."""
+    entries = getattr(port, "entries", None)
+    if entries is None:
+        return len(port) > 0
+    for e in entries:
+        if not e.cancelled:
+            return True
+    return False
 
 
 class BusAuditor:
@@ -159,7 +164,7 @@ class BusAuditor:
         touched.add(idx)
         pending = self._pending_since
         for p_idx, port in enumerate(system.bus.ports):
-            if not _live_entries(port):
+            if not _has_live(port):
                 pending.pop(p_idx, None)
             elif p_idx in touched:
                 pending[p_idx] = counter

@@ -24,6 +24,7 @@ from .coherence import CoherenceAuditor
 from .kernel import KernelAuditor
 from .locks import LockAuditor
 from .report import AuditError, AuditReport, Violation
+from .spinphase import SpinAuditor
 
 __all__ = ["SystemAuditor"]
 
@@ -42,6 +43,7 @@ class SystemAuditor:
         self.locks = LockAuditor(self)
         self.accounting = AccountingAuditor(self)
         self.kernel_checks = KernelAuditor(self)
+        self.spin_checks = SpinAuditor(self)
         self.finalized = False
 
     @classmethod
@@ -109,6 +111,10 @@ class SystemAuditor:
     # -- segment-kernel hook (SegmentKernel.attempt, pre-mutation) -------
     def on_kernel_collapse(self, system, plan, now: int) -> None:
         self.kernel_checks.on_collapse(system, plan, now)
+
+    # -- spin-phase hook (SpinKernel._audit_collapse, pre-mutation) ------
+    def on_spin_collapse(self, system, plan, waiters, horizon, now: int) -> None:
+        self.spin_checks.on_collapse(system, plan, waiters, horizon, now)
 
     # -- end of run ------------------------------------------------------
     def finalize(self, result) -> AuditReport:

@@ -29,9 +29,16 @@ from typing import Callable
 
 from ..machine.buffers import DATA_RETURN, BusOp
 from ..machine.memory import _WRITE_KINDS
-from .report import ACCOUNTING, BUS, COHERENCE, KERNEL, LOCK
+from .report import ACCOUNTING, BUS, COHERENCE, KERNEL, LOCK, SPIN
 
-__all__ = ["FaultSpec", "FAULTS", "KERNEL_FAULTS", "LOCK_FAULTS", "inject"]
+__all__ = [
+    "FaultSpec",
+    "FAULTS",
+    "KERNEL_FAULTS",
+    "LOCK_FAULTS",
+    "SPIN_FAULTS",
+    "inject",
+]
 
 
 @dataclass(frozen=True)
@@ -387,8 +394,8 @@ def _kernel(system):
     kern = system.kernel
     if kern is None:
         raise RuntimeError(
-            "kernel faults need a System with segment_kernel=True on the "
-            "production Engine"
+            "kernel faults need a System with a collapse kernel "
+            "(segment_kernel or spin_kernel) on the production Engine"
         )
     return kern
 
@@ -462,14 +469,109 @@ KERNEL_FAULTS: dict[str, FaultSpec] = {
 }
 
 
+# -- spin-phase faults -----------------------------------------------------
+#
+# A separate registry: these corrupt the spin-phase collapse kernel's
+# *certification* apparatus (repro.machine.spinphase), so they only arm
+# on a System built with ``spin_kernel=True`` on the production Engine,
+# and they only trigger on workloads with contended lock-wait phases.
+# Unlike most protocol faults they need not diverge the simulation --
+# the horizon is a conservative legality bound, and a corrupted proof
+# can still cover a collapse that happens to commute -- which is exactly
+# why the auditor re-derives every claim independently.
+# tests/test_spin_faults.py drives them on contended hot-loop tracesets
+# under the scheme each one targets.
+
+
+def _spin(system):
+    kern = system.kernel
+    if kern is None or not hasattr(kern, "_begin_phase"):
+        raise RuntimeError(
+            "spin faults need a System with spin_kernel=True on the "
+            "production Engine"
+        )
+    return kern
+
+
+def _spin_idle_lie(system) -> None:
+    """The lock port claims every waiter is idle: pending backoff/retry
+    timers are hidden from the kernel, so the collapse horizon is never
+    bounded.  The auditor re-derives the signature from the manager's
+    raw timer table and must flag the lie at the first waiter-bearing
+    collapse."""
+    kern = _spin(system)
+    kern.min_span = 1  # let short crafted runs attempt at all
+    from ..sync.base import SPIN_IDLE
+
+    system.locks.spin_wakeup = lambda proc: SPIN_IDLE
+
+
+def _spin_horizon_overrun(system) -> None:
+    """The kernel ignores the certified timer horizon (collapses start
+    unbounded, like a pure quiet segment): bounces past a waiter's
+    wakeup are fast-forwarded.  The waiter list itself stays honest, so
+    only the release-boundary check can catch this."""
+    kern = _spin(system)
+    kern.min_span = 1
+    from ..machine.kernel import _INF
+
+    kern._horizon0 = lambda: _INF
+
+
+def _spin_stale_waiters(system) -> None:
+    """The per-phase waiter list is never reset: certified waiters
+    accumulate across scans, so from the second waiter-bearing collapse
+    on, the list names processors twice (and, eventually, processors
+    that are no longer lock-blocked)."""
+    kern = _spin(system)
+    kern.min_span = 1
+    kern._begin_phase = lambda: None
+
+
+SPIN_FAULTS: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "spin-idle-lie",
+            SPIN,
+            frozenset({"spin-phase-periodicity"}),
+            "the lock port certifies every waiter idle, hiding pending timers",
+            _spin_idle_lie,
+            scheme="backoff",
+        ),
+        FaultSpec(
+            "spin-horizon-overrun",
+            SPIN,
+            frozenset({"spin-release-boundary"}),
+            "the kernel collapses past the earliest certified waiter timer",
+            _spin_horizon_overrun,
+            scheme="backoff",
+        ),
+        FaultSpec(
+            "spin-stale-waiters",
+            SPIN,
+            frozenset({"spin-waiter-disjointness"}),
+            "the certified-waiter list accumulates across phases",
+            _spin_stale_waiters,
+            scheme="ticket",
+        ),
+    )
+}
+
+
 def inject(system, name: str) -> FaultSpec:
-    """Apply a registered fault (protocol or kernel) to a built (not yet
-    run) system."""
-    spec = FAULTS.get(name) or LOCK_FAULTS.get(name) or KERNEL_FAULTS.get(name)
+    """Apply a registered fault (protocol, kernel or spin-phase) to a
+    built (not yet run) system."""
+    spec = (
+        FAULTS.get(name)
+        or LOCK_FAULTS.get(name)
+        or KERNEL_FAULTS.get(name)
+        or SPIN_FAULTS.get(name)
+    )
     if spec is None:
         raise KeyError(
             f"unknown fault {name!r}; known: "
-            f"{sorted(FAULTS) + sorted(LOCK_FAULTS) + sorted(KERNEL_FAULTS)}"
+            f"{sorted(FAULTS) + sorted(LOCK_FAULTS) + sorted(KERNEL_FAULTS) + sorted(SPIN_FAULTS)}"
         )
     spec.apply(system)
     return spec

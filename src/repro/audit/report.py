@@ -22,18 +22,21 @@ __all__ = [
     "LOCK",
     "ACCOUNTING",
     "KERNEL",
+    "SPIN",
     "CATEGORIES",
 ]
 
 #: invariant families (§3 of the paper: MESI snooping, split-transaction
 #: bus arbitration, lock semantics, stall-cycle accounting) plus the
-#: segment-kernel legality checks (repro.machine.kernel collapses)
+#: segment-kernel legality checks (repro.machine.kernel collapses) and
+#: the spin-phase certification checks (repro.machine.spinphase)
 COHERENCE = "coherence"
 BUS = "bus"
 LOCK = "lock"
 ACCOUNTING = "accounting"
 KERNEL = "kernel"
-CATEGORIES = (COHERENCE, BUS, LOCK, ACCOUNTING, KERNEL)
+SPIN = "spin"
+CATEGORIES = (COHERENCE, BUS, LOCK, ACCOUNTING, KERNEL, SPIN)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,238 @@
+"""Spin-phase certification checks.
+
+The spin-phase kernel (:mod:`repro.machine.spinphase`) may collapse a
+lock-wait phase only when every blocked processor carries a *certified*
+spin signature and no collapsed bounce fires past a waiter's pending
+wakeup.  This auditor re-derives every claim **independently** at every
+waiter-bearing collapse -- it never calls ``spin_wakeup`` (the port the
+kernel trusts), reading the manager's raw timer table and idle
+declarations instead, so a corrupted port or detector (see the SPIN
+faults in :mod:`repro.audit.faults`) cannot blind it:
+
+``spin-waiter-disjointness``
+    The certified waiter list names each processor at most once, names
+    no processor that also has a collapsed span, and covers exactly the
+    lock-blocked processors: every ``_WAIT_LOCK`` processor certified,
+    no RUNNING/DONE processor certified, no processor blocked outside
+    ``_WAIT_LOCK`` at all.
+
+``spin-phase-periodicity``
+    The phase really is silent-periodic: machine-wide nothing is in
+    flight (bus, memory, buffers, queued issues), each certified waiter
+    has no access/write-back/drain outstanding, and each certification
+    matches the manager's own declarations -- an idle waiter has no
+    pending ``_timed_call`` timer and a scheme idle signature, a timed
+    waiter's claimed wakeup is exactly the earliest timer the manager
+    holds for it, and an OPAQUE waiter is never admitted.
+
+``spin-release-boundary``
+    The collapse never fast-forwards through a wakeup: the kernel's
+    claimed horizon lies at or before the earliest pending manager
+    timer machine-wide, and every span's last collapsed bounce fires
+    strictly before that timer (the hand-off itself always replays on
+    the per-record path).
+
+Span geometry and the silent-hit replay are the same obligations as a
+base kernel collapse, so each span is additionally run through
+:meth:`repro.audit.kernel.KernelAuditor._check_span` (reported under
+the KERNEL category, as for quiet segments).
+"""
+
+from __future__ import annotations
+
+from ..machine.processor import _DONE, _RUNNING, _WAIT_LOCK
+from ..sync.base import SPIN_IDLE, SPIN_OPAQUE
+from .report import KERNEL, SPIN, Violation
+
+__all__ = ["SpinAuditor"]
+
+
+class SpinAuditor:
+    """Checks every waiter-bearing spin-phase collapse (see module
+    docstring)."""
+
+    def __init__(self, parent) -> None:
+        self.parent = parent
+
+    # -- the hook (SpinKernel._audit_collapse, pre-mutation) --------------
+    def on_collapse(self, system, plan, waiters, horizon, now: int) -> None:
+        rep = self.parent.report
+        self._check_disjoint(system, plan, waiters, now)
+        rep.count(SPIN)
+        self._check_periodicity(system, waiters, now)
+        rep.count(SPIN, len(waiters))
+        self._check_boundary(system, plan, horizon, now)
+        rep.count(SPIN)
+        # span geometry + silent-hit replay: identical obligations to a
+        # quiet-segment collapse
+        kc = self.parent.kernel_checks
+        batch = system.config.batch_records
+        for proc, i0, e, j_dyn in plan:
+            kc._check_span(system, proc, i0, e, j_dyn, batch, now)
+            rep.count(KERNEL, 2)
+
+    # -- spin-waiter-disjointness ------------------------------------------
+    def _check_disjoint(self, system, plan, waiters, now: int) -> None:
+        def bad(message, **kw):
+            self.parent.violation(
+                Violation(SPIN, "spin-waiter-disjointness", message, cycle=now, **kw)
+            )
+
+        certified = set()
+        for proc, _w in waiters:
+            if proc in certified:
+                bad(
+                    "a processor is certified twice in one phase "
+                    "(stale waiter list)",
+                    proc=proc,
+                )
+            certified.add(proc)
+        for proc in sorted(certified & {pr for pr, *_ in plan}):
+            bad(
+                "a certified waiter also has a collapsed span (it would "
+                "advance while provably lock-blocked)",
+                proc=proc,
+            )
+        for q in system.procs:
+            st = q.state
+            if st == _WAIT_LOCK:
+                if q.proc not in certified:
+                    bad(
+                        "a lock-blocked processor was not certified",
+                        proc=q.proc,
+                    )
+            elif st == _RUNNING or st == _DONE:
+                if q.proc in certified:
+                    bad(
+                        "a certified waiter is not lock-blocked",
+                        proc=q.proc,
+                        observed=st,
+                    )
+            else:
+                bad(
+                    "spin collapse while a processor is blocked outside "
+                    "the lock wait",
+                    proc=q.proc,
+                    observed=st,
+                )
+
+    # -- spin-phase-periodicity ----------------------------------------------
+    def _check_periodicity(self, system, waiters, now: int) -> None:
+        def bad(message, **kw):
+            self.parent.violation(
+                Violation(SPIN, "spin-phase-periodicity", message, cycle=now, **kw)
+            )
+
+        if system.bus.busy:
+            bad("spin collapse while a bus transaction is in flight")
+        pending = system.memory.pending()
+        if pending:
+            bad(
+                "spin collapse while the memory module is active",
+                observed=pending,
+            )
+        for buf in system.buffers:
+            for op in buf.entries:
+                if not op.cancelled:
+                    bad(
+                        "spin collapse over a buffered operation",
+                        proc=buf.proc,
+                        line=op.line,
+                    )
+        iq = getattr(system, "_issue_q", None)
+        if iq is not None:
+            for p, q_pending in enumerate(iq):
+                if q_pending:
+                    bad("spin collapse over a queued issue", proc=p)
+        mgr = system.locks
+        for proc, w in waiters:
+            q = system.procs[proc]
+            if q.state == _WAIT_LOCK:
+                if q.outstanding:
+                    bad(
+                        "certified waiter has an outstanding access",
+                        proc=proc,
+                        observed=q.outstanding,
+                    )
+                if q.outstanding_wb:
+                    bad(
+                        "certified waiter has an in-flight write-back",
+                        proc=proc,
+                        observed=q.outstanding_wb,
+                    )
+                if q._draining:
+                    bad("certified waiter has an active sync drain", proc=proc)
+            # re-derive the signature from the manager's raw
+            # declarations, never through spin_wakeup
+            times = mgr._spin_timers.get(proc)
+            if w == SPIN_OPAQUE:
+                bad(
+                    "an uncertifiable waiter was admitted into a phase",
+                    proc=proc,
+                )
+            elif w == SPIN_IDLE:
+                if times:
+                    bad(
+                        "waiter certified idle while the manager holds "
+                        "pending timers for it",
+                        proc=proc,
+                        observed=sorted(times),
+                    )
+                elif not mgr._spin_idle(proc):
+                    bad(
+                        "waiter certified idle without a scheme idle "
+                        "signature",
+                        proc=proc,
+                    )
+            else:
+                if not times:
+                    bad(
+                        "waiter certified with a timer the manager does "
+                        "not hold",
+                        proc=proc,
+                        observed=w,
+                    )
+                elif w != min(times):
+                    bad(
+                        "certified wakeup is not the waiter's earliest "
+                        "pending timer",
+                        proc=proc,
+                        expected=min(times),
+                        observed=w,
+                    )
+
+    # -- spin-release-boundary -------------------------------------------------
+    def _check_boundary(self, system, plan, horizon, now: int) -> None:
+        def bad(message, **kw):
+            self.parent.violation(
+                Violation(SPIN, "spin-release-boundary", message, cycle=now, **kw)
+            )
+
+        earliest = None
+        for times in system.locks._spin_timers.values():
+            for t in times:
+                if earliest is None or t < earliest:
+                    earliest = t
+        if earliest is None:
+            return  # idle-only phase: no wakeup to overrun
+        if horizon > earliest:
+            bad(
+                "claimed collapse horizon lies beyond the earliest "
+                "pending manager timer",
+                expected=earliest,
+                observed=horizon,
+            )
+        kc = self.parent.kernel_checks
+        batch = system.config.batch_records
+        for proc, i0, e, _j_dyn in plan:
+            q = system.procs[proc]
+            ac = kc._tab(system, proc).a_cycles
+            last = q.time + int(ac[e - batch]) - int(ac[i0])
+            if last >= earliest:
+                bad(
+                    "a collapsed bounce fires at or after a waiter's "
+                    "wakeup",
+                    proc=proc,
+                    expected=earliest,
+                    observed=last,
+                )

@@ -69,11 +69,20 @@ def _add_config_options(sp: argparse.ArgumentParser) -> None:
         ),
     )
     sp.add_argument(
+        "--no-spin-kernel",
+        action="store_true",
+        help=(
+            "replay lock-wait phases event by event instead of collapsing "
+            "them through the spin-phase kernel (identical results, "
+            "slower; see 'diff-verify' and docs/performance.md)"
+        ),
+    )
+    sp.add_argument(
         "--audit",
         action="store_true",
         help=(
             "attach the runtime invariant auditor (simulator sanitizer): "
-            "abort at the first coherence/bus/lock/accounting/kernel "
+            "abort at the first coherence/bus/lock/accounting/kernel/spin "
             "violation (identical results, ~2x slower; see docs/audit.md)"
         ),
     )
@@ -381,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
             "relative error per cell (slower: one full run per scheme)"
         ),
     )
+    pd.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: one JSON object with the "
+            "calibration and per-scheme predictions (or, with "
+            "--validate, the predictor-vs-simulation rows)"
+        ),
+    )
     _add_trace_cache_options(pd)
 
     cr = sub.add_parser(
@@ -399,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also simulate under this lock scheme and fold the measured "
             "transfers and waiter populations into the report"
+        ),
+    )
+    cr.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: one JSON object with the workload "
+            "identity and the per-lock verdicts"
         ),
     )
     _add_trace_cache_options(cr)
@@ -441,12 +467,19 @@ def build_parser() -> argparse.ArgumentParser:
     dv.add_argument(
         "--vary",
         default="all",
-        choices=["all", "fast-path", "bus-fast-path", "segment-kernel"],
+        choices=[
+            "all",
+            "fast-path",
+            "bus-fast-path",
+            "segment-kernel",
+            "spin-kernel",
+        ],
         help=(
             "which fast path(s) to toggle between the two runs of each "
             "cell: 'all' (default) flips the interpreter fast path, the "
-            "bus fast path and the segment kernel together; the others "
-            "isolate one knob with the rest left at their defaults (on)"
+            "bus fast path, the segment kernel and the spin kernel "
+            "together; the others isolate one knob with the rest left "
+            "at their defaults (on)"
         ),
     )
     _add_trace_cache_options(dv)
@@ -505,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(core.render_per_proc(result))
         if stats_text is not None:
+            print()
+            print(_render_diagnostics(result))
             print()
             print(stats_text, end="")
     elif args.cmd == "suite":
@@ -702,6 +737,18 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _render_diagnostics(result) -> str:
+    """The fast-path/kernel counters (``RunResult.diagnostics``) as a
+    compact table; never serialized, printed by ``repro run --profile``."""
+    d = result.diagnostics
+    if not d:
+        return "diagnostics: (none collected)"
+    width = max(len(k) for k in d)
+    lines = ["diagnostics (attempt/rejection counters, compare-excluded):"]
+    lines += [f"  {k:<{width}} {v:>12,}" for k, v in d.items()]
+    return "\n".join(lines)
+
+
 def _profiled(fn, top: int = 15):
     """Run ``fn()`` under :mod:`cProfile`; return ``(fn's result, a
     tottime-sorted top-``top`` stats table as text)``."""
@@ -745,6 +792,11 @@ def _run_predict(args) -> int:
     )
     if args.validate:
         rows = validate(ts, schemes)
+        if args.json:
+            import json
+
+            print(json.dumps({"program": ts.program, "rows": rows}, indent=2))
+            return 0
         print(
             f"{'scheme':<14} {'pred lock%':>10} {'sim lock%':>10} {'err':>6}"
             f" {'pred bus%':>10} {'sim bus%':>9} {'err':>6}"
@@ -767,6 +819,23 @@ def _run_predict(args) -> int:
     # prediction is then closed form
     base = simulate(ts, None, get_lock_manager("queuing"), SEQUENTIAL)
     cal = calibrate(ts, base)
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        print(
+            json.dumps(
+                {
+                    "program": ts.program,
+                    "calibration": asdict(cal),
+                    "predictions": [
+                        asdict(predict(ts, scheme, cal)) for scheme in schemes
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"{ts.program}: calibrated on '{cal.baseline_scheme}' "
         f"(dilation {cal.kappa:.3f})"
@@ -806,6 +875,21 @@ def _run_contention_report(args) -> int:
     if args.simulate is not None:
         result = simulate(ts, None, get_lock_manager(args.simulate), SEQUENTIAL)
     verdicts = contention_report(ts, result=result)
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        print(
+            json.dumps(
+                {
+                    "program": ts.program,
+                    "simulated_scheme": args.simulate,
+                    "verdicts": [asdict(v) for v in verdicts],
+                },
+                indent=2,
+            )
+        )
+        return 0
     header = (
         f"{'lock':>5} {'acqs':>7} {'procs':>5} {'hold':>8} "
         f"{'conflict lines':>14} {'shrinkable':>10} verdict"
@@ -848,11 +932,14 @@ def _run_diff_verify(args) -> int:
         lock_schemes = tuple(sorted(registry))
     else:
         lock_schemes = tuple(s.strip() for s in args.locks.split(",") if s.strip())
+    from .testing import VARY_ALL
+
     vary = {
-        "all": ("fast_path", "bus_fast_path", "segment_kernel"),
+        "all": VARY_ALL,
         "fast-path": ("fast_path",),
         "bus-fast-path": ("bus_fast_path",),
         "segment-kernel": ("segment_kernel",),
+        "spin-kernel": ("spin_kernel",),
     }[args.vary]
     reports = differential_check(
         programs=programs,
@@ -887,8 +974,9 @@ def _machine_config(args, ts):
     no_fast = getattr(args, "no_fast_path", False)
     no_bus_fast = getattr(args, "no_bus_fast_path", False)
     no_kernel = getattr(args, "no_segment_kernel", False)
+    no_spin = getattr(args, "no_spin_kernel", False)
     audit = getattr(args, "audit", False)
-    if no_fast or no_bus_fast or no_kernel or audit:
+    if no_fast or no_bus_fast or no_kernel or no_spin or audit:
         from .machine.config import MachineConfig
 
         return MachineConfig(
@@ -896,6 +984,7 @@ def _machine_config(args, ts):
             fast_path=not no_fast,
             bus_fast_path=not no_bus_fast,
             segment_kernel=not no_kernel,
+            spin_kernel=not no_spin,
             audit=audit,
         )
     return None

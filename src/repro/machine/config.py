@@ -142,6 +142,26 @@ class MachineConfig:
         an escape hatch for debugging and for measuring the kernel
         itself (see docs/performance.md).  Auto-disabled on the
         reference ``HeapEngine``.
+    spin_kernel:
+        Enable the spin-phase collapse kernel
+        (:mod:`repro.machine.spinphase`): when every non-drained
+        processor is either spinning/enqueued on a held lock or is the
+        holder advancing through its critical section, the holder's
+        interpreter bounces are fast-forwarded to the release in closed
+        form -- iteration counts, cycle accounting and cache-state
+        transitions synthesized arithmetically -- while the hand-off
+        itself still replays through the per-record path, so grant
+        order, claim protocol, and auditor hooks are untouched.  Each
+        lock scheme certifies its waiters through the spin-signature
+        extension of :class:`repro.sync.base.LockManager` (idle
+        enqueued/cached-spin waiters, or periodic retry timers that
+        bound the collapse horizon).  Like the other fast paths it is
+        **metric-neutral by construction**, enforced by the
+        differential grid (``diff-verify --vary spin-kernel``), a
+        hypothesis property suite, and a SPIN-fault mutation self-test;
+        off restores the previous behaviour byte-for-byte (see
+        docs/performance.md).  Auto-disabled on the reference
+        ``HeapEngine``.
     """
 
     n_procs: int = 12
@@ -153,6 +173,7 @@ class MachineConfig:
     fast_path: bool = True
     bus_fast_path: bool = True
     segment_kernel: bool = True
+    spin_kernel: bool = True
     #: snooping coherence protocol: "illinois" (the paper's
     #: write-invalidate MESI) or "update" (Firefly-style write-update;
     #: extension -- see repro.machine.coherence)
@@ -232,6 +253,7 @@ class MachineConfig:
             "fast_path": self.fast_path,
             "bus_fast_path": self.bus_fast_path,
             "segment_kernel": self.segment_kernel,
+            "spin_kernel": self.spin_kernel,
             "coherence": self.coherence,
             "audit": self.audit,
         }
@@ -249,6 +271,7 @@ class MachineConfig:
             fast_path=d.get("fast_path", True),
             bus_fast_path=d.get("bus_fast_path", True),
             segment_kernel=d.get("segment_kernel", True),
+            spin_kernel=d.get("spin_kernel", True),
             coherence=d["coherence"],
             # absent in descriptions serialized before the auditor existed
             audit=d.get("audit", False),

@@ -264,6 +264,19 @@ class SegmentKernel:
         the mutation self-test)."""
         return i0 + m_star * self.batch
 
+    def _horizon0(self):
+        """Initial collapse horizon.  The base kernel starts unbounded
+        (the plan loop lowers it per processor); the spin-phase kernel
+        (repro.machine.spinphase) starts it at the earliest pending
+        lock-manager timer, so a collapse can never fast-forward past a
+        waiter's wakeup."""
+        return _INF
+
+    def _audit_collapse(self, aud, spans, now: int) -> None:
+        """Report a collapse to the attached auditor (overridable: the
+        spin-phase kernel also reports its certified waiters)."""
+        aud.on_kernel_collapse(self.system, spans, now)
+
     # -- the collapse --------------------------------------------------
 
     def attempt(self, p) -> bool:
@@ -281,7 +294,7 @@ class SegmentKernel:
         engine = self.engine
         now = engine.now
         batch = self.batch
-        t_safe = _INF
+        t_safe = self._horizon0()
         plans = []
         for q in self.procs:
             if q.state != _RUNNING:
@@ -307,6 +320,27 @@ class SegmentKernel:
             if j_s - i0 > self.max_span:
                 j_s = i0 + self.max_span
                 capped = True
+            if t_safe is not _INF and j_s > i0:
+                # Bounces firing at or after the horizon can never
+                # retire this attempt (the entries clip below is
+                # strictly-before), so truncate the *analysis* window to
+                # the horizon too, in whole bounces.  Under a finite
+                # initial horizon -- spin-phase collapses bounded by a
+                # waiter's backoff timer -- this keeps the per-attempt
+                # analysis cost proportional to what actually retires
+                # instead of the full static run.  Retirement is
+                # unchanged: the clip keeps exactly the bounces firing
+                # strictly before the final t_safe (<= this one).
+                ac = tab.a_cycles
+                m_h = int(
+                    np.searchsorted(
+                        ac[i0 : j_s + 1 : batch],
+                        t_safe - q.time + int(ac[i0]),
+                    )
+                )
+                if i0 + m_h * batch < j_s:
+                    j_s = i0 + m_h * batch
+                    capped = True
             if j_s <= i0:
                 # next record is not even statically eligible (a sync
                 # record, or a write under write-through): it blocks in
@@ -362,8 +396,8 @@ class SegmentKernel:
 
         aud = self.system.audit
         if aud is not None:
-            aud.on_kernel_collapse(
-                self.system,
+            self._audit_collapse(
+                aud,
                 [(q.proc, i0, e, j_dyn) for q, i0, _m, e, _t, j_dyn in entries],
                 now,
             )

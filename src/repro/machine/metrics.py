@@ -111,6 +111,13 @@ class RunResult:
     invalidations_received: int
     buffer_max_occupancy: int
     meta: dict = field(default_factory=dict)
+    #: fast-path/kernel introspection (attempt, rejection and collapse
+    #: counters).  Excluded from equality and from serialization
+    #: (repro.runner.serialize): the optimization knobs must leave the
+    #: *result* byte-identical, so diagnostics can never feed a table,
+    #: a golden file or a differential comparison -- they surface only
+    #: through ``repro run --profile``.
+    diagnostics: dict = field(default_factory=dict, compare=False)
 
     # -- Table 3/5/7 columns ----------------------------------------------------
     @property

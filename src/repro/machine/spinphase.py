@@ -1,0 +1,227 @@
+"""Spin-phase collapse kernel: closed-form retirement of lock-wait
+episodes.
+
+The columnar segment kernel (:mod:`repro.machine.kernel`) collapses
+machine-wide *quiet* segments, and its per-processor quiet predicate
+rejects any processor in ``_WAIT_LOCK`` -- so the moment a lock is
+contended, every interpreter bounce of the *holder's* critical section
+goes back to firing one engine event at a time.  That is exactly the
+regime the paper studies: under contention the holder's progress sets
+the pace of the whole machine, and the simulator spends its time
+bouncing the holder through a private hot loop while the waiters sit in
+cache spinning silently.
+
+This module relaxes the quiet predicate to *lock-wait phases*: spans
+where every non-drained processor is either (a) quiet in the base
+kernel's sense (RUNNING with nothing in flight, or DONE), or (b) blocked
+in ``_WAIT_LOCK`` with a **certified spin signature**.  Certification is
+the lock scheme's own declaration, through the
+:meth:`~repro.sync.base.LockManager.spin_wakeup` extension of the
+LockPortAPI, of what the waiter's per-iteration footprint is:
+
+``SPIN_IDLE``
+    The waiter holds no engine event at all -- it is parked in the
+    manager's queue (queuing, exact-queuing, mcs, clh, ticket) or
+    spinning on a locally cached copy (ttas), purely reactive to the
+    release.  Its event/bus/cache footprint per iteration is the empty
+    footprint, trivially cycle-periodic: fast-forwarding the rest of the
+    machine past it changes nothing it can observe.
+
+``t >= 0`` (a pending wakeup time)
+    The waiter's next engine event is a lock-manager timer at exactly
+    ``t`` (a backed-off test-and-set retry, a release store retiring
+    into the write buffer).  Between now and ``t`` its footprint is
+    empty; at ``t`` it acts.  The collapse horizon therefore starts at
+    the *earliest* pending timer machine-wide (:meth:`_horizon0`), so a
+    collapse only ever retires bounces that fire strictly before any
+    waiter wakes -- the engine-bucket interleaving with the timer is
+    byte-identical to the reference (the timer was inserted into its
+    bucket before the collapse; collapsed bounces all fire earlier).
+
+``SPIN_OPAQUE``
+    The scheme makes no claim (test-and-set mid-flight, a barrier wait
+    routed through ``_WAIT_LOCK``): the phase is not certifiable and the
+    attempt rejects, exactly as the base kernel would have.
+
+The *release itself* -- the hand-off, grant ordering, claim protocol,
+stats and auditor hooks -- is never collapsed: sync records bound every
+static window (``win_end``), so the holder's UNLOCK always replays
+through the ordinary per-record path.  The kernel only fast-forwards the
+silent interior of the critical section (and, when ``collapse_quiet``,
+ordinary quiet segments like the base kernel).
+
+Everything here is gated behind ``MachineConfig.spin_kernel`` and
+requires the production bucketed Engine.  Byte-identity is enforced by
+the differential grid (``python -m repro diff-verify --vary
+spin-kernel``), a hypothesis property suite
+(tests/test_spinphase_properties.py) and a mutation self-test
+(repro.audit.faults SPIN_FAULTS, tests/test_spin_faults.py); the
+legality of every collapse is audited at runtime by
+:class:`repro.audit.spinphase.SpinAuditor`.
+"""
+
+from __future__ import annotations
+
+from ..sync.base import SPIN_IDLE, SPIN_OPAQUE
+from .kernel import _INF, SegmentKernel
+from .processor import _WAIT_LOCK
+
+__all__ = ["SpinKernel"]
+
+
+class SpinKernel(SegmentKernel):
+    """Segment kernel with lock-wait phase certification.
+
+    ``collapse_quiet`` controls whether phases with *zero* certified
+    waiters (the base kernel's quiet segments) also collapse: the System
+    wires it to ``MachineConfig.segment_kernel``, so the two knobs stay
+    independently toggleable in the differential grid.
+    """
+
+    def __init__(self, system, collapse_quiet: bool = True) -> None:
+        super().__init__(system)
+        self.collapse_quiet = collapse_quiet
+        #: cycles of timer-free runway below which a timer-bounded phase
+        #: is rejected without planning: a collapse that cannot cover at
+        #: least a couple of bounces never amortizes its analysis.
+        #: Dense-retry schemes (plain test-and-set fires every 16
+        #: cycles) produce sub-batch windows on *every* scan; this floor
+        #: keeps them on the reference path at scan cost only.
+        self.min_window = 2 * self.batch
+        #: rejection gate (records to skip after a failed attempt):
+        #: adaptive, unlike the base kernel's fixed 512.  In a contended
+        #: phase a rejection usually means a waiter's wakeup is in
+        #: flight (its retry holds the bus for tens of cycles), so the
+        #: next window opens within a bounce or two -- a 512-record gate
+        #: would skip whole collapse windows between backoff retries.
+        #: But when rejections *persist* (a dense-retry scheme like
+        #: plain T&S keeps the bus hot and its timers sub-window), the
+        #: gate doubles per consecutive failure up to ``max_gate`` --
+        #: window rejections jump 16x at once -- and resets on the next
+        #: successful collapse, so hopeless phases cost a scan only a
+        #: few times per critical section.
+        self.backoff = 4 * self.batch
+        self.max_gate = 64 * self.batch
+        self._gate = self.backoff
+        #: waiters certified by the last successful phase scan, as
+        #: (proc, wakeup) with wakeup a timer time or SPIN_IDLE
+        self._phase_waiters: list[tuple[int, int]] = []
+        #: earliest pending lock-manager timer of the last scan
+        self._spin_horizon = _INF
+        #: introspection (never part of RunResult): collapses with >= 1
+        #: certified waiter, cumulative waiters certified, certifications
+        #: by kind, and phases rejected on an uncertifiable processor
+        self.spin_segments = 0
+        self.spin_waiters = 0
+        self.spin_idle_certs = 0
+        self.spin_timer_certs = 0
+        self.spin_opaque_rejects = 0
+        self.spin_window_rejects = 0
+        self._window_rejected = False
+
+    # -- detection -----------------------------------------------------
+
+    def _begin_phase(self) -> None:
+        """Reset the certified-waiter list for a fresh scan (a separate
+        method so the audit mutation tests can corrupt exactly this --
+        see repro.audit.faults SPIN_FAULTS)."""
+        self._phase_waiters.clear()
+
+    def _quiet(self) -> bool:
+        """Lock-wait phase detection: the base kernel's machine-wide
+        checks, with ``_WAIT_LOCK`` processors admitted when their lock
+        scheme certifies the spin signature (see the module docstring).
+        Records the certified waiters and the timer horizon."""
+        system = self.system
+        if system.bus.busy or system.memory.pending():
+            return False
+        iq = getattr(system, "_issue_q", None)
+        if iq is not None:
+            for pending in iq:
+                if pending:
+                    return False
+        for buf in self.buffers:
+            if buf.entries or buf._space_waiters:
+                return False
+        self._begin_phase()
+        waiters = self._phase_waiters
+        horizon = _INF
+        floor = self.engine.now + self.min_window
+        wake = system.locks.spin_wakeup
+        pq = self._proc_quiet
+        for q in self.procs:
+            if pq(q):
+                continue
+            if (
+                q.state != _WAIT_LOCK
+                or q.outstanding
+                or q.outstanding_wb
+                or q._draining
+            ):
+                return False
+            w = wake(q.proc)
+            if w == SPIN_OPAQUE:
+                self.spin_opaque_rejects += 1
+                return False
+            waiters.append((q.proc, w))
+            if w == SPIN_IDLE:
+                self.spin_idle_certs += 1
+            else:
+                self.spin_timer_certs += 1
+                if w < horizon:
+                    horizon = w
+                    if horizon < floor:
+                        # a timer fires too soon for a collapse to
+                        # amortize its analysis: reject without
+                        # finishing the scan, and let attempt() apply
+                        # the heavy gate -- this condition is persistent
+                        # (a dense-retry scheme re-arms the same ladder
+                        # every time)
+                        self.spin_window_rejects += 1
+                        self._window_rejected = True
+                        return False
+        if not waiters and not self.collapse_quiet:
+            return False
+        self._spin_horizon = horizon
+        return True
+
+    def _horizon0(self):
+        """The collapse horizon starts at the earliest pending waiter
+        timer: no bounce firing at or after a wakeup is ever collapsed,
+        so the waiter's action interleaves with the holder's resumes in
+        exactly the reference bucket order."""
+        return self._spin_horizon
+
+    # -- the collapse --------------------------------------------------
+
+    def attempt(self, p) -> bool:
+        self._window_rejected = False
+        collapsed = super().attempt(p)
+        if collapsed:
+            if self._phase_waiters:
+                self.spin_segments += 1
+                self.spin_waiters += len(self._phase_waiters)
+            self._gate = self.backoff
+        else:
+            # override the base kernel's fixed gate with the adaptive
+            # one (see __init__): tight after a success, backing off
+            # geometrically while rejections persist
+            p._kernel_gate = p.idx + self._gate
+            grow = 16 if self._window_rejected else 2
+            self._gate = min(self._gate * grow, self.max_gate)
+        return collapsed
+
+    def _audit_collapse(self, aud, spans, now: int) -> None:
+        """Waiter-bearing collapses go to the spin auditor (whose
+        machine scan admits certified ``_WAIT_LOCK`` processors); pure
+        quiet segments audit exactly as the base kernel's."""
+        if self._phase_waiters:
+            aud.on_spin_collapse(
+                self.system,
+                spans,
+                tuple(self._phase_waiters),
+                self._spin_horizon,
+                now,
+            )
+        else:
+            super()._audit_collapse(aud, spans, now)

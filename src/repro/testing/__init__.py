@@ -11,6 +11,7 @@ from .differential import (
     LOCK_SCHEMES,
     MODELS,
     SUITE_PROGRAMS,
+    VARY_ALL,
     dict_diff,
     differential_check,
     run_cell,
@@ -21,6 +22,7 @@ __all__ = [
     "LOCK_SCHEMES",
     "MODELS",
     "SUITE_PROGRAMS",
+    "VARY_ALL",
     "dict_diff",
     "differential_check",
     "run_cell",

@@ -120,6 +120,9 @@ class CellReport:
     #: collapsed and records retired columnar (repro.machine.kernel)
     kernel_segments: int = 0
     kernel_records: int = 0
+    #: spin-phase coverage of the fast run: lock-wait phases collapsed
+    #: with certified waiters (repro.machine.spinphase)
+    spin_segments: int = 0
     #: invariant violations found by the runtime auditor (audited cells
     #: only; see repro.audit) and the number of checks it evaluated
     violations: int = 0
@@ -147,6 +150,8 @@ class CellReport:
                 f", kernel: {self.kernel_segments} segments, "
                 f"{self.kernel_records} records"
             )
+        if self.spin_segments:
+            line += f", spin: {self.spin_segments} phases"
         if self.audit_checks:
             line += f", audit: {self.violations}/{self.audit_checks} checks failed"
         return line
@@ -160,11 +165,12 @@ def _canonical(result) -> dict:
 
 #: the configuration knobs a differential cell toggles between its fast
 #: and reference runs: the private-window interpreter fast path, the
-#: contended-path bus fast path, and the columnar segment-retirement
-#: kernel.  The default varies all three together, so the fully-
-#: optimized simulator is checked against the fully-reference one (which
-#: subsumes each knob alone when the others are byte-neutral).
-VARY_ALL = ("fast_path", "bus_fast_path", "segment_kernel")
+#: contended-path bus fast path, the columnar segment-retirement
+#: kernel, and the spin-phase collapse kernel.  The default varies all
+#: four together, so the fully-optimized simulator is checked against
+#: the fully-reference one (which subsumes each knob alone when the
+#: others are byte-neutral).
+VARY_ALL = ("fast_path", "bus_fast_path", "segment_kernel", "spin_kernel")
 
 
 def run_cell(
@@ -202,6 +208,7 @@ def run_cell(
     canon = {}
     fp_stats = (0, 0, 0)
     kernel_stats = (0, 0)
+    spin_segments = 0
     total_refs = 0
     violations = 0
     audit_checks = 0
@@ -235,6 +242,7 @@ def run_cell(
                     system.kernel.segments,
                     system.kernel.records,
                 )
+                spin_segments = getattr(system.kernel, "spin_segments", 0)
     equal = canon[True] == canon[False]
     return CellReport(
         program=program or traceset.program,
@@ -248,6 +256,7 @@ def run_cell(
         total_refs=total_refs,
         kernel_segments=kernel_stats[0],
         kernel_records=kernel_stats[1],
+        spin_segments=spin_segments,
         violations=violations,
         audit_checks=audit_checks,
     )

@@ -10,8 +10,8 @@ fast run of the differential pair.  Three things are pinned at once:
   serialize byte-identically to the unaudited reference run, so the
   auditor provably never perturbs a result;
 * **non-vacuity** -- every cell must evaluate a healthy number of
-  checks in all four families (a sanitizer that checks nothing also
-  reports nothing).
+  checks in every registered family (a sanitizer that checks nothing
+  also reports nothing).
 """
 
 import pytest
@@ -57,14 +57,38 @@ def _quiet_loop(b, layout):
                 b.read(base + i * 16)
 
 
+def _contended_loop():
+    """Two processors hammering one shared lock, the critical sections
+    private hit loops: the holder's silent bounces collapse while the
+    other processor provably waits -- the phase the spin auditor
+    checks.  The lock is allocated once and shared by both programs."""
+    state = {}
+
+    def prog(b, layout):
+        lock = state.setdefault("lock", layout.alloc_lock())
+        base = layout.alloc_private(b.proc, 8 * 16)
+        code = layout.alloc_code(16)
+        for j in range(8):  # warm the working set: later reads all hit
+            b.read(base + 16 * j)
+        for _ in range(4):
+            b.lock(0, lock)
+            for j in range(200):
+                b.block(2, 2, code)
+                b.read(base + 16 * (j % 8))
+            b.unlock(0, lock)
+
+    return prog
+
+
 @pytest.mark.parametrize("lock_scheme", LOCK_SCHEMES)
 @pytest.mark.parametrize("model", MODELS)
 def test_audit_families_all_engage(lock_scheme, model):
     """Per-family check counts are nonzero -- every invariant family
     actually exercised its checks.  The four protocol families engage on
     a small contended run; the segment-kernel family needs the opposite
-    (a machine-quiet private phase), so a second, quiet workload rides
-    the same configuration."""
+    (a machine-quiet private phase), and the spin-kernel family needs a
+    lock-wait phase with certified waiters, so a quiet and a contended
+    crafted workload ride the same configuration."""
     from repro.consistency import get_model
     from repro.machine.config import MachineConfig
     from repro.machine.system import System
@@ -73,10 +97,12 @@ def test_audit_families_all_engage(lock_scheme, model):
 
     from .conftest import make_traceset
 
+    contended = _contended_loop()
     checks: dict[str, int] = {}
     for ts in (
         generate_trace("pverify", scale=0.1, seed=7),
         make_traceset([_quiet_loop, _quiet_loop], program="quiet-loop"),
+        make_traceset([contended, contended], program="contended-loop"),
     ):
         system = System(
             ts,

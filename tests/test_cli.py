@@ -165,3 +165,115 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "transfers" in out
+
+    def test_run_no_spin_kernel(self, capsys):
+        assert main(["--scale", "0.05", "run", "qsort", "--no-spin-kernel"]) == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_run_profile_prints_diagnostics(self, capsys):
+        assert main(["--scale", "0.05", "run", "qsort", "--profile", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics" in out
+        assert "kernel_attempts" in out
+        assert "spin_segments" in out
+        assert "Ordered by: internal time" in out
+
+    def test_predict_json_round_trips(self, capsys):
+        """``predict --json`` emits one JSON object that parses back to
+        exactly the closed-form predictions the text path prints."""
+        import json
+
+        from repro.consistency import SEQUENTIAL
+        from repro.machine.system import simulate
+        from repro.sync import get_lock_manager
+        from repro.sync.predict import calibrate, predict
+        from repro.workloads import generate_trace
+
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "predict",
+                    "qsort",
+                    "--schemes",
+                    "queuing,ticket",
+                    "--json",
+                    "--no-trace-cache",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["program"] == "qsort"
+        assert [p["scheme"] for p in doc["predictions"]] == ["queuing", "ticket"]
+        # round trip: the serialized numbers are the library's own
+        ts = generate_trace("qsort", scale=0.05, seed=1991)
+        base = simulate(ts, None, get_lock_manager("queuing"), SEQUENTIAL)
+        cal = calibrate(ts, base)
+        assert doc["calibration"]["kappa"] == cal.kappa
+        for got in doc["predictions"]:
+            pred = predict(ts, got["scheme"], cal)
+            assert got["lock_share"] == pred.lock_share
+            assert got["bus_share"] == pred.bus_share
+            assert got["stall_cycles"] == pred.stall_cycles
+
+    def test_predict_validate_json_round_trips(self, capsys):
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "predict",
+                    "qsort",
+                    "--schemes",
+                    "queuing",
+                    "--validate",
+                    "--json",
+                    "--no-trace-cache",
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        (row,) = doc["rows"]
+        assert row["scheme"] == "queuing"
+        assert set(row) >= {
+            "predicted_lock_share",
+            "observed_lock_share",
+            "lock_rel_err",
+            "predicted_bus_share",
+            "observed_bus_share",
+            "bus_rel_err",
+        }
+
+    def test_contention_report_json_round_trips(self, capsys):
+        """``contention-report --json`` parses back to the library's own
+        per-lock verdicts, field for field."""
+        import json
+        from dataclasses import asdict
+
+        from repro.sync.predict import contention_report
+        from repro.workloads import generate_trace
+
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "contention-report",
+                    "qsort",
+                    "--json",
+                    "--no-trace-cache",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["program"] == "qsort"
+        assert doc["simulated_scheme"] is None
+        ts = generate_trace("qsort", scale=0.05, seed=1991)
+        expected = [asdict(v) for v in contention_report(ts)]
+        assert doc["verdicts"] == expected

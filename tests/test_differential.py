@@ -56,9 +56,10 @@ def test_fast_path_byte_identical_at_default_scale(program):
         assert r.fp_windows > 0, f"{r.label}: fast path never retired a window"
 
 
-#: every optimization axis alone and in combination; the full triple is
-#: the VARY_ALL default the grid test above already sweeps, kept here so
-#: the cube is complete
+#: the three record-retirement axes alone and in combination, swept on
+#: a full-scale suite cell; the full triple is part of the VARY_ALL
+#: default the grid test above already sweeps, kept here so the cube is
+#: complete
 KNOB_CUBE = [
     ("fast_path",),
     ("bus_fast_path",),
@@ -67,6 +68,29 @@ KNOB_CUBE = [
     ("fast_path", "segment_kernel"),
     ("bus_fast_path", "segment_kernel"),
     ("fast_path", "bus_fast_path", "segment_kernel"),
+]
+
+#: every non-empty subset of all four optimization axes (2^4 - 1),
+#: including the spin-phase collapse kernel; swept on a reduced-scale
+#: crafted contended cell where every axis demonstrably engages (the
+#: suite workloads barely contend, so the spin axis would be vacuous
+#: on them)
+SPIN_KNOB_CUBE = [
+    ("fast_path",),
+    ("bus_fast_path",),
+    ("segment_kernel",),
+    ("spin_kernel",),
+    ("fast_path", "bus_fast_path"),
+    ("fast_path", "segment_kernel"),
+    ("fast_path", "spin_kernel"),
+    ("bus_fast_path", "segment_kernel"),
+    ("bus_fast_path", "spin_kernel"),
+    ("segment_kernel", "spin_kernel"),
+    ("fast_path", "bus_fast_path", "segment_kernel"),
+    ("fast_path", "bus_fast_path", "spin_kernel"),
+    ("fast_path", "segment_kernel", "spin_kernel"),
+    ("bus_fast_path", "segment_kernel", "spin_kernel"),
+    ("fast_path", "bus_fast_path", "segment_kernel", "spin_kernel"),
 ]
 
 
@@ -89,6 +113,59 @@ def test_optimization_knob_cube_byte_identical(vary):
     if "segment_kernel" in vary:
         # anti-vacuity: the axis under test must actually engage
         assert report.kernel_segments > 0, "segment kernel never collapsed"
+
+
+def _contended_cube_trace():
+    """Four processors hammering one shared lock, each critical section
+    a private hit loop: all four optimization axes engage (private
+    windows in the hot loops, quiet segments and spin phases at the
+    lock-wait episodes, bus fast path on the hand-offs)."""
+    from repro.trace.builder import TraceBuilder
+    from repro.trace.layout import AddressLayout
+    from repro.trace.records import TraceSet
+
+    layout = AddressLayout(n_procs=4)
+    lock = layout.alloc_lock()
+    traces = []
+    for p in range(4):
+        b = TraceBuilder(p, layout, program="spin-cube")
+        code = layout.alloc_code(64)
+        base = layout.alloc_private(p, 8 * 16)
+        for j in range(8):  # warm the working set: later reads all hit
+            b.read(base + 16 * j)
+        for _ in range(10):
+            b.lock(0, lock)
+            for j in range(300):
+                b.block(2, 2, code)
+                b.read(base + 16 * (j % 8))
+            b.unlock(0, lock)
+        traces.append(b.finish())
+    return TraceSet(traces, layout, program="spin-cube")
+
+
+@pytest.mark.parametrize("vary", SPIN_KNOB_CUBE, ids="+".join)
+def test_spin_knob_cube_byte_identical(vary):
+    """The full 2^4 optimization cube on a contended cell: any subset of
+    the four axes -- window fast path, bus fast path, segment kernel,
+    spin kernel -- toggled together (untouched axes at their defaults on
+    both sides) must not change a single serialized field, and every
+    axis under test must actually engage on the fast side."""
+    from repro.machine.config import MachineConfig
+
+    report = run_cell(
+        _contended_cube_trace(),
+        lock_scheme="ticket",
+        consistency="sc",
+        program="spin-cube",
+        config=MachineConfig(n_procs=4),
+        vary=vary,
+    )
+    assert report.equal, f"{'+'.join(vary)}:\n  " + "\n  ".join(report.diffs)
+    # anti-vacuity: the fast side always runs with every knob at its
+    # default-on setting, so all four mechanisms must have fired
+    assert report.fp_windows > 0, "window fast path never retired"
+    assert report.kernel_segments > 0, "kernel never collapsed a segment"
+    assert report.spin_segments > 0, "spin kernel never collapsed a phase"
 
 
 def test_segment_kernel_axis_on_quiet_workload():

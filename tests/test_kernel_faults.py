@@ -181,9 +181,14 @@ def test_overrun_corrupts_results_without_the_auditor():
 
 
 def test_kernel_faults_require_the_kernel():
+    # both collapse kernels off: the spin kernel subclasses the segment
+    # kernel, so either knob alone still builds an injectable kernel
     ts, cfg, model = _case("kernel-overrun")
     system = System(
-        ts, replace(cfg, segment_kernel=False), QueuingLockManager(), model
+        ts,
+        replace(cfg, segment_kernel=False, spin_kernel=False),
+        QueuingLockManager(),
+        model,
     )
     with pytest.raises(RuntimeError):
         inject(system, "kernel-overrun")

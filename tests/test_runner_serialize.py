@@ -48,6 +48,12 @@ class TestRoundTripAllWorkloads:
         r = results[program]
         r2 = result_from_dict(result_to_dict(r))
         for f in dataclasses.fields(r):
+            if not f.compare:
+                # diagnostics: profiling counters, deliberately excluded
+                # from serialization (see RunResult) -- they may differ
+                # between byte-identical runs, so persisting them would
+                # poison the cache and golden-fixture comparisons
+                continue
             assert getattr(r2, f.name) == getattr(r, f.name), f.name
 
     @pytest.mark.parametrize("program", BENCHMARK_ORDER)
