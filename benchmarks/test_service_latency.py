@@ -57,6 +57,16 @@ WARM_FLOOR = 2.0
 CELL = JobSpec(program="fullconn", scale=0.05)
 WARM_REQUESTS = 200
 
+#: the store-tier cell: a full-scale result, fetched by key from a
+#: remote worker store -- the payload whose size the binary framing
+#: (PR 10) exists to shrink
+FETCH_CELL = JobSpec(program="fullconn", scale=1.0)
+FETCH_REQUESTS = 50
+#: a binary fetch response must carry at least this many times fewer
+#: bytes than the same response in JSON framing; byte counts are
+#: deterministic, so this gate is machine-independent
+PAYLOAD_REDUCTION_FLOOR = 3.0
+
 
 @pytest.fixture
 def service(tmp_path):
@@ -159,5 +169,140 @@ def test_warm_cell_http_latency(service):
     if problems:
         pytest.fail(
             "sweep-service latency regression:\n  " + "\n  ".join(problems),
+            pytrace=False,
+        )
+
+
+def test_remote_warm_fetch_by_key(tmp_path):
+    """Store-tier figure of merit: fetch a full-scale result by key
+    from a remote worker's store, once over negotiated binary framing
+    and once with the client pinned to JSON lines.  Reports the binary
+    fetch p50 and the on-wire response bytes under each framing; the
+    binary payload must stay at least ``PAYLOAD_REDUCTION_FLOOR`` times
+    smaller."""
+    from repro.runner.executor import _execute
+    from repro.runner.serialize import result_from_dict
+    from repro.service import ServiceMetrics, SocketTransport, serve_worker
+
+    cache = ResultCache(tmp_path / "store")
+    payload = _execute(FETCH_CELL, None, None)
+    assert payload["ok"], payload
+    cache.put(FETCH_CELL, result_from_dict(payload["result"]))
+    key = FETCH_CELL.cache_key()
+    baseline = (
+        json.load(open(BASELINE_PATH)).get("service")
+        if BASELINE_PATH.exists()
+        else None
+    )
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server, port, agent = asyncio.run_coroutine_threadsafe(
+        serve_worker(cache=cache, trace_cache=False, name="bench"), loop
+    ).result(timeout=60)
+
+    request = {"op": "fetch", "kind": "result", "key": key}
+
+    async def measure(framing: str):
+        metrics = ServiceMetrics()
+        transport = SocketTransport(
+            "127.0.0.1", port, binary=framing, metrics=metrics
+        )
+        try:
+            # connect, negotiate, and prove the key is warm before timing
+            warm = await transport.call(dict(request))
+            assert warm["ok"], warm
+            base_bytes = metrics.bytes_received
+            latencies = []
+            for _ in range(FETCH_REQUESTS):
+                t0 = time.perf_counter()
+                response = await transport.call(dict(request))
+                latencies.append(time.perf_counter() - t0)
+                assert response["ok"]
+            per_fetch = (metrics.bytes_received - base_bytes) / FETCH_REQUESTS
+            return sorted(latencies), per_fetch, metrics
+        finally:
+            await transport.close()
+
+    try:
+        bin_lat, bin_bytes, bin_metrics = asyncio.run(measure("auto"))
+        json_lat, json_bytes, json_metrics = asyncio.run(measure("never"))
+    finally:
+
+        async def teardown():
+            server.close()
+            await server.wait_closed()
+            agent.close()
+
+        asyncio.run_coroutine_threadsafe(teardown(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+    # the auto client really negotiated binary (one JSON hello, then
+    # every fetch in binary frames); the pinned client never did
+    assert bin_metrics.frames_binary == 1 + FETCH_REQUESTS
+    assert bin_metrics.frames_json == 1
+    assert json_metrics.frames_binary == 0
+
+    reduction = json_bytes / bin_bytes
+    p50 = statistics.median(bin_lat)
+    report = {
+        "fetch_protocol": (
+            f"wall clock over a localhost socket, {FETCH_REQUESTS} warm "
+            f"'fetch' ops of the {FETCH_CELL.label()} scale-"
+            f"{FETCH_CELL.scale} result by cache key against a live "
+            "worker store, once over negotiated binary framing and once "
+            "with the client pinned to JSON lines; bytes are on-wire "
+            "response frame sizes"
+        ),
+        "fetch_cell": f"{FETCH_CELL.label()} @ scale {FETCH_CELL.scale}",
+        "fetch_p50_ms": round(1000 * p50, 3),
+        "fetch_p99_ms": round(1000 * bin_lat[int(0.99 * (len(bin_lat) - 1))], 3),
+        "fetch_json_p50_ms": round(1000 * statistics.median(json_lat), 3),
+        "fetch_bytes_binary": round(bin_bytes, 1),
+        "fetch_bytes_json": round(json_bytes, 1),
+        "payload_reduction_vs_json": round(reduction, 2),
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    scratch = OUTPUT_DIR / "BENCH_service.json"
+    merged = json.load(open(scratch)) if scratch.exists() else {}
+    merged.update(report)
+    with open(scratch, "w") as fh:
+        json.dump(merged, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    # deterministic floors: byte counts do not jitter, so the payload
+    # gate holds on any machine; the latency floor is a loose sanity
+    assert reduction >= PAYLOAD_REDUCTION_FLOOR, (
+        f"binary fetch response only {reduction:.2f}x smaller than JSON "
+        f"({bin_bytes:.0f} vs {json_bytes:.0f} B, floor "
+        f"{PAYLOAD_REDUCTION_FLOOR}x)"
+    )
+    assert p50 < 0.25, f"warm remote fetch took {1000 * p50:.1f} ms"
+
+    if not ENFORCE:
+        return
+
+    problems = []
+    if baseline is None or "payload_reduction_vs_json" not in baseline:
+        problems.append(
+            f"committed baseline {BASELINE_PATH} has no store-tier keys; "
+            "copy benchmarks/output/BENCH_service.json into its "
+            "'service' section"
+        )
+    else:
+        base_bytes = baseline["fetch_bytes_binary"]
+        if bin_bytes > base_bytes * 1.10:
+            problems.append(
+                f"binary fetch response grew to {bin_bytes:.0f} B "
+                f"(committed {base_bytes:.0f} B +10%): the wire format "
+                "got fatter"
+            )
+    if problems:
+        pytest.fail(
+            "store-tier transport regression:\n  " + "\n  ".join(problems),
             pytrace=False,
         )

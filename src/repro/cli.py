@@ -208,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--cache-dir", default=None)
     c.add_argument("--trace-cache-dir", default=None)
     c.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="'clear' only: remove objects untouched for at least DAYS days",
+    )
+    c.add_argument(
         "--json",
         action="store_true",
         help="machine-readable stats (one JSON object over both stores)",
@@ -245,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker",
         action="store_true",
         help=(
-            "serve the newline-JSON worker-agent protocol instead of the "
-            "HTTP front end (the far end of --workers)"
+            "serve the worker-agent socket protocol (binary-framed, with "
+            "newline-JSON fallback) instead of the HTTP front end "
+            "(the far end of --workers)"
         ),
     )
     sv.add_argument(
@@ -255,6 +263,40 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated HOST:PORT worker agents; cold cells are then "
             "sharded across them instead of the local process pool"
+        ),
+    )
+    sv.add_argument(
+        "--peers",
+        default=None,
+        help=(
+            "comma-separated HOST:PORT peer stores consulted before "
+            "simulating (front end: the warm-store tier; --worker: the "
+            "stores this agent pre-warms its shards from)"
+        ),
+    )
+    sv.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "HOST:PORT of a designated store node, consulted before any "
+            "--peers (a worker agent whose cache is the shared warm tier)"
+        ),
+    )
+    sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=(
+            "front end only: refuse (HTTP 503 + Retry-After) once this "
+            "many jobs are queued behind the running set"
+        ),
+    )
+    sv.add_argument(
+        "--json-transport",
+        action="store_true",
+        help=(
+            "disable binary framing: speak newline-JSON only, both as a "
+            "--worker server and toward --workers/--peers agents"
         ),
     )
     sv.add_argument("--timeout", type=float, default=None, help="per-attempt seconds")
@@ -310,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument(
         "--n-shards", type=int, default=None, help="shard-count override"
+    )
+    sb.add_argument(
+        "--priority",
+        choices=["normal", "high"],
+        default=None,
+        help="queue lane (high jumps the normal backlog)",
     )
     sb.add_argument(
         "--http-timeout", type=float, default=600.0, help="client-side seconds"
@@ -669,11 +717,16 @@ def _run_cache(args) -> int:
         if args.json:
             import json
 
+            result_stats = cache.stats_dict()
+            trace_stats = tcache.stats_dict()
             print(
                 json.dumps(
                     {
-                        "result_cache": cache.stats_dict(),
-                        "trace_cache": tcache.stats_dict(),
+                        "result_cache": result_stats,
+                        "trace_cache": trace_stats,
+                        "total_bytes": (
+                            result_stats["size_bytes"] + trace_stats["size_bytes"]
+                        ),
                     },
                     indent=2,
                 )
@@ -683,10 +736,20 @@ def _run_cache(args) -> int:
         print()
         print(tcache.describe())
     else:
-        removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
-        removed = tcache.clear()
-        print(f"removed {removed} cached traceset(s) from {tcache.root}")
+        scope = (
+            f"result(s) older than {args.older_than:g} day(s)"
+            if args.older_than is not None
+            else "cached result(s)"
+        )
+        removed = cache.clear(older_than_days=args.older_than)
+        print(f"removed {removed} {scope} from {cache.root}")
+        scope = (
+            f"traceset(s) older than {args.older_than:g} day(s)"
+            if args.older_than is not None
+            else "cached traceset(s)"
+        )
+        removed = tcache.clear(older_than_days=args.older_than)
+        print(f"removed {removed} {scope} from {tcache.root}")
     return 0
 
 
@@ -1093,6 +1156,17 @@ def _run_serve(args) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     tcache = _trace_cache_arg(args)
+    framing = "never" if args.json_transport else "auto"
+
+    def _addresses(csv: str | None) -> list:
+        return [
+            SocketTransport.from_address(a.strip(), binary=framing)
+            for a in (csv or "").split(",")
+            if a.strip()
+        ]
+
+    # the designated store node is just a peer consulted first
+    peer_transports = _addresses(args.store) + _addresses(args.peers)
 
     async def _worker() -> None:
         server, port, agent = await serve_worker(
@@ -1101,20 +1175,24 @@ def _run_serve(args) -> int:
             trace_cache=tcache,
             host=args.host,
             port=args.port,
+            peers=peer_transports,
+            binary=not args.json_transport,
         )
         print(f"[serve] worker agent {agent.name} on {args.host}:{port}", flush=True)
+        if peer_transports:
+            print(
+                f"[serve] warm-store tier: {len(peer_transports)} peer(s)",
+                flush=True,
+            )
         try:
             async with server:
                 await server.serve_forever()
         finally:
             agent.close()
+            await agent.peers.close()
 
     async def _frontend() -> None:
-        transports = [
-            SocketTransport.from_address(a.strip())
-            for a in (args.workers or "").split(",")
-            if a.strip()
-        ]
+        transports = _addresses(args.workers)
         scheduler = Scheduler(
             jobs=args.jobs,
             cache=cache,
@@ -1124,6 +1202,8 @@ def _run_serve(args) -> int:
             backoff=args.backoff,
             deadline=args.deadline,
             transports=transports,
+            peers=peer_transports,
+            max_queue=args.max_queue,
         )
         aggregator = StreamAggregator(args.manifest, resume=args.resume)
         server = ServiceServer(
@@ -1134,6 +1214,17 @@ def _run_serve(args) -> int:
             "inline" if scheduler.inline else f"{scheduler.jobs} local worker(s)"
         )
         print(f"[serve] sweep service on {server.url} ({mode})", flush=True)
+        if peer_transports:
+            print(
+                f"[serve] warm-store tier: {len(peer_transports)} peer(s)",
+                flush=True,
+            )
+        if args.max_queue is not None:
+            print(
+                f"[serve] backpressure: shedding beyond {args.max_queue} "
+                "queued job(s)",
+                flush=True,
+            )
         if aggregator.recovered:
             print(
                 f"[serve] resumed {aggregator.recovered} manifest record(s)",
@@ -1143,7 +1234,7 @@ def _run_serve(args) -> int:
             await server.serve_forever()
         finally:
             await server.close()
-            for t in transports:
+            for t in (*transports, *peer_transports):
                 await t.close()
 
     try:
@@ -1160,29 +1251,45 @@ def _run_submit(args) -> int:
     from .service import ServiceClient
     from .workloads.registry import BENCHMARK_ORDER
 
+    from urllib.error import HTTPError
+
     client = ServiceClient(args.url, timeout=args.http_timeout)
     if not client.healthy():
         print(f"error: no sweep service answering at {args.url}", file=sys.stderr)
         return 2
-    if args.spec_file:
-        with open(args.spec_file) as fh:
-            specs = json.load(fh)
-        response = client.submit(specs=specs, n_shards=args.n_shards)
-    else:
-        if args.programs.strip().lower() == "all":
-            programs = list(BENCHMARK_ORDER)
+    try:
+        if args.spec_file:
+            with open(args.spec_file) as fh:
+                specs = json.load(fh)
+            response = client.submit(
+                specs=specs, n_shards=args.n_shards, priority=args.priority
+            )
         else:
-            programs = [p.strip() for p in args.programs.split(",") if p.strip()]
-        grid = {
-            "programs": programs,
-            "locks": [s.strip() for s in args.locks.split(",") if s.strip()],
-            "models": [m.strip() for m in args.models.split(",") if m.strip()],
-            "scale": args.scale,
-            "seed": args.seed,
-        }
-        if args.procs is not None:
-            grid["n_procs"] = args.procs
-        response = client.submit(grid=grid, n_shards=args.n_shards)
+            if args.programs.strip().lower() == "all":
+                programs = list(BENCHMARK_ORDER)
+            else:
+                programs = [p.strip() for p in args.programs.split(",") if p.strip()]
+            grid = {
+                "programs": programs,
+                "locks": [s.strip() for s in args.locks.split(",") if s.strip()],
+                "models": [m.strip() for m in args.models.split(",") if m.strip()],
+                "scale": args.scale,
+                "seed": args.seed,
+            }
+            if args.procs is not None:
+                grid["n_procs"] = args.procs
+            response = client.submit(
+                grid=grid, n_shards=args.n_shards, priority=args.priority
+            )
+    except HTTPError as exc:
+        if exc.code == 503:
+            retry_after = exc.headers.get("Retry-After", "?")
+            print(
+                f"error: service overloaded (503); retry in {retry_after}s",
+                file=sys.stderr,
+            )
+            return 3
+        raise
     if args.json:
         print(json.dumps(response, indent=2))
         return 0 if all(r["ok"] for r in response["results"]) else 1
@@ -1251,6 +1358,31 @@ def _run_status(args) -> int:
         f"queue depth {m.get('queue_depth', 0)}, "
         f"{m.get('shards_dispatched', 0)} shard(s) dispatched"
     )
+    if snap.get("peers") or m.get("remote_hits") or m.get("remote_misses"):
+        print(
+            f"store tier : {snap.get('peers', 0)} peer(s), "
+            f"{m.get('remote_hits', 0)} remote hit(s), "
+            f"{m.get('remote_misses', 0)} remote miss(es)"
+        )
+    if snap.get("max_queue") is not None or m.get("shed"):
+        bound = snap.get("max_queue")
+        print(
+            f"backpress. : {m.get('shed', 0)} shed "
+            f"(queue bound {bound if bound is not None else 'off'}), "
+            f"{m.get('priority_high', 0)} high-priority"
+        )
+    if m.get("worker_failures") or m.get("shards_replanned"):
+        print(
+            f"resilience : {m.get('worker_failures', 0)} worker failure(s), "
+            f"{m.get('shards_replanned', 0)} shard(s) re-planned"
+        )
+    if m.get("frames_binary") or m.get("frames_json"):
+        print(
+            f"transport  : {m.get('frames_binary', 0)} binary / "
+            f"{m.get('frames_json', 0)} JSON frame(s), "
+            f"{m.get('bytes_sent', 0):,} B out / "
+            f"{m.get('bytes_received', 0):,} B in"
+        )
     for label in ("cache", "trace_cache"):
         store = snap.get(label)
         if store:

@@ -30,6 +30,14 @@ from .spec import CACHE_FORMAT, JobSpec
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
 
+def _mtime(path: Path) -> float:
+    """mtime, with vanished-under-us files treated as just touched."""
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return float("inf")
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -147,6 +155,10 @@ class ResultCache:
     def __contains__(self, spec: JobSpec) -> bool:
         return self.path_for(spec.cache_key()).exists()
 
+    def has_key(self, key: str) -> bool:
+        """Cheap existence probe (peer ``has`` ops); no stats, no parse."""
+        return self.path_for(key).exists()
+
     # ------------------------------------------------------------------
     def _object_files(self) -> list[Path]:
         objects = self._objects_dir()
@@ -160,9 +172,18 @@ class ResultCache:
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self._object_files())
 
-    def clear(self) -> int:
-        """Delete every cached object; returns how many were removed."""
+    def clear(self, older_than_days: float | None = None) -> int:
+        """Delete cached objects; returns how many were removed.
+
+        ``older_than_days`` keeps the warm set: only objects whose mtime
+        is older than that many days are garbage-collected.
+        """
         files = self._object_files()
+        if older_than_days is not None:
+            import time
+
+            cutoff = time.time() - float(older_than_days) * 86400.0
+            files = [p for p in files if _mtime(p) < cutoff]
         for p in files:
             self._discard(p)
         for d in sorted(self._objects_dir().glob("*")):

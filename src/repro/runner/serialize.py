@@ -26,6 +26,9 @@ converted back on load.
 from __future__ import annotations
 
 import json
+import struct
+
+import numpy as np
 
 from ..machine.config import MachineConfig
 from ..machine.metrics import ProcMetrics, RunResult
@@ -38,8 +41,11 @@ __all__ = [
     "result_from_dict",
     "result_to_json",
     "result_from_json",
+    "result_to_bytes",
+    "result_from_bytes",
     "machine_to_dict",
     "machine_from_dict",
+    "RESULT_CODEC",
 ]
 
 #: RunResult scalar fields carried verbatim (all ints or strings).
@@ -138,3 +144,131 @@ def result_to_json(r: RunResult, indent: int | None = None) -> str:
 
 def result_from_json(text: str) -> RunResult:
     return result_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Binary result codec (the transport's bulk encoding)
+# ----------------------------------------------------------------------
+#: codec name carried on transport blobs; bump on layout changes
+RESULT_CODEC = "result-v1"
+
+_CODEC_MAGIC = b"RRB1"
+_CODEC_HEADER = struct.Struct("!4sI")
+
+#: _SCALAR_FIELDS that are integers (the three strings travel in the
+#: descriptor instead)
+_NUMERIC_SCALARS = tuple(
+    name
+    for name in _SCALAR_FIELDS
+    if name not in ("program", "lock_scheme", "consistency")
+)
+
+#: ProcMetrics slot order is the codec's per-processor column order
+_PROC_COLUMNS = ProcMetrics.__slots__
+
+
+def result_to_bytes(r: RunResult) -> bytes:
+    """Pack a result as one descriptor + one numeric array.
+
+    Every numeric field of a :class:`RunResult` -- scalars, the
+    per-processor metric rows, the lock-stats scalars and integer-keyed
+    maps, bus op counts, and (integer-valued) meta entries -- lands in a
+    single adaptively-typed ``int32``/``int64`` array behind a small
+    JSON descriptor that records the shapes.  The round trip through
+    :func:`result_from_bytes` is exact: ``result_from_bytes(
+    result_to_bytes(r)) == r``.
+    """
+    meta_items = list(r.meta.items())
+    meta_numeric = all(
+        isinstance(v, int) and not isinstance(v, bool) for _, v in meta_items
+    )
+    values: list[int] = [getattr(r, name) for name in _NUMERIC_SCALARS]
+    for m in r.proc_metrics:
+        values.extend(getattr(m, name) for name in _PROC_COLUMNS)
+    ls = r.lock_stats
+    values.extend(getattr(ls, name) for name in _LOCKSTATS_SCALARS)
+    map_lens = []
+    for name in _LOCKSTATS_MAPS:
+        mapping = getattr(ls, name)
+        keys = sorted(mapping)
+        map_lens.append(len(keys))
+        values.extend(keys)
+        values.extend(mapping[k] for k in keys)
+    bus_keys = sorted(r.bus_op_counts)
+    values.extend(bus_keys)
+    values.extend(r.bus_op_counts[k] for k in bus_keys)
+    if meta_numeric:
+        values.extend(v for _, v in meta_items)
+    desc = {
+        "program": r.program,
+        "lock_scheme": r.lock_scheme,
+        "consistency": r.consistency,
+        "rows": len(r.proc_metrics),
+        "maps": map_lens,
+        "bus": len(bus_keys),
+    }
+    if meta_numeric:
+        desc["meta_keys"] = [k for k, _ in meta_items]
+    else:  # non-integer meta values ride in the descriptor verbatim
+        desc["meta"] = dict(r.meta)
+    wide = any(not (-(2**31) <= v < 2**31) for v in values)
+    desc["dtype"] = "<i8" if wide else "<i4"
+    arr = np.asarray(values, dtype=np.dtype(desc["dtype"]))
+    desc_bytes = json.dumps(desc, separators=(",", ":")).encode()
+    return (
+        _CODEC_HEADER.pack(_CODEC_MAGIC, len(desc_bytes))
+        + desc_bytes
+        + arr.tobytes()
+    )
+
+
+def result_from_bytes(data: bytes) -> RunResult:
+    """Exact inverse of :func:`result_to_bytes`."""
+    if len(data) < _CODEC_HEADER.size:
+        raise ValueError(f"result blob of {len(data)} bytes is too short")
+    magic, desc_len = _CODEC_HEADER.unpack_from(data)
+    if magic != _CODEC_MAGIC:
+        raise ValueError(f"bad result codec magic {magic!r}")
+    desc_end = _CODEC_HEADER.size + desc_len
+    desc = json.loads(data[_CODEC_HEADER.size : desc_end])
+    arr = np.frombuffer(data[desc_end:], dtype=np.dtype(desc["dtype"]))
+    values = arr.tolist()  # native python ints, exactly as serialized
+
+    cursor = 0
+
+    def take(n: int) -> list:
+        nonlocal cursor
+        chunk = values[cursor : cursor + n]
+        if len(chunk) != n:
+            raise ValueError("result blob numeric section is truncated")
+        cursor += n
+        return chunk
+
+    scalars = dict(zip(_NUMERIC_SCALARS, take(len(_NUMERIC_SCALARS))))
+    procs = []
+    for _ in range(desc["rows"]):
+        row = take(len(_PROC_COLUMNS))
+        m = ProcMetrics(row[0])
+        for name, v in zip(_PROC_COLUMNS, row):
+            setattr(m, name, v)
+        procs.append(m)
+    ls_kwargs = dict(zip(_LOCKSTATS_SCALARS, take(len(_LOCKSTATS_SCALARS))))
+    for name, n in zip(_LOCKSTATS_MAPS, desc["maps"]):
+        keys = take(n)
+        ls_kwargs[name] = dict(zip(keys, take(n)))
+    bus_keys = take(desc["bus"])
+    bus_op_counts = dict(zip(bus_keys, take(desc["bus"])))
+    if "meta_keys" in desc:
+        meta = dict(zip(desc["meta_keys"], take(len(desc["meta_keys"]))))
+    else:
+        meta = dict(desc.get("meta", {}))
+    return RunResult(
+        program=desc["program"],
+        lock_scheme=desc["lock_scheme"],
+        consistency=desc["consistency"],
+        proc_metrics=tuple(procs),
+        lock_stats=LockStats(**ls_kwargs),
+        bus_op_counts=bus_op_counts,
+        meta=meta,
+        **scalars,
+    )

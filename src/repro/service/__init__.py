@@ -10,10 +10,15 @@ The service turns the batch executor into simulation-as-a-service:
   :func:`repro.runner.run_jobs`.
 * :mod:`~repro.service.planner` -- cost-balanced shard planning for
   sweep grids dispatched to remote workers.
-* :mod:`~repro.service.transport` -- in-process and localhost-socket
-  transports (stdlib only); multi-host workers are a config change.
+* :mod:`~repro.service.transport` -- in-process and socket transports
+  (stdlib only) with dual JSON / length-prefixed-binary framing and
+  per-connection negotiation; multi-host workers are a config change.
 * :mod:`~repro.service.worker` -- the worker agent at the far end of a
-  transport (``ping`` / ``run`` / ``run_shard`` / ``stats``).
+  transport (``ping`` / ``run`` / ``run_shard`` / ``has`` / ``fetch``
+  / ``stats``).
+* :mod:`~repro.service.stores` -- the peer-replicated warm-store tier:
+  read-through ``has``/``fetch`` against peer stores, healing fetched
+  objects into the local caches.
 * :mod:`~repro.service.aggregator` -- streaming fold of finished cells
   into JSONL manifests and incremental suite tables.
 * :mod:`~repro.service.frontend` -- HTTP front end (``/submit``,
@@ -26,15 +31,26 @@ The service turns the batch executor into simulation-as-a-service:
 from .aggregator import StreamAggregator
 from .frontend import ServiceClient, ServiceServer
 from .metrics import LatencyHistogram, ServiceMetrics
-from .planner import Shard, estimate_cost, grid_specs, plan_shards
-from .scheduler import CellOutcome, Scheduler, run_batch
-from .transport import InProcessTransport, SocketTransport, serve_socket
+from .planner import Shard, estimate_cost, grid_specs, plan_shards, replan
+from .scheduler import CellOutcome, Overloaded, Scheduler, run_batch
+from .stores import PeerStore
+from .transport import (
+    Blob,
+    FrameTooLarge,
+    InProcessTransport,
+    SocketTransport,
+    serve_socket,
+)
 from .worker import WorkerAgent, serve_worker
 
 __all__ = [
+    "Blob",
     "CellOutcome",
+    "FrameTooLarge",
     "InProcessTransport",
     "LatencyHistogram",
+    "Overloaded",
+    "PeerStore",
     "Scheduler",
     "ServiceClient",
     "ServiceMetrics",
@@ -46,6 +62,7 @@ __all__ = [
     "estimate_cost",
     "grid_specs",
     "plan_shards",
+    "replan",
     "run_batch",
     "serve_socket",
     "serve_worker",

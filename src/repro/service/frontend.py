@@ -15,9 +15,13 @@ store.  Endpoints:
   404 on a cold key (the front end never *computes* on a GET).
 * ``POST /submit`` -- body ``{"specs": [specdict, ...]}`` or
   ``{"grid": {"programs": [...], "locks": [...], "models": [...],
-  "scale": ..., "seed": ...}}``; cells are served through the
-  scheduler (cache hit, dedup attach, or compute) and the response
-  carries one entry per cell in request order.
+  "scale": ..., "seed": ...}}``, optionally ``"priority": "high"``;
+  cells are served through the scheduler (cache hit, peer fetch,
+  dedup attach, or compute) and the response carries one entry per
+  cell in request order.  When the scheduler's bounded queue is full
+  the submit is refused with ``503`` and a ``Retry-After`` header
+  carrying the drain-time estimate (load shedding, not queuing
+  collapse).
 
 :class:`ServiceClient` is the synchronous :mod:`urllib` counterpart the
 CLI (``repro submit`` / ``repro status``) uses.
@@ -35,7 +39,7 @@ from ..runner.executor import JobFailure
 from ..runner.spec import JobSpec
 from .aggregator import StreamAggregator
 from .planner import grid_specs
-from .scheduler import Scheduler
+from .scheduler import Overloaded, Scheduler
 
 __all__ = ["ServiceServer", "ServiceClient"]
 
@@ -98,6 +102,7 @@ class ServiceServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                extra_headers: tuple = ()
                 try:
                     status, payload, content_type = await self._route(
                         method, path, body
@@ -108,6 +113,16 @@ class ServiceServer:
                         _json({"error": str(exc)}),
                         "application/json",
                     )
+                except Overloaded as exc:
+                    # load shedding: refuse now, tell the client when
+                    # the queue should have drained
+                    retry_after = max(1, round(exc.retry_after))
+                    status, payload, content_type = (
+                        503,
+                        _json({"error": str(exc), "retry_after": retry_after}),
+                        "application/json",
+                    )
+                    extra_headers = ((f"Retry-After: {retry_after}"),)
                 except Exception as exc:  # route bug: report, keep serving
                     status, payload, content_type = (
                         500,
@@ -115,7 +130,9 @@ class ServiceServer:
                         "application/json",
                     )
                 keep = headers.get("connection", "keep-alive").lower() != "close"
-                self._write_response(writer, status, payload, content_type, keep)
+                self._write_response(
+                    writer, status, payload, content_type, keep, extra_headers
+                )
                 await writer.drain()
                 if not keep:
                     break
@@ -151,12 +168,16 @@ class ServiceServer:
         return method.upper(), path, headers, body
 
     @staticmethod
-    def _write_response(writer, status, payload: bytes, content_type, keep) -> None:
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error"}.get(status, "OK")
+    def _write_response(
+        writer, status, payload: bytes, content_type, keep, extra_headers=()
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error", 503: "Service Unavailable"}.get(status, "OK")
+        extra = "".join(f"{h}\r\n" for h in extra_headers)
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep else 'close'}\r\n"
             "\r\n"
         )
@@ -225,8 +246,11 @@ class ServiceServer:
         if not isinstance(request, dict):
             raise _BadRequest("body must be a JSON object")
         specs = self._parse_specs(request)
+        priority = request.get("priority", "normal")
+        if priority not in ("normal", "high"):
+            raise _BadRequest(f'priority must be "normal" or "high", got {priority!r}')
         outs = await self.scheduler.submit_grid(
-            specs, n_shards=request.get("n_shards")
+            specs, n_shards=request.get("n_shards"), priority=priority
         )
         results = []
         for out in outs:
@@ -334,6 +358,7 @@ class ServiceClient:
         grid: dict | None = None,
         include_results: bool = True,
         n_shards: int | None = None,
+        priority: str | None = None,
     ) -> dict:
         body: dict = {"include_results": include_results}
         if specs is not None:
@@ -344,4 +369,6 @@ class ServiceClient:
             body["grid"] = grid
         if n_shards is not None:
             body["n_shards"] = n_shards
+        if priority is not None:
+            body["priority"] = priority
         return json.loads(self._request("/submit", _json(body)))

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ..machine.config import MachineConfig
 from ..runner.spec import JobSpec
 
-__all__ = ["Shard", "estimate_cost", "plan_shards", "grid_specs"]
+__all__ = ["Shard", "estimate_cost", "plan_shards", "replan", "grid_specs"]
 
 #: relative per-program cell weights, derived from the committed
 #: BENCH_hotpath.json suite seconds at scale 1.0 (qsort ~1.46s ...
@@ -95,6 +95,29 @@ def plan_shards(specs, n_shards: int, cost=estimate_cost) -> list[Shard]:
             )
         )
     return shards
+
+
+def replan(pairs, n_shards: int, cost=estimate_cost) -> list[Shard]:
+    """Plan ``(original_index, spec)`` pairs onto ``n_shards`` workers.
+
+    The dead-worker path: cells stranded by failed shards arrive as
+    pairs keyed by their *original* grid position, get LPT-balanced
+    across the surviving workers exactly like a fresh plan, and come
+    back as shards whose ``indices`` still point into the original spec
+    list -- so the dispatch loop never re-maps results.
+    """
+    pairs = list(pairs)
+    originals = [i for i, _ in pairs]
+    shards = plan_shards([s for _, s in pairs], n_shards, cost)
+    return [
+        Shard(
+            index=shard.index,
+            indices=tuple(originals[j] for j in shard.indices),
+            specs=shard.specs,
+            cost=shard.cost,
+        )
+        for shard in shards
+    ]
 
 
 def grid_specs(

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -51,8 +52,62 @@ from ..runner.serialize import result_from_dict
 from ..runner.spec import JobSpec
 from ..trace.cache import resolve_trace_cache
 from .metrics import ServiceMetrics
+from .stores import PeerStore
 
-__all__ = ["CellOutcome", "Scheduler", "run_batch"]
+__all__ = ["CellOutcome", "Overloaded", "Scheduler", "run_batch"]
+
+
+class Overloaded(RuntimeError):
+    """Raised when admission would exceed the bounded queue depth.
+
+    ``retry_after`` is the scheduler's drain-time estimate in seconds --
+    the HTTP front end surfaces it as a 503 ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _LaneSemaphore:
+    """Counting semaphore with a high-priority waiter lane.
+
+    FIFO within each lane; every release wakes the high lane first, so
+    interactive requests overtake bulk backfill without starving it of
+    already-held slots.  Cancellation-safe: a waiter cancelled in the
+    same tick it was woken passes its slot on instead of leaking it.
+    """
+
+    def __init__(self, slots: int) -> None:
+        self._slots = max(1, int(slots))
+        self._high: deque[asyncio.Future] = deque()
+        self._normal: deque[asyncio.Future] = deque()
+
+    def _wake_next(self) -> bool:
+        for lane in (self._high, self._normal):
+            while lane:
+                waiter = lane.popleft()
+                if not waiter.done():
+                    waiter.set_result(None)  # slot ownership transfers
+                    return True
+        return False
+
+    async def acquire(self, high: bool = False) -> None:
+        if self._slots > 0 and not self._high and not self._normal:
+            self._slots -= 1
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        (self._high if high else self._normal).append(waiter)
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                self.release()
+            raise
+
+    def release(self) -> None:
+        if not self._wake_next():
+            self._slots += 1
 
 
 @dataclass
@@ -60,6 +115,7 @@ class CellOutcome:
     """What happened to one submitted cell.
 
     ``status`` is one of ``"hit"`` (answered from the result cache),
+    ``"remote"`` (fetched from a peer store and healed locally),
     ``"ok"`` (simulated by this request), ``"attached"`` (joined an
     identical in-flight job and shares its result), or ``"failed"``.
     """
@@ -79,7 +135,9 @@ class CellOutcome:
 
     def manifest_record(self) -> dict:
         """The executor-manifest-schema record for this outcome."""
-        status = {"hit": "cached", "attached": "cached"}.get(self.status, self.status)
+        status = {"hit": "cached", "attached": "cached", "remote": "cached"}.get(
+            self.status, self.status
+        )
         rec = {
             "key": self.key,
             "label": self.spec.label(),
@@ -134,6 +192,16 @@ class Scheduler:
         ``repro serve --worker``).  When given, misses are dispatched
         over the wire instead of to the local process pool -- multi-host
         execution as a config change.
+    peers:
+        Read-through store peers (worker agents or a designated store
+        node) consulted *after* the local cache misses and *before*
+        simulating; fetched objects self-heal into the local stores
+        (see :class:`~repro.service.stores.PeerStore`).
+    max_queue:
+        Bounded admission: a miss that would push the queue-depth gauge
+        past this bound is refused with :class:`Overloaded` (the front
+        end's 503 + Retry-After) instead of queuing without bound.
+        ``None`` (default, and what ``run_batch`` uses) never sheds.
     """
 
     def __init__(
@@ -148,6 +216,8 @@ class Scheduler:
         deadline: float | None = None,
         inline: bool | None = None,
         transports: list | None = None,
+        peers: list | None = None,
+        max_queue: int | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = _normalize_cache(cache)
@@ -159,18 +229,35 @@ class Scheduler:
         self.deadline = deadline
         self.inline = (self.jobs == 1) if inline is None else bool(inline)
         self.transports = list(transports) if transports else []
+        self.max_queue = None if max_queue is None else max(1, int(max_queue))
         self.metrics = ServiceMetrics()
+        self.peer_transports = list(peers) if peers else []
+        self._peers = (
+            PeerStore(
+                self.peer_transports,
+                cache=self.cache,
+                trace_cache=self.trace_cache,
+                metrics=self.metrics,
+            )
+            if self.peer_transports
+            else None
+        )
+        # transports without their own metrics sink report payload
+        # bytes and frame counts into this scheduler's
+        for t in self.transports + self.peer_transports:
+            if getattr(t, "metrics", False) is None:
+                t.metrics = self.metrics
         self._inflight: dict[str, asyncio.Future] = {}
         self._pool: ProcessPoolExecutor | None = None
-        self._sema: asyncio.Semaphore | None = None
+        self._sema: _LaneSemaphore | None = None
         self._next_transport = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _semaphore(self) -> asyncio.Semaphore:
+    def _semaphore(self) -> _LaneSemaphore:
         if self._sema is None:
-            self._sema = asyncio.Semaphore(self.jobs)
+            self._sema = _LaneSemaphore(self.jobs)
         return self._sema
 
     def _worker_pool(self) -> ProcessPoolExecutor:
@@ -186,11 +273,38 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, spec: JobSpec) -> CellOutcome:
-        """Serve one cell: cache hit, dedup attach, or compute."""
+    def _retry_after(self, extra: int = 1) -> float:
+        """Drain-time estimate for a shed request's Retry-After."""
+        mean = self.metrics.stage_latency["execute"].mean_seconds
+        backlog = self.metrics.queue_depth + max(1, extra)
+        return max(1.0, round(mean * backlog / self.jobs, 1))
+
+    def _check_admission(self, extra: int = 1) -> None:
+        if (
+            self.max_queue is not None
+            and self.metrics.queue_depth + max(0, extra - 1) >= self.max_queue
+        ):
+            self.metrics.count("shed")
+            raise Overloaded(
+                f"queue depth {self.metrics.queue_depth} at the "
+                f"max_queue={self.max_queue} bound; shedding load",
+                retry_after=self._retry_after(extra),
+            )
+
+    async def submit(self, spec: JobSpec, priority: str = "normal") -> CellOutcome:
+        """Serve one cell: cache hit, peer fetch, dedup attach, or compute.
+
+        ``priority="high"`` admits the request on the high lane: it
+        overtakes queued normal-lane work at the execution semaphore.
+        Hits, peer fetches, and attaches are unaffected -- they never
+        queue and are never shed.
+        """
         t0 = time.perf_counter()
         key = spec.cache_key()
+        high = priority == "high"
         self.metrics.count("requests")
+        if high:
+            self.metrics.count("priority_high")
         hit = self.cache.get_by_key(key) if self.cache is not None else None
         self.metrics.observe("lookup", time.perf_counter() - t0)
         if hit is not None:
@@ -215,21 +329,34 @@ class Scheduler:
             self.metrics.observe("total", out.elapsed_s)
             return out
 
+        if self._peers is not None:
+            remote = await self._peers.fetch_result(key, spec=spec)
+            if remote is not None:
+                out = CellOutcome(spec, key, "remote", remote)
+                out.elapsed_s = time.perf_counter() - t0
+                self.metrics.observe("total", out.elapsed_s)
+                return out
+
+        self._check_admission()
         loop = asyncio.get_running_loop()
         fut = loop.create_future()
         self._inflight[key] = fut
         self.metrics.count("in_flight")
         self.metrics.count("queue_depth")
         queued = True
+        sema = self._semaphore()
         try:
             t_wait = time.perf_counter()
-            async with self._semaphore():
+            await sema.acquire(high=high)
+            try:
                 self.metrics.count("queue_depth", -1)
                 queued = False
                 self.metrics.observe("wait", time.perf_counter() - t_wait)
                 t_exec = time.perf_counter()
                 payload, attempts = await self._attempt_loop(spec)
                 self.metrics.observe("execute", time.perf_counter() - t_exec)
+            finally:
+                sema.release()
             out = self._conclude(spec, key, payload, attempts)
             out.elapsed_s = time.perf_counter() - t0
             self.metrics.observe("total", out.elapsed_s)
@@ -245,38 +372,48 @@ class Scheduler:
             self._inflight.pop(key, None)
             self.metrics.count("in_flight", -1)
 
-    async def submit_many(self, specs) -> list[CellOutcome]:
+    async def submit_many(self, specs, priority: str = "normal") -> list[CellOutcome]:
         """Serve a batch of cells concurrently (dedup applies across
         the batch: duplicate specs cost one simulation)."""
-        return list(await asyncio.gather(*(self.submit(s) for s in specs)))
+        return list(
+            await asyncio.gather(*(self.submit(s, priority=priority) for s in specs))
+        )
 
     async def submit_grid(
-        self, specs, n_shards: int | None = None
+        self, specs, n_shards: int | None = None, priority: str = "normal"
     ) -> list[CellOutcome]:
         """Serve a sweep grid, sharding cold cells across the remote
         workers.
 
         Without transports this is :meth:`submit_many` -- a local
         process pool is already a self-balancing work queue.  With
-        transports, cold unique cells are split into cost-balanced
+        transports: hits and duplicate submissions are answered exactly
+        as in :meth:`submit`; cold unique cells are probed against the
+        peer store tier (one batched ``has`` per peer, then fetch +
+        local heal); whatever remains is split into cost-balanced
         shards (:func:`repro.service.planner.plan_shards`, one
-        ``run_shard`` round trip per shard) while hits and duplicate
-        submissions are answered exactly as in :meth:`submit`.
+        ``run_shard`` round trip per shard).  A shard whose worker dies
+        mid-run is re-planned onto the surviving workers
+        (:func:`repro.service.planner.replan`) -- its cells fail only
+        when no worker survives.
         """
         specs = list(specs)
         if not self.transports:
-            return await self.submit_many(specs)
-        from .planner import plan_shards
+            return await self.submit_many(specs, priority=priority)
 
         loop = asyncio.get_running_loop()
+        keys = [s.cache_key() for s in specs]
         outs: list = [None] * len(specs)
         to_compute: list[int] = []  # indices owning a new in-flight key
         owned: dict[str, asyncio.Future] = {}
         attached: list[tuple[int, str, asyncio.Future, float]] = []
+        high = priority == "high"
         for i, spec in enumerate(specs):
             t0 = time.perf_counter()
-            key = spec.cache_key()
+            key = keys[i]
             self.metrics.count("requests")
+            if high:
+                self.metrics.count("priority_high")
             hit = self.cache.get_by_key(key) if self.cache is not None else None
             self.metrics.observe("lookup", time.perf_counter() - t0)
             if hit is not None:
@@ -299,60 +436,57 @@ class Scheduler:
             owned[key] = fut
             to_compute.append(i)
 
-        async def run_shard(shard, transport) -> None:
-            self.metrics.count("shards_dispatched")
-            t_exec = time.perf_counter()
-            request = {
-                "op": "run_shard",
-                "specs": [s.to_dict() for s in shard.specs],
-                "timeout": self.timeout,
-                "retries": self.retries,
-            }
-            try:
-                response = await transport.call(request)
-                payloads = response.get("payloads") if response.get("ok") else None
-                if payloads is None or len(payloads) != len(shard.specs):
-                    raise ValueError(
-                        str(response.get("message", "malformed shard response"))
-                    )
-            except Exception as exc:
-                failure = {
-                    "ok": False,
-                    "kind": "error",
-                    "message": f"transport: {type(exc).__name__}: {exc}",
-                    "traceback": "",
-                    "elapsed_s": 0.0,
-                }
-                payloads = [dict(failure) for _ in shard.specs]
-            elapsed = time.perf_counter() - t_exec
-            self.metrics.observe("execute", elapsed)
-            for local_idx, payload in zip(shard.indices, payloads):
-                i = to_compute[local_idx]
-                spec, key = specs[i], self._key_of(specs[i])
-                out = self._conclude(
-                    spec, key, payload, int(payload.get("attempts", 1))
-                )
-                out.elapsed_s = float(payload.get("elapsed_s", 0.0)) or elapsed
-                self.metrics.observe("total", out.elapsed_s)
-                outs[i] = out
-                fut = owned.pop(key, None)
-                self._inflight.pop(key, None)
-                self.metrics.count("in_flight", -1)
-                if fut is not None and not fut.done():
-                    fut.set_result(out)
+        #: indices counted in the queue-depth gauge while dispatched --
+        #: concurrent grid submissions shed against each other's backlog
+        queued: set[int] = set()
+
+        def settle(i: int, out: CellOutcome) -> None:
+            if i in queued:
+                queued.discard(i)
+                self.metrics.count("queue_depth", -1)
+            self.metrics.observe("total", out.elapsed_s)
+            outs[i] = out
+            fut = owned.pop(keys[i], None)
+            self._inflight.pop(keys[i], None)
+            self.metrics.count("in_flight", -1)
+            if fut is not None and not fut.done():
+                fut.set_result(out)
 
         try:
-            shards = plan_shards(
-                [specs[i] for i in to_compute],
-                n_shards or len(self.transports),
-            )
-            await asyncio.gather(
-                *(
-                    run_shard(shard, self.transports[n % len(self.transports)])
-                    for n, shard in enumerate(shards)
-                )
-            )
+            # ---- store tier: serve what any peer already holds --------
+            if self._peers is not None and to_compute:
+                t_peer = time.perf_counter()
+                want = {keys[i]: i for i in to_compute}
+                present = await self._peers.has(want)
+                for key in sorted(present):
+                    i = want[key]
+                    remote = await self._peers.fetch_result(key, spec=specs[i])
+                    if remote is None:
+                        continue  # peer died between has and fetch
+                    settle(
+                        i,
+                        CellOutcome(
+                            specs[i],
+                            key,
+                            "remote",
+                            remote,
+                            elapsed_s=time.perf_counter() - t_peer,
+                        ),
+                    )
+                to_compute = [i for i in to_compute if outs[i] is None]
+
+            # ---- bounded admission for the cold remainder -------------
+            if to_compute:
+                self._check_admission(len(to_compute))
+                queued.update(to_compute)
+                self.metrics.count("queue_depth", len(to_compute))
+
+            # ---- dispatch, re-planning around dead workers ------------
+            await self._dispatch_shards(specs, keys, to_compute, n_shards, settle)
         finally:
+            if queued:  # a cancelled dispatch must not wedge the gauge
+                self.metrics.count("queue_depth", -len(queued))
+                queued.clear()
             # a cancelled dispatch must not strand attachers forever
             for key, fut in owned.items():
                 self._inflight.pop(key, None)
@@ -372,9 +506,80 @@ class Scheduler:
             outs[i] = out
         return outs
 
-    @staticmethod
-    def _key_of(spec: JobSpec) -> str:
-        return spec.cache_key()
+    async def _dispatch_shards(self, specs, keys, to_compute, n_shards, settle) -> None:
+        """Shard ``to_compute`` across transports; on a dead worker,
+        re-plan its cells onto the survivors until none remain."""
+        from .planner import replan
+
+        async def dispatch(shard, transport):
+            self.metrics.count("shards_dispatched")
+            t_exec = time.perf_counter()
+            request = {
+                "op": "run_shard",
+                "specs": [s.to_dict() for s in shard.specs],
+                "timeout": self.timeout,
+                "retries": self.retries,
+            }
+            try:
+                response = await transport.call(request)
+                payloads = response.get("payloads") if response.get("ok") else None
+                if payloads is None or len(payloads) != len(shard.specs):
+                    raise ValueError(
+                        str(response.get("message", "malformed shard response"))
+                    )
+            except Exception as exc:
+                return shard, transport, exc, time.perf_counter() - t_exec
+            return shard, transport, payloads, time.perf_counter() - t_exec
+
+        def settle_cell(i: int, payload: dict, elapsed: float) -> None:
+            out = self._conclude(
+                specs[i], keys[i], payload, int(payload.get("attempts", 1))
+            )
+            out.elapsed_s = float(payload.get("elapsed_s", 0.0)) or elapsed
+            settle(i, out)
+
+        pending = [(i, specs[i]) for i in to_compute]
+        alive = list(self.transports)
+        last_error = "no workers configured"
+        rounds = 0
+        while pending and alive:
+            shards = replan(pending, n_shards or len(alive))
+            if rounds:
+                self.metrics.count("shards_replanned", len(shards))
+            results = await asyncio.gather(
+                *(
+                    dispatch(shard, alive[n % len(alive)])
+                    for n, shard in enumerate(shards)
+                )
+            )
+            stranded: list[tuple[int, JobSpec]] = []
+            dead: set[int] = set()
+            for shard, transport, payloads, elapsed in results:
+                if isinstance(payloads, Exception):
+                    # worker died mid-shard: drop it, keep its cells
+                    self.metrics.count("worker_failures")
+                    dead.add(id(transport))
+                    last_error = f"{type(payloads).__name__}: {payloads}"
+                    stranded.extend((i, specs[i]) for i in shard.indices)
+                    continue
+                self.metrics.observe("execute", elapsed)
+                for i, payload in zip(shard.indices, payloads):
+                    settle_cell(i, payload, elapsed)
+            alive = [t for t in alive if id(t) not in dead]
+            pending = stranded
+            rounds += 1
+        for i, _spec in pending:  # no surviving workers: fail the rest
+            settle_cell(
+                i,
+                {
+                    "ok": False,
+                    "kind": "error",
+                    "message": f"transport: {last_error} (no surviving workers)",
+                    "traceback": "",
+                    "elapsed_s": 0.0,
+                },
+                0.0,
+            )
 
     # ------------------------------------------------------------------
     # Execution backends
@@ -476,6 +681,11 @@ class Scheduler:
             result = result_from_dict(payload["result"])
             if self.cache is not None:
                 self.cache.put(spec, result)
+            if payload.get("remote"):
+                # the worker answered from a *peer's* store, not by
+                # simulating -- surface it as a store-tier hit
+                self.metrics.count("remote_hits")
+                return CellOutcome(spec, key, "remote", result, attempts=attempts)
             self.metrics.count("executed")
             return CellOutcome(
                 spec,
@@ -508,6 +718,8 @@ class Scheduler:
             "backoff": self.backoff,
             "deadline": self.deadline,
             "transports": len(self.transports),
+            "peers": len(self.peer_transports),
+            "max_queue": self.max_queue,
             "metrics": self.metrics.to_dict(),
         }
         if self.cache is not None:
@@ -614,7 +826,7 @@ def run_batch(
 
     def settle(idx: int, out: CellOutcome) -> None:
         outcomes[idx] = out.outcome
-        if out.status == "hit" or out.status == "attached":
+        if out.status in ("hit", "attached", "remote"):
             stats.cached += 1
             record(idx, "cached", attempts=0, elapsed_s=0.0)
         elif out.status == "ok":

@@ -1,0 +1,152 @@
+"""Peer-replicated warm-store tier over the service transport.
+
+The content-addressed stores (:class:`~repro.runner.cache.ResultCache`,
+:class:`~repro.trace.cache.TraceCache`) make replication trivial: a key
+*is* its object, on any host, forever.  A :class:`PeerStore` turns a
+list of transports -- worker agents, or a designated store node, all
+speaking the same ``has``/``fetch`` ops -- into one read-through tier:
+
+* ``has`` batches existence probes (one round trip per peer for a
+  whole grid);
+* ``fetch`` pulls an object from the first peer holding it and
+  **self-heals it into the local store**, so the next lookup for that
+  key is a plain local hit and every key is simulated at most once per
+  fleet.
+
+Results travel as compact ``result-v1`` blobs on binary connections
+and as plain JSON dicts on negotiated-JSON connections; traces always
+travel as raw sidecar + ``.npy`` blobs (degrading to base64 on JSON
+peers).  A dead or stale peer is skipped, never fatal: the store tier
+is an optimization layer on top of simulation, and simulation always
+remains the fallback.
+"""
+
+from __future__ import annotations
+
+from ..runner.serialize import result_from_bytes, result_from_dict
+from .transport import Blob
+
+__all__ = ["PeerStore", "decode_fetched_result"]
+
+
+def decode_fetched_result(response: dict):
+    """A fetch response's result, whichever encoding it used.
+
+    Binary peers answer with a ``result-v1`` :class:`Blob`; JSON peers
+    answer with a serialized result dict.  Raises on neither.
+    """
+    payload = response.get("payload")
+    if isinstance(payload, Blob):
+        return result_from_bytes(payload.data)
+    if response.get("result") is not None:
+        return result_from_dict(response["result"])
+    raise ValueError("fetch response carries no result payload")
+
+
+class PeerStore:
+    """Read-through view of peer stores, healing into local ones.
+
+    ``transports`` are consulted in order -- put the designated store
+    node first if there is one.  ``cache`` / ``trace_cache`` are the
+    local stores fetched objects heal into (either may be ``None``).
+    ``metrics`` (a :class:`~repro.service.metrics.ServiceMetrics`)
+    receives ``remote_hits`` / ``remote_misses`` counts.
+    """
+
+    def __init__(
+        self,
+        transports,
+        cache=None,
+        trace_cache=None,
+        metrics=None,
+    ) -> None:
+        self.transports = list(transports)
+        self.cache = cache
+        self.trace_cache = trace_cache
+        self.metrics = metrics
+
+    def __bool__(self) -> bool:
+        return bool(self.transports)
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, delta)
+
+    # ------------------------------------------------------------------
+    async def has(self, keys, kind: str = "result") -> set:
+        """Union of keys any peer holds (one batched probe per peer)."""
+        keys = list(keys)
+        present: set[str] = set()
+        missing = set(keys)
+        for transport in self.transports:
+            if not missing:
+                break
+            try:
+                response = await transport.call(
+                    {"op": "has", "kind": kind, "keys": sorted(missing)}
+                )
+            except Exception:
+                continue  # dead peer: the tier degrades, never fails
+            if not response.get("ok"):
+                continue
+            found = set(response.get("present", ()))
+            present |= found
+            missing -= found
+        return present
+
+    async def fetch_result(self, key: str, spec=None):
+        """Fetch one result by key; heals into the local cache.
+
+        ``spec`` (when known) lets the healed object carry its full
+        self-describing spec, exactly as if it had been simulated here.
+        Returns the :class:`RunResult` or ``None`` if no peer holds it.
+        """
+        for transport in self.transports:
+            try:
+                response = await transport.call(
+                    {"op": "fetch", "kind": "result", "key": key}
+                )
+                if not response.get("ok"):
+                    continue
+                result = decode_fetched_result(response)
+            except Exception:
+                continue
+            if self.cache is not None and spec is not None:
+                self.cache.put(spec, result)
+            self._count("remote_hits")
+            return result
+        self._count("remote_misses")
+        return None
+
+    async def fetch_trace(self, key: str) -> bool:
+        """Fetch one traceset by key into the local trace cache.
+
+        Returns ``True`` when the object was replicated locally (the
+        caller then loads it with a plain cache lookup, mmap and all).
+        """
+        if self.trace_cache is None:
+            return False
+        for transport in self.transports:
+            try:
+                response = await transport.call(
+                    {"op": "fetch", "kind": "trace", "key": key}
+                )
+                if not response.get("ok"):
+                    continue
+                meta, records = response["meta"], response["records"]
+                if not isinstance(meta, Blob) or not isinstance(records, Blob):
+                    continue
+                self.trace_cache.put_bytes(key, meta.data, records.data)
+            except Exception:
+                continue
+            self._count("remote_hits")
+            return True
+        self._count("remote_misses")
+        return False
+
+    async def close(self) -> None:
+        for transport in self.transports:
+            try:
+                await transport.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass

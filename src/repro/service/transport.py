@@ -1,36 +1,295 @@
-"""Thin request/response transport abstraction (stdlib only).
+"""Request/response transport with dual JSON / binary framing (stdlib only).
 
-A transport carries one JSON-ready dict to a worker agent and returns
-one JSON-ready dict.  Two implementations:
+A transport carries one request dict to a worker agent and returns one
+response dict.  Two implementations:
 
 * :class:`InProcessTransport` -- calls an async handler directly; zero
   copies, used by tests and by single-process deployments.
-* :class:`SocketTransport` / :func:`serve_socket` -- newline-delimited
-  JSON over a TCP stream (asyncio streams, one request in flight per
-  connection, transparent reconnect).  Point it at ``127.0.0.1`` today;
-  pointing it at another host *is the whole multi-host story* -- the
-  scheduler neither knows nor cares where the worker runs.
+* :class:`SocketTransport` / :func:`serve_socket` -- a TCP stream
+  (asyncio streams, one request in flight per connection, transparent
+  reconnect).  Point it at ``127.0.0.1`` today; pointing it at another
+  host *is the whole multi-host story* -- the scheduler neither knows
+  nor cares where the worker runs.
 
-The wire format is deliberately boring: one JSON object per line, UTF-8,
-no framing beyond the newline (payloads are ``json.dumps`` output, so
-they never contain a raw newline).  Anything smarter (TLS, auth,
-compression) belongs in front of the socket, not in this layer.
+Two frame encodings share every connection:
+
+* **JSON frames** (the PR-6 wire format, still the control plane): one
+  JSON object per line, UTF-8.  Binary payloads are expressible here
+  too -- a :class:`Blob` becomes a base64 marker object -- so JSON is a
+  complete, slow fallback, not a restricted subset.
+* **Binary frames** (the bulk plane): a fixed :mod:`struct` header
+  ``!4sBIQ`` -- magic ``0xAB 'RF1'``, flags, meta length, body length --
+  followed by the body: a JSON *meta* document (the control dict with
+  each :class:`Blob` replaced by an index placeholder, plus a segment
+  table of ``[codec, length]`` pairs) concatenated with the raw blob
+  payload segments.  Flag bit 0 marks a zlib-deflated body.  Because
+  the magic's first byte can neither begin a JSON document nor a UTF-8
+  sequence, a server (or client) sniffs one byte and knows the framing.
+
+Framing is negotiated, never assumed: a client in ``binary="auto"``
+mode opens every connection with a ``__negotiate__`` JSON line; servers
+built on :func:`serve_socket` answer it at the framing layer, anything
+else answers with an unknown-op error, and either way the client knows
+whether binary frames are welcome before it sends one.  Responses are
+always framed like the request they answer.
 """
 
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
+import struct
+import zlib
 
 __all__ = [
+    "Blob",
+    "FrameTooLarge",
     "Transport",
     "InProcessTransport",
     "SocketTransport",
     "serve_socket",
+    "encode_frame",
+    "decode_binary_body",
+    "read_frame",
 ]
 
 #: refuse absurd frames instead of buffering without bound
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: binary frame header: magic, flags, meta length, body length.
+#: ``body length`` counts on-wire bytes after the header (post-deflate);
+#: ``meta length`` counts bytes of the *inflated* meta document so the
+#: reader can split meta from payload after decompressing.
+FRAME_MAGIC = b"\xabRF1"
+_HEADER = struct.Struct("!4sBIQ")
+FLAG_DEFLATE = 0x01
+
+#: deflate the body when it shrinks; tiny control frames skip the call
+_DEFLATE_THRESHOLD = 512
+
+#: request key injected by the framing layer so handlers can answer in
+#: a wire-appropriate encoding (dicts for JSON peers, blobs for binary)
+BINARY_HINT = "@binary"
+
+_NEGOTIATE_OP = "__negotiate__"
+
+_B64_KEY = "__blob_b64__"
+_REF_KEY = "__blob__"
+
+
+class FrameTooLarge(ValueError):
+    """An encoded frame exceeded :data:`MAX_FRAME_BYTES`."""
+
+
+class Blob:
+    """A raw byte payload riding inside a transport message.
+
+    ``codec`` names the payload encoding (``"result-v1"``, ``"npy"``,
+    ``"json"``, ...) so receivers dispatch without sniffing.  In binary
+    frames the bytes travel verbatim; in JSON frames they degrade to a
+    base64 marker object, so every message stays expressible on every
+    negotiated framing.
+    """
+
+    __slots__ = ("data", "codec")
+
+    def __init__(self, data: bytes, codec: str = "bytes") -> None:
+        self.data = bytes(data)
+        self.codec = codec
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Blob)
+            and self.data == other.data
+            and self.codec == other.codec
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Blob({len(self.data)} bytes, codec={self.codec!r})"
+
+
+def _frame_identity(obj: dict) -> str:
+    """``key=... op=...`` fragment for cap errors (satellite: the frame
+    cap must name the offending key, not just the limit)."""
+    parts = []
+    if isinstance(obj, dict):
+        key = obj.get("key")
+        if key:
+            parts.append(f"key={key!r}")
+        op = obj.get("op")
+        if op:
+            parts.append(f"op={op!r}")
+        if not parts and "payloads" in obj:
+            parts.append(f"shard of {len(obj['payloads'])} payload(s)")
+    return ", ".join(parts) or "unkeyed frame"
+
+
+def _check_cap(nbytes: int, obj: dict) -> None:
+    if nbytes > MAX_FRAME_BYTES:
+        raise FrameTooLarge(
+            f"transport frame of {nbytes} bytes ({_frame_identity(obj)}) "
+            f"exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+
+
+# ----------------------------------------------------------------------
+# Blob <-> JSON degradation (the negotiated fallback)
+# ----------------------------------------------------------------------
+def _jsonify(obj):
+    """Copy of ``obj`` with every :class:`Blob` as a base64 marker."""
+    if isinstance(obj, Blob):
+        return {
+            _B64_KEY: base64.b64encode(obj.data).decode("ascii"),
+            "codec": obj.codec,
+        }
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    return obj
+
+
+def _dejsonify(obj):
+    """Inverse of :func:`_jsonify`: base64 markers back to blobs."""
+    if isinstance(obj, dict):
+        if _B64_KEY in obj and len(obj) <= 2:
+            return Blob(
+                base64.b64decode(obj[_B64_KEY]), obj.get("codec", "bytes")
+            )
+        return {k: _dejsonify(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_dejsonify(v) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Binary frame codec
+# ----------------------------------------------------------------------
+def _strip_blobs(obj, blobs: list):
+    """Copy of ``obj`` with blobs hoisted into ``blobs`` by index."""
+    if isinstance(obj, Blob):
+        blobs.append(obj)
+        return {_REF_KEY: len(blobs) - 1}
+    if isinstance(obj, dict):
+        return {k: _strip_blobs(v, blobs) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_strip_blobs(v, blobs) for v in obj]
+    return obj
+
+
+def _inject_blobs(obj, blobs: list):
+    if isinstance(obj, dict):
+        if _REF_KEY in obj and len(obj) == 1:
+            return blobs[obj[_REF_KEY]]
+        return {k: _inject_blobs(v, blobs) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_inject_blobs(v, blobs) for v in obj]
+    return obj
+
+
+def encode_frame(obj: dict, binary: bool) -> bytes:
+    """One message -> on-wire bytes in the requested framing.
+
+    Raises :class:`FrameTooLarge` (naming the offending key and size)
+    instead of emitting a frame the far end would refuse to read.
+    """
+    if not binary:
+        line = json.dumps(_jsonify(obj), separators=(",", ":")).encode() + b"\n"
+        _check_cap(len(line), obj)
+        return line
+    blobs: list[Blob] = []
+    control = _strip_blobs(obj, blobs)
+    meta = {
+        "c": control,
+        "b": [[b.codec, len(b.data)] for b in blobs],
+    }
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode()
+    body = meta_bytes + b"".join(b.data for b in blobs)
+    flags = 0
+    if len(body) >= _DEFLATE_THRESHOLD:
+        packed = zlib.compress(body, 6)
+        if len(packed) < len(body):
+            body, flags = packed, FLAG_DEFLATE
+    _check_cap(_HEADER.size + len(body), obj)
+    return _HEADER.pack(FRAME_MAGIC, flags, len(meta_bytes), len(body)) + body
+
+
+def decode_binary_body(flags: int, meta_len: int, body: bytes) -> dict:
+    """Inverse of the binary arm of :func:`encode_frame`."""
+    if flags & FLAG_DEFLATE:
+        inflater = zlib.decompressobj()
+        body = inflater.decompress(body, MAX_FRAME_BYTES)
+        if inflater.unconsumed_tail or not inflater.eof:
+            raise ConnectionError(
+                "deflated transport frame is truncated or inflates past "
+                f"the {MAX_FRAME_BYTES}-byte cap"
+            )
+    if meta_len > len(body):
+        raise ConnectionError(
+            f"binary frame meta length {meta_len} exceeds body of {len(body)} bytes"
+        )
+    meta = json.loads(body[:meta_len])
+    segments = meta.get("b", [])
+    blobs, offset = [], meta_len
+    for codec, length in segments:
+        end = offset + int(length)
+        if end > len(body):
+            raise ConnectionError(
+                f"binary frame segment table overruns the body "
+                f"({end} > {len(body)} bytes)"
+            )
+        blobs.append(Blob(body[offset:end], codec))
+        offset = end
+    obj = _inject_blobs(meta.get("c"), blobs)
+    if not isinstance(obj, dict):
+        raise ConnectionError(
+            f"expected an object frame, got {type(obj).__name__}"
+        )
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one frame of either framing.
+
+    Returns ``(obj, is_binary, nbytes)`` or ``None`` on a clean EOF.
+    Torn frames (EOF mid-header or mid-body) raise ``ConnectionError``.
+    """
+    try:
+        first = await reader.readexactly(1)
+    except asyncio.IncompleteReadError:
+        return None
+    if first == FRAME_MAGIC[:1]:
+        try:
+            header = first + await reader.readexactly(_HEADER.size - 1)
+            magic, flags, meta_len, body_len = _HEADER.unpack(header)
+            if magic != FRAME_MAGIC:
+                raise ConnectionError(
+                    f"bad binary frame magic {magic!r}"
+                )
+            if body_len > MAX_FRAME_BYTES:
+                raise ConnectionError(
+                    f"binary transport frame of {body_len} bytes exceeds "
+                    f"the {MAX_FRAME_BYTES}-byte cap"
+                )
+            body = await reader.readexactly(body_len)
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionError(
+                f"torn binary frame: connection closed after "
+                f"{len(exc.partial)} of {exc.expected} bytes"
+            ) from None
+        return decode_binary_body(flags, meta_len, body), True, _HEADER.size + body_len
+    try:
+        rest = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ConnectionError("oversized transport frame")
+    line = first + rest
+    obj = _dejsonify(json.loads(line))
+    if not isinstance(obj, dict):
+        raise ConnectionError(
+            f"expected a JSON object frame, got {type(obj).__name__}"
+        )
+    return obj, False, len(line)
 
 
 class Transport:
@@ -50,68 +309,95 @@ class InProcessTransport(Transport):
         self.handler = handler
 
     async def call(self, request: dict) -> dict:
-        # round-trip through JSON so in-process behaves exactly like the
-        # socket: only JSON-expressible payloads survive either way
-        return json.loads(json.dumps(await self.handler(json.loads(json.dumps(request)))))
+        # round-trip through the JSON fallback framing so in-process
+        # behaves exactly like a JSON socket peer: only frame-expressible
+        # payloads survive either way (blobs degrade to base64 and back)
+        request = _dejsonify(json.loads(json.dumps(_jsonify(request))))
+        response = await self.handler(request)
+        return _dejsonify(json.loads(json.dumps(_jsonify(response))))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"InProcessTransport({self.handler!r})"
 
 
-def _encode(obj: dict) -> bytes:
-    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
-
-
-async def _read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """One newline-delimited JSON frame, or ``None`` on EOF."""
-    try:
-        line = await reader.readline()
-    except (asyncio.LimitOverrunError, ValueError):
-        raise ConnectionError("oversized transport frame")
-    if not line:
-        return None
-    obj = json.loads(line)
-    if not isinstance(obj, dict):
-        raise ConnectionError(f"expected a JSON object frame, got {type(obj).__name__}")
-    return obj
-
-
 class SocketTransport(Transport):
-    """Persistent newline-delimited-JSON client connection.
+    """Persistent socket client connection with framing negotiation.
 
     One request is in flight per transport at a time (an internal lock
     serializes callers); the scheduler fans out across *several*
     transports for parallelism.  A dead connection is re-opened once
     per call before the error propagates.
+
+    ``binary="auto"`` (default) negotiates binary framing on each new
+    connection and falls back to JSON lines when the far end declines;
+    ``binary="never"`` speaks the PR-6 JSON wire format unconditionally.
+    An attached :class:`~repro.service.metrics.ServiceMetrics` receives
+    ``bytes_sent`` / ``bytes_received`` / ``frames_binary`` /
+    ``frames_json`` counts for every round trip.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        binary: str = "auto",
+        metrics=None,
+    ) -> None:
+        if binary not in ("auto", "never"):
+            raise ValueError(f"binary must be 'auto' or 'never', got {binary!r}")
         self.host = host
         self.port = int(port)
+        self.binary = binary
+        self.metrics = metrics
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: framing of the *current* connection; None = not yet negotiated
+        self._use_binary: bool | None = False if binary == "never" else None
         self._lock = asyncio.Lock()
 
     @classmethod
-    def from_address(cls, address: str) -> "SocketTransport":
+    def from_address(cls, address: str, **kwargs) -> "SocketTransport":
         """``host:port`` (or ``:port`` for localhost) -> transport."""
         host, _, port = address.rpartition(":")
-        return cls(host or "127.0.0.1", int(port))
+        return cls(host or "127.0.0.1", int(port), **kwargs)
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, delta)
 
     async def _connect(self) -> None:
         if self._writer is None or self._writer.is_closing():
             self._reader, self._writer = await asyncio.open_connection(
                 self.host, self.port, limit=MAX_FRAME_BYTES
             )
+            self._use_binary = False if self.binary == "never" else None
+
+    async def _send(self, obj: dict, binary: bool) -> dict:
+        frame = encode_frame(obj, binary)
+        self._count("frames_binary" if binary else "frames_json")
+        self._count("bytes_sent", len(frame))
+        self._writer.write(frame)
+        await self._writer.drain()
+        read = await read_frame(self._reader)
+        if read is None:
+            raise ConnectionError("worker closed the connection mid-request")
+        response, _, nbytes = read
+        self._count("bytes_received", nbytes)
+        return response
 
     async def _roundtrip(self, request: dict) -> dict:
         await self._connect()
-        self._writer.write(_encode(request))
-        await self._writer.drain()
-        response = await _read_frame(self._reader)
-        if response is None:
-            raise ConnectionError("worker closed the connection mid-request")
-        return response
+        if self._use_binary is None:
+            # first use of this connection: offer binary framing over a
+            # plain JSON line.  serve_socket answers at the framing
+            # layer; a plain JSON server answers unknown-op -- either
+            # response tells us what the far end accepts, and neither
+            # can hang a line-oriented reader.
+            hello = await self._send(
+                {"op": _NEGOTIATE_OP, "binary": True}, binary=False
+            )
+            self._use_binary = bool(hello.get("binary"))
+        return await self._send(request, self._use_binary)
 
     async def call(self, request: dict) -> dict:
         async with self._lock:
@@ -125,6 +411,7 @@ class SocketTransport(Transport):
 
     async def close(self) -> None:
         writer, self._reader, self._writer = self._writer, None, None
+        self._use_binary = False if self.binary == "never" else None
         if writer is not None:
             writer.close()
             try:
@@ -133,35 +420,67 @@ class SocketTransport(Transport):
                 pass
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"SocketTransport({self.host}:{self.port})"
+        return f"SocketTransport({self.host}:{self.port}, binary={self.binary})"
 
 
-async def serve_socket(handler, host: str = "127.0.0.1", port: int = 0):
-    """Serve ``handler`` (async dict -> dict) over newline-delimited
-    JSON; returns ``(server, bound_port)``.  ``port=0`` binds an
-    ephemeral port -- the test and CI lanes use that to avoid clashes.
+async def serve_socket(handler, host: str = "127.0.0.1", port: int = 0, binary: bool = True):
+    """Serve ``handler`` (async dict -> dict) over the dual framing;
+    returns ``(server, bound_port)``.  ``port=0`` binds an ephemeral
+    port -- the test and CI lanes use that to avoid clashes.
+
+    ``binary=False`` keeps the server on JSON lines only: negotiation
+    offers are declined and binary frames are answered with an error,
+    which is exactly what an auto-negotiating client needs to fall
+    back.  Each request reaches the handler with a :data:`BINARY_HINT`
+    key describing its framing, so handlers can answer JSON peers with
+    dicts and binary peers with blobs.
     """
 
     async def on_connection(reader, writer) -> None:
         try:
             while True:
                 try:
-                    request = await _read_frame(reader)
+                    read = await read_frame(reader)
                 except (json.JSONDecodeError, ConnectionError) as exc:
-                    writer.write(_encode({"ok": False, "message": str(exc)}))
+                    writer.write(
+                        encode_frame({"ok": False, "message": str(exc)}, False)
+                    )
                     await writer.drain()
                     break
-                if request is None:
+                if read is None:
                     break
-                try:
-                    response = await handler(request)
-                except Exception as exc:  # handler bug: report, keep serving
-                    response = {
+                request, is_binary, _ = read
+                if is_binary and not binary:
+                    response, is_binary = {
                         "ok": False,
                         "kind": "error",
-                        "message": f"{type(exc).__name__}: {exc}",
+                        "message": "binary framing not enabled on this server",
+                    }, False
+                elif request.get("op") == _NEGOTIATE_OP:
+                    response = {
+                        "ok": True,
+                        "op": _NEGOTIATE_OP,
+                        "binary": bool(binary),
                     }
-                writer.write(_encode(response))
+                else:
+                    request[BINARY_HINT] = is_binary
+                    try:
+                        response = await handler(request)
+                    except Exception as exc:  # handler bug: report, keep serving
+                        response = {
+                            "ok": False,
+                            "kind": "error",
+                            "message": f"{type(exc).__name__}: {exc}",
+                        }
+                # answer in the framing the request arrived in
+                try:
+                    frame = encode_frame(response, is_binary)
+                except FrameTooLarge as exc:
+                    frame = encode_frame(
+                        {"ok": False, "kind": "error", "message": str(exc)},
+                        is_binary,
+                    )
+                writer.write(frame)
                 await writer.drain()
         except (ConnectionError, OSError):  # pragma: no cover - peer vanished
             pass

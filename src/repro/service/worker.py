@@ -1,7 +1,7 @@
 """Worker agent: executes cells and shards on behalf of a scheduler.
 
 A worker agent is the far end of a :mod:`~repro.service.transport`.  It
-understands four operations, each one JSON object in, one out:
+understands six operations, each one message in, one out:
 
 * ``{"op": "ping"}`` -- liveness probe; echoes worker identity.
 * ``{"op": "run", "spec": {...}, "timeout": ...}`` -- execute one cell
@@ -11,13 +11,21 @@ understands four operations, each one JSON object in, one out:
   shard through :func:`repro.runner.run_jobs` itself, reusing its
   timeout/retry machinery and local parallelism, and return one payload
   per spec in order.
+* ``{"op": "has", "kind": "result"|"trace", "keys": [...]}`` -- batch
+  existence probe against the worker's content-addressed stores.
+* ``{"op": "fetch", "kind": "result"|"trace", "key": ...}`` -- serve a
+  stored object by key.  On binary connections results travel as
+  compact ``result-v1`` blobs and traces as raw sidecar + ``.npy``
+  blobs; on JSON connections results degrade to serialized dicts
+  (the negotiated fallback) and trace blobs to base64.
 * ``{"op": "stats"}`` -- the worker's cache/trace-cache counters.
 
 Workers open the content-addressed stores by *root path*: co-located
-workers share pages via the trace cache's mmap objects, and a shared
-filesystem (or rsync'd store) gives multi-host workers the same
-warm-cell behaviour -- the store is the coordination medium, the
-transport only moves cold work.
+workers share pages via the trace cache's mmap objects, and the
+``fetch``/``has`` ops make every worker's store a replication peer --
+give a worker ``peers`` (transports to other workers or a designated
+store node) and it consults them before simulating, healing fetched
+objects into its own stores.
 """
 
 from __future__ import annotations
@@ -28,10 +36,11 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..runner.cache import ResultCache
 from ..runner.executor import JobFailure, _execute, run_jobs
-from ..runner.serialize import result_to_dict
+from ..runner.serialize import RESULT_CODEC, result_to_bytes, result_to_dict
 from ..runner.spec import JobSpec
-from ..trace.cache import resolve_trace_cache
-from .transport import serve_socket
+from ..trace.cache import resolve_trace_cache, trace_key
+from .stores import PeerStore
+from .transport import BINARY_HINT, Blob, serve_socket
 
 __all__ = ["WorkerAgent", "serve_worker"]
 
@@ -45,6 +54,7 @@ class WorkerAgent:
         cache: ResultCache | str | None = None,
         trace_cache=None,
         name: str | None = None,
+        peers=None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (
@@ -52,6 +62,9 @@ class WorkerAgent:
         )
         self.trace_cache = resolve_trace_cache(trace_cache)
         self.name = name or f"worker-{os.getpid()}"
+        self.peers = PeerStore(
+            peers or (), cache=self.cache, trace_cache=self.trace_cache
+        )
         self._pool: ProcessPoolExecutor | None = None
 
     def _worker_pool(self) -> ProcessPoolExecutor:
@@ -73,6 +86,10 @@ class WorkerAgent:
             return await self._run_one(request)
         if op == "run_shard":
             return await self._run_shard(request)
+        if op == "has":
+            return self._has(request)
+        if op == "fetch":
+            return self._fetch(request)
         if op == "stats":
             return {
                 "ok": True,
@@ -86,6 +103,70 @@ class WorkerAgent:
             }
         return {"ok": False, "kind": "error", "message": f"unknown op {op!r}"}
 
+    # ------------------------------------------------------------------
+    # Store tier: this worker as a replication peer
+    # ------------------------------------------------------------------
+    def _has(self, request: dict) -> dict:
+        kind = request.get("kind", "result")
+        keys = request.get("keys", ())
+        if kind == "result":
+            store = self.cache
+        elif kind == "trace":
+            store = self.trace_cache
+        else:
+            return {"ok": False, "kind": "error", "message": f"unknown kind {kind!r}"}
+        present = (
+            [k for k in keys if store.has_key(k)] if store is not None else []
+        )
+        return {"ok": True, "worker": self.name, "present": present}
+
+    def _fetch(self, request: dict) -> dict:
+        kind = request.get("kind", "result")
+        key = request.get("key", "")
+        binary = bool(request.get(BINARY_HINT))
+        if kind == "result":
+            result = self.cache.get_by_key(key) if self.cache is not None else None
+            if result is None:
+                return {"ok": False, "kind": "miss", "message": f"no result for {key}"}
+            if binary:
+                return {
+                    "ok": True,
+                    "key": key,
+                    "payload": Blob(result_to_bytes(result), RESULT_CODEC),
+                }
+            return {"ok": True, "key": key, "result": result_to_dict(result)}
+        if kind == "trace":
+            pair = (
+                self.trace_cache.get_bytes(key)
+                if self.trace_cache is not None
+                else None
+            )
+            if pair is None:
+                return {"ok": False, "kind": "miss", "message": f"no trace for {key}"}
+            meta_bytes, data_bytes = pair
+            return {
+                "ok": True,
+                "key": key,
+                "meta": Blob(meta_bytes, "json"),
+                "records": Blob(data_bytes, "npy"),
+            }
+        return {"ok": False, "kind": "error", "message": f"unknown kind {kind!r}"}
+
+    async def _prefetch_trace(self, spec: JobSpec) -> None:
+        """Replicate the spec's trace from peers before simulating, so
+        the executor's trace-cache lookup becomes a local mmap hit."""
+        if (
+            not self.peers
+            or self.trace_cache is None
+            or not spec.program
+            or spec.traceset is not None
+        ):
+            return
+        key = trace_key(spec.program, spec.scale, spec.seed, spec.n_procs)
+        if not self.trace_cache.has_key(key):
+            await self.peers.fetch_trace(key)
+
+    # ------------------------------------------------------------------
     async def _run_one(self, request: dict) -> dict:
         spec = JobSpec.from_dict(request["spec"])
         timeout = request.get("timeout")
@@ -98,6 +179,17 @@ class WorkerAgent:
                     "cached": True,
                     "elapsed_s": 0.0,
                 }
+        if self.peers:
+            remote = await self.peers.fetch_result(spec.cache_key(), spec=spec)
+            if remote is not None:
+                return {
+                    "ok": True,
+                    "result": result_to_dict(remote),
+                    "cached": True,
+                    "remote": True,
+                    "elapsed_s": 0.0,
+                }
+        await self._prefetch_trace(spec)
         tcache_root = (
             str(self.trace_cache.root) if self.trace_cache is not None else None
         )
@@ -124,6 +216,23 @@ class WorkerAgent:
         specs = [JobSpec.from_dict(d) for d in request.get("specs", ())]
         timeout = request.get("timeout")
         retries = int(request.get("retries", 0))
+        remote = 0
+        if self.peers and self.cache is not None:
+            # warm the local store from peers first: any key a peer
+            # already simulated is healed here and becomes a plain
+            # cache hit inside run_jobs, never a re-simulation
+            wanted = {
+                spec.cache_key(): spec
+                for spec in specs
+                if not self.cache.has_key(spec.cache_key())
+            }
+            if wanted:
+                present = await self.peers.has(wanted)
+                for key in sorted(present):
+                    if await self.peers.fetch_result(key, spec=wanted[key]):
+                        remote += 1
+            for spec in specs:
+                await self._prefetch_trace(spec)
         # run_jobs spins its own scheduler in a worker thread; this
         # reuses the executor's timeout/retry/cache machinery wholesale
         batch = await asyncio.to_thread(
@@ -161,6 +270,7 @@ class WorkerAgent:
                 "cached": batch.stats.cached,
                 "failed": batch.stats.failed,
                 "retries": batch.stats.retries,
+                "remote": remote,
             },
         }
 
@@ -172,8 +282,19 @@ async def serve_worker(
     host: str = "127.0.0.1",
     port: int = 0,
     name: str | None = None,
+    peers=None,
+    binary: bool = True,
 ):
-    """Boot a socket worker agent; returns ``(server, port, agent)``."""
-    agent = WorkerAgent(jobs=jobs, cache=cache, trace_cache=trace_cache, name=name)
-    server, bound_port = await serve_socket(agent.handle, host=host, port=port)
+    """Boot a socket worker agent; returns ``(server, port, agent)``.
+
+    ``peers`` are transports to sibling workers (or a store node) whose
+    stores this worker may read through; ``binary=False`` pins the
+    served framing to JSON lines (clients fall back automatically).
+    """
+    agent = WorkerAgent(
+        jobs=jobs, cache=cache, trace_cache=trace_cache, name=name, peers=peers
+    )
+    server, bound_port = await serve_socket(
+        agent.handle, host=host, port=port, binary=binary
+    )
     return server, bound_port, agent

@@ -224,6 +224,65 @@ class TraceCache:
         layout = AddressLayout.from_dict(meta["layout"])
         return TraceSet(traces, layout, program=program, meta=meta["meta"])
 
+    def has_key(self, key: str) -> bool:
+        """Cheap existence probe (peer ``has`` ops): a committed sidecar
+        implies its data file exists (data is published first)."""
+        return self.meta_path(key).exists()
+
+    def get_bytes(self, key: str) -> tuple[bytes, bytes] | None:
+        """Raw ``(sidecar, data)`` bytes for replication, or ``None``.
+
+        This is the store tier's bulk read: the object travels to a peer
+        exactly as it sits on disk (the ``.npy`` is already a compact
+        binary array), and the receiving :meth:`put_bytes` re-validates
+        before committing.  Unreadable or mismatched objects are
+        invalidated like any other failed load.
+        """
+        try:
+            meta_bytes = self.meta_path(key).read_bytes()
+            meta = json.loads(meta_bytes)
+            if (
+                meta["cache_format"] != TRACE_CACHE_FORMAT
+                or meta["encode_format"] != FORMAT_VERSION
+                or meta["key"] != key
+            ):
+                raise ValueError("stale or mismatched trace object")
+            data_bytes = self.data_path(key).read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self._invalidate(key)
+            return None
+        self.stats.hits += 1
+        return meta_bytes, data_bytes
+
+    def put_bytes(self, key: str, meta_bytes: bytes, data_bytes: bytes) -> str:
+        """Commit a replicated object fetched from a peer.
+
+        The sidecar is parsed and checked against ``key`` and both
+        format versions before anything touches disk -- a peer can be
+        stale or corrupt, never this store.
+        """
+        meta = json.loads(meta_bytes)
+        if (
+            meta.get("cache_format") != TRACE_CACHE_FORMAT
+            or meta.get("encode_format") != FORMAT_VERSION
+            or meta.get("key") != key
+        ):
+            raise ValueError(f"replicated trace object does not match key {key!r}")
+        directory = self.data_path(key).parent
+        directory.mkdir(parents=True, exist_ok=True)
+        # same commit order as put(): data first, sidecar last
+        self._write_atomic(
+            self.data_path(key), lambda fh: fh.write(data_bytes), "wb"
+        )
+        self._write_atomic(
+            self.meta_path(key), lambda fh: fh.write(meta_bytes), "wb"
+        )
+        self.stats.puts += 1
+        return key
+
     # ------------------------------------------------------------------
     def put(
         self,
@@ -293,10 +352,35 @@ class TraceCache:
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self._object_files())
 
-    def clear(self) -> int:
-        """Delete every cached trace; returns how many were removed."""
-        n = self.count()
-        for p in self._object_files():
+    def clear(self, older_than_days: float | None = None) -> int:
+        """Delete cached traces; returns how many tracesets were removed.
+
+        ``older_than_days`` garbage-collects only objects whose sidecar
+        mtime is older than that many days (the sidecar is the commit
+        point, so its age is the object's age); orphan data files past
+        the cutoff go too.
+        """
+        files = self._object_files()
+        if older_than_days is not None:
+            import time
+
+            cutoff = time.time() - float(older_than_days) * 86400.0
+            sidecars = {p.with_suffix("") for p in files if p.suffix == ".json"}
+            old = []
+            for p in files:
+                if p.suffix == ".npy" and p.with_suffix("") in sidecars:
+                    continue  # paired data goes when its sidecar does
+                try:
+                    if p.stat().st_mtime >= cutoff:
+                        continue
+                except OSError:
+                    continue
+                old.append(p)
+                if p.suffix == ".json":
+                    old.append(p.with_suffix(".npy"))
+            files = old
+        n = sum(1 for p in files if p.suffix == ".json")
+        for p in files:
             try:
                 p.unlink()
             except OSError:

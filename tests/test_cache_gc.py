@@ -1,0 +1,160 @@
+"""Age-based garbage collection of the content-addressed stores
+(PR 10 satellite): ``clear(older_than_days=...)`` on both caches, the
+``has_key`` existence probes the store tier relies on, and the CLI
+surface (``repro cache clear --older-than``, ``total_bytes`` in
+``cache stats --json``)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.runner import JobSpec, ResultCache
+from repro.runner.executor import _execute
+from repro.runner.serialize import result_from_dict
+from repro.trace.cache import TraceCache, trace_key
+
+GOOD = JobSpec(program="fullconn", scale=0.05)
+OTHER = JobSpec(program="grav", scale=0.05)
+
+_OLD = time.time() - 10 * 86400  # ten days ago
+
+
+def _age(path, when=_OLD) -> None:
+    os.utime(path, (when, when))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        spec: result_from_dict(_execute(spec, None, None)["result"])
+        for spec in (GOOD, OTHER)
+    }
+
+
+class TestResultCacheGC:
+    def test_clear_older_than_is_selective(self, tmp_path, results):
+        cache = ResultCache(tmp_path)
+        cache.put(GOOD, results[GOOD])
+        cache.put(OTHER, results[OTHER])
+        _age(cache.path_for(GOOD.cache_key()))
+        removed = cache.clear(older_than_days=7)
+        assert removed == 1
+        assert cache.get_by_key(GOOD.cache_key()) is None
+        assert cache.get_by_key(OTHER.cache_key()) == results[OTHER]
+
+    def test_clear_without_cutoff_removes_everything(self, tmp_path, results):
+        cache = ResultCache(tmp_path)
+        cache.put(GOOD, results[GOOD])
+        cache.put(OTHER, results[OTHER])
+        assert cache.clear() == 2
+        assert cache.count() == 0
+
+    def test_young_objects_survive(self, tmp_path, results):
+        cache = ResultCache(tmp_path)
+        cache.put(GOOD, results[GOOD])
+        assert cache.clear(older_than_days=7) == 0
+        assert cache.has_key(GOOD.cache_key())
+
+    def test_has_key_is_a_cheap_probe(self, tmp_path, results):
+        cache = ResultCache(tmp_path)
+        assert not cache.has_key(GOOD.cache_key())
+        cache.put(GOOD, results[GOOD])
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.has_key(GOOD.cache_key())
+        # existence probes must not skew hit-rate accounting
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+
+@pytest.fixture
+def warm_trace_cache(tmp_path):
+    from repro.runner.executor import _TRACE_MEMO
+
+    _TRACE_MEMO.clear()  # force a real generation + put
+    tcache = TraceCache(tmp_path / "traces")
+    assert _execute(GOOD, None, str(tcache.root))["ok"]
+    _TRACE_MEMO.clear()
+    assert _execute(OTHER, None, str(tcache.root))["ok"]
+    _TRACE_MEMO.clear()
+    return tcache
+
+
+class TestTraceCacheGC:
+    def test_clear_older_than_removes_whole_pairs(self, warm_trace_cache):
+        tcache = warm_trace_cache
+        key = trace_key(GOOD.program, GOOD.scale, GOOD.seed, GOOD.n_procs)
+        other_key = trace_key(OTHER.program, OTHER.scale, OTHER.seed, OTHER.n_procs)
+        assert tcache.has_key(key) and tcache.has_key(other_key)
+        # the sidecar's mtime governs the pair: age both files of GOOD
+        _age(tcache.meta_path(key))
+        _age(tcache.data_path(key))
+        assert tcache.clear(older_than_days=7) == 1
+        assert not tcache.has_key(key)
+        assert not tcache.data_path(key).exists()  # no orphan .npy left
+        assert tcache.has_key(other_key)
+
+    def test_orphan_npy_judged_by_its_own_mtime(self, tmp_path):
+        tcache = TraceCache(tmp_path / "traces")
+        orphan = tcache.data_path("f" * 64)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"\x00" * 16)
+        _age(orphan)
+        assert tcache.clear(older_than_days=7) == 0  # no sidecar removed
+        assert not orphan.exists()
+
+    def test_get_put_bytes_round_trip(self, warm_trace_cache, tmp_path):
+        src = warm_trace_cache
+        key = trace_key(GOOD.program, GOOD.scale, GOOD.seed, GOOD.n_procs)
+        pair = src.get_bytes(key)
+        assert pair is not None
+        meta_bytes, data_bytes = pair
+        dst = TraceCache(tmp_path / "replica")
+        dst.put_bytes(key, meta_bytes, data_bytes)
+        assert dst.get_bytes(key) == pair
+        # the replicated object is loadable as a real traceset
+        assert dst.get(GOOD.program, GOOD.scale, GOOD.seed, GOOD.n_procs) is not None
+
+    def test_put_bytes_rejects_a_mismatched_key(self, warm_trace_cache, tmp_path):
+        src = warm_trace_cache
+        key = trace_key(GOOD.program, GOOD.scale, GOOD.seed, GOOD.n_procs)
+        meta_bytes, data_bytes = src.get_bytes(key)
+        dst = TraceCache(tmp_path / "replica")
+        with pytest.raises(ValueError):
+            dst.put_bytes("0" * 64, meta_bytes, data_bytes)
+        assert not dst.has_key("0" * 64)
+
+
+class TestCacheCLI:
+    def test_clear_older_than_flag(self, tmp_path, results, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(GOOD, results[GOOD])
+        cache.put(OTHER, results[OTHER])
+        _age(cache.path_for(GOOD.cache_key()))
+        rc = main(
+            [
+                "cache",
+                "clear",
+                "--older-than",
+                "7",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "removed 1 result(s) older than 7 day(s)" in out
+        assert cache.has_key(OTHER.cache_key())
+
+    def test_stats_json_reports_total_bytes(self, tmp_path, results, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(GOOD, results[GOOD])
+        rc = main(["cache", "stats", "--json", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_bytes"] == (
+            payload["result_cache"]["size_bytes"]
+            + payload["trace_cache"]["size_bytes"]
+        )
+        assert payload["total_bytes"] > 0

@@ -1,0 +1,140 @@
+"""Dead-worker resilience (PR 10 satellite): a shard stranded by a
+worker that dies mid-sweep is re-planned onto the survivors over real
+sockets; cells fail only when no worker survives."""
+
+import asyncio
+
+import pytest
+
+from repro.runner import JobSpec, ResultCache
+from repro.service import Scheduler, SocketTransport, serve_worker
+from repro.service.planner import replan
+
+pytestmark = pytest.mark.service
+
+
+def _grid(n: int) -> list[JobSpec]:
+    return [JobSpec(program="fullconn", scale=0.05, seed=3000 + i) for i in range(n)]
+
+
+class TestReplan:
+    def test_replan_preserves_original_indices(self):
+        specs = _grid(5)
+        pairs = [(i, specs[i]) for i in (4, 1, 3)]  # stranded subset
+        shards = replan(pairs, 2)
+        covered = sorted(i for s in shards for i in s.indices)
+        assert covered == [1, 3, 4]
+        for shard in shards:
+            for idx, spec in zip(shard.indices, shard.specs):
+                assert specs[idx] is spec
+
+    def test_replan_onto_one_survivor_is_one_shard(self):
+        specs = _grid(4)
+        shards = replan(list(enumerate(specs)), 1)
+        assert len(shards) == 1
+        assert shards[0].indices == (0, 1, 2, 3)
+
+
+class TestKillAWorker:
+    def test_grid_survives_a_worker_killed_mid_sweep(self, tmp_path):
+        """Integration: two real socket workers, one killed after the
+        scheduler connects to it; every cell still completes on the
+        survivor and the replan counters tick."""
+        specs = _grid(4)
+
+        async def scenario():
+            server_a, port_a, agent_a = await serve_worker(
+                cache=ResultCache(tmp_path / "a"), trace_cache=False, name="wa"
+            )
+            server_b, port_b, agent_b = await serve_worker(
+                cache=ResultCache(tmp_path / "b"), trace_cache=False, name="wb"
+            )
+            ta = SocketTransport("127.0.0.1", port_a)
+            tb = SocketTransport("127.0.0.1", port_b)
+            scheduler = Scheduler(
+                cache=ResultCache(tmp_path / "front"),
+                trace_cache=False,
+                transports=[ta, tb],
+            )
+            try:
+                # both workers are up and answering
+                assert (await ta.call({"op": "ping"}))["ok"]
+                assert (await tb.call({"op": "ping"}))["ok"]
+                # kill worker A: close its server AND its accepted
+                # connections die with the event-loop abort below
+                server_a.close()
+                await server_a.wait_closed()
+                await ta.close()  # drop the live connection too
+                outs = await scheduler.submit_grid(specs, n_shards=2)
+                return outs, scheduler.metrics
+            finally:
+                await ta.close()
+                await tb.close()
+                server_b.close()
+                await server_b.wait_closed()
+                agent_a.close()
+                agent_b.close()
+
+        outs, metrics = asyncio.run(scenario())
+        assert all(o.ok for o in outs)
+        assert [o.status for o in outs] == ["ok"] * 4
+        # outcomes landed in original grid order with real results
+        for spec, out in zip(specs, outs):
+            assert out.spec is spec
+            assert out.outcome.run_time > 0
+        assert metrics.worker_failures >= 1
+        assert metrics.shards_replanned >= 1
+        assert metrics.executed == 4
+        assert metrics.failed == 0
+
+    def test_all_workers_dead_fails_cells_with_context(self, tmp_path):
+        specs = _grid(2)
+
+        async def scenario():
+            # a port with nothing listening: connection refused
+            dead = SocketTransport("127.0.0.1", 1)
+            scheduler = Scheduler(
+                cache=ResultCache(tmp_path / "front"),
+                trace_cache=False,
+                transports=[dead],
+            )
+            outs = await scheduler.submit_grid(specs)
+            await dead.close()
+            return outs, scheduler.metrics
+
+        outs, metrics = asyncio.run(scenario())
+        assert all(not o.ok for o in outs)
+        for out in outs:
+            assert out.status == "failed"
+            assert "no surviving workers" in out.outcome.message
+        assert metrics.worker_failures == 1
+        assert metrics.failed == 2
+
+    def test_single_cell_grid_replans_too(self, tmp_path):
+        (spec,) = _grid(1)
+
+        async def scenario():
+            server, port, agent = await serve_worker(
+                cache=ResultCache(tmp_path / "b"), trace_cache=False
+            )
+            dead = SocketTransport("127.0.0.1", 1)
+            good = SocketTransport("127.0.0.1", port)
+            scheduler = Scheduler(
+                cache=ResultCache(tmp_path / "front"),
+                trace_cache=False,
+                transports=[dead, good],
+            )
+            try:
+                outs = await scheduler.submit_grid([spec], n_shards=1)
+                return outs, scheduler.metrics
+            finally:
+                await dead.close()
+                await good.close()
+                server.close()
+                await server.wait_closed()
+                agent.close()
+
+        outs, metrics = asyncio.run(scenario())
+        assert outs[0].ok and outs[0].status == "ok"
+        assert metrics.worker_failures == 1
+        assert metrics.shards_replanned == 1

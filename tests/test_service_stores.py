@@ -1,0 +1,295 @@
+"""The peer-replicated warm-store tier: worker ``has``/``fetch`` ops,
+:class:`PeerStore` read-through + self-healing, and the scheduler's
+``remote`` outcome path (PR 10 tentpole)."""
+
+import asyncio
+
+import pytest
+
+from repro.runner import JobSpec, ResultCache
+from repro.runner.executor import _execute
+from repro.runner.serialize import (
+    RESULT_CODEC,
+    result_from_bytes,
+    result_from_dict,
+    result_to_bytes,
+)
+from repro.service import (
+    InProcessTransport,
+    PeerStore,
+    Scheduler,
+    ServiceMetrics,
+    WorkerAgent,
+)
+from repro.service.transport import BINARY_HINT, Blob
+from repro.trace.cache import TraceCache, trace_key
+
+pytestmark = pytest.mark.service
+
+GOOD = JobSpec(program="fullconn", scale=0.05)
+OTHER = JobSpec(program="grav", scale=0.05)
+
+
+def _simulate(spec: JobSpec):
+    payload = _execute(spec, None, None)
+    assert payload["ok"], payload
+    return result_from_dict(payload["result"])
+
+
+@pytest.fixture(scope="module")
+def good_result():
+    return _simulate(GOOD)
+
+
+@pytest.fixture(scope="module")
+def other_result():
+    return _simulate(OTHER)
+
+
+class TestResultCodec:
+    def test_binary_codec_round_trips_exactly(self, good_result):
+        blob = result_to_bytes(good_result)
+        assert isinstance(blob, bytes)
+        assert result_from_bytes(blob) == good_result
+
+    def test_codec_is_compact(self, good_result):
+        import json
+
+        from repro.runner.serialize import result_to_dict
+
+        as_json = len(json.dumps(result_to_dict(good_result)).encode())
+        as_binary = len(result_to_bytes(good_result))
+        assert as_binary < as_json
+
+
+class TestWorkerStoreOps:
+    def test_has_batches_over_the_result_store(self, tmp_path, good_result):
+        cache = ResultCache(tmp_path / "store")
+        cache.put(GOOD, good_result)
+        agent = WorkerAgent(cache=cache, trace_cache=False, name="store0")
+        key = GOOD.cache_key()
+        response = asyncio.run(
+            agent.handle({"op": "has", "kind": "result", "keys": [key, "missing"]})
+        )
+        assert response == {"ok": True, "worker": "store0", "present": [key]}
+
+    def test_fetch_answers_json_peers_with_dicts(self, tmp_path, good_result):
+        cache = ResultCache(tmp_path / "store")
+        cache.put(GOOD, good_result)
+        agent = WorkerAgent(cache=cache, trace_cache=False)
+        response = asyncio.run(
+            agent.handle({"op": "fetch", "kind": "result", "key": GOOD.cache_key()})
+        )
+        assert response["ok"]
+        assert result_from_dict(response["result"]) == good_result
+
+    def test_fetch_answers_binary_peers_with_blobs(self, tmp_path, good_result):
+        cache = ResultCache(tmp_path / "store")
+        cache.put(GOOD, good_result)
+        agent = WorkerAgent(cache=cache, trace_cache=False)
+        response = asyncio.run(
+            agent.handle(
+                {
+                    "op": "fetch",
+                    "kind": "result",
+                    "key": GOOD.cache_key(),
+                    BINARY_HINT: True,
+                }
+            )
+        )
+        assert response["ok"]
+        blob = response["payload"]
+        assert isinstance(blob, Blob) and blob.codec == RESULT_CODEC
+        assert result_from_bytes(blob.data) == good_result
+
+    def test_fetch_miss_is_an_explicit_miss(self, tmp_path):
+        agent = WorkerAgent(cache=ResultCache(tmp_path / "s"), trace_cache=False)
+        response = asyncio.run(
+            agent.handle({"op": "fetch", "kind": "result", "key": "nope"})
+        )
+        assert response == {
+            "ok": False,
+            "kind": "miss",
+            "message": "no result for nope",
+        }
+
+
+class TestPeerStore:
+    def test_read_through_heals_the_local_cache(self, tmp_path, good_result):
+        peer_cache = ResultCache(tmp_path / "peer")
+        peer_cache.put(GOOD, good_result)
+        peer = WorkerAgent(cache=peer_cache, trace_cache=False)
+        local = ResultCache(tmp_path / "local")
+        metrics = ServiceMetrics()
+        store = PeerStore(
+            [InProcessTransport(peer.handle)], cache=local, metrics=metrics
+        )
+        key = GOOD.cache_key()
+
+        async def scenario():
+            present = await store.has([key, OTHER.cache_key()])
+            fetched = await store.fetch_result(key, spec=GOOD)
+            return present, fetched
+
+        present, fetched = asyncio.run(scenario())
+        assert present == {key}
+        assert fetched == good_result
+        # healed: the next lookup is a plain local hit
+        assert local.get_by_key(key) == good_result
+        assert metrics.remote_hits == 1
+
+    def test_dead_peer_degrades_to_a_miss(self, tmp_path):
+        async def dead(request):
+            raise ConnectionError("peer vanished")
+
+        metrics = ServiceMetrics()
+        store = PeerStore([InProcessTransport(dead)], metrics=metrics)
+
+        async def scenario():
+            present = await store.has(["k1"])
+            fetched = await store.fetch_result("k1")
+            return present, fetched
+
+        present, fetched = asyncio.run(scenario())
+        assert present == set() and fetched is None
+        assert metrics.remote_misses == 1
+
+    def test_second_peer_serves_what_the_first_lacks(self, tmp_path, good_result, other_result):
+        cache_a = ResultCache(tmp_path / "a")
+        cache_a.put(GOOD, good_result)
+        cache_b = ResultCache(tmp_path / "b")
+        cache_b.put(OTHER, other_result)
+        agents = [
+            WorkerAgent(cache=cache_a, trace_cache=False),
+            WorkerAgent(cache=cache_b, trace_cache=False),
+        ]
+        store = PeerStore([InProcessTransport(a.handle) for a in agents])
+
+        async def scenario():
+            return (
+                await store.has([GOOD.cache_key(), OTHER.cache_key()]),
+                await store.fetch_result(OTHER.cache_key()),
+            )
+
+        present, fetched = asyncio.run(scenario())
+        assert present == {GOOD.cache_key(), OTHER.cache_key()}
+        assert fetched == other_result
+
+    def test_trace_replication(self, tmp_path):
+        # simulate on the peer with a real trace cache, then replicate
+        # the traceset by key into an empty local trace cache
+        from repro.runner.executor import _TRACE_MEMO
+
+        _TRACE_MEMO.clear()  # earlier cacheless runs must not mask the put
+        peer_traces = TraceCache(tmp_path / "peer_traces")
+        payload = _execute(GOOD, None, str(peer_traces.root))
+        assert payload["ok"]
+        peer = WorkerAgent(cache=None, trace_cache=peer_traces)
+        key = trace_key(GOOD.program, GOOD.scale, GOOD.seed, GOOD.n_procs)
+        assert peer_traces.has_key(key)
+
+        local_traces = TraceCache(tmp_path / "local_traces")
+        store = PeerStore(
+            [InProcessTransport(peer.handle)], trace_cache=local_traces
+        )
+        assert asyncio.run(store.fetch_trace(key)) is True
+        assert local_traces.has_key(key)
+        # the replicated object is byte-identical to the origin's
+        assert local_traces.get_bytes(key) == peer_traces.get_bytes(key)
+
+
+class TestWorkerPeerPath:
+    def test_run_consults_peers_before_simulating(self, tmp_path, good_result):
+        origin_cache = ResultCache(tmp_path / "origin")
+        origin_cache.put(GOOD, good_result)
+        origin = WorkerAgent(cache=origin_cache, trace_cache=False)
+        worker = WorkerAgent(
+            cache=ResultCache(tmp_path / "empty"),
+            trace_cache=False,
+            peers=[InProcessTransport(origin.handle)],
+        )
+        payload = asyncio.run(
+            worker.handle({"op": "run", "spec": GOOD.to_dict()})
+        )
+        assert payload["ok"] and payload["cached"] and payload["remote"]
+        assert result_from_dict(payload["result"]) == good_result
+        # healed into the worker's own store
+        assert worker.cache.get(GOOD) == good_result
+
+    def test_run_shard_prewarms_from_peers(self, tmp_path, good_result):
+        origin_cache = ResultCache(tmp_path / "origin")
+        origin_cache.put(GOOD, good_result)
+        origin = WorkerAgent(cache=origin_cache, trace_cache=False)
+        worker = WorkerAgent(
+            cache=ResultCache(tmp_path / "empty"),
+            trace_cache=False,
+            peers=[InProcessTransport(origin.handle)],
+        )
+        response = asyncio.run(
+            worker.handle(
+                {"op": "run_shard", "specs": [GOOD.to_dict(), OTHER.to_dict()]}
+            )
+        )
+        worker.close()
+        assert response["ok"]
+        assert len(response["payloads"]) == 2
+        assert all(p["ok"] for p in response["payloads"])
+        stats = response["stats"]
+        # GOOD was healed from the peer (a cache hit inside run_jobs,
+        # never re-simulated); OTHER was actually executed
+        assert stats["remote"] == 1
+        assert stats["cached"] == 1
+        assert stats["executed"] == 1
+
+
+class TestSchedulerStoreTier:
+    def test_submit_serves_remote_and_heals(self, tmp_path, good_result):
+        origin_cache = ResultCache(tmp_path / "origin")
+        origin_cache.put(GOOD, good_result)
+        origin = WorkerAgent(cache=origin_cache, trace_cache=False)
+        scheduler = Scheduler(
+            cache=ResultCache(tmp_path / "front"),
+            trace_cache=False,
+            peers=[InProcessTransport(origin.handle)],
+        )
+        out = asyncio.run(scheduler.submit(GOOD))
+        assert out.status == "remote"
+        assert out.outcome == good_result
+        assert scheduler.metrics.remote_hits == 1
+        assert scheduler.metrics.executed == 0
+        # healed: the second submit is a plain local hit
+        out2 = asyncio.run(scheduler.submit(GOOD))
+        assert out2.status == "hit"
+
+    def test_submit_grid_peer_phase_with_remote_workers(self, tmp_path, good_result):
+        origin_cache = ResultCache(tmp_path / "origin")
+        origin_cache.put(GOOD, good_result)
+        origin = WorkerAgent(cache=origin_cache, trace_cache=False)
+        worker = WorkerAgent(cache=None, trace_cache=False)
+        scheduler = Scheduler(
+            cache=ResultCache(tmp_path / "front"),
+            trace_cache=False,
+            transports=[InProcessTransport(worker.handle)],
+            peers=[InProcessTransport(origin.handle)],
+        )
+        outs = asyncio.run(scheduler.submit_grid([GOOD, OTHER]))
+        worker.close()
+        statuses = {o.spec.program: o.status for o in outs}
+        assert statuses == {"fullconn": "remote", "grav": "ok"}
+        assert all(o.ok for o in outs)
+        assert scheduler.metrics.remote_hits == 1
+        assert scheduler.metrics.executed == 1
+
+    def test_grid_remote_outcome_records_as_cached_in_manifests(
+        self, tmp_path, good_result
+    ):
+        origin_cache = ResultCache(tmp_path / "origin")
+        origin_cache.put(GOOD, good_result)
+        origin = WorkerAgent(cache=origin_cache, trace_cache=False)
+        scheduler = Scheduler(
+            cache=ResultCache(tmp_path / "front"),
+            trace_cache=False,
+            peers=[InProcessTransport(origin.handle)],
+        )
+        out = asyncio.run(scheduler.submit(GOOD))
+        assert out.manifest_record()["status"] == "cached"

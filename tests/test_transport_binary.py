@@ -1,0 +1,351 @@
+"""Property suite for the binary wire framing (PR 10 satellite).
+
+Three families of properties:
+
+* **Round trip**: any frame-expressible message survives
+  ``encode_frame`` -> ``read_frame`` bit-exactly, on either framing,
+  blobs included, deflated or not.
+* **Torn frames**: any strict prefix of a binary frame followed by EOF
+  raises ``ConnectionError`` (never hangs, never returns garbage), and
+  the error says how many bytes arrived.
+* **Negotiation**: an auto client speaks binary to a binary server and
+  falls back to JSON lines against a JSON-only server, transparently --
+  the response payload is identical either way.
+
+Plus the frame-cap satellite: an oversized frame must be refused with
+an error naming the offending key and the frame size, on both the
+client (encode) and server (response) paths.
+"""
+
+import asyncio
+import json
+import os
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import transport as transport_mod
+from repro.service.transport import (
+    FLAG_DEFLATE,
+    FRAME_MAGIC,
+    Blob,
+    FrameTooLarge,
+    SocketTransport,
+    decode_binary_body,
+    encode_frame,
+    read_frame,
+    serve_socket,
+)
+
+pytestmark = pytest.mark.service
+
+_HEADER = struct.Struct("!4sBIQ")
+
+
+def _decode(frame: bytes):
+    """Synchronously read one frame from raw bytes (EOF after)."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: frame-expressible messages
+# ----------------------------------------------------------------------
+_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+).filter(lambda k: k not in ("__blob__", "__blob_b64__"))
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=24),
+    st.builds(
+        Blob,
+        st.binary(max_size=256),
+        st.sampled_from(["bytes", "npy", "json", "result-v1"]),
+    ),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_keys, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+_messages = st.dictionaries(_keys, _values, max_size=6)
+
+
+class TestRoundTrip:
+    @given(obj=_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_binary_frames_round_trip_exactly(self, obj):
+        frame = encode_frame(obj, binary=True)
+        assert frame[:1] == FRAME_MAGIC[:1]
+        decoded, is_binary, nbytes = _decode(frame)
+        assert is_binary
+        assert nbytes == len(frame)
+        assert decoded == obj
+
+    @given(obj=_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_json_frames_round_trip_exactly(self, obj):
+        frame = encode_frame(obj, binary=False)
+        assert frame.endswith(b"\n") and frame[:1] != FRAME_MAGIC[:1]
+        decoded, is_binary, nbytes = _decode(frame)
+        assert not is_binary
+        assert nbytes == len(frame)
+        assert decoded == obj
+
+    def test_deflated_body_round_trips(self):
+        # highly compressible payload well past the deflate threshold
+        blob = Blob(b"\x07" * 100_000, "npy")
+        obj = {"op": "fetch", "key": "k" * 64, "payload": blob}
+        frame = encode_frame(obj, binary=True)
+        _, flags, _, _ = _HEADER.unpack(frame[: _HEADER.size])[0:4]
+        assert flags & FLAG_DEFLATE
+        assert len(frame) < len(blob.data) // 10
+        decoded, is_binary, _ = _decode(frame)
+        assert is_binary and decoded == obj
+
+    def test_incompressible_body_skips_deflate(self):
+        obj = {"payload": Blob(os.urandom(4096), "bytes")}
+        frame = encode_frame(obj, binary=True)
+        flags = frame[4]
+        assert not flags & FLAG_DEFLATE
+        decoded, _, _ = _decode(frame)
+        assert decoded == obj
+
+    @given(objs=st.lists(_messages, min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_concatenated_frames_stay_delimited(self, objs):
+        # mixed framings back to back on one stream: each frame must
+        # consume exactly its own bytes
+        async def scenario():
+            reader = asyncio.StreamReader()
+            for n, obj in enumerate(objs):
+                reader.feed_data(encode_frame(obj, binary=bool(n % 2)))
+            reader.feed_eof()
+            out = []
+            while True:
+                read = await read_frame(reader)
+                if read is None:
+                    return out
+                out.append(read[0])
+
+        assert asyncio.run(scenario()) == objs
+
+
+class TestTornFrames:
+    @given(obj=_messages, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_binary_prefix_is_rejected(self, obj, data):
+        frame = encode_frame(obj, binary=True)
+        cut = data.draw(st.integers(min_value=1, max_value=len(frame) - 1))
+        with pytest.raises(ConnectionError, match="torn binary frame"):
+            _decode(frame[:cut])
+
+    def test_empty_stream_is_clean_eof(self):
+        assert _decode(b"") is None
+
+    def test_torn_frame_error_reports_byte_counts(self):
+        frame = encode_frame({"op": "ping"}, binary=True)
+        with pytest.raises(ConnectionError, match=r"\d+ of \d+ bytes"):
+            _decode(frame[: len(frame) - 1])
+
+    def test_oversized_declared_body_is_refused_unread(self):
+        # a hostile header claiming a huge body must be rejected from
+        # the 17 header bytes alone, before buffering anything
+        header = _HEADER.pack(FRAME_MAGIC, 0, 10, transport_mod.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ConnectionError, match="exceeds"):
+            _decode(header)
+
+    def test_segment_table_overrun_is_refused(self):
+        meta = json.dumps({"c": {"x": {"__blob__": 0}}, "b": [["bytes", 999]]}).encode()
+        body = meta + b"short"
+        frame = _HEADER.pack(FRAME_MAGIC, 0, len(meta), len(body)) + body
+        with pytest.raises(ConnectionError, match="overruns"):
+            _decode(frame)
+
+    def test_meta_length_past_body_is_refused(self):
+        with pytest.raises(ConnectionError, match="meta length"):
+            decode_binary_body(0, 100, b"tiny")
+
+    def test_truncated_deflate_stream_is_refused(self):
+        packed = zlib.compress(b"x" * 10_000)
+        with pytest.raises(ConnectionError, match="truncated|cap"):
+            decode_binary_body(FLAG_DEFLATE, 4, packed[: len(packed) // 2])
+
+
+class TestNegotiation:
+    def _echo_server(self, binary: bool):
+        async def handler(request):
+            return {
+                "ok": True,
+                "echo": request.get("value"),
+                "blob": request.get("blob"),
+            }
+
+        return serve_socket(handler, binary=binary)
+
+    def _call_through(self, server_binary: bool, client_binary: str = "auto"):
+        async def scenario():
+            server, port = await self._echo_server(server_binary)
+            t = SocketTransport("127.0.0.1", port, binary=client_binary)
+            try:
+                response = await t.call(
+                    {"op": "echo", "value": 17, "blob": Blob(b"\x00\xff", "bytes")}
+                )
+                return response, t._use_binary
+            finally:
+                await t.close()
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(scenario())
+
+    def test_auto_client_binary_server_goes_binary(self):
+        response, use_binary = self._call_through(server_binary=True)
+        assert use_binary is True
+        assert response["echo"] == 17
+        assert response["blob"] == Blob(b"\x00\xff", "bytes")
+
+    def test_auto_client_falls_back_to_json_lines(self):
+        # a JSON-only server declines the offer; the same payload still
+        # round-trips (blobs degrade to base64 markers on the wire)
+        response, use_binary = self._call_through(server_binary=False)
+        assert use_binary is False
+        assert response["echo"] == 17
+        assert response["blob"] == Blob(b"\x00\xff", "bytes")
+
+    def test_never_client_speaks_json_to_binary_server(self):
+        response, use_binary = self._call_through(
+            server_binary=True, client_binary="never"
+        )
+        assert use_binary is False
+        assert response["echo"] == 17
+        assert response["blob"] == Blob(b"\x00\xff", "bytes")
+
+    def test_plain_json_server_without_negotiation_support(self):
+        # a PR-6-era server: newline JSON, no __negotiate__ handling.
+        # The unknown-op error must read as a decline, not a failure.
+        async def scenario():
+            async def on_connection(reader, writer):
+                while line := await reader.readline():
+                    request = json.loads(line)
+                    if request.get("op") == "echo":
+                        body = {"ok": True, "echo": request["value"]}
+                    else:
+                        body = {"ok": False, "message": "unknown op"}
+                    writer.write(json.dumps(body).encode() + b"\n")
+                    await writer.drain()
+
+            server = await asyncio.start_server(on_connection, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            t = SocketTransport("127.0.0.1", port)
+            try:
+                return await t.call({"op": "echo", "value": 3}), t._use_binary
+            finally:
+                await t.close()
+                server.close()
+                await server.wait_closed()
+
+        response, use_binary = asyncio.run(scenario())
+        assert use_binary is False
+        assert response == {"ok": True, "echo": 3}
+
+    def test_transport_metrics_count_frames_and_bytes(self):
+        from repro.service import ServiceMetrics
+
+        async def scenario():
+            server, port = await self._echo_server(True)
+            metrics = ServiceMetrics()
+            t = SocketTransport("127.0.0.1", port, metrics=metrics)
+            try:
+                await t.call({"op": "echo", "value": 1})
+                return metrics
+            finally:
+                await t.close()
+                server.close()
+                await server.wait_closed()
+
+        metrics = asyncio.run(scenario())
+        # one JSON hello + one binary request
+        assert metrics.frames_json == 1
+        assert metrics.frames_binary == 1
+        assert metrics.bytes_sent > 0
+        assert metrics.bytes_received > 0
+
+
+class TestFrameCap:
+    """Satellite: the cap error must name the offending key and size."""
+
+    def test_binary_cap_names_key_and_size(self, monkeypatch):
+        monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 1024)
+        # incompressible payload: the cap applies to on-wire bytes, so
+        # deflate must not be able to rescue the frame
+        obj = {"op": "fetch", "key": "deadbeef", "payload": Blob(os.urandom(4096))}
+        with pytest.raises(FrameTooLarge) as err:
+            encode_frame(obj, binary=True)
+        message = str(err.value)
+        assert "key='deadbeef'" in message
+        assert "op='fetch'" in message
+        assert "1024-byte cap" in message
+        assert "bytes" in message
+
+    def test_json_cap_names_key_and_size(self, monkeypatch):
+        monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 512)
+        obj = {"key": "cafe", "blob": Blob(b"\x02" * 2048)}
+        with pytest.raises(FrameTooLarge, match=r"key='cafe'.*512-byte cap"):
+            encode_frame(obj, binary=False)
+
+    def test_unkeyed_frame_still_identified(self, monkeypatch):
+        monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameTooLarge, match="unkeyed frame"):
+            encode_frame({"x": "y" * 100}, binary=False)
+
+    def test_shard_frames_identified_by_payload_count(self, monkeypatch):
+        monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameTooLarge, match=r"shard of 3 payload\(s\)"):
+            encode_frame({"payloads": [{"a": 1}, {"b": 2}, {"c": "d" * 80}]}, False)
+
+    def test_server_reports_oversized_response_instead_of_dying(self, monkeypatch):
+        # the response path: the handler's answer exceeds the cap, the
+        # connection must survive and the client must see the cap error
+        async def handler(request):
+            if request.get("op") == "big":
+                return {"ok": True, "key": "bigkey", "payload": Blob(os.urandom(9000))}
+            return {"ok": True, "op": "pong"}
+
+        async def scenario():
+            server, port = await serve_socket(handler)
+            t = SocketTransport("127.0.0.1", port)
+            try:
+                monkeypatch.setattr(transport_mod, "MAX_FRAME_BYTES", 4096)
+                big = await t.call({"op": "big"})
+                after = await t.call({"op": "ping"})
+                return big, after
+            finally:
+                monkeypatch.undo()
+                await t.close()
+                server.close()
+                await server.wait_closed()
+
+        big, after = asyncio.run(scenario())
+        assert big["ok"] is False
+        assert "key='bigkey'" in big["message"]
+        assert "4096-byte cap" in big["message"]
+        assert after == {"ok": True, "op": "pong"}
